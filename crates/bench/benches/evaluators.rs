@@ -1,0 +1,48 @@
+//! Evaluator benchmarks: naive baseline vs the paper's scheduled algorithm,
+//! sequential vs block-parallel execution (the speedups behind Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psmd_bench::TestPolynomial;
+use psmd_core::{evaluate_naive, ConvolutionKernel, Polynomial, ScheduledEvaluator};
+use psmd_multidouble::Dd;
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn evaluator_comparison(c: &mut Criterion) {
+    let degree = 15;
+    let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(degree, 1);
+    let z: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
+    let evaluator = ScheduledEvaluator::new(&p);
+    let direct = ScheduledEvaluator::new(&p).with_kernel(ConvolutionKernel::Direct);
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("evaluators_reduced_p1_d15_2d");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("naive_baseline", |b| {
+        b.iter(|| black_box(evaluate_naive(&p, &z).value.coeff(0)))
+    });
+    group.bench_function("scheduled_sequential", |b| {
+        b.iter(|| black_box(evaluator.evaluate_sequential(&z).value.coeff(0)))
+    });
+    group.bench_function("scheduled_sequential_direct_kernel", |b| {
+        b.iter(|| black_box(direct.evaluate_sequential(&z).value.coeff(0)))
+    });
+    group.bench_function("scheduled_parallel", |b| {
+        b.iter(|| black_box(evaluator.evaluate_parallel(&z, &pool).value.coeff(0)))
+    });
+    group.finish();
+}
+
+fn schedule_construction(c: &mut Criterion) {
+    let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(0, 1);
+    let mut group = c.benchmark_group("schedule_construction");
+    group.sample_size(20).measurement_time(Duration::from_millis(800));
+    group.bench_function("reduced_p1", |b| {
+        b.iter(|| black_box(psmd_core::Schedule::build(&p).convolution_jobs()))
+    });
+    group.finish();
+}
+
+criterion_group!(evaluators, evaluator_comparison, schedule_construction);
+criterion_main!(evaluators);

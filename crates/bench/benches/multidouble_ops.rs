@@ -1,0 +1,54 @@
+//! Scalar multiple-double operation benchmarks.
+//!
+//! These measure the cost overhead of each precision relative to plain
+//! doubles, the quantity the paper's Section 6.3 discusses (the "cost
+//! overhead factor of double double over double is typically a factor of
+//! about five") and the input to the achieved-GFLOPS numbers in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psmd_multidouble::{Md, RandomCoeff};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_precision<const N: usize>(c: &mut Criterion, label: &str) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let xs: Vec<Md<N>> = (0..256).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+    let ys: Vec<Md<N>> = (0..256).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+    let mut group = c.benchmark_group("multidouble");
+    group.sample_size(20).measurement_time(Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("add", label), |b| {
+        b.iter(|| {
+            let mut acc = Md::<N>::ZERO;
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                acc = acc.add(&black_box(x.add(y)));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("mul", label), |b| {
+        b.iter(|| {
+            let mut acc = Md::<N>::ZERO;
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                acc = acc.add(&black_box(x.mul(y)));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_precision::<1>(c, "1d");
+    bench_precision::<2>(c, "2d");
+    bench_precision::<3>(c, "3d");
+    bench_precision::<4>(c, "4d");
+    bench_precision::<5>(c, "5d");
+    bench_precision::<8>(c, "8d");
+    bench_precision::<10>(c, "10d");
+}
+
+criterion_group!(multidouble_ops, benches);
+criterion_main!(multidouble_ops);

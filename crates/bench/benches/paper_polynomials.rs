@@ -1,0 +1,85 @@
+//! Benchmarks over the (reduced) paper test polynomials — the measured
+//! counterparts of Tables 3-7 and Figures 2-6 at CPU-affordable sizes.
+//!
+//! * `table3_4`: p1/p2/p3 at one degree and precision (block-parallel).
+//! * `tables5to7_degrees`: degree scaling of p1 (Tables 5-7, Figure 6).
+//! * `figures2to5_precisions`: precision scaling of p1 (Figures 2-5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psmd_bench::TestPolynomial;
+use psmd_core::{Polynomial, ScheduledEvaluator};
+use psmd_multidouble::{Coeff, Md, RandomCoeff};
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn run_reduced<C: Coeff + RandomCoeff>(
+    poly: TestPolynomial,
+    degree: usize,
+    pool: &WorkerPool,
+) -> f64 {
+    let p: Polynomial<C> = poly.build_reduced(degree, 1);
+    let z: Vec<Series<C>> = poly.reduced_inputs(degree, 1);
+    let evaluator = ScheduledEvaluator::new(&p);
+    evaluator.evaluate_parallel(&z, pool).value.coeff(0).magnitude()
+}
+
+/// The three test polynomials at a common degree/precision (Tables 3 and 4).
+fn table3_4(c: &mut Criterion) {
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("tables3_4_reduced_d15_2d");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for poly in TestPolynomial::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(poly.label()),
+            &poly,
+            |b, &poly| b.iter(|| black_box(run_reduced::<Md<2>>(poly, 15, &pool))),
+        );
+    }
+    group.finish();
+}
+
+/// Degree scaling of reduced p1 in double-double (Tables 5-7, Figure 6).
+fn tables5to7_degrees(c: &mut Criterion) {
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("tables5to7_reduced_p1_2d_degrees");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for d in [0usize, 8, 15, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(run_reduced::<Md<2>>(TestPolynomial::P1, d, &pool)))
+        });
+    }
+    group.finish();
+}
+
+/// Precision scaling of reduced p1 at degree 15 (Figures 2-5).
+fn figures2to5_precisions(c: &mut Criterion) {
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("figures2to5_reduced_p1_d15_precisions");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("1d", |b| {
+        b.iter(|| black_box(run_reduced::<Md<1>>(TestPolynomial::P1, 15, &pool)))
+    });
+    group.bench_function("2d", |b| {
+        b.iter(|| black_box(run_reduced::<Md<2>>(TestPolynomial::P1, 15, &pool)))
+    });
+    group.bench_function("4d", |b| {
+        b.iter(|| black_box(run_reduced::<Md<4>>(TestPolynomial::P1, 15, &pool)))
+    });
+    group.bench_function("8d", |b| {
+        b.iter(|| black_box(run_reduced::<Md<8>>(TestPolynomial::P1, 15, &pool)))
+    });
+    group.bench_function("10d", |b| {
+        b.iter(|| black_box(run_reduced::<Md<10>>(TestPolynomial::P1, 15, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper_polynomials,
+    table3_4,
+    tables5to7_degrees,
+    figures2to5_precisions
+);
+criterion_main!(paper_polynomials);

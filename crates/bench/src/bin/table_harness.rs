@@ -1,0 +1,562 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! table_harness <command> [options]
+//!
+//! commands:
+//!   table1 table2 table3 table4 table5 table6 table7 table8
+//!   figure2 figure3 figure4 figure5 figure6
+//!   tflops
+//!   all            run every command above
+//!
+//! options:
+//!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
+//!   --full         measured rows use the full paper polynomials and degrees
+//!                  (can take a long time at high precision and degree)
+//!   --seed <u64>   random seed for coefficients and inputs (default 1)
+//! ```
+//!
+//! Per-device millisecond columns are *modeled* with the analytic
+//! roofline/occupancy model of `psmd-device` (the efficiency of every device
+//! is calibrated once from the paper's Table 3; see EXPERIMENTS.md).
+//! Measured rows are CPU wall-clock numbers from the worker-pool simulator
+//! and are reported for shape comparison, not for absolute agreement.
+
+use psmd_bench::{
+    banner, log2, modeled_double_ops, modeled_run, ms, pct, Scale, ShapeCache, TestPolynomial,
+    TextTable, PAPER_DEGREES, REDUCED_DEGREES,
+};
+use psmd_bench::{measured_run, TimingRow};
+use psmd_core::{Polynomial, Schedule};
+use psmd_device::{gpu_by_key, max_degree, paper_gpus};
+use psmd_multidouble::{CostModel, Md, Precision};
+use psmd_runtime::WorkerPool;
+
+/// Command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    measure: bool,
+    full: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut measure = false;
+    let mut full = false;
+    let mut seed = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--measure" => measure = true,
+            "--full" => {
+                full = true;
+                measure = true;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer argument");
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of table_harness.rs");
+                std::process::exit(0);
+            }
+            other if !other.starts_with("--") => command = other.to_string(),
+            other => panic!("unknown option {other}"),
+        }
+        i += 1;
+    }
+    Options {
+        command,
+        measure,
+        full,
+        seed,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut cache = ShapeCache::new();
+    let pool = WorkerPool::with_default_parallelism();
+    let run = |cmd: &str| opts.command == "all" || opts.command == cmd;
+    if run("table1") {
+        table1();
+    }
+    if run("table2") {
+        table2();
+    }
+    if run("table3") {
+        table3(&mut cache, &opts, &pool);
+    }
+    if run("table4") {
+        table4(&mut cache, &opts, &pool);
+    }
+    if run("table5") {
+        scalability_table(&mut cache, TestPolynomial::P1, "Table 5", &opts, &pool);
+    }
+    if run("table6") {
+        scalability_table(&mut cache, TestPolynomial::P2, "Table 6", &opts, &pool);
+    }
+    if run("table7") {
+        scalability_table(&mut cache, TestPolynomial::P3, "Table 7", &opts, &pool);
+    }
+    if run("table8") {
+        table8(&opts, &pool);
+    }
+    if run("figure2") {
+        figure2(&mut cache, &opts, &pool);
+    }
+    if run("figure3") {
+        figure3(&mut cache);
+    }
+    if run("figure4") {
+        figure4(&mut cache);
+    }
+    if run("figure5") {
+        figure5(&mut cache);
+    }
+    if run("figure6") {
+        figure6(&mut cache);
+    }
+    if run("tflops") {
+        tflops(&mut cache);
+    }
+}
+
+/// Table 1: the five GPUs.
+fn table1() {
+    print!("{}", banner("Table 1: GPU characteristics"));
+    let mut t = TextTable::new(vec![
+        "NVIDIA GPU",
+        "CUDA",
+        "#MP",
+        "#cores/MP",
+        "#cores",
+        "GHz",
+        "host CPU",
+        "host GHz",
+    ]);
+    for g in paper_gpus() {
+        t.add_row(vec![
+            g.name.to_string(),
+            format!("{:.1}", g.cuda_capability),
+            g.multiprocessors.to_string(),
+            g.cores_per_mp.to_string(),
+            g.total_cores().to_string(),
+            format!("{:.2}", g.ghz),
+            g.host_cpu.to_string(),
+            format!("{:.2}", g.host_ghz),
+        ]);
+    }
+    print!("{t}");
+}
+
+/// Table 2: characteristics of the test polynomials (ours vs the paper).
+fn table2() {
+    print!("{}", banner("Table 2: test polynomials"));
+    let mut t = TextTable::new(vec![
+        "poly", "n", "m", "N", "#cnv (ours)", "#cnv (paper)", "#add (ours)", "#add (paper)",
+    ]);
+    for poly in TestPolynomial::ALL {
+        let p: Polynomial<Md<2>> = poly.build(0, 1);
+        let s = Schedule::build(&p);
+        t.add_row(vec![
+            poly.label().to_string(),
+            poly.num_variables().to_string(),
+            poly.variables_per_monomial().to_string(),
+            poly.num_monomials().to_string(),
+            s.convolution_jobs().to_string(),
+            poly.paper_convolutions().to_string(),
+            s.addition_jobs().to_string(),
+            poly.paper_additions().to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "note: p3 needs 3 convolutions per 2-variable monomial in our scheme (24,384);\n\
+         the paper reports 24,256 (0.5% difference, documented in EXPERIMENTS.md)."
+    );
+}
+
+/// Table 3: p1 at degree 152 in deca-double precision on the five GPUs.
+fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+    print!(
+        "{}",
+        banner("Table 3: p1, degree 152, deca double (modeled per device)")
+    );
+    let mut t = TextTable::new(vec!["time (ms)", "C2050", "K20C", "P100", "V100", "RTX 2080"]);
+    let rows: Vec<TimingRow> = paper_gpus()
+        .iter()
+        .map(|g| modeled_run(cache, TestPolynomial::P1, g, Precision::D10, 152, CostModel::Paper))
+        .collect();
+    let paper = [
+        ("convolution", vec![12947.26, 11290.22, 1060.03, 634.29, 10002.32]),
+        ("addition", vec![10.72, 11.13, 1.37, 0.77, 5.01]),
+        ("sum", vec![12957.98, 11301.35, 1061.40, 635.05, 10007.34]),
+        ("wall clock", vec![12964.0, 11309.0, 1066.0, 640.0, 10024.0]),
+    ];
+    let pick = |row: &TimingRow, which: &str| match which {
+        "convolution" => row.convolution_ms,
+        "addition" => row.addition_ms,
+        "sum" => row.sum_ms(),
+        _ => row.wall_ms,
+    };
+    for (which, paper_vals) in &paper {
+        let mut cells = vec![format!("{which} (modeled)")];
+        cells.extend(rows.iter().map(|r| ms(pick(r, which))));
+        t.add_row(cells);
+        let mut cells = vec![format!("{which} (paper)")];
+        cells.extend(paper_vals.iter().map(|&v| ms(v)));
+        t.add_row(cells);
+    }
+    print!("{t}");
+    if opts.measure {
+        let (scale, degree, label) = measured_setting(opts, 152);
+        let row = measured_run(TestPolynomial::P1, Precision::D10, degree, scale, pool, opts.seed);
+        println!(
+            "measured CPU ({label}, degree {degree}, deca double): conv {} ms, add {} ms, wall {} ms",
+            ms(row.convolution_ms),
+            ms(row.addition_ms),
+            ms(row.wall_ms)
+        );
+    }
+}
+
+/// Table 4: p2 and p3 at degree 152 in deca-double on P100 and V100.
+fn table4(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+    print!(
+        "{}",
+        banner("Table 4: p2 and p3, degree 152, deca double (modeled, P100/V100)")
+    );
+    let p100 = gpu_by_key("p100").unwrap();
+    let v100 = gpu_by_key("v100").unwrap();
+    let mut t = TextTable::new(vec![
+        "time (ms)",
+        "p2 P100",
+        "p2 V100",
+        "p3 P100",
+        "p3 V100",
+    ]);
+    let runs = [
+        modeled_run(cache, TestPolynomial::P2, &p100, Precision::D10, 152, CostModel::Paper),
+        modeled_run(cache, TestPolynomial::P2, &v100, Precision::D10, 152, CostModel::Paper),
+        modeled_run(cache, TestPolynomial::P3, &p100, Precision::D10, 152, CostModel::Paper),
+        modeled_run(cache, TestPolynomial::P3, &v100, Precision::D10, 152, CostModel::Paper),
+    ];
+    let paper = [
+        ("convolution", [1700.49, 1115.03, 1566.58, 926.53]),
+        ("addition", [1.24, 0.67, 3.43, 1.92]),
+        ("sum", [1701.72, 1115.71, 1570.01, 928.45]),
+        ("wall clock", [1729.0, 1142.0, 1583.0, 941.0]),
+    ];
+    let pick = |row: &TimingRow, which: &str| match which {
+        "convolution" => row.convolution_ms,
+        "addition" => row.addition_ms,
+        "sum" => row.sum_ms(),
+        _ => row.wall_ms,
+    };
+    for (which, paper_vals) in &paper {
+        let mut cells = vec![format!("{which} (modeled)")];
+        cells.extend(runs.iter().map(|r| ms(pick(r, which))));
+        t.add_row(cells);
+        let mut cells = vec![format!("{which} (paper)")];
+        cells.extend(paper_vals.iter().map(|&v| ms(v)));
+        t.add_row(cells);
+    }
+    print!("{t}");
+    let wall_ratio_p2 = runs[0].wall_ms / runs[1].wall_ms;
+    let wall_ratio_p3 = runs[2].wall_ms / runs[3].wall_ms;
+    println!(
+        "modeled P100/V100 wall-clock ratios: p2 {:.2} (paper 1.51), p3 {:.2} (paper 1.68)",
+        wall_ratio_p2, wall_ratio_p3
+    );
+    if opts.measure {
+        for poly in [TestPolynomial::P2, TestPolynomial::P3] {
+            let (scale, degree, label) = measured_setting(opts, 152);
+            let row = measured_run(poly, Precision::D10, degree, scale, pool, opts.seed);
+            println!(
+                "measured CPU {} ({label}, degree {degree}, deca double): conv {} ms, add {} ms, wall {} ms",
+                poly.label(),
+                ms(row.convolution_ms),
+                ms(row.addition_ms),
+                ms(row.wall_ms)
+            );
+        }
+    }
+}
+
+/// Tables 5, 6, 7: scalability in the degree and the precision.
+fn scalability_table(
+    cache: &mut ShapeCache,
+    poly: TestPolynomial,
+    title: &str,
+    opts: &Options,
+    pool: &WorkerPool,
+) {
+    print!(
+        "{}",
+        banner(&format!(
+            "{title}: {} times (ms, modeled on the V100) for increasing degree and precision",
+            poly.label()
+        ))
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let mut headers = vec!["precision".to_string(), "metric".to_string()];
+    headers.extend(PAPER_DEGREES.iter().map(|d| format!("d={d}")));
+    let mut t = TextTable::new(headers);
+    for prec in Precision::ALL {
+        let dmax = max_degree(&v100, prec);
+        let mut conv_cells = vec![prec.label().to_string(), "cnv".to_string()];
+        let mut add_cells = vec![prec.label().to_string(), "add".to_string()];
+        let mut wall_cells = vec![prec.label().to_string(), "wall".to_string()];
+        for &d in &PAPER_DEGREES {
+            if d > dmax {
+                // The paper leaves these cells empty: the block does not fit
+                // in shared memory (e.g. deca double beyond degree 152).
+                conv_cells.push("-".to_string());
+                add_cells.push("-".to_string());
+                wall_cells.push("-".to_string());
+                continue;
+            }
+            let row = modeled_run(cache, poly, &v100, prec, d, CostModel::Paper);
+            conv_cells.push(ms(row.convolution_ms));
+            add_cells.push(ms(row.addition_ms));
+            wall_cells.push(ms(row.wall_ms));
+        }
+        t.add_row(conv_cells);
+        t.add_row(add_cells);
+        t.add_row(wall_cells);
+    }
+    print!("{t}");
+    if opts.measure {
+        let (scale, _, label) = measured_setting(opts, 0);
+        let degrees: Vec<usize> = if opts.full {
+            PAPER_DEGREES.to_vec()
+        } else {
+            REDUCED_DEGREES.to_vec()
+        };
+        println!("\nmeasured CPU wall clock (ms), {label} variant of {}:", poly.label());
+        let mut headers = vec!["precision".to_string()];
+        headers.extend(degrees.iter().map(|d| format!("d={d}")));
+        let mut mt = TextTable::new(headers);
+        for prec in Precision::ALL {
+            let mut cells = vec![prec.label().to_string()];
+            for &d in &degrees {
+                if d > max_degree(&v100, prec) {
+                    cells.push("-".to_string());
+                    continue;
+                }
+                let row = measured_run(poly, prec, d, scale, pool, opts.seed);
+                cells.push(ms(row.wall_ms));
+            }
+            mt.add_row(cells);
+        }
+        print!("{mt}");
+    }
+}
+
+/// Table 8: wall-clock fluctuation over ten runs, fixed seed vs varying seed.
+fn table8(opts: &Options, pool: &WorkerPool) {
+    print!(
+        "{}",
+        banner("Table 8: wall clock fluctuation over 10 runs (measured CPU)")
+    );
+    let (scale, degree, label) = if opts.full {
+        (Scale::Full, 152, "full p3")
+    } else {
+        (Scale::Reduced, 31, "reduced p3")
+    };
+    let precision = Precision::D10;
+    let run_once = |seed: u64| {
+        measured_run(TestPolynomial::P3, precision, degree, scale, pool, seed).wall_ms
+    };
+    let fixed: Vec<f64> = (0..10).map(|_| run_once(1)).collect();
+    let varying: Vec<f64> = (0..10).map(|k| run_once(1 + k as u64)).collect();
+    let stats = |xs: &[f64]| {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        (min, mean, max)
+    };
+    let mut t = TextTable::new(vec!["runs", "min (ms)", "mean (ms)", "max (ms)"]);
+    let (min, mean, max) = stats(&fixed);
+    t.add_row(vec!["fixed seed one".to_string(), ms(min), ms(mean), ms(max)]);
+    let (min, mean, max) = stats(&varying);
+    t.add_row(vec!["different seeds".to_string(), ms(min), ms(mean), ms(max)]);
+    print!("{t}");
+    println!(
+        "({label}, degree {degree}, deca double; the paper reports a spread of ~5 ms around 943 ms on the V100)"
+    );
+}
+
+/// Figure 2: addition kernel times of p1 for increasing degrees and all
+/// precisions.
+fn figure2(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+    print!(
+        "{}",
+        banner("Figure 2: addition kernel times for p1 (ms, modeled on the V100)")
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let degrees = [0usize, 8, 15, 31, 63, 95, 127, 152];
+    let mut headers = vec!["precision".to_string()];
+    headers.extend(degrees.iter().map(|d| format!("d={d}")));
+    let mut t = TextTable::new(headers);
+    for prec in Precision::ALL {
+        let mut cells = vec![prec.label().to_string()];
+        for &d in &degrees {
+            if d > max_degree(&v100, prec) {
+                cells.push("-".to_string());
+                continue;
+            }
+            let row = modeled_run(cache, TestPolynomial::P1, &v100, prec, d, CostModel::Paper);
+            cells.push(format!("{:.3}", row.addition_ms));
+        }
+        t.add_row(cells);
+    }
+    print!("{t}");
+    if opts.measure {
+        let (scale, _, label) = measured_setting(opts, 0);
+        println!("\nmeasured CPU addition kernel times (ms), {label} p1:");
+        let mut headers = vec!["precision".to_string()];
+        headers.extend(REDUCED_DEGREES.iter().map(|d| format!("d={d}")));
+        let mut mt = TextTable::new(headers);
+        for prec in Precision::ALL {
+            let mut cells = vec![prec.label().to_string()];
+            for &d in &REDUCED_DEGREES {
+                let row = measured_run(TestPolynomial::P1, prec, d, scale, pool, opts.seed);
+                cells.push(format!("{:.3}", row.addition_ms));
+            }
+            mt.add_row(cells);
+        }
+        print!("{mt}");
+    }
+}
+
+/// Figure 3: addition kernel times of p1, p2, p3 at degree 152 across the
+/// precisions.
+fn figure3(cache: &mut ShapeCache) {
+    print!(
+        "{}",
+        banner("Figure 3: addition kernel times at degree 152 (ms, modeled on the V100)")
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let mut headers = vec!["poly".to_string()];
+    headers.extend(Precision::ALL.iter().map(|p| p.label().to_string()));
+    let mut t = TextTable::new(headers);
+    for poly in TestPolynomial::ALL {
+        let mut cells = vec![poly.label().to_string()];
+        for prec in Precision::ALL {
+            let row = modeled_run(cache, poly, &v100, prec, 152, CostModel::Paper);
+            cells.push(format!("{:.3}", row.addition_ms));
+        }
+        t.add_row(cells);
+    }
+    print!("{t}");
+    println!(
+        "(p3 has 64x more monomials than p2 but its addition time stays within ~3x, as in the paper)"
+    );
+}
+
+/// Figure 4: percentage of the wall clock spent inside kernels.
+fn figure4(cache: &mut ShapeCache) {
+    print!(
+        "{}",
+        banner("Figure 4: kernel time as a percentage of the wall clock, degree 152 (modeled, V100)")
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let mut headers = vec!["poly".to_string()];
+    headers.extend(Precision::ALL.iter().map(|p| p.label().to_string()));
+    let mut t = TextTable::new(headers);
+    for poly in TestPolynomial::ALL {
+        let mut cells = vec![poly.label().to_string()];
+        for prec in Precision::ALL {
+            let row = modeled_run(cache, poly, &v100, prec, 152, CostModel::Paper);
+            cells.push(pct(row.kernel_percentage()));
+        }
+        t.add_row(cells);
+    }
+    print!("{t}");
+    println!("(low percentages in double precision, above 95% for octo and deca double, as in the paper)");
+}
+
+/// Figure 5: log2 of the wall clock for p1, p2, p3 at degree 191 in 1d, 2d,
+/// 4d, 8d precision.
+fn figure5(cache: &mut ShapeCache) {
+    print!(
+        "{}",
+        banner("Figure 5: log2 wall clock (ms) at degree 191 (modeled, V100)")
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let precisions = [Precision::D1, Precision::D2, Precision::D4, Precision::D8];
+    let mut headers = vec!["poly".to_string()];
+    headers.extend(precisions.iter().map(|p| p.label().to_string()));
+    let mut t = TextTable::new(headers);
+    for poly in TestPolynomial::ALL {
+        let mut cells = vec![poly.label().to_string()];
+        for prec in precisions {
+            let row = modeled_run(cache, poly, &v100, prec, 191, CostModel::Paper);
+            cells.push(log2(row.wall_ms));
+        }
+        t.add_row(cells);
+    }
+    print!("{t}");
+}
+
+/// Figure 6: log2 of the wall clock for p1 in 4d, 5d, 8d, 10d precision at
+/// degrees 31, 63 and 127.
+fn figure6(cache: &mut ShapeCache) {
+    print!(
+        "{}",
+        banner("Figure 6: log2 wall clock (ms) for p1 (modeled, V100)")
+    );
+    let v100 = gpu_by_key("v100").unwrap();
+    let precisions = [Precision::D4, Precision::D5, Precision::D8, Precision::D10];
+    let degrees = [31usize, 63, 127];
+    let mut headers = vec!["precision".to_string()];
+    headers.extend(degrees.iter().map(|d| format!("d={d}")));
+    let mut t = TextTable::new(headers);
+    for prec in precisions {
+        let mut cells = vec![prec.label().to_string()];
+        for &d in &degrees {
+            let row = modeled_run(cache, TestPolynomial::P1, &v100, prec, d, CostModel::Paper);
+            cells.push(log2(row.wall_ms));
+        }
+        t.add_row(cells);
+    }
+    print!("{t}");
+    println!("(doubling the number of coefficients adds about one to the log2 time, as in Figure 6 of the paper)");
+}
+
+/// The TFLOPS computation of Section 6.2.
+fn tflops(cache: &mut ShapeCache) {
+    print!("{}", banner("Section 6.2: throughput of p1, degree 152, deca double"));
+    let total = modeled_double_ops(cache, TestPolynomial::P1, Precision::D10, 152, CostModel::Paper);
+    println!("total double operations (paper cost model): {total:.0} (paper: 1,336,226,651,784)");
+    for key in ["p100", "v100"] {
+        let gpu = gpu_by_key(key).unwrap();
+        let row = modeled_run(cache, TestPolynomial::P1, &gpu, Precision::D10, 152, CostModel::Paper);
+        let tf = total / (row.wall_ms * 1e-3) / 1e12;
+        println!(
+            "{:>8}: modeled wall clock {} ms -> {:.2} TFLOPS (paper: 1.25 TFLOPS on the P100)",
+            gpu.name,
+            ms(row.wall_ms),
+            tf
+        );
+    }
+}
+
+/// Picks the scale and degree of measured runs from the options.
+fn measured_setting(opts: &Options, full_degree: usize) -> (Scale, usize, &'static str) {
+    if opts.full {
+        (Scale::Full, full_degree, "full")
+    } else {
+        (Scale::Reduced, 31, "reduced")
+    }
+}

@@ -1,0 +1,27 @@
+//! # psmd-bench
+//!
+//! The benchmark harness of the reproduction: the paper's three test
+//! polynomials (Table 2), measured CPU sweep drivers, modeled GPU sweep
+//! drivers, and the plain-text reports that regenerate every table and
+//! figure of the paper's evaluation section.
+//!
+//! The `table_harness` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p psmd-bench --bin table_harness -- all
+//! cargo run --release -p psmd-bench --bin table_harness -- table3
+//! cargo run --release -p psmd-bench --bin table_harness -- table5 --measure
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod polynomials;
+pub mod report;
+pub mod sweep;
+
+pub use polynomials::{TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
+pub use report::{banner, log2, ms, pct, TextTable};
+pub use sweep::{
+    measured_double_ops, measured_run, modeled_double_ops, modeled_run, Scale, ShapeCache,
+    TimingRow,
+};

@@ -1,0 +1,149 @@
+//! Plain-text table formatting for the benchmark harness.
+//!
+//! The harness prints the same rows and series the paper reports; the
+//! formatting here keeps columns aligned so the output can be compared to
+//! the paper's tables at a glance (and diffed between runs).
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".,-+e%".contains(c))
+                    && !cell.is_empty();
+                if numeric {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a millisecond value with two decimals.
+pub fn ms(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a ratio or percentage with two decimals.
+pub fn pct(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Base-2 logarithm used for the paper's Figure 5 and Figure 6 axes.
+pub fn log2(value: f64) -> String {
+    if value <= 0.0 {
+        "-inf".to_string()
+    } else {
+        format!("{:.2}", value.log2())
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "ms"]);
+        t.add_row(vec!["convolution".to_string(), ms(1060.03)]);
+        t.add_row(vec!["addition".to_string(), ms(1.37)]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("1060.03"));
+        assert!(lines[3].contains("1.37"));
+        // Columns align: both data lines have the same length.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_is_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn helpers_format_values() {
+        assert_eq!(ms(12.345), "12.35");
+        assert_eq!(pct(99.999), "100.00");
+        assert_eq!(log2(8.0), "3.00");
+        assert_eq!(log2(0.0), "-inf");
+        assert!(banner("Table 3").contains("Table 3"));
+    }
+}

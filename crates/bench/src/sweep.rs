@@ -1,0 +1,238 @@
+//! Sweep drivers: measured CPU runs and modeled GPU runs for the paper's
+//! tables and figures.
+//!
+//! A *measured* run executes the accelerated evaluator on the CPU worker
+//! pool and reports the same four times the paper reports (convolution
+//! kernels, addition kernels, their sum, wall clock).  A *modeled* run feeds
+//! the launch structure of the schedule into the analytic device model of
+//! `psmd-device` and reports the predicted times for one of the paper's five
+//! GPUs.
+
+use crate::polynomials::TestPolynomial;
+use psmd_core::{workload_shape, Polynomial, Schedule, ScheduledEvaluator};
+use psmd_device::{model_evaluation, GpuSpec, WorkloadShape};
+use psmd_multidouble::{Coeff, CostModel, Md, Precision, RandomCoeff};
+use psmd_runtime::WorkerPool;
+use std::collections::HashMap;
+
+/// One row of a timing table: the four times the paper reports, in
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingRow {
+    /// Sum of all convolution kernel times.
+    pub convolution_ms: f64,
+    /// Sum of all addition kernel times.
+    pub addition_ms: f64,
+    /// Wall clock of the whole evaluation.
+    pub wall_ms: f64,
+}
+
+impl TimingRow {
+    /// Sum of convolution and addition kernel times.
+    pub fn sum_ms(&self) -> f64 {
+        self.convolution_ms + self.addition_ms
+    }
+
+    /// Percentage of the wall clock spent inside kernels (Figure 4).
+    pub fn kernel_percentage(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.sum_ms() / self.wall_ms
+        }
+    }
+}
+
+/// Scale of a measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The reduced, CPU-affordable variant of the test polynomial.
+    Reduced,
+    /// The full polynomial exactly as in the paper.
+    Full,
+}
+
+/// Caches the launch structures of the full-scale test polynomials so that
+/// modeled sweeps over many degrees and precisions stay cheap (the structure
+/// does not depend on the degree or the precision).
+#[derive(Default)]
+pub struct ShapeCache {
+    shapes: HashMap<&'static str, WorkloadShape>,
+}
+
+impl ShapeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The launch structure of a test polynomial at full paper scale, with
+    /// the degree field set to `degree`.
+    pub fn shape(&mut self, poly: TestPolynomial, degree: usize) -> WorkloadShape {
+        let entry = self.shapes.entry(poly.label()).or_insert_with(|| {
+            // The structure is independent of the coefficient values and of
+            // the truncation degree, so build it once at degree 0 in
+            // double-double.
+            let p: Polynomial<Md<2>> = poly.build(0, 1);
+            let schedule = Schedule::build(&p);
+            workload_shape(&schedule)
+        });
+        let mut shape = entry.clone();
+        shape.degree = degree;
+        shape
+    }
+}
+
+/// Models one run of a test polynomial on a GPU.
+pub fn modeled_run(
+    cache: &mut ShapeCache,
+    poly: TestPolynomial,
+    gpu: &GpuSpec,
+    precision: Precision,
+    degree: usize,
+    cost: CostModel,
+) -> TimingRow {
+    let shape = cache.shape(poly, degree);
+    let m = model_evaluation(gpu, &shape, precision, cost);
+    TimingRow {
+        convolution_ms: m.convolution_ms,
+        addition_ms: m.addition_ms,
+        wall_ms: m.wall_clock_ms,
+    }
+}
+
+/// Total double operations of one run (for throughput reporting).
+pub fn modeled_double_ops(
+    cache: &mut ShapeCache,
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    cost: CostModel,
+) -> f64 {
+    cache.shape(poly, degree).total_double_ops(precision, cost)
+}
+
+/// Measures one run of a test polynomial on the CPU worker pool at the given
+/// precision (dispatching to the right `Md<N>` instantiation).
+pub fn measured_run(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    pool: &WorkerPool,
+    seed: u64,
+) -> TimingRow {
+    match precision {
+        Precision::D1 => measured_run_generic::<Md<1>>(poly, degree, scale, pool, seed),
+        Precision::D2 => measured_run_generic::<Md<2>>(poly, degree, scale, pool, seed),
+        Precision::D3 => measured_run_generic::<Md<3>>(poly, degree, scale, pool, seed),
+        Precision::D4 => measured_run_generic::<Md<4>>(poly, degree, scale, pool, seed),
+        Precision::D5 => measured_run_generic::<Md<5>>(poly, degree, scale, pool, seed),
+        Precision::D8 => measured_run_generic::<Md<8>>(poly, degree, scale, pool, seed),
+        Precision::D10 => measured_run_generic::<Md<10>>(poly, degree, scale, pool, seed),
+    }
+}
+
+fn measured_run_generic<C: Coeff + RandomCoeff>(
+    poly: TestPolynomial,
+    degree: usize,
+    scale: Scale,
+    pool: &WorkerPool,
+    seed: u64,
+) -> TimingRow {
+    let (p, z) = match scale {
+        Scale::Reduced => (
+            poly.build_reduced::<C>(degree, seed),
+            poly.reduced_inputs::<C>(degree, seed),
+        ),
+        Scale::Full => (poly.build::<C>(degree, seed), poly.inputs::<C>(degree, seed)),
+    };
+    let evaluator = ScheduledEvaluator::new(&p);
+    let eval = evaluator.evaluate_parallel(&z, pool);
+    TimingRow {
+        convolution_ms: eval.timings.convolution_ms(),
+        addition_ms: eval.timings.addition_ms(),
+        wall_ms: eval.timings.wall_clock_ms(),
+    }
+}
+
+/// Double operations of a measured run's schedule (reduced or full scale),
+/// for achieved-GFLOPS reporting.
+pub fn measured_double_ops(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    cost: CostModel,
+) -> f64 {
+    let p: Polynomial<Md<2>> = match scale {
+        Scale::Reduced => poly.build_reduced(degree, 1),
+        Scale::Full => poly.build(0, 1),
+    };
+    let schedule = Schedule::build(&p);
+    let mut shape = workload_shape(&schedule);
+    shape.degree = degree;
+    shape.total_double_ops(precision, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_device::gpu_by_key;
+
+    #[test]
+    fn shape_cache_reuses_structures_across_degrees() {
+        let mut cache = ShapeCache::new();
+        let a = cache.shape(TestPolynomial::P1, 8);
+        let b = cache.shape(TestPolynomial::P1, 152);
+        assert_eq!(a.convolution_layers, b.convolution_layers);
+        assert_eq!(a.degree, 8);
+        assert_eq!(b.degree, 152);
+        assert_eq!(b.convolution_jobs(), 16_380);
+    }
+
+    #[test]
+    fn modeled_run_reproduces_table_3_for_v100() {
+        let mut cache = ShapeCache::new();
+        let v100 = gpu_by_key("v100").unwrap();
+        let row = modeled_run(
+            &mut cache,
+            TestPolynomial::P1,
+            &v100,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        );
+        // Paper: 634.29 ms convolutions, 640 ms wall clock.
+        assert!((row.convolution_ms - 634.29).abs() / 634.29 < 0.15);
+        assert!((row.wall_ms - 640.0).abs() / 640.0 < 0.15);
+        assert!(row.addition_ms < row.convolution_ms / 100.0);
+    }
+
+    #[test]
+    fn measured_reduced_run_is_consistent() {
+        let pool = WorkerPool::new(2);
+        let row = measured_run(
+            TestPolynomial::P1,
+            Precision::D2,
+            8,
+            Scale::Reduced,
+            &pool,
+            42,
+        );
+        assert!(row.wall_ms > 0.0);
+        assert!(row.sum_ms() <= row.wall_ms * 1.5);
+        assert!(row.convolution_ms > 0.0);
+    }
+
+    #[test]
+    fn double_ops_increase_with_degree_and_precision() {
+        let mut cache = ShapeCache::new();
+        let small = modeled_double_ops(&mut cache, TestPolynomial::P1, Precision::D2, 31, CostModel::Paper);
+        let big = modeled_double_ops(&mut cache, TestPolynomial::P1, Precision::D10, 152, CostModel::Paper);
+        assert!(big > small * 10.0);
+        // The paper's headline number: 1.336e12 double operations for p1 at
+        // degree 152 in deca-double precision.
+        assert!((big - 1_336_226_651_784.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The evaluators: the naive baseline and the scheduled (accelerated)
+//! two-stage algorithm of the paper.
+//!
+//! Three ways to compute the same result:
+//!
+//! * [`evaluate_naive`] multiplies the series of every monomial and of every
+//!   partial derivative independently.  It shares no work and serves as the
+//!   correctness oracle and as the baseline the speedup of the paper's
+//!   scheme is measured against.
+//! * [`ScheduledEvaluator::evaluate_sequential`] runs the paper's job
+//!   schedule (shared forward/backward/cross products, tree summation) on a
+//!   single thread.
+//! * [`ScheduledEvaluator::evaluate_parallel`] runs the same schedule with
+//!   one kernel launch per job layer on the worker pool, one block per job —
+//!   the CPU equivalent of the accelerated algorithm of Section 5 — and
+//!   reports per-kernel timings like the paper does.
+
+use crate::polynomial::Polynomial;
+use crate::schedule::{AddJob, ConvJob, Schedule};
+use psmd_multidouble::Coeff;
+use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
+use psmd_series::{add_assign_slices, convolve_seq, convolve_zero_insertion, Series};
+use std::time::Instant;
+
+/// Which convolution kernel the scheduled evaluator uses for its jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvolutionKernel {
+    /// The zero-insertion data-parallel kernel of Section 2 (default).
+    #[default]
+    ZeroInsertion,
+    /// The direct formula with thread divergence, kept for the ablation
+    /// benchmark.
+    Direct,
+}
+
+/// The value and gradient of a polynomial at a vector of power series,
+/// together with the kernel timings of the run.
+#[derive(Debug, Clone)]
+pub struct Evaluation<C> {
+    /// `p(z)` truncated at the common degree.
+    pub value: Series<C>,
+    /// `dp/dx_i (z)` for every variable `i`.
+    pub gradient: Vec<Series<C>>,
+    /// Per-kernel timings (all zero for the naive evaluator except the wall
+    /// clock).
+    pub timings: KernelTimings,
+}
+
+impl<C: Coeff> Evaluation<C> {
+    /// Largest coefficient-wise difference between two evaluations (value
+    /// and gradient), as a double estimate.  Used by tests and examples to
+    /// compare evaluators.
+    pub fn max_difference(&self, other: &Evaluation<C>) -> f64 {
+        let mut worst = self.value.distance(&other.value);
+        for (a, b) in self.gradient.iter().zip(other.gradient.iter()) {
+            worst = worst.max(a.distance(b));
+        }
+        worst
+    }
+}
+
+/// Evaluates the polynomial and its gradient monomial by monomial, without
+/// sharing any products (the baseline).
+pub fn evaluate_naive<C: Coeff>(poly: &Polynomial<C>, inputs: &[Series<C>]) -> Evaluation<C> {
+    assert_eq!(inputs.len(), poly.num_variables(), "wrong number of inputs");
+    let wall = Stopwatch::start();
+    let d = poly.degree();
+    let mut value = poly.constant().clone();
+    let mut gradient = vec![Series::zero(d); poly.num_variables()];
+    for m in poly.monomials() {
+        let mut prod = m.coefficient.clone();
+        for &v in &m.variables {
+            prod = prod.mul(&inputs[v]);
+        }
+        value.add_assign(&prod);
+        for (pos, &v) in m.variables.iter().enumerate() {
+            let mut dp = m.coefficient.clone();
+            for (q, &w) in m.variables.iter().enumerate() {
+                if q != pos {
+                    dp = dp.mul(&inputs[w]);
+                }
+            }
+            gradient[v].add_assign(&dp);
+        }
+    }
+    let mut timings = KernelTimings::new();
+    timings.wall_clock = wall.elapsed();
+    Evaluation {
+        value,
+        gradient,
+        timings,
+    }
+}
+
+/// The scheduled evaluator: builds the job schedule of a polynomial once and
+/// evaluates it at any number of input vectors (the coordinates of the jobs
+/// "depend only on the structure of the monomials and are computed only
+/// once", Section 5).
+pub struct ScheduledEvaluator<'p, C> {
+    poly: &'p Polynomial<C>,
+    schedule: Schedule,
+    kernel: ConvolutionKernel,
+}
+
+impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
+    /// Builds the schedule for a polynomial.
+    pub fn new(poly: &'p Polynomial<C>) -> Self {
+        Self {
+            poly,
+            schedule: Schedule::build(poly),
+            kernel: ConvolutionKernel::default(),
+        }
+    }
+
+    /// Selects the convolution kernel variant (ablation).
+    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The polynomial the schedule was built for.
+    pub fn polynomial(&self) -> &Polynomial<C> {
+        self.poly
+    }
+
+    /// Runs the two-stage algorithm on a single thread.
+    pub fn evaluate_sequential(&self, inputs: &[Series<C>]) -> Evaluation<C> {
+        self.run(inputs, None)
+    }
+
+    /// Runs the two-stage algorithm with one kernel launch per layer on the
+    /// worker pool (one block per job).
+    pub fn evaluate_parallel(&self, inputs: &[Series<C>], pool: &WorkerPool) -> Evaluation<C> {
+        self.run(inputs, Some(pool))
+    }
+
+    fn run(&self, inputs: &[Series<C>], pool: Option<&WorkerPool>) -> Evaluation<C> {
+        let wall = Stopwatch::start();
+        let mut timings = KernelTimings::new();
+        let per = self.schedule.layout.coeffs_per_slot();
+        let data = self.schedule.build_data_array(self.poly, inputs);
+        let shared = SharedArray::new(data);
+        let kernel = self.kernel;
+        // Stage 1: convolution kernels, one launch per layer.
+        for layer in &self.schedule.convolution_layers {
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(layer.len(), |b| {
+                    run_convolution_job(&shared, &layer[b], per, kernel);
+                }),
+                None => {
+                    for job in layer {
+                        run_convolution_job(&shared, job, per, kernel);
+                    }
+                }
+            }
+            timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
+        }
+        // Stage 2: addition kernels.
+        for layer in &self.schedule.addition_layers {
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(layer.len(), |b| {
+                    run_addition_job(&shared, &layer[b], per);
+                }),
+                None => {
+                    for job in layer {
+                        run_addition_job(&shared, job, per);
+                    }
+                }
+            }
+            timings.record(KernelKind::Addition, start.elapsed(), layer.len());
+        }
+        let data = shared.into_inner();
+        let value = self.schedule.extract(&data, self.schedule.value_location);
+        let gradient = self
+            .schedule
+            .gradient_locations
+            .iter()
+            .map(|&loc| self.schedule.extract(&data, loc))
+            .collect();
+        timings.wall_clock = wall.elapsed();
+        Evaluation {
+            value,
+            gradient,
+            timings,
+        }
+    }
+}
+
+/// Executes one convolution job on the shared data array.
+///
+/// The inputs are staged into thread-local storage first (the equivalent of
+/// the shared-memory staging of the device kernel), which also makes the
+/// in-place update `b := b * a` safe.
+fn run_convolution_job<C: Coeff>(
+    shared: &SharedArray<C>,
+    job: &ConvJob,
+    per: usize,
+    kernel: ConvolutionKernel,
+) {
+    // Safety: the schedule guarantees that within one layer no other job
+    // writes these input ranges.
+    let x: Vec<C> = unsafe { shared.slice(job.in1 * per, per) }.to_vec();
+    let y: Vec<C> = unsafe { shared.slice(job.in2 * per, per) }.to_vec();
+    // Safety: the schedule guarantees the output range is written by this job
+    // only.
+    let out = unsafe { shared.slice_mut(job.out * per, per) };
+    match kernel {
+        ConvolutionKernel::ZeroInsertion => {
+            let mut scratch = vec![C::zero(); 4 * per];
+            convolve_zero_insertion(&x, &y, out, &mut scratch);
+        }
+        ConvolutionKernel::Direct => convolve_seq(&x, &y, out),
+    }
+}
+
+/// Executes one addition job on the shared data array.
+fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, per: usize) {
+    debug_assert_ne!(job.src, job.dst);
+    // Safety: the schedule guarantees src is not written and dst is written
+    // only by this job within the current layer.
+    let src = unsafe { shared.slice(job.src * per, per) };
+    let dst = unsafe { shared.slice_mut(job.dst * per, per) };
+    add_assign_slices(dst, src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use psmd_multidouble::{Complex, Dd, Md, Qd};
+    use psmd_runtime::WorkerPool;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coeff(c: f64, d: usize) -> Series<Qd> {
+        Series::constant(Qd::from_f64(c), d)
+    }
+
+    fn paper_example(d: usize) -> Polynomial<Qd> {
+        Polynomial::new(
+            6,
+            coeff(0.5, d),
+            vec![
+                Monomial::new(coeff(1.0, d), vec![0, 2, 5]),
+                Monomial::new(coeff(2.0, d), vec![0, 1, 4, 5]),
+                Monomial::new(coeff(3.0, d), vec![1, 2, 3]),
+            ],
+        )
+    }
+
+    fn constant_inputs(n: usize, d: usize) -> Vec<Series<Qd>> {
+        (0..n)
+            .map(|i| Series::constant(Qd::from_f64((i + 1) as f64), d))
+            .collect()
+    }
+
+    #[test]
+    fn naive_gradient_of_the_paper_example_at_constants() {
+        // p = 0.5 + 1 x0 x2 x5 + 2 x0 x1 x4 x5 + 3 x1 x2 x3 at x_i = i+1.
+        let p = paper_example(0);
+        let z = constant_inputs(6, 0);
+        let e = evaluate_naive(&p, &z);
+        assert_eq!(e.value.coeff(0).to_f64(), 210.5);
+        // dp/dx0 = x2 x5 + 2 x1 x4 x5 = 18 + 120/1 -> 18 + 120 = 138? No:
+        // 2 x1 x4 x5 = 2*2*5*6 = 120; x2 x5 = 3*6 = 18; total 138.
+        assert_eq!(e.gradient[0].coeff(0).to_f64(), 138.0);
+        // dp/dx3 = 3 x1 x2 = 3*2*3 = 18.
+        assert_eq!(e.gradient[3].coeff(0).to_f64(), 18.0);
+        // dp/dx5 = x0 x2 + 2 x0 x1 x4 = 3 + 2*1*2*5 = 23.
+        assert_eq!(e.gradient[5].coeff(0).to_f64(), 23.0);
+    }
+
+    #[test]
+    fn scheduled_sequential_matches_naive_on_the_paper_example() {
+        let d = 4;
+        let p = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(99);
+        let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
+        let naive = evaluate_naive(&p, &z);
+        let ev = ScheduledEvaluator::new(&p);
+        let scheduled = ev.evaluate_sequential(&z);
+        assert!(
+            naive.max_difference(&scheduled) < 1e-55,
+            "difference {}",
+            naive.max_difference(&scheduled)
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_reports_timings() {
+        let d = 8;
+        let p = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
+        let ev = ScheduledEvaluator::new(&p);
+        let seq = ev.evaluate_sequential(&z);
+        let pool = WorkerPool::new(3);
+        let par = ev.evaluate_parallel(&z, &pool);
+        // Same schedule, same arithmetic, same order within each job: results
+        // must be bitwise identical.
+        assert_eq!(seq.value, par.value);
+        assert_eq!(seq.gradient, par.gradient);
+        assert_eq!(
+            par.timings.convolution_launches,
+            ev.schedule().convolution_layers.len()
+        );
+        assert_eq!(
+            par.timings.addition_launches,
+            ev.schedule().addition_layers.len()
+        );
+        assert_eq!(par.timings.convolution_blocks, ev.schedule().convolution_jobs());
+        assert_eq!(par.timings.addition_blocks, ev.schedule().addition_jobs());
+        assert!(par.timings.wall_clock_ms() >= par.timings.sum_ms() * 0.5);
+    }
+
+    #[test]
+    fn direct_kernel_ablation_gives_the_same_results() {
+        let d = 6;
+        let p = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(12);
+        let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
+        let zero_insertion = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let direct = ScheduledEvaluator::new(&p)
+            .with_kernel(ConvolutionKernel::Direct)
+            .evaluate_sequential(&z);
+        assert!(zero_insertion.max_difference(&direct) < 1e-55);
+    }
+
+    #[test]
+    fn single_and_two_variable_monomials_evaluate_correctly() {
+        // p = 1 + 2 x0 + 3 x0 x2, gradient = (2 + 3 x2, 0, 3 x0).
+        let d = 3;
+        let p = Polynomial::new(
+            3,
+            coeff(1.0, d),
+            vec![
+                Monomial::new(coeff(2.0, d), vec![0]),
+                Monomial::new(coeff(3.0, d), vec![0, 2]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let z: Vec<Series<Qd>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
+        let naive = evaluate_naive(&p, &z);
+        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        assert!(naive.max_difference(&scheduled) < 1e-58);
+        // Gradient with respect to the absent variable is zero.
+        assert!(scheduled.gradient[1].is_zero());
+    }
+
+    #[test]
+    fn degenerate_duplicate_single_variable_monomials() {
+        // p = 2 x0 + 5 x0: gradient x0 = 7 needs the scratch accumulator.
+        let d = 2;
+        let p = Polynomial::new(
+            1,
+            coeff(0.0, d),
+            vec![
+                Monomial::new(coeff(2.0, d), vec![0]),
+                Monomial::new(coeff(5.0, d), vec![0]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let z: Vec<Series<Qd>> = vec![Series::random(&mut rng, d)];
+        let naive = evaluate_naive(&p, &z);
+        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        assert!(naive.max_difference(&scheduled) < 1e-60);
+        assert_eq!(scheduled.gradient[0].coeff(0).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn complex_coefficients_are_supported() {
+        type Cx = Complex<Dd>;
+        let d = 3;
+        let c = |re: f64, im: f64| {
+            Series::constant(Cx::new(Dd::from_f64(re), Dd::from_f64(im)), d)
+        };
+        let p = Polynomial::new(
+            3,
+            c(0.5, -0.5),
+            vec![
+                Monomial::new(c(1.0, 1.0), vec![0, 1]),
+                Monomial::new(c(0.0, 2.0), vec![1, 2]),
+                Monomial::new(c(-1.0, 0.0), vec![0, 1, 2]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(44);
+        let z: Vec<Series<Cx>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
+        let naive = evaluate_naive(&p, &z);
+        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        assert!(naive.max_difference(&scheduled) < 1e-28);
+        let pool = WorkerPool::new(2);
+        let par = ScheduledEvaluator::new(&p).evaluate_parallel(&z, &pool);
+        assert_eq!(par.value, scheduled.value);
+    }
+
+    #[test]
+    fn double_precision_path_works_through_md1() {
+        let d = 2;
+        let c = |x: f64| Series::constant(Md::<1>::from_f64(x), d);
+        let p = Polynomial::new(
+            2,
+            c(1.0),
+            vec![Monomial::new(c(3.0), vec![0, 1])],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let z: Vec<Series<Md<1>>> = (0..2).map(|_| Series::random(&mut rng, d)).collect();
+        let naive = evaluate_naive(&p, &z);
+        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        assert!(naive.max_difference(&scheduled) < 1e-13);
+    }
+
+    #[test]
+    fn evaluation_at_power_series_has_correct_series_value() {
+        // p = x0 * x1 at z0 = 1 + t, z1 = 1 - t: value = 1 - t^2,
+        // dp/dx0 = 1 - t, dp/dx1 = 1 + t.
+        let d = 2;
+        let p = Polynomial::new(
+            2,
+            Series::zero(d),
+            vec![Monomial::new(Series::one(d), vec![0, 1])],
+        );
+        let z = vec![
+            Series::<Qd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
+            Series::<Qd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
+        ];
+        let e = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        assert_eq!(e.value.coeff(0).to_f64(), 1.0);
+        assert_eq!(e.value.coeff(1).to_f64(), 0.0);
+        assert_eq!(e.value.coeff(2).to_f64(), -1.0);
+        assert_eq!(e.gradient[0].coeff(1).to_f64(), -1.0);
+        assert_eq!(e.gradient[1].coeff(1).to_f64(), 1.0);
+    }
+}

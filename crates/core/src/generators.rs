@@ -1,0 +1,202 @@
+//! Generators for test polynomials and random evaluation data.
+//!
+//! The paper's benchmark polynomials (Table 2) are all instances of two
+//! structural families: "all products of exactly `m` out of `n` variables"
+//! (p1 and p3) and "`N` monomials of `m` consecutive variables" (p2).  Both
+//! are provided here, along with a fully random generator used by the
+//! property tests.
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use psmd_multidouble::{Coeff, RandomCoeff};
+use psmd_series::Series;
+use rand::Rng;
+
+/// All strictly increasing index tuples of length `m` drawn from `0..n`
+/// (the supports of the monomials of p1 and p3).
+pub fn combinations(n: usize, m: usize) -> Vec<Vec<usize>> {
+    assert!(m >= 1 && m <= n, "need 1 <= m <= n, got m={m}, n={n}");
+    let mut result = Vec::new();
+    let mut current: Vec<usize> = (0..m).collect();
+    loop {
+        result.push(current.clone());
+        // Advance to the next combination in lexicographic order.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return result;
+            }
+            i -= 1;
+            if current[i] != i + n - m {
+                break;
+            }
+            if i == 0 {
+                return result;
+            }
+        }
+        current[i] += 1;
+        for j in i + 1..m {
+            current[j] = current[j - 1] + 1;
+        }
+    }
+}
+
+/// Binomial coefficient `C(n, m)` (used to validate the generators).
+pub fn binomial(n: usize, m: usize) -> usize {
+    if m > n {
+        return 0;
+    }
+    let m = m.min(n - m);
+    let mut result = 1usize;
+    for i in 0..m {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+/// The supports of a "banded" polynomial: `count` monomials, the `k`-th using
+/// the `width` consecutive variables starting at `k` (modulo `n`), sorted.
+/// This realizes the structure of the paper's p2: few monomials, each with
+/// many variables.
+pub fn banded_supports(n: usize, width: usize, count: usize) -> Vec<Vec<usize>> {
+    assert!(width >= 1 && width <= n);
+    (0..count)
+        .map(|k| {
+            let mut vars: Vec<usize> = (0..width).map(|j| (k + j) % n).collect();
+            vars.sort_unstable();
+            vars
+        })
+        .collect()
+}
+
+/// Builds a polynomial with the given supports, random unit coefficient
+/// series and a random constant term.
+pub fn polynomial_with_supports<C, R>(
+    supports: Vec<Vec<usize>>,
+    num_variables: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Polynomial<C>
+where
+    C: Coeff + RandomCoeff,
+    R: Rng + ?Sized,
+{
+    let monomials = supports
+        .into_iter()
+        .map(|vars| Monomial::new(Series::random_unit(rng, degree), vars))
+        .collect();
+    Polynomial::new(num_variables, Series::random_unit(rng, degree), monomials)
+}
+
+/// A fully random polynomial: `num_monomials` monomials with distinct random
+/// supports of size between 1 and `max_support`.
+pub fn random_polynomial<C, R>(
+    num_variables: usize,
+    num_monomials: usize,
+    max_support: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Polynomial<C>
+where
+    C: Coeff + RandomCoeff,
+    R: Rng + ?Sized,
+{
+    let max_support = max_support.clamp(1, num_variables);
+    let mut supports = Vec::with_capacity(num_monomials);
+    for _ in 0..num_monomials {
+        let size = rng.gen_range(1..=max_support);
+        let mut vars = Vec::with_capacity(size);
+        while vars.len() < size {
+            let v = rng.gen_range(0..num_variables);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars.sort_unstable();
+        supports.push(vars);
+    }
+    polynomial_with_supports(supports, num_variables, degree, rng)
+}
+
+/// Random input series (one per variable), with well-conditioned leading
+/// coefficients, as used for the paper's experiments.
+pub fn random_inputs<C, R>(num_variables: usize, degree: usize, rng: &mut R) -> Vec<Series<C>>
+where
+    C: Coeff + RandomCoeff,
+    R: Rng + ?Sized,
+{
+    (0..num_variables)
+        .map(|_| Series::random_unit(rng, degree))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::Qd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinations_enumerate_all_subsets() {
+        let c = combinations(5, 3);
+        assert_eq!(c.len(), binomial(5, 3));
+        assert_eq!(c[0], vec![0, 1, 2]);
+        assert_eq!(c[c.len() - 1], vec![2, 3, 4]);
+        // All distinct and sorted.
+        for v in &c {
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut sorted = c.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), c.len());
+    }
+
+    #[test]
+    fn combinations_match_paper_table_2_counts() {
+        // p1: all products of exactly 4 of 16 variables -> 1820 monomials.
+        assert_eq!(combinations(16, 4).len(), 1_820);
+        assert_eq!(binomial(16, 4), 1_820);
+        // p3: all products of 2 of 128 variables -> 8128 monomials.
+        assert_eq!(binomial(128, 2), 8_128);
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(combinations(4, 4), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(combinations(3, 1), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 7), 0);
+    }
+
+    #[test]
+    fn banded_supports_have_the_requested_shape() {
+        let s = banded_supports(128, 64, 128);
+        assert_eq!(s.len(), 128);
+        for vars in &s {
+            assert_eq!(vars.len(), 64);
+            assert!(vars.windows(2).all(|w| w[0] < w[1]));
+            assert!(*vars.last().unwrap() < 128);
+        }
+        // Different monomials have different supports.
+        let mut dedup = s.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 128);
+    }
+
+    #[test]
+    fn random_polynomial_is_well_formed_and_reproducible() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let p1: Polynomial<Qd> = random_polynomial(10, 25, 5, 3, &mut r1);
+        let p2: Polynomial<Qd> = random_polynomial(10, 25, 5, 3, &mut r2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.num_monomials(), 25);
+        assert!(p1.max_variables_per_monomial() <= 5);
+        let z = random_inputs::<Qd, _>(10, 3, &mut r1);
+        assert_eq!(z.len(), 10);
+        assert!(z.iter().all(|s| s.degree() == 3));
+    }
+}

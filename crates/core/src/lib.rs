@@ -1,0 +1,59 @@
+//! # psmd-core
+//!
+//! The paper's primary contribution: evaluation and differentiation of a
+//! polynomial in several variables at a vector of truncated power series,
+//! organized as a massively parallel computation of convolution and addition
+//! jobs.
+//!
+//! The pipeline is:
+//!
+//! 1. describe the polynomial ([`Polynomial`], [`Monomial`]);
+//! 2. build the job [`Schedule`] once per polynomial (forward/backward/cross
+//!    products of every monomial, layered so that independent jobs form one
+//!    kernel launch, plus the tree summation of the evaluated monomials);
+//! 3. evaluate at any input series with the [`ScheduledEvaluator`], either
+//!    sequentially or with one block per job on the worker pool, and collect
+//!    per-kernel timings;
+//! 4. compare against the naive baseline ([`evaluate_naive`]) and convert the
+//!    schedule into the [`psmd_device::WorkloadShape`] of the analytic GPU
+//!    performance model ([`counts::workload_shape`]).
+//!
+//! ```
+//! use psmd_core::{evaluate_naive, Monomial, Polynomial, ScheduledEvaluator};
+//! use psmd_multidouble::Dd;
+//! use psmd_series::Series;
+//!
+//! // p = 1 + 3 x0 x1, evaluated at z0 = 1 + t, z1 = 1 - t (double-double).
+//! let d = 2;
+//! let constant = Series::constant(Dd::from_f64(1.0), d);
+//! let coeff = Series::constant(Dd::from_f64(3.0), d);
+//! let p = Polynomial::new(2, constant, vec![Monomial::new(coeff, vec![0, 1])]);
+//! let z = vec![
+//!     Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
+//!     Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
+//! ];
+//! let eval = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+//! assert_eq!(eval.value.coeff(0).to_f64(), 4.0);      // 1 + 3
+//! assert_eq!(eval.value.coeff(2).to_f64(), -3.0);     // -3 t^2
+//! assert_eq!(eval.gradient[0].coeff(1).to_f64(), -3.0);
+//! assert!(eval.max_difference(&evaluate_naive(&p, &z)) < 1e-30);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod evaluate;
+pub mod generators;
+pub mod monomial;
+pub mod polynomial;
+pub mod schedule;
+
+pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
+pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ScheduledEvaluator};
+pub use generators::{
+    banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,
+    random_polynomial,
+};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use schedule::{AddJob, ConvJob, DataLayout, ResultLocation, Schedule};

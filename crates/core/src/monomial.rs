@@ -1,0 +1,181 @@
+//! Monomials with power-series coefficients.
+//!
+//! A monomial is `a * x_{i1} x_{i2} ... x_{ik}` where `a` is a power series
+//! truncated at the common degree and the variable indices are strictly
+//! increasing (Section 3 of the paper).  Monomials with higher powers of a
+//! variable are handled as in the paper: the common factor is folded into the
+//! coefficient series beforehand (see [`Monomial::from_exponents`]).
+
+use psmd_multidouble::Coeff;
+use psmd_series::Series;
+
+/// One monomial of a polynomial: a coefficient series times a product of
+/// distinct variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial<C> {
+    /// Coefficient power series (truncated at the common degree).
+    pub coefficient: Series<C>,
+    /// Strictly increasing indices of the participating variables.
+    pub variables: Vec<usize>,
+}
+
+impl<C: Coeff> Monomial<C> {
+    /// Builds a monomial, validating the variable index tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are not strictly increasing or when the
+    /// monomial has no variables (a constant belongs in the polynomial's
+    /// constant term instead).
+    pub fn new(coefficient: Series<C>, variables: Vec<usize>) -> Self {
+        assert!(
+            !variables.is_empty(),
+            "a monomial needs at least one variable; constants go to the polynomial's constant term"
+        );
+        assert!(
+            variables.windows(2).all(|w| w[0] < w[1]),
+            "variable indices must be strictly increasing, got {variables:?}"
+        );
+        Self {
+            coefficient,
+            variables,
+        }
+    }
+
+    /// Builds a monomial from an exponent vector, folding higher powers into
+    /// the coefficient exactly as the paper prescribes: `a x1^3 x2^5` becomes
+    /// `(a x1^2 x2^4) * x1 x2`, where the parenthesized factor is evaluated
+    /// into the coefficient series at the given inputs.
+    ///
+    /// `inputs[i]` is the power series substituted for variable `i`; it is
+    /// needed because the folded factor depends on the point of evaluation.
+    pub fn from_exponents(
+        coefficient: Series<C>,
+        exponents: &[usize],
+        inputs: &[Series<C>],
+    ) -> Self {
+        let degree = coefficient.degree();
+        let mut folded = coefficient;
+        let mut variables = Vec::new();
+        for (var, &exp) in exponents.iter().enumerate() {
+            if exp == 0 {
+                continue;
+            }
+            variables.push(var);
+            for _ in 1..exp {
+                folded = folded.mul(&inputs[var].truncated(degree));
+            }
+        }
+        assert!(
+            !variables.is_empty(),
+            "exponent vector has no positive entries"
+        );
+        Self {
+            coefficient: folded,
+            variables,
+        }
+    }
+
+    /// Number of (distinct) variables in the monomial.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// True when the given variable participates in this monomial.
+    pub fn contains(&self, variable: usize) -> bool {
+        self.variables.binary_search(&variable).is_ok()
+    }
+
+    /// Position of a variable inside the monomial's index tuple.
+    pub fn position_of(&self, variable: usize) -> Option<usize> {
+        self.variables.binary_search(&variable).ok()
+    }
+
+    /// Number of convolution jobs needed to evaluate and differentiate this
+    /// monomial with the paper's scheme: `3 n_k - 3` for `n_k >= 3` variables,
+    /// 3 for two variables, 1 for a single variable.
+    pub fn convolution_jobs(&self) -> usize {
+        match self.num_variables() {
+            1 => 1,
+            2 => 3,
+            n => 3 * n - 3,
+        }
+    }
+
+    /// Number of job layers this monomial needs (its last forward product is
+    /// ready after as many steps as it has variables; Corollary 3.2).
+    pub fn layers(&self) -> usize {
+        self.num_variables()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::Qd;
+
+    fn s(values: &[f64]) -> Series<Qd> {
+        Series::from_f64_coeffs(values)
+    }
+
+    #[test]
+    fn construction_validates_indices() {
+        let m = Monomial::new(s(&[1.0, 0.0]), vec![0, 2, 5]);
+        assert_eq!(m.num_variables(), 3);
+        assert!(m.contains(2));
+        assert!(!m.contains(1));
+        assert_eq!(m.position_of(5), Some(2));
+        assert_eq!(m.position_of(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_indices_are_rejected() {
+        let _ = Monomial::new(s(&[1.0]), vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_variable_list_is_rejected() {
+        let _ = Monomial::new(s(&[1.0]), vec![]);
+    }
+
+    #[test]
+    fn convolution_job_counts_follow_the_paper() {
+        assert_eq!(Monomial::new(s(&[1.0]), vec![4]).convolution_jobs(), 1);
+        assert_eq!(Monomial::new(s(&[1.0]), vec![1, 2]).convolution_jobs(), 3);
+        assert_eq!(
+            Monomial::new(s(&[1.0]), vec![0, 1, 2]).convolution_jobs(),
+            6
+        );
+        // The paper's p1 has monomials of four variables: 9 convolutions.
+        assert_eq!(
+            Monomial::new(s(&[1.0]), vec![0, 1, 2, 3]).convolution_jobs(),
+            9
+        );
+        // And 3 * 64 - 3 = 189 for p2's 64-variable monomials.
+        let vars: Vec<usize> = (0..64).collect();
+        assert_eq!(Monomial::new(s(&[1.0]), vars).convolution_jobs(), 189);
+    }
+
+    #[test]
+    fn from_exponents_folds_higher_powers_into_the_coefficient() {
+        // a = 2, monomial x0^3 at input z0 = 1 + t: coefficient becomes
+        // 2 (1 + t)^2 = 2 + 4 t + 2 t^2, variables = [x0].
+        let inputs = vec![s(&[1.0, 1.0, 0.0])];
+        let m = Monomial::from_exponents(s(&[2.0, 0.0, 0.0]), &[3], &inputs);
+        assert_eq!(m.variables, vec![0]);
+        assert_eq!(m.coefficient.coeff(0).to_f64(), 2.0);
+        assert_eq!(m.coefficient.coeff(1).to_f64(), 4.0);
+        assert_eq!(m.coefficient.coeff(2).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn from_exponents_skips_zero_exponents() {
+        let inputs = vec![s(&[1.0]), s(&[3.0]), s(&[2.0])];
+        let m = Monomial::from_exponents(s(&[1.0]), &[0, 1, 2], &inputs);
+        assert_eq!(m.variables, vec![1, 2]);
+        // x2^2 folded: coefficient *= z2 once => 2.
+        assert_eq!(m.coefficient.coeff(0).to_f64(), 2.0);
+    }
+}

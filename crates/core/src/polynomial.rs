@@ -1,0 +1,232 @@
+//! Polynomials in several variables with power-series coefficients.
+//!
+//! This is the input data structure of Equation (3) of the paper: a constant
+//! term plus `N` monomials, each a coefficient series times a product of
+//! distinct variables, to be evaluated and differentiated at a vector of `n`
+//! power series truncated at a common degree `d`.
+
+use crate::monomial::Monomial;
+use psmd_multidouble::Coeff;
+use psmd_series::Series;
+
+/// A polynomial `p(x_1, ..., x_n) = a_0 + sum_k a_k x_{i1} ... x_{ink}` with
+/// power-series coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial<C> {
+    num_variables: usize,
+    degree: usize,
+    constant: Series<C>,
+    monomials: Vec<Monomial<C>>,
+}
+
+impl<C: Coeff> Polynomial<C> {
+    /// Creates a polynomial with the given constant term and monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a monomial references a variable index `>= num_variables`
+    /// or has a coefficient series of a different truncation degree.
+    pub fn new(num_variables: usize, constant: Series<C>, monomials: Vec<Monomial<C>>) -> Self {
+        let degree = constant.degree();
+        for (k, m) in monomials.iter().enumerate() {
+            assert_eq!(
+                m.coefficient.degree(),
+                degree,
+                "monomial {k}: coefficient degree differs from the constant term"
+            );
+            if let Some(&max) = m.variables.last() {
+                assert!(
+                    max < num_variables,
+                    "monomial {k} references variable {max} but the polynomial has {num_variables}"
+                );
+            }
+        }
+        Self {
+            num_variables,
+            degree,
+            constant,
+            monomials,
+        }
+    }
+
+    /// The zero polynomial in `num_variables` variables.
+    pub fn zero(num_variables: usize, degree: usize) -> Self {
+        Self::new(num_variables, Series::zero(degree), Vec::new())
+    }
+
+    /// Number of variables `n`.
+    pub fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    /// Common truncation degree `d` of all coefficient series.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The constant term `a_0`.
+    pub fn constant(&self) -> &Series<C> {
+        &self.constant
+    }
+
+    /// The monomials (the constant term is not included, matching the
+    /// paper's count `N`).
+    pub fn monomials(&self) -> &[Monomial<C>] {
+        &self.monomials
+    }
+
+    /// Number of monomials `N` (constant term not counted).
+    pub fn num_monomials(&self) -> usize {
+        self.monomials.len()
+    }
+
+    /// The largest number of variables appearing in a single monomial (the
+    /// quantity `m` in Corollary 4.1 and in Table 2).
+    pub fn max_variables_per_monomial(&self) -> usize {
+        self.monomials
+            .iter()
+            .map(|m| m.num_variables())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Indices of the monomials containing a given variable.
+    pub fn monomials_with_variable(&self, variable: usize) -> Vec<usize> {
+        self.monomials
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.contains(variable))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Total number of convolution jobs of the evaluation/differentiation
+    /// scheme (Section 4).
+    pub fn convolution_jobs(&self) -> usize {
+        self.monomials.iter().map(|m| m.convolution_jobs()).sum()
+    }
+
+    /// Total number of addition jobs: `N` additions for the value (including
+    /// folding in the constant term) plus, for every variable, one fewer
+    /// addition than the number of monomials containing it.
+    pub fn addition_jobs(&self) -> usize {
+        let value_adds = self.num_monomials();
+        let gradient_adds: usize = (0..self.num_variables)
+            .map(|v| {
+                let count = self
+                    .monomials
+                    .iter()
+                    .filter(|m| m.contains(v))
+                    .count();
+                count.saturating_sub(1)
+            })
+            .sum();
+        value_adds + gradient_adds
+    }
+
+    /// Evaluates only the polynomial value (no gradient) by accumulating
+    /// monomial products; a simple reference used by tests and examples.
+    pub fn value_at(&self, inputs: &[Series<C>]) -> Series<C> {
+        assert_eq!(inputs.len(), self.num_variables, "wrong number of inputs");
+        let mut acc = self.constant.clone();
+        for m in &self.monomials {
+            let mut prod = m.coefficient.clone();
+            for &v in &m.variables {
+                prod = prod.mul(&inputs[v]);
+            }
+            acc.add_assign(&prod);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::Qd;
+
+    fn s(values: &[f64]) -> Series<Qd> {
+        Series::from_f64_coeffs(values)
+    }
+
+    /// The example polynomial of Section 4, Equation (4):
+    /// p = a0 + a1 x1 x3 x6 + a2 x1 x2 x5 x6 + a3 x2 x3 x4  (1-based in the
+    /// paper; 0-based indices here).
+    pub fn paper_example() -> Polynomial<Qd> {
+        let d = 2;
+        let coeff = |c: f64| Series::constant(Qd::from_f64(c), d);
+        Polynomial::new(
+            6,
+            coeff(0.5),
+            vec![
+                Monomial::new(coeff(1.0), vec![0, 2, 5]),
+                Monomial::new(coeff(2.0), vec![0, 1, 4, 5]),
+                Monomial::new(coeff(3.0), vec![1, 2, 3]),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = paper_example();
+        assert_eq!(p.num_variables(), 6);
+        assert_eq!(p.num_monomials(), 3);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.max_variables_per_monomial(), 4);
+        assert_eq!(p.monomials_with_variable(0), vec![0, 1]);
+        assert_eq!(p.monomials_with_variable(3), vec![2]);
+        assert!(p.monomials_with_variable(6).is_empty());
+    }
+
+    #[test]
+    fn job_counts_match_the_worked_example() {
+        // Equation (4) lists 21 convolutions for the example polynomial.
+        let p = paper_example();
+        assert_eq!(p.convolution_jobs(), 21);
+        // Additions: 3 for the value; variables appear in 2,2,2,1,1,2
+        // monomials, contributing 1+1+1+0+0+1 = 4 more.
+        assert_eq!(p.addition_jobs(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "references variable")]
+    fn out_of_range_variables_are_rejected() {
+        let _ = Polynomial::new(
+            2,
+            s(&[0.0]),
+            vec![Monomial::new(s(&[1.0]), vec![0, 5])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient degree differs")]
+    fn degree_mismatch_is_rejected() {
+        let _ = Polynomial::new(
+            2,
+            s(&[0.0, 0.0]),
+            vec![Monomial::new(s(&[1.0]), vec![0])],
+        );
+    }
+
+    #[test]
+    fn value_at_constant_inputs_matches_scalar_arithmetic() {
+        // p = 0.5 + 1*x0 x2 x5 + 2*x0 x1 x4 x5 + 3*x1 x2 x3 at x_i = i + 1.
+        let p = paper_example();
+        let inputs: Vec<Series<Qd>> = (0..6)
+            .map(|i| Series::constant(Qd::from_f64((i + 1) as f64), 2))
+            .collect();
+        let v = p.value_at(&inputs);
+        // 0.5 + 1*1*3*6 + 2*1*2*5*6 + 3*2*3*4 = 0.5 + 18 + 120 + 72 = 210.5
+        assert_eq!(v.coeff(0).to_f64(), 210.5);
+        assert_eq!(v.coeff(1).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn zero_polynomial_behaves() {
+        let p = Polynomial::<Qd>::zero(3, 4);
+        assert_eq!(p.convolution_jobs(), 0);
+        assert_eq!(p.addition_jobs(), 0);
+        let inputs: Vec<Series<Qd>> = (0..3).map(|_| Series::one(4)).collect();
+        assert!(p.value_at(&inputs).is_zero());
+    }
+}

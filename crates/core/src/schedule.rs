@@ -1,0 +1,735 @@
+//! Data staging and job scheduling (Section 5 of the paper).
+//!
+//! The evaluation of a polynomial and its gradient at power series is turned
+//! into two sequences of jobs:
+//!
+//! * **convolution jobs** compute the forward, backward and cross products
+//!   of every monomial (Section 3); each job multiplies two power series
+//!   addressed by their positions in one flat data array and stores the
+//!   product at a third position;
+//! * **addition jobs** sum the evaluated monomials into the value and the
+//!   gradient with a tree summation.
+//!
+//! Jobs are grouped into *layers*: all jobs of a layer are independent (their
+//! outputs are pairwise disjoint and no job reads what another job of the
+//! same layer writes), so one layer corresponds to one kernel launch with one
+//! block per job.
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use psmd_multidouble::Coeff;
+use psmd_series::Series;
+
+/// One convolution job: `data[out] := data[in1] * data[in2]` where the three
+/// indices address power series *slots* of the flat data array (multiply by
+/// `d + 1` coefficients per slot to obtain the paper's double offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvJob {
+    /// Slot of the first input series.
+    pub in1: usize,
+    /// Slot of the second input series.
+    pub in2: usize,
+    /// Slot of the output series (may equal `in1` for the in-place update of
+    /// the last backward product with the coefficient).
+    pub out: usize,
+}
+
+/// One addition job: `data[dst] += data[src]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddJob {
+    /// Slot of the series added into the destination.
+    pub src: usize,
+    /// Slot updated in place.
+    pub dst: usize,
+}
+
+/// Positions of every series in the flat data array, following the layout of
+/// Figure 1: the constant term, the monomial coefficients, the input series,
+/// then for every monomial its forward, backward and cross products.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Truncation degree `d`.
+    pub degree: usize,
+    /// Total number of series slots.
+    pub num_slots: usize,
+    /// Slot of the constant term `a_0` (always 0).
+    pub constant_slot: usize,
+    /// Slot of each monomial coefficient `a_k`.
+    pub coefficient_slots: Vec<usize>,
+    /// Slot of each input series `z_i`.
+    pub input_slots: Vec<usize>,
+    /// Forward product slots per monomial (`n_k` of them).
+    pub forward_slots: Vec<Vec<usize>>,
+    /// Backward product slots per monomial (`max(1, n_k - 2)` for `n_k >= 2`,
+    /// none for a single-variable monomial).
+    pub backward_slots: Vec<Vec<usize>>,
+    /// Cross product slots per monomial (`n_k - 2` for `n_k >= 3`).
+    pub cross_slots: Vec<Vec<usize>>,
+    /// Scratch accumulator slots for degenerate outputs (outputs whose every
+    /// contribution is a read-only input slot).
+    pub scratch_slots: Vec<usize>,
+}
+
+impl DataLayout {
+    /// Builds the layout for a polynomial.
+    pub fn new<C: Coeff>(poly: &Polynomial<C>) -> Self {
+        let n_mono = poly.num_monomials();
+        let n_vars = poly.num_variables();
+        let mut next = 0usize;
+        let mut take = |count: usize| {
+            let start = next;
+            next += count;
+            (start..start + count).collect::<Vec<usize>>()
+        };
+        let constant_slot = take(1)[0];
+        let coefficient_slots = take(n_mono);
+        let input_slots = take(n_vars);
+        let mut forward_slots = Vec::with_capacity(n_mono);
+        let mut backward_slots = Vec::with_capacity(n_mono);
+        let mut cross_slots = Vec::with_capacity(n_mono);
+        for m in poly.monomials() {
+            let nk = m.num_variables();
+            forward_slots.push(take(nk));
+            backward_slots.push(take(if nk >= 2 { (nk - 2).max(1) } else { 0 }));
+            cross_slots.push(take(nk.saturating_sub(2)));
+        }
+        Self {
+            degree: poly.degree(),
+            num_slots: next,
+            constant_slot,
+            coefficient_slots,
+            input_slots,
+            forward_slots,
+            backward_slots,
+            cross_slots,
+            scratch_slots: Vec::new(),
+        }
+    }
+
+    /// Number of coefficients per slot.
+    pub fn coeffs_per_slot(&self) -> usize {
+        self.degree + 1
+    }
+
+    /// Offset (in coefficients) of a slot in the flat data array, i.e. the
+    /// paper's index triplet entries `(d + 1) * slot`.
+    pub fn offset(&self, slot: usize) -> usize {
+        slot * self.coeffs_per_slot()
+    }
+
+    /// Total number of coefficients of the data array (the quantity `e /
+    /// (d+1)` of Equation (7), plus any scratch slots).
+    pub fn total_coefficients(&self) -> usize {
+        self.num_slots * self.coeffs_per_slot()
+    }
+
+    /// The slot holding the derivative of monomial `k` with respect to the
+    /// variable at position `pos` of its index tuple, or `None` when the
+    /// derivative is the read-only coefficient itself (single-variable
+    /// monomials).
+    pub fn derivative_slot(&self, monomial: &Monomial<impl Coeff>, k: usize, pos: usize) -> Option<usize> {
+        let nk = monomial.num_variables();
+        match nk {
+            1 => None,
+            2 => {
+                if pos == 0 {
+                    Some(self.backward_slots[k][0])
+                } else {
+                    Some(self.forward_slots[k][0])
+                }
+            }
+            _ => {
+                if pos == 0 {
+                    Some(self.backward_slots[k][nk - 3])
+                } else if pos == nk - 1 {
+                    Some(self.forward_slots[k][nk - 2])
+                } else {
+                    Some(self.cross_slots[k][pos - 1])
+                }
+            }
+        }
+    }
+}
+
+/// Where the result of an output (the value or one gradient component) ends
+/// up after the addition stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultLocation {
+    /// The output is identically zero (no monomial contributes).
+    Zero,
+    /// The output lives in this slot of the data array.
+    Slot(usize),
+}
+
+/// The complete two-stage job schedule for one polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The data layout the job indices refer to.
+    pub layout: DataLayout,
+    /// Convolution jobs grouped in layers (one kernel launch per layer).
+    pub convolution_layers: Vec<Vec<ConvJob>>,
+    /// Addition jobs grouped in layers.
+    pub addition_layers: Vec<Vec<AddJob>>,
+    /// Location of the polynomial value after the addition stage.
+    pub value_location: ResultLocation,
+    /// Location of each gradient component after the addition stage.
+    pub gradient_locations: Vec<ResultLocation>,
+}
+
+impl Schedule {
+    /// Builds the full schedule for a polynomial.
+    pub fn build<C: Coeff>(poly: &Polynomial<C>) -> Self {
+        let mut layout = DataLayout::new(poly);
+        let convolution_layers = build_convolution_layers(poly, &layout);
+        let (addition_layers, value_location, gradient_locations) =
+            build_addition_layers(poly, &mut layout);
+        let schedule = Self {
+            layout,
+            convolution_layers,
+            addition_layers,
+            value_location,
+            gradient_locations,
+        };
+        debug_assert!(schedule.validate_layers().is_ok());
+        schedule
+    }
+
+    /// Total number of convolution jobs.
+    pub fn convolution_jobs(&self) -> usize {
+        self.convolution_layers.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of addition jobs.
+    pub fn addition_jobs(&self) -> usize {
+        self.addition_layers.iter().map(Vec::len).sum()
+    }
+
+    /// Blocks per convolution kernel launch.
+    pub fn convolution_layer_sizes(&self) -> Vec<usize> {
+        self.convolution_layers.iter().map(Vec::len).collect()
+    }
+
+    /// Blocks per addition kernel launch.
+    pub fn addition_layer_sizes(&self) -> Vec<usize> {
+        self.addition_layers.iter().map(Vec::len).collect()
+    }
+
+    /// Checks the layer invariants: within one layer, outputs are pairwise
+    /// distinct and no job reads a slot that another job of the same layer
+    /// writes.  Returns a description of the first violation, if any.
+    pub fn validate_layers(&self) -> Result<(), String> {
+        for (l, layer) in self.convolution_layers.iter().enumerate() {
+            let mut outputs = std::collections::HashSet::new();
+            for job in layer {
+                if !outputs.insert(job.out) {
+                    return Err(format!("convolution layer {l}: duplicate output slot {}", job.out));
+                }
+            }
+            for job in layer {
+                let reads_foreign_output = |slot: usize| outputs.contains(&slot) && slot != job.out;
+                if reads_foreign_output(job.in1) || reads_foreign_output(job.in2) {
+                    return Err(format!(
+                        "convolution layer {l}: job {job:?} reads a slot written by another job"
+                    ));
+                }
+            }
+        }
+        for (l, layer) in self.addition_layers.iter().enumerate() {
+            let mut outputs = std::collections::HashSet::new();
+            for job in layer {
+                if !outputs.insert(job.dst) {
+                    return Err(format!("addition layer {l}: duplicate destination {}", job.dst));
+                }
+            }
+            for job in layer {
+                if outputs.contains(&job.src) {
+                    return Err(format!(
+                        "addition layer {l}: job {job:?} reads a destination of the same layer"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Populates the flat data array with the polynomial's coefficient
+    /// series and the input series; product slots are zero-initialized.
+    pub fn build_data_array<C: Coeff>(
+        &self,
+        poly: &Polynomial<C>,
+        inputs: &[Series<C>],
+    ) -> Vec<C> {
+        assert_eq!(inputs.len(), poly.num_variables(), "wrong number of inputs");
+        let per = self.layout.coeffs_per_slot();
+        let mut data = vec![C::zero(); self.layout.total_coefficients()];
+        let write_slot = |slot: usize, series: &Series<C>, data: &mut Vec<C>| {
+            assert_eq!(series.degree(), self.layout.degree, "degree mismatch");
+            let off = slot * per;
+            data[off..off + per].copy_from_slice(series.coeffs());
+        };
+        write_slot(self.layout.constant_slot, poly.constant(), &mut data);
+        for (k, m) in poly.monomials().iter().enumerate() {
+            write_slot(self.layout.coefficient_slots[k], &m.coefficient, &mut data);
+        }
+        for (i, z) in inputs.iter().enumerate() {
+            write_slot(self.layout.input_slots[i], z, &mut data);
+        }
+        data
+    }
+
+    /// Extracts a result series from the populated data array.
+    pub fn extract<C: Coeff>(&self, data: &[C], location: ResultLocation) -> Series<C> {
+        let per = self.layout.coeffs_per_slot();
+        match location {
+            ResultLocation::Zero => Series::zero(self.layout.degree),
+            ResultLocation::Slot(slot) => {
+                let off = slot * per;
+                Series::from_coeffs(data[off..off + per].to_vec())
+            }
+        }
+    }
+}
+
+/// Builds the convolution layers by walking every monomial's forward,
+/// backward and cross products and assigning each job to the earliest layer
+/// in which both of its inputs are available (dependency-driven version of
+/// the paper's level assignment; it reproduces the launch structure reported
+/// for the test polynomials).
+fn build_convolution_layers<C: Coeff>(
+    poly: &Polynomial<C>,
+    layout: &DataLayout,
+) -> Vec<Vec<ConvJob>> {
+    let mut layers: Vec<Vec<ConvJob>> = Vec::new();
+    let push = |layer: usize, job: ConvJob, layers: &mut Vec<Vec<ConvJob>>| {
+        while layers.len() <= layer {
+            layers.push(Vec::new());
+        }
+        layers[layer].push(job);
+    };
+    for (k, m) in poly.monomials().iter().enumerate() {
+        let nk = m.num_variables();
+        let vars = &m.variables;
+        let a_slot = layout.coefficient_slots[k];
+        let z = |j: usize| layout.input_slots[vars[j]];
+        let f = &layout.forward_slots[k];
+        // Forward products: f_1 = a * z_{i1}, f_j = f_{j-1} * z_{ij}.
+        push(
+            0,
+            ConvJob {
+                in1: a_slot,
+                in2: z(0),
+                out: f[0],
+            },
+            &mut layers,
+        );
+        for j in 1..nk {
+            push(
+                j,
+                ConvJob {
+                    in1: f[j - 1],
+                    in2: z(j),
+                    out: f[j],
+                },
+                &mut layers,
+            );
+        }
+        if nk == 1 {
+            continue;
+        }
+        let b = &layout.backward_slots[k];
+        if nk == 2 {
+            // Special case: the only backward product is z_{i2} * a_k, the
+            // derivative with respect to the first variable.
+            push(
+                0,
+                ConvJob {
+                    in1: z(1),
+                    in2: a_slot,
+                    out: b[0],
+                },
+                &mut layers,
+            );
+            continue;
+        }
+        // Backward products: b_1 = z_{ink} * z_{ink-1},
+        // b_j = b_{j-1} * z_{ink-j}, and finally b_{nk-2} *= a_k.
+        push(
+            0,
+            ConvJob {
+                in1: z(nk - 1),
+                in2: z(nk - 2),
+                out: b[0],
+            },
+            &mut layers,
+        );
+        for j in 1..nk - 2 {
+            // Paper (1-based): b_{j+1} = b_j * z_{nk-(j+1)}, i.e. the next
+            // variable below the ones already folded into b_j.
+            push(
+                j,
+                ConvJob {
+                    in1: b[j - 1],
+                    in2: z(nk - 2 - j),
+                    out: b[j],
+                },
+                &mut layers,
+            );
+        }
+        // In-place update of the last backward product with the coefficient;
+        // it depends on b_{nk-2}, which becomes available after nk-2 layers.
+        push(
+            nk - 2,
+            ConvJob {
+                in1: b[nk - 3],
+                in2: a_slot,
+                out: b[nk - 3],
+            },
+            &mut layers,
+        );
+        // Cross products: c_j = f_j * b_{nk-2-j} for j = 1 .. nk-3, plus
+        // c_{nk-2} = f_{nk-2} * z_{ink}.  (The derivative with respect to the
+        // variable at position j is f_j times the product of the variables
+        // above position j.)
+        let c = &layout.cross_slots[k];
+        for j in 1..=nk - 3 {
+            // f_j available after layer j (0-based index j-1), b_{nk-2-j}
+            // after layer nk-2-j (0-based index nk-3-j).
+            let layer = j.max(nk - 2 - j);
+            push(
+                layer,
+                ConvJob {
+                    in1: f[j - 1],
+                    in2: b[nk - 3 - j],
+                    out: c[j - 1],
+                },
+                &mut layers,
+            );
+        }
+        push(
+            nk - 2,
+            ConvJob {
+                in1: f[nk - 3],
+                in2: z(nk - 1),
+                out: c[nk - 3],
+            },
+            &mut layers,
+        );
+    }
+    layers
+}
+
+/// One summation problem: read-only contributions plus writable accumulator
+/// slots to be combined into a single result.
+struct OutputSum {
+    /// Slots that may be updated in place (monomial product slots).
+    targets: Vec<usize>,
+    /// Slots that may only be read (the constant term, coefficients of
+    /// single-variable monomials).
+    read_only: Vec<usize>,
+}
+
+impl OutputSum {
+    fn location(&self) -> ResultLocation {
+        if let Some(&slot) = self.targets.first() {
+            ResultLocation::Slot(slot)
+        } else if self.read_only.len() == 1 {
+            ResultLocation::Slot(self.read_only[0])
+        } else {
+            ResultLocation::Zero
+        }
+    }
+}
+
+/// Builds the addition layers for the value and every gradient component.
+///
+/// Every output is summed with a binary tree over its writable slots; read-
+/// only contributions are folded into writable slots in dedicated leading
+/// layers.  Outputs whose every contribution is read-only receive a scratch
+/// accumulator slot.  Layers of different outputs with the same index are
+/// merged into one kernel launch (their slots are disjoint by construction).
+fn build_addition_layers<C: Coeff>(
+    poly: &Polynomial<C>,
+    layout: &mut DataLayout,
+) -> (Vec<Vec<AddJob>>, ResultLocation, Vec<ResultLocation>) {
+    // Assemble the summation problem of every output.
+    let mut outputs: Vec<OutputSum> = Vec::with_capacity(1 + poly.num_variables());
+    // The polynomial value: a_0 plus the last forward product of every
+    // monomial.
+    outputs.push(OutputSum {
+        targets: (0..poly.num_monomials())
+            .map(|k| {
+                let f = &layout.forward_slots[k];
+                f[f.len() - 1]
+            })
+            .collect(),
+        read_only: vec![layout.constant_slot],
+    });
+    // Each gradient component.
+    for v in 0..poly.num_variables() {
+        let mut targets = Vec::new();
+        let mut read_only = Vec::new();
+        for (k, m) in poly.monomials().iter().enumerate() {
+            if let Some(pos) = m.position_of(v) {
+                match layout.derivative_slot(m, k, pos) {
+                    Some(slot) => targets.push(slot),
+                    None => read_only.push(layout.coefficient_slots[k]),
+                }
+            }
+        }
+        outputs.push(OutputSum { targets, read_only });
+    }
+    // Degenerate outputs (more than one contribution but no writable slot)
+    // receive a scratch accumulator appended to the layout.
+    for out in outputs.iter_mut() {
+        if out.targets.is_empty() && out.read_only.len() > 1 {
+            let slot = layout.num_slots;
+            layout.num_slots += 1;
+            layout.scratch_slots.push(slot);
+            out.targets.push(slot);
+        }
+    }
+    // Schedule every output independently, then merge layer-by-layer.
+    let mut merged: Vec<Vec<AddJob>> = Vec::new();
+    let push = |layer: usize, job: AddJob, merged: &mut Vec<Vec<AddJob>>| {
+        while merged.len() <= layer {
+            merged.push(Vec::new());
+        }
+        merged[layer].push(job);
+    };
+    for out in &outputs {
+        if out.targets.is_empty() {
+            continue;
+        }
+        let mut layer = 0usize;
+        // Fold read-only contributions into distinct targets, as many per
+        // layer as there are targets.
+        for chunk in out.read_only.chunks(out.targets.len()) {
+            for (i, &src) in chunk.iter().enumerate() {
+                push(
+                    layer,
+                    AddJob {
+                        src,
+                        dst: out.targets[i],
+                    },
+                    &mut merged,
+                );
+            }
+            layer += 1;
+        }
+        // Binary tree over the targets.
+        let mut current = out.targets.clone();
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < current.len() {
+                push(
+                    layer,
+                    AddJob {
+                        src: current[i + 1],
+                        dst: current[i],
+                    },
+                    &mut merged,
+                );
+                next.push(current[i]);
+                i += 2;
+            }
+            if i < current.len() {
+                next.push(current[i]);
+            }
+            current = next;
+            layer += 1;
+        }
+    }
+    let value_location = outputs[0].location();
+    let gradient_locations = outputs[1..].iter().map(|o| o.location()).collect();
+    (merged, value_location, gradient_locations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::Qd;
+    use psmd_series::Series;
+
+    fn coeff(c: f64, d: usize) -> Series<Qd> {
+        Series::constant(Qd::from_f64(c), d)
+    }
+
+    /// The example polynomial of Equation (4).
+    fn paper_example(d: usize) -> Polynomial<Qd> {
+        Polynomial::new(
+            6,
+            coeff(0.5, d),
+            vec![
+                Monomial::new(coeff(1.0, d), vec![0, 2, 5]),
+                Monomial::new(coeff(2.0, d), vec![0, 1, 4, 5]),
+                Monomial::new(coeff(3.0, d), vec![1, 2, 3]),
+            ],
+        )
+    }
+
+    #[test]
+    fn layout_follows_figure_1() {
+        let p = paper_example(3);
+        let layout = DataLayout::new(&p);
+        assert_eq!(layout.constant_slot, 0);
+        assert_eq!(layout.coefficient_slots, vec![1, 2, 3]);
+        assert_eq!(layout.input_slots, vec![4, 5, 6, 7, 8, 9]);
+        // Figure 1: f1 has 3 slots, f2 has 4, f3 has 3; b1 1, b2 2, b3 1;
+        // c1 1, c2 2, c3 1.
+        assert_eq!(layout.forward_slots[0].len(), 3);
+        assert_eq!(layout.forward_slots[1].len(), 4);
+        assert_eq!(layout.forward_slots[2].len(), 3);
+        assert_eq!(layout.backward_slots[0].len(), 1);
+        assert_eq!(layout.backward_slots[1].len(), 2);
+        assert_eq!(layout.backward_slots[2].len(), 1);
+        assert_eq!(layout.cross_slots[0].len(), 1);
+        assert_eq!(layout.cross_slots[1].len(), 2);
+        assert_eq!(layout.cross_slots[2].len(), 1);
+        // Total slots: 1 + 3 + 6 + (3+4+3) + (1+2+1) + (1+2+1) = 28,
+        // matching the 28 boxes of Figure 1.
+        assert_eq!(layout.num_slots, 28);
+        // The offset of f1,1 (first forward slot of monomial 1) is 10 (d+1),
+        // as in the triplet example of Section 5.
+        assert_eq!(layout.forward_slots[0][0], 10);
+        assert_eq!(layout.offset(layout.forward_slots[0][0]), 10 * (3 + 1));
+    }
+
+    #[test]
+    fn example_schedule_has_21_convolutions_in_4_layers() {
+        let p = paper_example(2);
+        let s = Schedule::build(&p);
+        assert_eq!(s.convolution_jobs(), 21);
+        // Display (5) of the paper arranges the 21 convolutions in 4 layers
+        // of 9, 6 (wait: 6+3), ... our dependency-driven layering yields 4
+        // layers whose sizes sum to 21 and whose first layer holds the 6
+        // first-step jobs (f_{k,1} and b_{k,1} for each monomial).
+        assert_eq!(s.convolution_layers.len(), 4);
+        let sizes = s.convolution_layer_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 21);
+        assert_eq!(sizes[0], 6);
+        assert_eq!(s.addition_jobs(), 7);
+        s.validate_layers().unwrap();
+    }
+
+    #[test]
+    fn schedule_counts_match_polynomial_counts() {
+        let p = paper_example(2);
+        let s = Schedule::build(&p);
+        assert_eq!(s.convolution_jobs(), p.convolution_jobs());
+        assert_eq!(s.addition_jobs(), p.addition_jobs());
+    }
+
+    #[test]
+    fn single_and_two_variable_monomials() {
+        let d = 1;
+        let p = Polynomial::new(
+            3,
+            coeff(1.0, d),
+            vec![
+                Monomial::new(coeff(2.0, d), vec![0]),
+                Monomial::new(coeff(3.0, d), vec![0, 2]),
+            ],
+        );
+        let s = Schedule::build(&p);
+        // Single-variable monomial: 1 convolution; two-variable: 3.
+        assert_eq!(s.convolution_jobs(), 4);
+        // Value: 2 additions (2 monomials, a0 folded in); gradient x0: the
+        // derivative of the first monomial is the read-only coefficient a_1
+        // and of the second the backward product -> 1 addition; x2: single
+        // contribution -> 0.
+        assert_eq!(s.addition_jobs(), 3);
+        s.validate_layers().unwrap();
+        match s.gradient_locations[1] {
+            ResultLocation::Zero => {}
+            other => panic!("variable 1 does not occur, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_gradient_gets_a_scratch_slot() {
+        // Two single-variable monomials in the same variable: both
+        // derivatives are read-only coefficient slots, so a scratch
+        // accumulator must be allocated.
+        let d = 0;
+        let p = Polynomial::new(
+            1,
+            coeff(0.0, d),
+            vec![
+                Monomial::new(coeff(2.0, d), vec![0]),
+                Monomial::new(coeff(5.0, d), vec![0]),
+            ],
+        );
+        let s = Schedule::build(&p);
+        assert_eq!(s.layout.scratch_slots.len(), 1);
+        assert_eq!(s.addition_jobs(), 2 + 2); // value: 2, gradient: 2 into scratch
+        s.validate_layers().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_conflicting_layers() {
+        let p = paper_example(2);
+        let mut s = Schedule::build(&p);
+        // Force a duplicate output in the first layer.
+        let job = s.convolution_layers[0][0];
+        s.convolution_layers[0].push(job);
+        assert!(s.validate_layers().is_err());
+    }
+
+    #[test]
+    fn data_array_round_trip() {
+        let p = paper_example(2);
+        let s = Schedule::build(&p);
+        let inputs: Vec<Series<Qd>> = (0..6)
+            .map(|i| Series::from_f64_coeffs(&[i as f64 + 1.0, 0.5, 0.25]))
+            .collect();
+        let data = s.build_data_array(&p, &inputs);
+        assert_eq!(data.len(), s.layout.total_coefficients());
+        // The constant term sits in slot 0.
+        let v = s.extract(&data, ResultLocation::Slot(s.layout.constant_slot));
+        assert_eq!(v.coeff(0).to_f64(), 0.5);
+        // Input z3 sits in its slot.
+        let z3 = s.extract(&data, ResultLocation::Slot(s.layout.input_slots[3]));
+        assert_eq!(z3.coeff(0).to_f64(), 4.0);
+        assert_eq!(z3.coeff(2).to_f64(), 0.25);
+        // Product slots start out zero.
+        let f11 = s.extract(&data, ResultLocation::Slot(s.layout.forward_slots[0][0]));
+        assert!(f11.is_zero());
+        // Zero extraction.
+        assert!(s.extract(&data, ResultLocation::Zero).is_zero());
+    }
+
+    #[test]
+    fn p1_like_monomials_reproduce_the_paper_launch_structure() {
+        // All 4-variable monomials over 8 variables (a scaled-down p1):
+        // every monomial contributes 2, 3, 3, 1 jobs to layers 1-4.
+        let d = 1;
+        let vars: Vec<Vec<usize>> = {
+            let mut v = Vec::new();
+            for a in 0..8usize {
+                for b in a + 1..8 {
+                    for c in b + 1..8 {
+                        for e in c + 1..8 {
+                            v.push(vec![a, b, c, e]);
+                        }
+                    }
+                }
+            }
+            v
+        };
+        let n_mono = vars.len();
+        assert_eq!(n_mono, 70); // C(8,4)
+        let monomials = vars
+            .into_iter()
+            .map(|v| Monomial::new(coeff(1.0, d), v))
+            .collect();
+        let p = Polynomial::new(8, coeff(1.0, d), monomials);
+        let s = Schedule::build(&p);
+        assert_eq!(
+            s.convolution_layer_sizes(),
+            vec![2 * n_mono, 3 * n_mono, 3 * n_mono, n_mono]
+        );
+        assert_eq!(s.convolution_jobs(), 9 * n_mono);
+        s.validate_layers().unwrap();
+    }
+}

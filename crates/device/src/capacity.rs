@@ -1,0 +1,106 @@
+//! The shared-memory capacity model.
+//!
+//! One convolution block stages the `X`, double-length `Y` and `Z` vectors
+//! of the zero-insertion kernel in shared memory: `4 (d + 1)` coefficients of
+//! `m` doubles each (8 bytes per double).  The paper notes that degree 152
+//! "is the largest one block of threads can manage because of the limitation
+//! of the size of shared memory" in deca-double precision; this module
+//! reproduces that limit for every precision and checks requested
+//! configurations against it.
+
+use crate::registry::GpuSpec;
+use psmd_multidouble::Precision;
+
+/// Number of staged coefficient vectors per convolution block
+/// (`X`, `Z`, and the double-length `Y`).
+pub const STAGED_VECTORS: usize = 4;
+
+/// Bytes of shared memory needed by one convolution block for series
+/// truncated at `degree` with `doubles_per_coeff` doubles per coefficient.
+pub fn shared_bytes_needed(degree: usize, doubles_per_coeff: usize) -> usize {
+    STAGED_VECTORS * (degree + 1) * doubles_per_coeff * 8
+}
+
+/// Largest truncation degree that fits in `shared_bytes` of shared memory
+/// for coefficients of `doubles_per_coeff` doubles.
+pub fn max_degree_for(shared_bytes: usize, doubles_per_coeff: usize) -> usize {
+    let coeffs = shared_bytes / (STAGED_VECTORS * doubles_per_coeff * 8);
+    coeffs.saturating_sub(1)
+}
+
+/// Largest truncation degree supported at a given precision for real data on
+/// a device.
+pub fn max_degree(gpu: &GpuSpec, precision: Precision) -> usize {
+    max_degree_for(gpu.shared_memory_per_block, precision.limbs())
+}
+
+/// Largest truncation degree supported at a given precision for complex data
+/// (real and imaginary parts both staged).
+pub fn max_degree_complex(gpu: &GpuSpec, precision: Precision) -> usize {
+    max_degree_for(gpu.shared_memory_per_block, 2 * precision.limbs())
+}
+
+/// Whether a configuration fits the device's shared memory.
+pub fn fits(gpu: &GpuSpec, precision: Precision, degree: usize) -> bool {
+    degree <= max_degree(gpu, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::paper_gpus;
+
+    #[test]
+    fn deca_double_limit_is_degree_152() {
+        // The headline constraint from Section 6.2 of the paper.
+        for gpu in paper_gpus() {
+            assert_eq!(max_degree(&gpu, Precision::D10), 152);
+            assert!(fits(&gpu, Precision::D10, 152));
+            assert!(!fits(&gpu, Precision::D10, 153));
+        }
+    }
+
+    #[test]
+    fn limits_for_all_precisions() {
+        let gpu = &paper_gpus()[3];
+        // 48 KiB / (32 * m) coefficients per vector.
+        let expected = [
+            (Precision::D1, 1535),
+            (Precision::D2, 767),
+            (Precision::D3, 511),
+            (Precision::D4, 383),
+            (Precision::D5, 306),
+            (Precision::D8, 191),
+            (Precision::D10, 152),
+        ];
+        for (p, d) in expected {
+            assert_eq!(max_degree(gpu, p), d, "{p}");
+        }
+        // All degrees of the paper's sweep (<= 191) fit in octo double but
+        // degree 159 and 191 do not fit in deca double, which is why the
+        // paper's 10d rows stop at 152.
+        assert!(fits(gpu, Precision::D8, 191));
+        assert!(!fits(gpu, Precision::D10, 159));
+        assert!(!fits(gpu, Precision::D10, 191));
+    }
+
+    #[test]
+    fn complex_data_halves_the_degree() {
+        let gpu = &paper_gpus()[2];
+        for p in Precision::ALL {
+            let real = max_degree(gpu, p);
+            let cplx = max_degree_complex(gpu, p);
+            assert!(cplx <= real);
+            assert!(cplx + 1 >= (real + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn bytes_needed_is_consistent_with_max_degree() {
+        for m in [1usize, 2, 3, 4, 5, 8, 10] {
+            let d = max_degree_for(48 * 1024, m);
+            assert!(shared_bytes_needed(d, m) <= 48 * 1024);
+            assert!(shared_bytes_needed(d + 1, m) > 48 * 1024);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # psmd-device
+//!
+//! The device layer of the reproduction: the registry of the paper's five
+//! NVIDIA GPUs (Table 1), the shared-memory capacity model that limits the
+//! truncation degree per precision, and the analytic roofline/occupancy
+//! performance model that produces *modeled* per-device kernel times next to
+//! the *measured* CPU times of the simulator.
+//!
+//! See DESIGN.md ("Substitutions") for why the modeling approach preserves
+//! the shapes the paper's conclusions rest on.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod model;
+pub mod registry;
+
+pub use capacity::{fits, max_degree, max_degree_complex, shared_bytes_needed};
+pub use model::{model_evaluation, model_launch_ms, ModeledTimes, WorkloadShape};
+pub use registry::{gpu_by_key, paper_gpus, GpuSpec, SHARED_MEMORY_PER_BLOCK};

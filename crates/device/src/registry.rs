@@ -1,0 +1,191 @@
+//! The GPU registry: the five NVIDIA devices of the paper's Table 1.
+//!
+//! The reproduction does not require CUDA hardware; these specifications
+//! feed the analytic performance model ([`crate::model`]) that produces
+//! *modeled* kernel times for each device, next to the *measured* CPU times
+//! of the simulator.
+
+/// Characteristics of one GPU (one row of Table 1), plus the quantities the
+/// performance model needs (peak double-precision throughput and a measured
+/// efficiency factor for this workload class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name ("Tesla C2050", "Volta V100", ...).
+    pub name: &'static str,
+    /// Short identifier used on the command line ("c2050", "v100", ...).
+    pub key: &'static str,
+    /// CUDA compute capability.
+    pub cuda_capability: f32,
+    /// Number of streaming multiprocessors.
+    pub multiprocessors: usize,
+    /// CUDA cores per multiprocessor.
+    pub cores_per_mp: usize,
+    /// GPU clock in GHz.
+    pub ghz: f64,
+    /// Host CPU of the machine housing the card (Table 1).
+    pub host_cpu: &'static str,
+    /// Host CPU clock in GHz.
+    pub host_ghz: f64,
+    /// Theoretical peak double-precision throughput in GFLOPS.
+    pub peak_double_gflops: f64,
+    /// Fraction of the peak this workload class achieves (calibrated once
+    /// from the paper's Table 3, deca-double, degree 152; see EXPERIMENTS.md).
+    pub efficiency: f64,
+    /// Shared memory available to one thread block, in bytes.
+    pub shared_memory_per_block: usize,
+    /// Kernel launch overhead charged to the wall clock (index-vector
+    /// transfer plus driver latency), in milliseconds per launch.
+    pub launch_overhead_ms: f64,
+}
+
+impl GpuSpec {
+    /// Total number of CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.multiprocessors * self.cores_per_mp
+    }
+
+    /// Peak throughput of a single streaming multiprocessor in GFLOPS.
+    pub fn sm_gflops(&self) -> f64 {
+        self.peak_double_gflops / self.multiprocessors as f64
+    }
+
+    /// Effective (efficiency-scaled) throughput of one multiprocessor.
+    pub fn effective_sm_gflops(&self) -> f64 {
+        self.sm_gflops() * self.efficiency
+    }
+}
+
+/// Shared memory per block common to all five devices (the paper notes the
+/// limit "is the same on all five devices"): 48 KiB.
+pub const SHARED_MEMORY_PER_BLOCK: usize = 48 * 1024;
+
+/// The five GPUs of Table 1.
+///
+/// Peak double-precision rates: the paper quotes 4.7 TFLOPS for the P100 and
+/// 7.9 TFLOPS for the V100; the remaining peaks are the vendor figures for
+/// the other three cards.  The efficiency factors are calibrated from the
+/// paper's Table 3 (wall clock for p1, degree 152, deca-double) so that the
+/// model reproduces that table; all other tables and figures are then
+/// genuine predictions of the model.
+pub fn paper_gpus() -> Vec<GpuSpec> {
+    vec![
+        GpuSpec {
+            name: "Tesla C2050",
+            key: "c2050",
+            cuda_capability: 2.0,
+            multiprocessors: 14,
+            cores_per_mp: 32,
+            ghz: 1.15,
+            host_cpu: "Intel X5690",
+            host_ghz: 3.47,
+            peak_double_gflops: 515.0,
+            efficiency: 0.200,
+            shared_memory_per_block: SHARED_MEMORY_PER_BLOCK,
+            launch_overhead_ms: 0.40,
+        },
+        GpuSpec {
+            name: "Kepler K20C",
+            key: "k20c",
+            cuda_capability: 3.5,
+            multiprocessors: 13,
+            cores_per_mp: 192,
+            ghz: 0.71,
+            host_cpu: "Intel E5-2670",
+            host_ghz: 2.60,
+            peak_double_gflops: 1170.0,
+            efficiency: 0.101,
+            shared_memory_per_block: SHARED_MEMORY_PER_BLOCK,
+            launch_overhead_ms: 0.50,
+        },
+        GpuSpec {
+            name: "Pascal P100",
+            key: "p100",
+            cuda_capability: 6.0,
+            multiprocessors: 56,
+            cores_per_mp: 64,
+            ghz: 1.33,
+            host_cpu: "Intel E5-2699",
+            host_ghz: 2.20,
+            peak_double_gflops: 4700.0,
+            efficiency: 0.267,
+            shared_memory_per_block: SHARED_MEMORY_PER_BLOCK,
+            launch_overhead_ms: 0.35,
+        },
+        GpuSpec {
+            name: "Volta V100",
+            key: "v100",
+            cuda_capability: 7.0,
+            multiprocessors: 80,
+            cores_per_mp: 64,
+            ghz: 1.91,
+            host_cpu: "Intel W2123",
+            host_ghz: 3.60,
+            peak_double_gflops: 7900.0,
+            efficiency: 0.264,
+            shared_memory_per_block: SHARED_MEMORY_PER_BLOCK,
+            launch_overhead_ms: 0.35,
+        },
+        GpuSpec {
+            name: "GeForce RTX 2080",
+            key: "rtx2080",
+            cuda_capability: 7.5,
+            multiprocessors: 46,
+            cores_per_mp: 64,
+            ghz: 1.10,
+            host_cpu: "Intel i9-9880H",
+            host_ghz: 2.30,
+            peak_double_gflops: 314.0,
+            efficiency: 0.424,
+            shared_memory_per_block: SHARED_MEMORY_PER_BLOCK,
+            launch_overhead_ms: 0.55,
+        },
+    ]
+}
+
+/// Looks a device up by its short key (case insensitive).
+pub fn gpu_by_key(key: &str) -> Option<GpuSpec> {
+    let key = key.to_ascii_lowercase();
+    paper_gpus().into_iter().find(|g| g.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_1() {
+        let gpus = paper_gpus();
+        assert_eq!(gpus.len(), 5);
+        let core_counts: Vec<usize> = gpus.iter().map(|g| g.total_cores()).collect();
+        // Table 1: 448, 2496, 3584, 5120, 2944 cores.
+        assert_eq!(core_counts, vec![448, 2496, 3584, 5120, 2944]);
+        let v100 = gpu_by_key("v100").unwrap();
+        assert_eq!(v100.multiprocessors, 80);
+        assert_eq!(v100.cores_per_mp, 64);
+        assert!((v100.ghz - 1.91).abs() < 1e-12);
+        let p100 = gpu_by_key("p100").unwrap();
+        // The paper's expected V100/P100 speedup is the peak ratio 7.9/4.7.
+        let ratio = v100.peak_double_gflops / p100.peak_double_gflops;
+        assert!((ratio - 7.9 / 4.7).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(gpu_by_key("V100").is_some());
+        assert!(gpu_by_key("RTX2080").is_some());
+        assert!(gpu_by_key("a100").is_none());
+        for g in paper_gpus() {
+            assert_eq!(gpu_by_key(g.key).unwrap().name, g.name);
+        }
+    }
+
+    #[test]
+    fn efficiencies_and_peaks_are_physical() {
+        for g in paper_gpus() {
+            assert!(g.efficiency > 0.0 && g.efficiency <= 1.0, "{}", g.name);
+            assert!(g.peak_double_gflops > 100.0);
+            assert!(g.sm_gflops() > 0.0);
+            assert_eq!(g.shared_memory_per_block, 48 * 1024);
+        }
+    }
+}

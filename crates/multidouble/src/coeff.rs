@@ -1,0 +1,313 @@
+//! The coefficient abstraction used throughout the workspace.
+//!
+//! Power series, polynomials and the evaluation kernels are generic over the
+//! coefficient type: plain `f64`, any multiple-double [`Md<N>`], or complex
+//! numbers over either.  [`Coeff`] captures exactly the ring operations the
+//! kernels need (the paper's convolutions only add and multiply), plus a few
+//! conveniences for building test data and measuring errors.
+
+use crate::complex::Complex;
+use crate::md::Md;
+
+/// Ring operations required of a power-series coefficient.
+pub trait Coeff: Copy + Clone + PartialEq + core::fmt::Debug + Send + Sync + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embedding of a double.
+    fn from_f64(x: f64) -> Self;
+    /// Sum.
+    fn add(&self, other: &Self) -> Self;
+    /// Difference.
+    fn sub(&self, other: &Self) -> Self;
+    /// Product.
+    fn mul(&self, other: &Self) -> Self;
+    /// Negation.
+    fn neg(&self) -> Self;
+    /// True when the value is exactly zero.
+    fn is_zero(&self) -> bool;
+    /// An `f64` estimate of the magnitude, used for error reporting only.
+    fn magnitude(&self) -> f64;
+    /// The relative rounding unit of the underlying precision.
+    fn unit_roundoff() -> f64;
+    /// Number of doubles stored per coefficient (`N` for `Md<N>`, `2 N` for
+    /// complex); this drives the shared-memory capacity model of the device
+    /// crate.
+    fn doubles_per_value() -> usize;
+    /// In-place fused accumulate: `self += a * b`.  A default implementation
+    /// is provided; types may override it with a cheaper scheme.
+    #[inline]
+    fn mul_add_assign(&mut self, a: &Self, b: &Self) {
+        *self = self.add(&a.mul(b));
+    }
+}
+
+/// Additional operations available on real (totally ordered) coefficients.
+pub trait RealCoeff: Coeff + PartialOrd {
+    /// Division.
+    fn div(&self, other: &Self) -> Self;
+    /// Square root.
+    fn sqrt(&self) -> Self;
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// Nearest double.
+    fn to_f64(&self) -> f64;
+}
+
+impl Coeff for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    #[inline]
+    fn magnitude(&self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        f64::EPSILON * 0.5
+    }
+    #[inline]
+    fn doubles_per_value() -> usize {
+        1
+    }
+    #[inline]
+    fn mul_add_assign(&mut self, a: &Self, b: &Self) {
+        *self = a.mul_add(*b, *self);
+    }
+}
+
+impl RealCoeff for f64 {
+    #[inline]
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    #[inline]
+    fn sqrt(&self) -> Self {
+        f64::sqrt(*self)
+    }
+    #[inline]
+    fn abs(&self) -> Self {
+        f64::abs(*self)
+    }
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl<const N: usize> Coeff for Md<N> {
+    #[inline]
+    fn zero() -> Self {
+        Md::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Md::one()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Md::from_f64(x)
+    }
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        Md::add(self, other)
+    }
+    #[inline]
+    fn sub(&self, other: &Self) -> Self {
+        Md::sub(self, other)
+    }
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        Md::mul(self, other)
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        Md::neg(self)
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        Md::is_zero(self)
+    }
+    #[inline]
+    fn magnitude(&self) -> f64 {
+        Md::to_f64(&Md::abs(self))
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        Md::<N>::epsilon()
+    }
+    #[inline]
+    fn doubles_per_value() -> usize {
+        N
+    }
+}
+
+impl<const N: usize> RealCoeff for Md<N> {
+    #[inline]
+    fn div(&self, other: &Self) -> Self {
+        Md::div(self, other)
+    }
+    #[inline]
+    fn sqrt(&self) -> Self {
+        Md::sqrt(self)
+    }
+    #[inline]
+    fn abs(&self) -> Self {
+        Md::abs(self)
+    }
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        Md::to_f64(self)
+    }
+}
+
+impl<T: RealCoeff> Coeff for Complex<T> {
+    #[inline]
+    fn zero() -> Self {
+        Complex::new(T::zero(), T::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::new(T::one(), T::zero())
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Complex::new(T::from_f64(x), T::zero())
+    }
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        Complex::add(self, other)
+    }
+    #[inline]
+    fn sub(&self, other: &Self) -> Self {
+        Complex::sub(self, other)
+    }
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        Complex::mul(self, other)
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        Complex::neg(self)
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.re.is_zero() && self.im.is_zero()
+    }
+    #[inline]
+    fn magnitude(&self) -> f64 {
+        let re = self.re.magnitude();
+        let im = self.im.magnitude();
+        (re * re + im * im).sqrt()
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        T::unit_roundoff()
+    }
+    #[inline]
+    fn doubles_per_value() -> usize {
+        2 * T::doubles_per_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::{Dd, Qd};
+
+    fn ring_axioms<C: Coeff>(a: C, b: C, c: C, tol: f64) {
+        let close = |x: &C, y: &C| x.sub(y).magnitude() <= tol * (1.0 + x.magnitude());
+        // commutativity
+        assert!(close(&a.add(&b), &b.add(&a)));
+        assert!(close(&a.mul(&b), &b.mul(&a)));
+        // associativity (approximate for floating point)
+        assert!(close(&a.add(&b).add(&c), &a.add(&b.add(&c))));
+        assert!(close(&a.mul(&b).mul(&c), &a.mul(&b.mul(&c))));
+        // distributivity
+        assert!(close(&a.mul(&b.add(&c)), &a.mul(&b).add(&a.mul(&c))));
+        // identities
+        assert!(close(&a.add(&C::zero()), &a));
+        assert!(close(&a.mul(&C::one()), &a));
+        assert!(a.sub(&a).is_zero() || a.sub(&a).magnitude() <= tol);
+        assert!(close(&a.add(&a.neg()), &C::zero()));
+    }
+
+    #[test]
+    fn f64_satisfies_ring_axioms() {
+        ring_axioms(1.5f64, -2.25, 0.75, 1e-15);
+    }
+
+    #[test]
+    fn md_satisfies_ring_axioms() {
+        ring_axioms(
+            Qd::from_f64(1.5).add_f64(2f64.powi(-90)),
+            Qd::from_f64(-2.25),
+            Qd::one().div(&Qd::from_f64(3.0)),
+            1e-60,
+        );
+        ring_axioms(
+            Dd::from_f64(0.1),
+            Dd::from_f64(7.0),
+            Dd::from_f64(-0.3),
+            1e-30,
+        );
+    }
+
+    #[test]
+    fn complex_satisfies_ring_axioms() {
+        ring_axioms(
+            Complex::new(Qd::from_f64(1.5), Qd::from_f64(-0.5)),
+            Complex::new(Qd::from_f64(0.25), Qd::from_f64(2.0)),
+            Complex::new(Qd::from_f64(-1.0), Qd::from_f64(1.0 / 3.0)),
+            1e-60,
+        );
+    }
+
+    #[test]
+    fn doubles_per_value_reports_storage() {
+        assert_eq!(<f64 as Coeff>::doubles_per_value(), 1);
+        assert_eq!(<Qd as Coeff>::doubles_per_value(), 4);
+        assert_eq!(<Complex<Dd> as Coeff>::doubles_per_value(), 4);
+        assert_eq!(<Complex<Qd> as Coeff>::doubles_per_value(), 8);
+    }
+
+    #[test]
+    fn mul_add_assign_default_and_override() {
+        let mut x = 1.0f64;
+        Coeff::mul_add_assign(&mut x, &2.0, &3.0);
+        assert_eq!(x, 7.0);
+        let mut y = Qd::from_f64(1.0);
+        y.mul_add_assign(&Qd::from_f64(2.0), &Qd::from_f64(3.0));
+        assert_eq!(y.to_f64(), 7.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Complex numbers over real multiple-double coefficients.
+//!
+//! The paper stores real and imaginary parts in separate arrays for
+//! coalesced memory access; at the level of the scalar type this simply
+//! means a pair of real coefficients.  The series layer takes care of the
+//! structure-of-arrays storage.
+
+use crate::coeff::RealCoeff;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number `re + i*im` over a real coefficient type.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T: RealCoeff> Complex<T> {
+    /// Builds a complex number from its parts.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The purely real complex number `x + 0 i`.
+    #[inline]
+    pub fn from_real(re: T) -> Self {
+        Self::new(re, T::zero())
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub fn i() -> Self {
+        Self::new(T::zero(), T::one())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        Self::new(self.re, self.im.neg())
+    }
+
+    /// Squared modulus `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(&self) -> T {
+        self.re.mul(&self.re).add(&self.im.mul(&self.im))
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn modulus(&self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Sum.
+    #[inline]
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(self.re.add(&other.re), self.im.add(&other.im))
+    }
+
+    /// Difference.
+    #[inline]
+    pub fn sub(&self, other: &Self) -> Self {
+        Self::new(self.re.sub(&other.re), self.im.sub(&other.im))
+    }
+
+    /// Product.
+    #[inline]
+    pub fn mul(&self, other: &Self) -> Self {
+        Self::new(
+            self.re.mul(&other.re).sub(&self.im.mul(&other.im)),
+            self.re.mul(&other.im).add(&self.im.mul(&other.re)),
+        )
+    }
+
+    /// Negation.
+    #[inline]
+    pub fn neg(&self) -> Self {
+        Self::new(self.re.neg(), self.im.neg())
+    }
+
+    /// Quotient (Smith-free straightforward formula; the denominators used in
+    /// the paper's workloads are well scaled random points on the unit
+    /// circle, so no extra scaling is needed).
+    #[inline]
+    pub fn div(&self, other: &Self) -> Self {
+        let d = other.norm_sqr();
+        let num = self.mul(&other.conj());
+        Self::new(num.re.div(&d), num.im.div(&d))
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(&self, s: &T) -> Self {
+        Self::new(self.re.mul(s), self.im.mul(s))
+    }
+
+    /// Reciprocal.
+    #[inline]
+    pub fn recip(&self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re.div(&d), self.im.neg().div(&d))
+    }
+}
+
+macro_rules! complex_binop {
+    ($trait:ident, $method:ident) => {
+        impl<T: RealCoeff> $trait for Complex<T> {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: Complex<T>) -> Complex<T> {
+                Complex::$method(&self, &rhs)
+            }
+        }
+        impl<'a, 'b, T: RealCoeff> $trait<&'b Complex<T>> for &'a Complex<T> {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: &'b Complex<T>) -> Complex<T> {
+                Complex::$method(self, rhs)
+            }
+        }
+        impl<'b, T: RealCoeff> $trait<&'b Complex<T>> for Complex<T> {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: &'b Complex<T>) -> Complex<T> {
+                Complex::$method(&self, rhs)
+            }
+        }
+        impl<'a, T: RealCoeff> $trait<Complex<T>> for &'a Complex<T> {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: Complex<T>) -> Complex<T> {
+                Complex::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+complex_binop!(Add, add);
+complex_binop!(Sub, sub);
+complex_binop!(Mul, mul);
+complex_binop!(Div, div);
+
+impl<T: RealCoeff> Neg for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn neg(self) -> Complex<T> {
+        Complex::neg(&self)
+    }
+}
+
+/// Complex number over double-double reals.
+pub type ComplexDd = Complex<crate::md::Dd>;
+/// Complex number over quad-double reals.
+pub type ComplexQd = Complex<crate::md::Qd>;
+/// Complex number over deca-double reals.
+pub type ComplexDeca = Complex<crate::md::Deca>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::Qd;
+
+    type C = Complex<Qd>;
+
+    fn c(re: f64, im: f64) -> C {
+        C::new(Qd::from_f64(re), Qd::from_f64(im))
+    }
+
+    fn close(a: &C, b: &C, tol: f64) -> bool {
+        a.sub(b).modulus().to_f64() <= tol
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let m = C::i().mul(&C::i());
+        assert!(close(&m, &c(-1.0, 0.0), 1e-60));
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        // (1 + 2i)(3 - i) = 5 + 5i
+        let p = c(1.0, 2.0).mul(&c(3.0, -1.0));
+        assert!(close(&p, &c(5.0, 5.0), 1e-60));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(0.3, -1.7);
+        let b = c(-2.5, 0.75);
+        let q = a.mul(&b).div(&b);
+        assert!(close(&q, &a, 1e-55));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let a = c(3.0, 4.0);
+        assert_eq!(a.modulus().to_f64(), 5.0);
+        let p = a.mul(&a.conj());
+        assert!(close(&p, &c(25.0, 0.0), 1e-60));
+    }
+
+    #[test]
+    fn recip_times_self_is_one() {
+        let a = c(0.6, 0.8);
+        let p = a.mul(&a.recip());
+        assert!(close(&p, &c(1.0, 0.0), 1e-55));
+    }
+
+    #[test]
+    fn operator_forms() {
+        let a = c(1.0, 1.0);
+        let b = c(2.0, -3.0);
+        assert_eq!(a + b, a.add(&b));
+        assert_eq!(a - b, a.sub(&b));
+        assert_eq!(a * b, a.mul(&b));
+        assert_eq!(-a, a.neg());
+        assert!(close(&(a / b), &a.div(&b), 1e-55));
+    }
+}

@@ -1,0 +1,291 @@
+//! Decimal conversion: formatting a multiple-double to a decimal string with
+//! the full precision of its limbs, and parsing decimal strings back.
+//!
+//! The digit extraction follows the approach of the QD library: scale the
+//! value into `[1, 10)`, then repeatedly take the integer part and multiply
+//! the fraction by ten, performing every step in full multiple-double
+//! arithmetic so that all `53 N` bits contribute to the digits.
+
+use crate::md::Md;
+use core::fmt;
+use core::str::FromStr;
+
+/// Number of significant decimal digits carried by an `N`-fold double:
+/// `floor(53 N log10 2)`.
+pub fn decimal_digits(limbs: usize) -> usize {
+    ((53 * limbs) as f64 * std::f64::consts::LOG10_2).floor() as usize
+}
+
+impl<const N: usize> Md<N> {
+    /// Formats the value with `ndigits` significant decimal digits in
+    /// scientific notation.
+    pub fn to_decimal(&self, ndigits: usize) -> String {
+        let ndigits = ndigits.max(1);
+        if self.is_nan() {
+            return "NaN".to_string();
+        }
+        if self.is_infinite() {
+            return if self.hi() > 0.0 { "inf" } else { "-inf" }.to_string();
+        }
+        if self.is_zero() {
+            return "0.0e0".to_string();
+        }
+        let negative = self.signum_i32() < 0;
+        let a = self.abs();
+        let mut exp10 = a.hi().abs().log10().floor() as i32;
+        let ten = Md::<N>::from_f64(10.0);
+        let mut m = a.div(&ten.powi(exp10 as i64));
+        // Guard against off-by-one scaling from the double-precision log10.
+        let one = Md::<N>::one();
+        while m.cmp_md(&ten) != core::cmp::Ordering::Less {
+            m = m.div(&ten);
+            exp10 += 1;
+        }
+        while m.cmp_md(&one) == core::cmp::Ordering::Less {
+            m = m.mul(&ten);
+            exp10 -= 1;
+        }
+        let mut digits: Vec<u8> = Vec::with_capacity(ndigits);
+        for _ in 0..ndigits {
+            let d = m.floor().to_f64();
+            let d = d.clamp(0.0, 9.0) as u8;
+            digits.push(d);
+            m = m.sub(&Md::from_f64(d as f64)).mul(&ten);
+        }
+        // Round the last digit according to the remaining fraction.
+        if m.cmp_md(&Md::from_f64(5.0)) != core::cmp::Ordering::Less {
+            let mut i = ndigits;
+            loop {
+                if i == 0 {
+                    // Carry past the leading digit: 9.99... -> 1.00...
+                    digits.insert(0, 1);
+                    digits.pop();
+                    exp10 += 1;
+                    break;
+                }
+                i -= 1;
+                if digits[i] == 9 {
+                    digits[i] = 0;
+                } else {
+                    digits[i] += 1;
+                    break;
+                }
+            }
+        }
+        let mut s = String::with_capacity(ndigits + 8);
+        if negative {
+            s.push('-');
+        }
+        s.push((b'0' + digits[0]) as char);
+        s.push('.');
+        if ndigits == 1 {
+            s.push('0');
+        } else {
+            for &d in &digits[1..] {
+                s.push((b'0' + d) as char);
+            }
+        }
+        s.push('e');
+        s.push_str(&exp10.to_string());
+        s
+    }
+
+    /// Parses a decimal string (`[+-]digits[.digits][e[+-]digits]`).
+    pub fn parse_decimal(text: &str) -> Result<Self, ParseMdError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(ParseMdError::Empty);
+        }
+        match text {
+            "NaN" | "nan" => return Ok(Self::nan()),
+            "inf" | "+inf" => return Ok(Self::from_f64(f64::INFINITY)),
+            "-inf" => return Ok(Self::from_f64(f64::NEG_INFINITY)),
+            _ => {}
+        }
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let mut negative = false;
+        if bytes[pos] == b'+' || bytes[pos] == b'-' {
+            negative = bytes[pos] == b'-';
+            pos += 1;
+        }
+        let ten = Self::from_f64(10.0);
+        let mut acc = Self::ZERO;
+        let mut saw_digit = false;
+        let mut frac_digits: i64 = 0;
+        let mut in_fraction = false;
+        while pos < bytes.len() {
+            let b = bytes[pos];
+            match b {
+                b'0'..=b'9' => {
+                    acc = acc.mul(&ten).add_f64((b - b'0') as f64);
+                    saw_digit = true;
+                    if in_fraction {
+                        frac_digits += 1;
+                    }
+                    pos += 1;
+                }
+                b'.' if !in_fraction => {
+                    in_fraction = true;
+                    pos += 1;
+                }
+                b'e' | b'E' => break,
+                b'_' => pos += 1,
+                _ => return Err(ParseMdError::InvalidCharacter(b as char)),
+            }
+        }
+        if !saw_digit {
+            return Err(ParseMdError::NoDigits);
+        }
+        let mut exp10: i64 = 0;
+        if pos < bytes.len() && (bytes[pos] == b'e' || bytes[pos] == b'E') {
+            let exp_str = &text[pos + 1..];
+            exp10 = exp_str
+                .parse::<i64>()
+                .map_err(|_| ParseMdError::InvalidExponent)?;
+        }
+        let shift = exp10 - frac_digits;
+        let mut value = if shift != 0 {
+            acc.mul(&ten.powi(shift))
+        } else {
+            acc
+        };
+        if negative {
+            value = value.neg();
+        }
+        Ok(value)
+    }
+}
+
+/// Errors produced when parsing a decimal string into a multiple-double.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMdError {
+    /// The input was empty.
+    Empty,
+    /// The input contained no digits.
+    NoDigits,
+    /// An unexpected character was found.
+    InvalidCharacter(char),
+    /// The exponent was not a valid integer.
+    InvalidExponent,
+}
+
+impl fmt::Display for ParseMdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMdError::Empty => write!(f, "empty string"),
+            ParseMdError::NoDigits => write!(f, "no digits in input"),
+            ParseMdError::InvalidCharacter(c) => write!(f, "invalid character {c:?}"),
+            ParseMdError::InvalidExponent => write!(f, "invalid exponent"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMdError {}
+
+impl<const N: usize> fmt::Display for Md<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = f.precision().unwrap_or_else(|| decimal_digits(N));
+        write!(f, "{}", self.to_decimal(digits))
+    }
+}
+
+impl<const N: usize> FromStr for Md<N> {
+    type Err = ParseMdError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::{Dd, Deca, Qd};
+
+    #[test]
+    fn decimal_digit_counts() {
+        assert_eq!(decimal_digits(1), 15);
+        assert_eq!(decimal_digits(2), 31);
+        assert_eq!(decimal_digits(4), 63);
+        assert_eq!(decimal_digits(10), 159);
+    }
+
+    #[test]
+    fn formats_small_integers_exactly() {
+        assert_eq!(Qd::from_f64(1.0).to_decimal(5), "1.0000e0");
+        assert_eq!(Qd::from_f64(-42.0).to_decimal(4), "-4.200e1");
+        assert_eq!(Qd::ZERO.to_decimal(5), "0.0e0");
+        assert_eq!(Qd::from_f64(0.125).to_decimal(4), "1.250e-1");
+    }
+
+    #[test]
+    fn formats_one_third_with_many_digits() {
+        let third = Deca::one().div(&Deca::from_f64(3.0));
+        let s = third.to_decimal(40);
+        assert_eq!(s, format!("3.{}e-1", "3".repeat(39)));
+    }
+
+    #[test]
+    fn rounding_carries_through_nines() {
+        // 0.9999999 formatted with 3 digits must round to 1.00e0.
+        let x = Qd::from_f64(0.9999999);
+        assert_eq!(x.to_decimal(3), "1.00e0");
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(Qd::nan().to_decimal(5), "NaN");
+        assert_eq!(Qd::from_f64(f64::INFINITY).to_decimal(5), "inf");
+        assert_eq!(Qd::from_f64(f64::NEG_INFINITY).to_decimal(5), "-inf");
+    }
+
+    #[test]
+    fn parse_round_trips_through_format() {
+        let cases = ["1.5e0", "-2.25e3", "3.333333333333333333333333333e-1", "0.125"];
+        for c in &cases {
+            let x: Qd = c.parse().unwrap();
+            let formatted = x.to_decimal(40);
+            let y: Qd = formatted.parse().unwrap();
+            assert!(
+                x.sub(&y).abs().to_f64() <= 1e-35 * (1.0 + x.abs().to_f64()),
+                "case {c}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_beyond_double_precision() {
+        // 100 threes: the value differs from the double-precision parse.
+        let text = format!("0.{}", "3".repeat(100));
+        let x: Deca = text.parse().unwrap();
+        let third = Deca::one().div(&Deca::from_f64(3.0));
+        // Difference between 0.33..3 (100 digits) and 1/3 is about 3.3e-101.
+        let diff = x.sub(&third).abs();
+        assert!(diff.to_f64() < 1e-100);
+        assert!(diff.to_f64() > 1e-102);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Qd::parse_decimal("").is_err());
+        assert!(Qd::parse_decimal("abc").is_err());
+        assert!(Qd::parse_decimal("1.5e+x").is_err());
+        assert!(Qd::parse_decimal("-").is_err());
+    }
+
+    #[test]
+    fn display_uses_full_precision_by_default() {
+        let x = Dd::one().div(&Dd::from_f64(7.0));
+        let s = format!("{x}");
+        // 31 significant digits for double-double.
+        let mantissa: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+        assert!(mantissa.len() >= 31);
+        assert!(s.starts_with("1.4285714285714285714285714285"));
+    }
+
+    #[test]
+    fn display_respects_precision_flag() {
+        let x = Qd::from_f64(2.0).sqrt();
+        assert_eq!(format!("{x:.5}"), "1.4142e0");
+    }
+}

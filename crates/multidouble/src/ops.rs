@@ -1,0 +1,231 @@
+//! Operator overloads and ordering for [`Md<N>`].
+//!
+//! All operators delegate to the inherent methods of [`Md`]; both value and
+//! reference receivers are provided so that expression-heavy numerical code
+//! does not have to sprinkle explicit clones or borrows.
+
+use crate::md::Md;
+use core::cmp::Ordering;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl<const N: usize> $trait for Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: Md<N>) -> Md<N> {
+                Md::$inner(&self, &rhs)
+            }
+        }
+        impl<'a, const N: usize> $trait<&'a Md<N>> for Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: &'a Md<N>) -> Md<N> {
+                Md::$inner(&self, rhs)
+            }
+        }
+        impl<'a, const N: usize> $trait<Md<N>> for &'a Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: Md<N>) -> Md<N> {
+                Md::$inner(self, &rhs)
+            }
+        }
+        impl<'a, 'b, const N: usize> $trait<&'b Md<N>> for &'a Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: &'b Md<N>) -> Md<N> {
+                Md::$inner(self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add);
+forward_binop!(Sub, sub, sub);
+forward_binop!(Mul, mul, mul);
+forward_binop!(Div, div, div);
+
+macro_rules! forward_f64_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl<const N: usize> $trait<f64> for Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: f64) -> Md<N> {
+                Md::$inner(&self, rhs)
+            }
+        }
+        impl<'a, const N: usize> $trait<f64> for &'a Md<N> {
+            type Output = Md<N>;
+            #[inline]
+            fn $method(self, rhs: f64) -> Md<N> {
+                Md::$inner(self, rhs)
+            }
+        }
+    };
+}
+
+forward_f64_binop!(Add, add, add_f64);
+forward_f64_binop!(Sub, sub, sub_f64);
+forward_f64_binop!(Mul, mul, mul_f64);
+forward_f64_binop!(Div, div, div_f64);
+
+impl<const N: usize> Neg for Md<N> {
+    type Output = Md<N>;
+    #[inline]
+    fn neg(self) -> Md<N> {
+        Md::neg(&self)
+    }
+}
+
+impl<'a, const N: usize> Neg for &'a Md<N> {
+    type Output = Md<N>;
+    #[inline]
+    fn neg(self) -> Md<N> {
+        Md::neg(self)
+    }
+}
+
+impl<const N: usize> AddAssign for Md<N> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Md<N>) {
+        *self = Md::add(self, &rhs);
+    }
+}
+
+impl<const N: usize> SubAssign for Md<N> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Md<N>) {
+        *self = Md::sub(self, &rhs);
+    }
+}
+
+impl<const N: usize> MulAssign for Md<N> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Md<N>) {
+        *self = Md::mul(self, &rhs);
+    }
+}
+
+impl<const N: usize> DivAssign for Md<N> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Md<N>) {
+        *self = Md::div(self, &rhs);
+    }
+}
+
+impl<const N: usize> PartialOrd for Md<N> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        Some(self.cmp_md(other))
+    }
+}
+
+impl<const N: usize> PartialEq<f64> for Md<N> {
+    #[inline]
+    fn eq(&self, other: &f64) -> bool {
+        self.cmp_md(&Md::from_f64(*other)) == Ordering::Equal
+    }
+}
+
+impl<const N: usize> From<f64> for Md<N> {
+    #[inline]
+    fn from(x: f64) -> Self {
+        Md::from_f64(x)
+    }
+}
+
+impl<const N: usize> From<i64> for Md<N> {
+    #[inline]
+    fn from(x: i64) -> Self {
+        Md::from_i64(x)
+    }
+}
+
+impl<const N: usize> From<i32> for Md<N> {
+    #[inline]
+    fn from(x: i32) -> Self {
+        Md::from_i64(x as i64)
+    }
+}
+
+impl<const N: usize> Sum for Md<N> {
+    fn sum<I: Iterator<Item = Md<N>>>(iter: I) -> Md<N> {
+        iter.fold(Md::ZERO, |acc, x| acc.add(&x))
+    }
+}
+
+impl<'a, const N: usize> Sum<&'a Md<N>> for Md<N> {
+    fn sum<I: Iterator<Item = &'a Md<N>>>(iter: I) -> Md<N> {
+        iter.fold(Md::ZERO, |acc, x| acc.add(x))
+    }
+}
+
+impl<const N: usize> Product for Md<N> {
+    fn product<I: Iterator<Item = Md<N>>>(iter: I) -> Md<N> {
+        iter.fold(Md::one(), |acc, x| acc.mul(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::md::{Dd, Qd};
+
+    #[test]
+    fn operator_forms_agree_with_methods() {
+        let a = Qd::from_f64(1.25) + Qd::from_f64(2f64.powi(-80));
+        let b = Qd::from_f64(0.75);
+        assert_eq!(a + b, a.add(&b));
+        assert_eq!(&a - &b, a.sub(&b));
+        assert_eq!(a * b, a.mul(&b));
+        assert_eq!(a / b, a.div(&b));
+        assert_eq!(-a, a.neg());
+        assert_eq!(a + 2.0, a.add_f64(2.0));
+        assert_eq!(a * 2.0, a.mul_f64(2.0));
+    }
+
+    #[test]
+    fn assignment_operators() {
+        let mut x = Dd::from_f64(2.0);
+        x += Dd::from_f64(3.0);
+        assert_eq!(x.to_f64(), 5.0);
+        x *= Dd::from_f64(2.0);
+        assert_eq!(x.to_f64(), 10.0);
+        x -= Dd::from_f64(4.0);
+        assert_eq!(x.to_f64(), 6.0);
+        x /= Dd::from_f64(3.0);
+        assert_eq!(x.to_f64(), 2.0);
+    }
+
+    #[test]
+    fn ordering_and_nan() {
+        let a = Qd::from_f64(1.0);
+        let b = Qd::from_f64(1.0) + Qd::from_f64(2f64.powi(-100));
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a <= a);
+        assert!(Qd::nan().partial_cmp(&a).is_none());
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let xs = [1.0, 2.0, 3.0, 4.0].map(Qd::from_f64);
+        let s: Qd = xs.iter().sum();
+        assert_eq!(s.to_f64(), 10.0);
+        let p: Qd = xs.into_iter().product();
+        assert_eq!(p.to_f64(), 24.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let x: Qd = 3.5f64.into();
+        assert_eq!(x.to_f64(), 3.5);
+        let y: Qd = 7i32.into();
+        assert_eq!(y.to_f64(), 7.0);
+        assert!(x == 3.5);
+    }
+}

@@ -1,0 +1,22 @@
+//! # psmd-runtime
+//!
+//! The CUDA-like execution substrate of the reproduction: a persistent CPU
+//! worker pool onto which "kernels" are launched as grids of blocks
+//! ([`WorkerPool::launch_grid`]), kernel event timers mirroring
+//! `cudaEventElapsedTime` ([`KernelTimings`]) and the shared flat data array
+//! the jobs operate on ([`SharedArray`]).
+//!
+//! The paper's experiments run on five NVIDIA GPUs; this crate replaces the
+//! CUDA runtime while preserving its execution model (one block per job,
+//! blocks executed in parallel, one kernel launch per layer of jobs), so the
+//! algorithmic layer above is the same code path the paper describes.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod shared;
+pub mod timer;
+
+pub use pool::{global_pool, WorkerPool};
+pub use shared::SharedArray;
+pub use timer::{duration_ms, KernelKind, KernelTimings, Stopwatch};

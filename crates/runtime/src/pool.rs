@@ -1,0 +1,292 @@
+//! A persistent worker pool executing "grids of blocks" on CPU threads.
+//!
+//! The paper launches CUDA kernels with one thread block per job; this pool
+//! is the CPU stand-in for that execution model.  A launch hands the pool a
+//! closure and a number of blocks; worker threads repeatedly claim block
+//! indices from a shared atomic counter and run the closure for each claimed
+//! block, so blocks execute in parallel across the machine's cores exactly
+//! like blocks execute in parallel across streaming multiprocessors.
+//!
+//! The launching thread participates in the work, so a pool of `T` workers
+//! provides `T + 1`-way parallelism and a launch never deadlocks even if the
+//! pool has zero worker threads.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// State shared between the launcher and the workers for one grid launch.
+struct LaunchState {
+    /// The per-block body.
+    body: Box<dyn Fn(usize) + Send + Sync>,
+    /// Next block index to claim.
+    next_block: AtomicUsize,
+    /// Total number of blocks in the grid.
+    blocks: usize,
+    /// Number of workers that have not yet drained the counter.
+    pending_workers: AtomicUsize,
+    /// Set when any block body panicked.
+    poisoned: AtomicBool,
+    /// Completion signalling.
+    done_lock: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl LaunchState {
+    /// Claims and runs blocks until the counter is exhausted.
+    fn drain(&self) {
+        loop {
+            let b = self.next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= self.blocks {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.body)(b)));
+            if result.is_err() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Marks one worker as finished; the last one signals the launcher.
+    fn finish_worker(&self) {
+        if self.pending_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done_lock.lock();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A persistent pool of worker threads executing grid launches.
+pub struct WorkerPool {
+    sender: Sender<Arc<LaunchState>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` worker threads (the launching thread
+    /// always helps, so `threads == 0` degenerates to sequential execution).
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver): (Sender<Arc<LaunchState>>, Receiver<Arc<LaunchState>>) =
+            unbounded();
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("psmd-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(state) = rx.recv() {
+                        state.drain();
+                        state.finish_worker();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
+        }
+        Self {
+            sender,
+            workers,
+            threads,
+        }
+    }
+
+    /// Creates a pool sized to the available hardware parallelism.
+    pub fn with_default_parallelism() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(cores.saturating_sub(1))
+    }
+
+    /// Number of worker threads (excluding the launching thread).
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total parallel lanes used by a launch (workers plus the launcher).
+    pub fn parallelism(&self) -> usize {
+        self.threads + 1
+    }
+
+    /// Executes `body` once for every block index in `0..blocks`, returning
+    /// when all blocks have completed.
+    ///
+    /// Panics if any block body panicked.
+    pub fn launch_grid<F>(&self, blocks: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if blocks == 0 {
+            return;
+        }
+        // Small grids are not worth waking the pool for.
+        if self.threads == 0 || blocks == 1 {
+            for b in 0..blocks {
+                body(b);
+            }
+            return;
+        }
+        // The body only needs to live for the duration of this call: workers
+        // are joined (via the condition variable) before we return, so it is
+        // sound to erase the lifetime.  This mirrors what scoped thread pools
+        // do internally.
+        let body_static: Box<dyn Fn(usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + '_>, _>(Box::new(body))
+        };
+        let participants = self.threads + 1;
+        let state = Arc::new(LaunchState {
+            body: body_static,
+            next_block: AtomicUsize::new(0),
+            blocks,
+            pending_workers: AtomicUsize::new(participants),
+            poisoned: AtomicBool::new(false),
+            done_lock: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        for _ in 0..self.threads {
+            self.sender
+                .send(Arc::clone(&state))
+                .expect("worker channel closed");
+        }
+        // The launcher participates too.
+        state.drain();
+        state.finish_worker();
+        // Wait for every participant to finish before returning (and before
+        // `body` is dropped).
+        {
+            let mut done = state.done_lock.lock();
+            while !*done {
+                state.done_cv.wait(&mut done);
+            }
+        }
+        if state.poisoned.load(Ordering::Acquire) {
+            panic!("a block of the grid launch panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel terminates the workers.
+        let (dummy_tx, _) = unbounded();
+        let old = std::mem::replace(&mut self.sender, dummy_tx);
+        drop(old);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide default pool, sized to the hardware parallelism.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::with_default_parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_block_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let blocks = 1000;
+        let hits: Vec<AtomicUsize> = (0..blocks).map(|_| AtomicUsize::new(0)).collect();
+        pool.launch_grid(blocks, |b| {
+            hits[b].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_block_grids() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.launch_grid(0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        pool.launch_grid(1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sequential_pool_still_executes() {
+        let pool = WorkerPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.launch_grid(100, |b| {
+            sum.fetch_add(b as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn results_match_sequential_reference() {
+        let pool = WorkerPool::new(4);
+        let n = 4096;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.launch_grid(n, |b| {
+            // A small amount of per-block work with a data-dependent result.
+            let mut acc = b as u64;
+            for i in 0..50u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            out[b].store(acc, Ordering::Relaxed);
+        });
+        for (b, slot) in out.iter().enumerate() {
+            let mut acc = b as u64;
+            for i in 0..50u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            assert_eq!(slot.load(Ordering::Relaxed), acc);
+        }
+    }
+
+    #[test]
+    fn panics_inside_blocks_are_propagated() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.launch_grid(16, |b| {
+                if b == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.launch_grid(8, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_parallel() {
+        let p1 = global_pool();
+        let p2 = global_pool();
+        assert!(std::ptr::eq(p1, p2));
+        assert!(p1.parallelism() >= 1);
+    }
+
+    #[test]
+    fn launches_can_be_nested_sequentially() {
+        // Launch-from-within-launch is not supported in CUDA either; what we
+        // check is that back-to-back launches on the same pool reuse workers.
+        let pool = WorkerPool::new(2);
+        for round in 0..20 {
+            let counter = AtomicUsize::new(0);
+            pool.launch_grid(round + 1, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), round + 1);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Slice-level convolution and addition kernels for truncated power series.
+//!
+//! These functions are the CPU equivalents of the paper's device kernels
+//! (Section 2): one *convolution job* multiplies two series truncated at
+//! degree `d` and one *addition job* updates one series with another.  The
+//! evaluation engine of `psmd-core` calls them on ranges of the flat data
+//! array; they are also usable directly on standalone coefficient slices.
+
+use psmd_multidouble::Coeff;
+
+/// Sequential convolution, the direct application of the coefficient formula
+/// `z_k = sum_{i=0..k} x_i * y_{k-i}` (Equation (1) of the paper).
+///
+/// All three slices must have the same length `d + 1`.
+pub fn convolve_seq<C: Coeff>(x: &[C], y: &[C], z: &mut [C]) {
+    let n = z.len();
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), n);
+    for k in 0..n {
+        let mut acc = C::zero();
+        for i in 0..=k {
+            acc.mul_add_assign(&x[i], &y[k - i]);
+        }
+        z[k] = acc;
+    }
+}
+
+/// Data-parallel convolution with zero insertion, mirroring the paper's
+/// kernel pseudo-code.
+///
+/// Thread `k` of the block loads `x_k` into shared memory `X`, zeroes
+/// `Y_k`, loads `y_k` into `Y_{d+k}`, and then performs exactly `d + 1`
+/// products `X_i * Y_{d+k-i}`, so every thread executes the same number of
+/// operations (no thread divergence).  On the CPU the "threads" of the block
+/// run as a sequential loop, which models the lock-step execution of a warp;
+/// the parallelism across blocks is provided by the worker pool.
+///
+/// `scratch` provides the shared-memory staging area and must hold at least
+/// `4 * (d + 1)` coefficients (the `X`, `Z` and double-length `Y` vectors of
+/// the paper); this mirrors the shared-memory capacity constraint that limits
+/// the maximal degree on the real device.
+pub fn convolve_zero_insertion<C: Coeff>(x: &[C], y: &[C], z: &mut [C], scratch: &mut [C]) {
+    let n = z.len();
+    let d = n - 1;
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), n);
+    debug_assert!(scratch.len() >= 4 * n, "shared memory scratch too small");
+    let (xs, rest) = scratch.split_at_mut(n);
+    let (ys, zs) = rest.split_at_mut(2 * n);
+    // Stage 1: every thread k loads its coefficients into "shared memory",
+    // inserting zeroes before the second operand.  The two assignments to
+    // `Y` are separate lock-step statements in the paper's kernel (all
+    // threads zero their slot before any thread stores `y_k` at `d + k`),
+    // hence two separate loops here.
+    for k in 0..n {
+        xs[k] = x[k];
+        ys[k] = C::zero();
+    }
+    for k in 0..n {
+        ys[d + k] = y[k];
+    }
+    // Stage 2: d + 1 identical multiply-add steps per thread.
+    for k in 0..n {
+        let mut acc = C::zero();
+        for i in 0..n {
+            // Y index d + k - i + 1 - 1 = d + k - i; with the zero padding the
+            // out-of-range products contribute exactly zero.
+            acc.mul_add_assign(&xs[i], &ys[d + k - i]);
+        }
+        zs[k] = acc;
+    }
+    // Stage 3: write back to global memory.
+    z[..n].copy_from_slice(&zs[..n]);
+}
+
+/// In-place addition job: `acc_k += inc_k` for every coefficient.
+///
+/// In the paper one block with `d + 1` threads performs this update in a
+/// single step; here it is a plain vectorizable loop.
+pub fn add_assign_slices<C: Coeff>(acc: &mut [C], inc: &[C]) {
+    debug_assert_eq!(acc.len(), inc.len());
+    for (a, b) in acc.iter_mut().zip(inc.iter()) {
+        *a = a.add(b);
+    }
+}
+
+/// Convolution that accumulates into the output (`z += x * y`), used by the
+/// naive (baseline) evaluator.
+pub fn convolve_accumulate<C: Coeff>(x: &[C], y: &[C], z: &mut [C]) {
+    let n = z.len();
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), n);
+    for k in 0..n {
+        let mut acc = z[k];
+        for i in 0..=k {
+            acc.mul_add_assign(&x[i], &y[k - i]);
+        }
+        z[k] = acc;
+    }
+}
+
+/// Number of coefficient multiplications performed by one convolution job at
+/// degree `d` (the paper counts `(d+1)^2` with zero insertion).
+pub fn convolution_mults(degree: usize) -> usize {
+    (degree + 1) * (degree + 1)
+}
+
+/// Number of coefficient additions performed by one convolution job at
+/// degree `d` (the paper counts `d (d+1)`).
+pub fn convolution_adds(degree: usize) -> usize {
+    degree * (degree + 1)
+}
+
+/// Number of coefficient additions performed by one addition job at degree
+/// `d` (`d + 1`).
+pub fn addition_adds(degree: usize) -> usize {
+    degree + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::{Dd, Md, Qd};
+
+    fn qd(x: f64) -> Qd {
+        Qd::from_f64(x)
+    }
+
+    #[test]
+    fn sequential_convolution_of_known_series() {
+        // (1 + t)^2 = 1 + 2t + t^2
+        let x = vec![qd(1.0), qd(1.0), qd(0.0)];
+        let y = x.clone();
+        let mut z = vec![Qd::ZERO; 3];
+        convolve_seq(&x, &y, &mut z);
+        assert_eq!(z[0].to_f64(), 1.0);
+        assert_eq!(z[1].to_f64(), 2.0);
+        assert_eq!(z[2].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn zero_insertion_matches_sequential_for_random_data() {
+        use psmd_multidouble::RandomCoeff;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for d in [0usize, 1, 2, 7, 31] {
+            let n = d + 1;
+            let x: Vec<Dd> = (0..n).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+            let y: Vec<Dd> = (0..n).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+            let mut z1 = vec![Dd::ZERO; n];
+            let mut z2 = vec![Dd::ZERO; n];
+            let mut scratch = vec![Dd::ZERO; 4 * n];
+            convolve_seq(&x, &y, &mut z1);
+            convolve_zero_insertion(&x, &y, &mut z2, &mut scratch);
+            for k in 0..n {
+                let err = z1[k].sub(&z2[k]).abs().to_f64();
+                // Both orderings accumulate the same products; tiny rounding
+                // differences from the different summation order are allowed.
+                assert!(err <= 1e-28 * (1.0 + z1[k].abs().to_f64()), "k={k} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_insertion_supports_in_place_update_of_an_operand() {
+        // The scratch staging means x or y may alias z's storage logically:
+        // we emulate by passing copies, computing, and overwriting.
+        let x = vec![qd(2.0), qd(1.0)];
+        let y = vec![qd(3.0), qd(-1.0)];
+        let mut z = x.clone();
+        let mut scratch = vec![Qd::ZERO; 8];
+        let xc = x.clone();
+        convolve_zero_insertion(&xc, &y, &mut z, &mut scratch);
+        // (2 + t)(3 - t) = 6 + t - t^2, truncated at degree 1: [6, 1]
+        assert_eq!(z[0].to_f64(), 6.0);
+        assert_eq!(z[1].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn addition_job_updates_in_place() {
+        let mut acc = vec![qd(1.0), qd(2.0), qd(3.0)];
+        let inc = vec![qd(0.5), qd(-2.0), qd(10.0)];
+        add_assign_slices(&mut acc, &inc);
+        assert_eq!(acc[0].to_f64(), 1.5);
+        assert_eq!(acc[1].to_f64(), 0.0);
+        assert_eq!(acc[2].to_f64(), 13.0);
+    }
+
+    #[test]
+    fn accumulate_convolution_adds_on_top() {
+        let x = vec![qd(1.0), qd(1.0)];
+        let y = vec![qd(1.0), qd(1.0)];
+        let mut z = vec![qd(10.0), qd(20.0)];
+        convolve_accumulate(&x, &y, &mut z);
+        assert_eq!(z[0].to_f64(), 11.0);
+        assert_eq!(z[1].to_f64(), 22.0);
+    }
+
+    #[test]
+    fn operation_counts_match_paper_formulas() {
+        // Degree 152: the paper's Section 6.2 counts (d+1)^2 = 23409
+        // multiplications and d(d+1) = 23256 additions per convolution.
+        assert_eq!(convolution_mults(152), 23_409);
+        assert_eq!(convolution_adds(152), 23_256);
+        assert_eq!(addition_adds(152), 153);
+        assert_eq!(convolution_mults(0), 1);
+        assert_eq!(convolution_adds(0), 0);
+    }
+
+    #[test]
+    fn degree_zero_convolution_is_scalar_product() {
+        let x = [Md::<3>::from_f64(4.0)];
+        let y = [Md::<3>::from_f64(2.5)];
+        let mut z = [Md::<3>::ZERO];
+        convolve_seq(&x, &y, &mut z);
+        assert_eq!(z[0].to_f64(), 10.0);
+        let mut scratch = vec![Md::<3>::ZERO; 4];
+        let mut z2 = [Md::<3>::ZERO];
+        convolve_zero_insertion(&x, &y, &mut z2, &mut scratch);
+        assert_eq!(z2[0].to_f64(), 10.0);
+    }
+}

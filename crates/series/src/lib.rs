@@ -1,0 +1,22 @@
+//! # psmd-series
+//!
+//! Truncated power series arithmetic: the data the paper's kernels operate
+//! on.  A power series truncated at degree `d` is a vector of `d + 1`
+//! coefficients; the two operations the paper parallelizes are the
+//! *convolution* (series product) and the coefficient-wise *addition*.
+//!
+//! The crate provides both an owned, ergonomic [`Series`] type and the
+//! slice-level kernels ([`convolution`]) that the evaluation engine of
+//! `psmd-core` runs on ranges of its flat data array, including the
+//! zero-insertion data-parallel convolution of Section 2 of the paper.
+
+#![warn(missing_docs)]
+
+pub mod convolution;
+pub mod series;
+
+pub use convolution::{
+    add_assign_slices, addition_adds, convolution_adds, convolution_mults, convolve_accumulate,
+    convolve_seq, convolve_zero_insertion,
+};
+pub use series::Series;

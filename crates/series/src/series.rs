@@ -1,0 +1,404 @@
+//! Truncated power series over an arbitrary coefficient ring.
+//!
+//! A [`Series`] holds the `d + 1` coefficients of a power series truncated
+//! at degree `d`.  The paper's kernels work directly on coefficient slices
+//! (see [`crate::convolution`]); this type is the ergonomic, owned view used
+//! by the public API, the examples and the tests.
+
+use crate::convolution::{add_assign_slices, convolve_seq};
+use psmd_multidouble::{Coeff, RealCoeff};
+
+/// A power series truncated at a fixed degree.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Series<C> {
+    coeffs: Vec<C>,
+}
+
+impl<C: Coeff> Series<C> {
+    /// The zero series truncated at `degree`.
+    pub fn zero(degree: usize) -> Self {
+        Self {
+            coeffs: vec![C::zero(); degree + 1],
+        }
+    }
+
+    /// The constant series `c + 0 t + ... + 0 t^degree`.
+    pub fn constant(c: C, degree: usize) -> Self {
+        let mut s = Self::zero(degree);
+        s.coeffs[0] = c;
+        s
+    }
+
+    /// The series `1`.
+    pub fn one(degree: usize) -> Self {
+        Self::constant(C::one(), degree)
+    }
+
+    /// The identity series `t` (zero if the truncation degree is 0).
+    pub fn variable(degree: usize) -> Self {
+        let mut s = Self::zero(degree);
+        if degree >= 1 {
+            s.coeffs[1] = C::one();
+        }
+        s
+    }
+
+    /// Builds a series from its coefficients (`coeffs[k]` is the coefficient
+    /// of `t^k`).  The truncation degree is `coeffs.len() - 1`.
+    pub fn from_coeffs(coeffs: Vec<C>) -> Self {
+        assert!(!coeffs.is_empty(), "a series needs at least one coefficient");
+        Self { coeffs }
+    }
+
+    /// Builds a series from doubles.
+    pub fn from_f64_coeffs(coeffs: &[f64]) -> Self {
+        Self::from_coeffs(coeffs.iter().map(|&x| C::from_f64(x)).collect())
+    }
+
+    /// Truncation degree `d`.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The coefficients, lowest order first.
+    pub fn coeffs(&self) -> &[C] {
+        &self.coeffs
+    }
+
+    /// Mutable access to the coefficients.
+    pub fn coeffs_mut(&mut self) -> &mut [C] {
+        &mut self.coeffs
+    }
+
+    /// The coefficient of `t^k` (zero beyond the truncation degree).
+    pub fn coeff(&self, k: usize) -> C {
+        self.coeffs.get(k).copied().unwrap_or_else(C::zero)
+    }
+
+    /// Sets the coefficient of `t^k`.
+    pub fn set_coeff(&mut self, k: usize, value: C) {
+        self.coeffs[k] = value;
+    }
+
+    /// True when every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_zero())
+    }
+
+    /// Returns a copy truncated (or zero-extended) to a new degree.
+    pub fn truncated(&self, degree: usize) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        for k in 0..=degree {
+            coeffs.push(self.coeff(k));
+        }
+        Self { coeffs }
+    }
+
+    /// Sum of two series (must share the truncation degree).
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        let mut out = self.clone();
+        add_assign_slices(&mut out.coeffs, &other.coeffs);
+        out
+    }
+
+    /// In-place sum.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        add_assign_slices(&mut self.coeffs, &other.coeffs);
+    }
+
+    /// Difference of two series.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.coeffs.iter_mut().zip(other.coeffs.iter()) {
+            *a = a.sub(b);
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            coeffs: self.coeffs.iter().map(|c| c.neg()).collect(),
+        }
+    }
+
+    /// Product of two series truncated at the common degree (a convolution).
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        let mut out = Self::zero(self.degree());
+        convolve_seq(&self.coeffs, &other.coeffs, &mut out.coeffs);
+        out
+    }
+
+    /// Product with a scalar.
+    pub fn scale(&self, s: &C) -> Self {
+        Self {
+            coeffs: self.coeffs.iter().map(|c| c.mul(s)).collect(),
+        }
+    }
+
+    /// Formal derivative with respect to the series variable `t`, truncated
+    /// at the same degree (the top coefficient becomes zero).
+    pub fn derivative(&self) -> Self {
+        let d = self.degree();
+        let mut out = Self::zero(d);
+        for k in 1..=d {
+            let factor = C::from_f64(k as f64);
+            out.coeffs[k - 1] = self.coeffs[k].mul(&factor);
+        }
+        out
+    }
+
+    /// Evaluates the truncated series at a point by Horner's scheme.
+    pub fn evaluate(&self, t: &C) -> C {
+        let mut acc = C::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul(t).add(c);
+        }
+        acc
+    }
+
+    /// Largest coefficient magnitude (for error reporting).
+    pub fn max_magnitude(&self) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|c| c.magnitude())
+            .fold(0.0, f64::max)
+    }
+
+    /// Componentwise distance to another series, as a double estimate.
+    pub fn distance(&self, other: &Self) -> f64 {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        self.coeffs
+            .iter()
+            .zip(other.coeffs.iter())
+            .map(|(a, b)| a.sub(b).magnitude())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<C: RealCoeff> Series<C> {
+    /// Reciprocal of the series (requires an invertible constant term).
+    ///
+    /// Uses the standard recurrence `w_0 = 1 / v_0`,
+    /// `w_k = -(sum_{i=1..k} v_i w_{k-i}) / v_0`.
+    pub fn recip(&self) -> Self {
+        let d = self.degree();
+        let v0 = self.coeffs[0];
+        assert!(!v0.is_zero(), "series with zero constant term is not invertible");
+        let mut w = Self::zero(d);
+        w.coeffs[0] = C::one().div(&v0);
+        for k in 1..=d {
+            let mut acc = C::zero();
+            for i in 1..=k {
+                acc.mul_add_assign(&self.coeffs[i], &w.coeffs[k - i]);
+            }
+            w.coeffs[k] = acc.neg().div(&v0);
+        }
+        w
+    }
+
+    /// Quotient of two series.
+    pub fn div(&self, other: &Self) -> Self {
+        self.mul(&other.recip())
+    }
+
+    /// Square root of the series (requires a positive constant term).
+    ///
+    /// Uses the recurrence obtained from squaring the unknown series.
+    pub fn sqrt_series(&self) -> Self {
+        let d = self.degree();
+        let s0 = self.coeffs[0].sqrt();
+        let mut r = Self::zero(d);
+        r.coeffs[0] = s0;
+        let two = C::from_f64(2.0);
+        let denom = s0.mul(&two);
+        for k in 1..=d {
+            let mut acc = self.coeffs[k];
+            for i in 1..k {
+                acc = acc.sub(&r.coeffs[i].mul(&r.coeffs[k - i]));
+            }
+            r.coeffs[k] = acc.div(&denom);
+        }
+        r
+    }
+}
+
+impl<C: Coeff + psmd_multidouble::RandomCoeff> Series<C> {
+    /// A random series with uniform coefficients in `[-1, 1)`.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R, degree: usize) -> Self {
+        Self {
+            coeffs: (0..=degree).map(|_| C::random_uniform(rng)).collect(),
+        }
+    }
+
+    /// A random series whose leading coefficient is well conditioned (used
+    /// as input data for the paper's experiments).
+    pub fn random_unit<R: rand::Rng + ?Sized>(rng: &mut R, degree: usize) -> Self {
+        let mut coeffs: Vec<C> = (0..=degree).map(|_| C::random_uniform(rng)).collect();
+        coeffs[0] = C::random_unit(rng);
+        Self { coeffs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::{Complex, Dd, Qd};
+    #[allow(unused_imports)]
+    use psmd_multidouble::Coeff;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometric(degree: usize) -> Series<Qd> {
+        // 1 / (1 - t) = 1 + t + t^2 + ...
+        Series::from_coeffs(vec![Qd::one(); degree + 1])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s: Series<Qd> = Series::from_f64_coeffs(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.degree(), 2);
+        assert_eq!(s.coeff(1).to_f64(), 2.0);
+        assert_eq!(s.coeff(7).to_f64(), 0.0);
+        assert!(!s.is_zero());
+        assert!(Series::<Qd>::zero(4).is_zero());
+        assert_eq!(Series::<Qd>::one(3).coeff(0).to_f64(), 1.0);
+        assert_eq!(Series::<Qd>::variable(3).coeff(1).to_f64(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_series_is_rejected() {
+        let _ = Series::<Qd>::from_coeffs(vec![]);
+    }
+
+    #[test]
+    fn addition_and_subtraction_are_inverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Series<Dd> = Series::random(&mut rng, 10);
+        let b: Series<Dd> = Series::random(&mut rng, 10);
+        let c = a.add(&b).sub(&b);
+        assert!(c.distance(&a) < 1e-30);
+    }
+
+    #[test]
+    fn multiplication_truncates_correctly() {
+        // (1 - t) * (1 + t + t^2 + ...) = 1 (all higher terms cancel within
+        // the truncation).
+        let d = 12;
+        let one_minus_t: Series<Qd> = Series::from_f64_coeffs(
+            &std::iter::once(1.0)
+                .chain(std::iter::once(-1.0))
+                .chain(std::iter::repeat(0.0).take(d - 1))
+                .collect::<Vec<_>>(),
+        );
+        let g = geometric(d);
+        let p = one_minus_t.mul(&g);
+        assert!(p.distance(&Series::one(d)) < 1e-60);
+    }
+
+    #[test]
+    fn recip_of_geometric_series() {
+        let d = 9;
+        let g = geometric(d);
+        let r = g.recip();
+        // 1/(1 + t + ... ) = 1 - t
+        let expect: Series<Qd> = Series::from_f64_coeffs(
+            &std::iter::once(1.0)
+                .chain(std::iter::once(-1.0))
+                .chain(std::iter::repeat(0.0).take(d - 1))
+                .collect::<Vec<_>>(),
+        );
+        assert!(r.distance(&expect) < 1e-60);
+        // recip is an involution up to truncation error.
+        assert!(r.recip().distance(&g) < 1e-55);
+    }
+
+    #[test]
+    fn division_recovers_factor() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a: Series<Qd> = Series::random_unit(&mut rng, 16);
+        let b: Series<Qd> = Series::random_unit(&mut rng, 16);
+        let q = a.mul(&b).div(&b);
+        assert!(q.distance(&a) < 1e-55, "distance {}", q.distance(&a));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut a: Series<Qd> = Series::random(&mut rng, 20);
+        // force a positive, well-scaled constant term
+        a.set_coeff(0, Qd::from_f64(2.25));
+        let r = a.sqrt_series();
+        let back = r.mul(&r);
+        // The coefficients of the square-root series grow with the degree,
+        // so the tolerance is relative to the largest coefficient involved.
+        let tol = 1e-45 * (1.0 + r.max_magnitude().powi(2));
+        assert!(back.distance(&a) < tol, "distance {}", back.distance(&a));
+    }
+
+    #[test]
+    fn derivative_of_polynomial_series() {
+        // d/dt (1 + 2t + 3t^2) = 2 + 6t
+        let s: Series<Qd> = Series::from_f64_coeffs(&[1.0, 2.0, 3.0]);
+        let ds = s.derivative();
+        assert_eq!(ds.coeff(0).to_f64(), 2.0);
+        assert_eq!(ds.coeff(1).to_f64(), 6.0);
+        assert_eq!(ds.coeff(2).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let s: Series<Qd> = Series::from_f64_coeffs(&[1.0, -2.0, 0.5]);
+        let v = s.evaluate(&Qd::from_f64(2.0));
+        // 1 - 4 + 2 = -1
+        assert_eq!(v.to_f64(), -1.0);
+    }
+
+    #[test]
+    fn truncation_and_extension() {
+        let s: Series<Qd> = Series::from_f64_coeffs(&[1.0, 2.0, 3.0]);
+        let t = s.truncated(1);
+        assert_eq!(t.degree(), 1);
+        assert_eq!(t.coeff(1).to_f64(), 2.0);
+        let e = s.truncated(5);
+        assert_eq!(e.degree(), 5);
+        assert_eq!(e.coeff(5).to_f64(), 0.0);
+        assert_eq!(e.coeff(2).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn complex_series_multiplication() {
+        type Cx = Complex<Dd>;
+        // (1 + i t)(1 - i t) = 1 + t^2
+        let a: Series<Cx> = Series::from_coeffs(vec![Cx::one(), Cx::i(), Cx::zero()]);
+        let b: Series<Cx> = Series::from_coeffs(vec![Cx::one(), Cx::i().neg(), Cx::zero()]);
+        let p = a.mul(&b);
+        assert!(p.coeff(0).sub(&Cx::one()).magnitude() < 1e-30);
+        assert!(p.coeff(1).magnitude() < 1e-30);
+        assert!(p.coeff(2).sub(&Cx::one()).magnitude() < 1e-30);
+    }
+
+    #[test]
+    fn random_series_are_reproducible() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a: Series<Qd> = Series::random(&mut r1, 8);
+        let b: Series<Qd> = Series::random(&mut r2, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let s: Series<Qd> = Series::from_f64_coeffs(&[1.0, -2.0]);
+        let t = s.scale(&Qd::from_f64(3.0));
+        assert_eq!(t.coeff(0).to_f64(), 3.0);
+        assert_eq!(t.coeff(1).to_f64(), -6.0);
+        let n = s.neg();
+        assert_eq!(n.coeff(1).to_f64(), 2.0);
+    }
+}

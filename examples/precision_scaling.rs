@@ -1,0 +1,62 @@
+//! Precision and degree scaling on the CPU — a measured miniature of the
+//! paper's Figures 5 and 6.
+//!
+//! Evaluates the reduced p1 polynomial at increasing truncation degrees in
+//! double, double-double, quad-double, octo-double and deca-double precision
+//! and prints the wall-clock times and their base-2 logarithms.
+//!
+//! Run with `cargo run --release --example precision_scaling`.
+
+use psmd_bench::TestPolynomial;
+use psmd_core::{Polynomial, ScheduledEvaluator};
+use psmd_multidouble::{Coeff, Md, Precision, RandomCoeff};
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+
+fn measure<C: Coeff + RandomCoeff>(degree: usize, pool: &WorkerPool) -> f64 {
+    let p: Polynomial<C> = TestPolynomial::P1.build_reduced(degree, 1);
+    let z: Vec<Series<C>> = TestPolynomial::P1.reduced_inputs(degree, 1);
+    let evaluator = ScheduledEvaluator::new(&p);
+    let eval = evaluator.evaluate_parallel(&z, pool);
+    eval.timings.wall_clock_ms()
+}
+
+fn main() {
+    let pool = WorkerPool::with_default_parallelism();
+    let degrees = [7usize, 15, 31];
+    println!("reduced p1, block-parallel on {} lanes", pool.parallelism());
+    println!("wall clock in ms (and log2 of it) per precision and degree:\n");
+    print!("{:<10}", "precision");
+    for d in degrees {
+        print!("{:>18}", format!("d = {d}"));
+    }
+    println!();
+    let precisions = [
+        Precision::D1,
+        Precision::D2,
+        Precision::D4,
+        Precision::D8,
+        Precision::D10,
+    ];
+    for prec in precisions {
+        print!("{:<10}", prec.label());
+        for d in degrees {
+            let ms = match prec {
+                Precision::D1 => measure::<Md<1>>(d, &pool),
+                Precision::D2 => measure::<Md<2>>(d, &pool),
+                Precision::D4 => measure::<Md<4>>(d, &pool),
+                Precision::D8 => measure::<Md<8>>(d, &pool),
+                Precision::D10 => measure::<Md<10>>(d, &pool),
+                _ => unreachable!(),
+            };
+            print!("{:>18}", format!("{ms:9.2} ({:5.2})", ms.log2()));
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shapes (paper, Figures 5 and 6): the cost grows roughly quadratically\n\
+         with the degree once the degree exceeds the warp size, and each doubling of the\n\
+         number of coefficients adds about one to the log2 of the time; increasing the\n\
+         precision multiplies the time by the cost ratio of the multiple-double products."
+    );
+}

@@ -1,0 +1,87 @@
+//! Speedup report: naive baseline vs the paper's scheduled algorithm,
+//! sequential vs block-parallel, plus the modeled times on the paper's GPUs
+//! — a miniature of Table 3 that runs in seconds on a laptop.
+//!
+//! Run with `cargo run --release --example speedup_report -- [degree]`.
+
+use psmd_bench::TestPolynomial;
+use psmd_core::{
+    achieved_gflops, evaluate_naive, workload_shape, Polynomial, ScheduledEvaluator,
+};
+use psmd_device::{model_evaluation, paper_gpus};
+use psmd_multidouble::{CostModel, Dd, Precision};
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use std::time::Instant;
+
+fn main() {
+    let degree: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let precision = Precision::D2;
+    println!(
+        "reduced p1 (C(10,4) = 210 monomials of 4 variables), degree {degree}, {} precision\n",
+        precision.name()
+    );
+    let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(degree, 1);
+    let z: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
+
+    // Naive baseline.
+    let t0 = Instant::now();
+    let naive = evaluate_naive(&p, &z);
+    let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Scheduled, sequential.
+    let evaluator = ScheduledEvaluator::new(&p);
+    let t0 = Instant::now();
+    let seq = evaluator.evaluate_sequential(&z);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Scheduled, block-parallel.
+    let pool = WorkerPool::with_default_parallelism();
+    let t0 = Instant::now();
+    let par = evaluator.evaluate_parallel(&z, &pool);
+    let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert!(naive.max_difference(&seq) < 1e-25);
+    assert_eq!(seq.value, par.value);
+
+    println!("measured on this machine ({} parallel lanes):", pool.parallelism());
+    println!("  naive baseline            {naive_ms:10.3} ms");
+    println!(
+        "  scheduled, sequential     {seq_ms:10.3} ms   ({:.2}x vs naive)",
+        naive_ms / seq_ms
+    );
+    println!(
+        "  scheduled, block-parallel {par_ms:10.3} ms   ({:.2}x vs naive, {:.2}x vs sequential)",
+        naive_ms / par_ms,
+        seq_ms / par_ms
+    );
+    let schedule = evaluator.schedule();
+    println!(
+        "  achieved throughput: {:.2} GFLOPS (implementation cost model)",
+        achieved_gflops(schedule, precision, CostModel::Implementation, par_ms)
+    );
+
+    println!("\nmodeled on the paper's GPUs (same schedule, paper cost model):");
+    let shape = workload_shape(schedule);
+    for gpu in paper_gpus() {
+        let m = model_evaluation(&gpu, &shape, precision, CostModel::Paper);
+        println!(
+            "  {:<18} convolution {:9.3} ms, addition {:7.3} ms, wall {:9.3} ms",
+            gpu.name,
+            m.convolution_ms,
+            m.addition_ms,
+            m.wall_clock_ms
+        );
+    }
+    println!("\nper-kernel measured times (block-parallel run):");
+    println!(
+        "  {} convolution launches totalling {:.3} ms, {} addition launches totalling {:.3} ms",
+        par.timings.convolution_launches,
+        par.timings.convolution_ms(),
+        par.timings.addition_launches,
+        par.timings.addition_ms()
+    );
+}

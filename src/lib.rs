@@ -1,0 +1,6 @@
+//! psmd — umbrella crate re-exporting the workspace libraries.
+pub use psmd_core as core;
+pub use psmd_device as device;
+pub use psmd_multidouble as multidouble;
+pub use psmd_runtime as runtime;
+pub use psmd_series as series;

@@ -1,0 +1,163 @@
+//! Property-based tests of the multiple-double arithmetic, the invariants
+//! the whole evaluation pipeline rests on.
+
+use proptest::prelude::*;
+use psmd_multidouble::{Dd, Deca, Md, Qd};
+
+/// A strategy producing finite, well-scaled doubles.
+fn small_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6f64..1e6f64,
+        -1.0f64..1.0f64,
+        (-1e-6f64..1e-6f64),
+    ]
+    .prop_filter("nonzero-ish", |x| x.is_finite())
+}
+
+/// A strategy producing quad-double values exercising several limbs.
+fn qd_value() -> impl Strategy<Value = Qd> {
+    (small_f64(), -1.0f64..1.0f64, -1.0f64..1.0f64).prop_map(|(a, b, c)| {
+        Qd::from_f64(a)
+            .add_f64(b * 2f64.powi(-60))
+            .add_f64(c * 2f64.powi(-120))
+    })
+}
+
+fn deca_value() -> impl Strategy<Value = Deca> {
+    (small_f64(), -1.0f64..1.0f64, -1.0f64..1.0f64).prop_map(|(a, b, c)| {
+        Deca::from_f64(a)
+            .add_f64(b * 2f64.powi(-80))
+            .add_f64(c * 2f64.powi(-200))
+    })
+}
+
+fn close<const N: usize>(a: &Md<N>, b: &Md<N>, ops: f64) -> bool {
+    let tol = ops * Md::<N>::epsilon();
+    let scale = 1.0 + a.abs().to_f64().max(b.abs().to_f64());
+    a.sub(b).abs().to_f64() <= tol * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_is_commutative(a in qd_value(), b in qd_value()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn addition_has_inverse(a in qd_value(), b in qd_value()) {
+        let r = a.add(&b).sub(&b);
+        // The error is relative to the larger operand (as in any floating
+        // point format), not to `a` alone.
+        let tol = 8.0 * Qd::epsilon() * (1.0 + a.abs().to_f64() + b.abs().to_f64());
+        prop_assert!(r.sub(&a).abs().to_f64() <= tol, "{:?} vs {:?}", r, a);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in qd_value(), b in qd_value()) {
+        let ab = a.mul(&b);
+        let ba = b.mul(&a);
+        prop_assert!(close(&ab, &ba, 8.0), "{:?} vs {:?}", ab, ba);
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(
+        a in qd_value(), b in qd_value(), c in qd_value()
+    ) {
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        // The magnitudes of the products drive the absolute error.
+        let scale = 1.0 + a.abs().to_f64() * (b.abs().to_f64() + c.abs().to_f64());
+        let err = left.sub(&right).abs().to_f64();
+        prop_assert!(err <= 64.0 * Qd::epsilon() * scale, "err {err}");
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in qd_value(), b in qd_value()) {
+        prop_assume!(b.abs().to_f64() > 1e-3);
+        let q = a.mul(&b).div(&b);
+        prop_assert!(close(&q, &a, 64.0), "{:?} vs {:?}", q, a);
+    }
+
+    #[test]
+    fn double_roundtrip_is_exact(x in small_f64()) {
+        prop_assert_eq!(Qd::from_f64(x).to_f64(), x);
+        prop_assert_eq!(Deca::from_f64(x).to_f64(), x);
+    }
+
+    #[test]
+    fn neg_and_abs_are_consistent(a in qd_value()) {
+        prop_assert!(a.add(&a.neg()).is_zero() || a.add(&a.neg()).abs().to_f64() < Qd::epsilon());
+        prop_assert!(a.abs().signum_i32() >= 0);
+        prop_assert_eq!(a.abs(), a.neg().abs());
+    }
+
+    #[test]
+    fn ordering_is_antisymmetric_and_total(a in qd_value(), b in qd_value()) {
+        use core::cmp::Ordering;
+        let ab = a.cmp_md(&b);
+        let ba = b.cmp_md(&a);
+        match ab {
+            Ordering::Less => prop_assert_eq!(ba, Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(ba, Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(ba, Ordering::Equal),
+        }
+        // Consistent with subtraction.
+        prop_assert_eq!(ab, a.sub(&b).signum_i32().cmp(&0));
+    }
+
+    #[test]
+    fn sqrt_squares_back_for_positive_values(a in qd_value()) {
+        let pos = a.abs().add_f64(0.5);
+        let r = pos.sqrt();
+        let back = r.square();
+        prop_assert!(close(&back, &pos, 128.0), "{:?} vs {:?}", back, pos);
+    }
+
+    #[test]
+    fn deca_decimal_string_roundtrip(a in deca_value()) {
+        let text = a.to_decimal(170);
+        let parsed: Deca = text.parse().unwrap();
+        // Formatting and parsing each perform a few hundred multiple-double
+        // operations, so allow a correspondingly larger multiple of the unit
+        // roundoff.
+        prop_assert!(close(&parsed, &a, 4096.0), "{} -> {:?} vs {:?}", text, parsed, a);
+    }
+
+    #[test]
+    fn limbs_stay_normalized_after_arithmetic(a in deca_value(), b in deca_value()) {
+        // Each limb must be far smaller than its predecessor (no overlap):
+        // this is the invariant every operation must restore.
+        for v in [a.add(&b), a.mul(&b), a.sub(&b)] {
+            let limbs = v.limbs();
+            for i in 1..limbs.len() {
+                if limbs[i] != 0.0 && limbs[i - 1] != 0.0 {
+                    prop_assert!(
+                        limbs[i].abs() <= limbs[i - 1].abs() * 2f64.powi(-45),
+                        "limbs overlap: {:?}",
+                        limbs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resize_between_precisions_preserves_leading_accuracy(a in deca_value()) {
+        let q: Qd = a.resize();
+        let back: Deca = q.resize();
+        let err = back.sub(&a).abs().to_f64();
+        let scale = 1.0 + a.abs().to_f64();
+        prop_assert!(err <= scale * 2f64.powi(-200), "err {err}");
+    }
+
+    #[test]
+    fn dd_matches_f64_for_exactly_representable_inputs(x in -1000i64..1000i64, y in -1000i64..1000i64) {
+        let a = Dd::from_i64(x);
+        let b = Dd::from_i64(y);
+        prop_assert_eq!(a.add(&b).to_f64(), (x + y) as f64);
+        prop_assert_eq!(a.mul(&b).to_f64(), (x * y) as f64);
+        prop_assert_eq!(a.sub(&b).to_f64(), (x - y) as f64);
+    }
+}
