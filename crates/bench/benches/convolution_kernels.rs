@@ -26,7 +26,9 @@ fn kernel_ablation(c: &mut Criterion) {
     let x: Vec<Dd> = random_series(&mut rng, d);
     let y: Vec<Dd> = random_series(&mut rng, d);
     let mut group = c.benchmark_group("convolution_kernel_ablation");
-    group.sample_size(20).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600));
     group.bench_function("zero_insertion_d63_2d", |b| {
         let mut z = vec![Dd::ZERO; d + 1];
         let mut scratch = vec![Dd::ZERO; 4 * (d + 1)];
@@ -50,7 +52,9 @@ fn kernel_ablation(c: &mut Criterion) {
 fn degree_scaling(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut group = c.benchmark_group("convolution_degree_scaling_10d");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
     for d in [15usize, 31, 63] {
         let x: Vec<Deca> = random_series(&mut rng, d);
         let y: Vec<Deca> = random_series(&mut rng, d);
@@ -69,7 +73,10 @@ fn degree_scaling(c: &mut Criterion) {
 /// One convolution at a fixed degree for increasing precision (Figure 5's
 /// precision axis).
 fn precision_scaling(c: &mut Criterion) {
-    fn bench_one<const N: usize>(group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>, label: &str) {
+    fn bench_one<const N: usize>(
+        group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>,
+        label: &str,
+    ) {
         let mut rng = StdRng::seed_from_u64(9);
         let d = 31;
         let x: Vec<Md<N>> = random_series(&mut rng, d);
@@ -84,7 +91,9 @@ fn precision_scaling(c: &mut Criterion) {
         });
     }
     let mut group = c.benchmark_group("convolution_precision_scaling_d31");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
     bench_one::<1>(&mut group, "1d");
     bench_one::<2>(&mut group, "2d");
     bench_one::<4>(&mut group, "4d");

@@ -18,7 +18,9 @@ fn evaluator_comparison(c: &mut Criterion) {
     let direct = ScheduledEvaluator::new(&p).with_kernel(ConvolutionKernel::Direct);
     let pool = WorkerPool::with_default_parallelism();
     let mut group = c.benchmark_group("evaluators_reduced_p1_d15_2d");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("naive_baseline", |b| {
         b.iter(|| black_box(evaluate_naive(&p, &z).value.coeff(0)))
     });
@@ -37,7 +39,9 @@ fn evaluator_comparison(c: &mut Criterion) {
 fn schedule_construction(c: &mut Criterion) {
     let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(0, 1);
     let mut group = c.benchmark_group("schedule_construction");
-    group.sample_size(20).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("reduced_p1", |b| {
         b.iter(|| black_box(psmd_core::Schedule::build(&p).convolution_jobs()))
     });

@@ -15,10 +15,16 @@ use std::time::Duration;
 
 fn bench_precision<const N: usize>(c: &mut Criterion, label: &str) {
     let mut rng = StdRng::seed_from_u64(7);
-    let xs: Vec<Md<N>> = (0..256).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
-    let ys: Vec<Md<N>> = (0..256).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+    let xs: Vec<Md<N>> = (0..256)
+        .map(|_| RandomCoeff::random_uniform(&mut rng))
+        .collect();
+    let ys: Vec<Md<N>> = (0..256)
+        .map(|_| RandomCoeff::random_uniform(&mut rng))
+        .collect();
     let mut group = c.benchmark_group("multidouble");
-    group.sample_size(20).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(500));
     group.bench_function(BenchmarkId::new("add", label), |b| {
         b.iter(|| {
             let mut acc = Md::<N>::ZERO;

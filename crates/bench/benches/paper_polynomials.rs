@@ -22,14 +22,20 @@ fn run_reduced<C: Coeff + RandomCoeff>(
     let p: Polynomial<C> = poly.build_reduced(degree, 1);
     let z: Vec<Series<C>> = poly.reduced_inputs(degree, 1);
     let evaluator = ScheduledEvaluator::new(&p);
-    evaluator.evaluate_parallel(&z, pool).value.coeff(0).magnitude()
+    evaluator
+        .evaluate_parallel(&z, pool)
+        .value
+        .coeff(0)
+        .magnitude()
 }
 
 /// The three test polynomials at a common degree/precision (Tables 3 and 4).
 fn table3_4(c: &mut Criterion) {
     let pool = WorkerPool::with_default_parallelism();
     let mut group = c.benchmark_group("tables3_4_reduced_d15_2d");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for poly in TestPolynomial::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(poly.label()),
@@ -44,7 +50,9 @@ fn table3_4(c: &mut Criterion) {
 fn tables5to7_degrees(c: &mut Criterion) {
     let pool = WorkerPool::with_default_parallelism();
     let mut group = c.benchmark_group("tables5to7_reduced_p1_2d_degrees");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for d in [0usize, 8, 15, 31] {
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
             b.iter(|| black_box(run_reduced::<Md<2>>(TestPolynomial::P1, d, &pool)))
@@ -57,7 +65,9 @@ fn tables5to7_degrees(c: &mut Criterion) {
 fn figures2to5_precisions(c: &mut Criterion) {
     let pool = WorkerPool::with_default_parallelism();
     let mut group = c.benchmark_group("figures2to5_reduced_p1_d15_precisions");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("1d", |b| {
         b.iter(|| black_box(run_reduced::<Md<1>>(TestPolynomial::P1, 15, &pool)))
     });

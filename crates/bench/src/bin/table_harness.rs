@@ -9,13 +9,16 @@
 //!   table1 table2 table3 table4 table5 table6 table7 table8
 //!   figure2 figure3 figure4 figure5 figure6
 //!   tflops
-//!   all            run every command above
+//!   batch          measured batched-vs-looped evaluation comparison
+//!   all            run every command above (except batch)
 //!
 //! options:
 //!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
 //!   --full         measured rows use the full paper polynomials and degrees
 //!                  (can take a long time at high precision and degree)
 //!   --seed <u64>   random seed for coefficients and inputs (default 1)
+//!   --batch <n>    batch size for the batch command (default 32); passing
+//!                  this option also runs the batch report after any command
 //! ```
 //!
 //! Per-device millisecond columns are *modeled* with the analytic
@@ -41,6 +44,7 @@ struct Options {
     measure: bool,
     full: bool,
     seed: u64,
+    batch: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -49,6 +53,7 @@ fn parse_args() -> Options {
     let mut measure = false;
     let mut full = false;
     let mut seed = 1u64;
+    let mut batch = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +69,14 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs an integer argument");
             }
+            "--batch" => {
+                i += 1;
+                batch = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--batch needs an integer argument"),
+                );
+            }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of table_harness.rs");
                 std::process::exit(0);
@@ -78,6 +91,7 @@ fn parse_args() -> Options {
         measure,
         full,
         seed,
+        batch,
     }
 }
 
@@ -128,6 +142,69 @@ fn main() {
     if run("tflops") {
         tflops(&mut cache);
     }
+    // The batch report is measured (not modeled), so it runs only when asked
+    // for explicitly — by the `batch` command or the `--batch` option.
+    if opts.command == "batch" || opts.batch.is_some() {
+        batch_report(&opts, &pool);
+    }
+}
+
+/// Batched multi-series evaluation vs a loop of per-polynomial launches.
+fn batch_report(opts: &Options, pool: &WorkerPool) {
+    let batch = opts.batch.unwrap_or(32);
+    let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
+        (Scale::Full, PAPER_DEGREES.to_vec(), "full")
+    } else {
+        (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
+    };
+    print!(
+        "{}",
+        banner(&format!(
+            "Batched evaluation: {batch} instances per launch vs per-polynomial launches \
+             ({label} polynomials, double-double, measured CPU)"
+        ))
+    );
+    let mut t = TextTable::new(vec![
+        "poly",
+        "degree",
+        "batched (ms)",
+        "looped par (ms)",
+        "looped seq (ms)",
+        "speedup vs loop",
+        "launches",
+        "launches (loop)",
+    ]);
+    for poly in TestPolynomial::ALL {
+        for &d in &degrees {
+            let cmp = psmd_bench::batched_comparison(
+                poly,
+                Precision::D2,
+                d,
+                scale,
+                batch,
+                pool,
+                opts.seed,
+            );
+            t.add_row(vec![
+                poly.label().to_string(),
+                d.to_string(),
+                ms(cmp.batched.wall_ms),
+                ms(cmp.looped_parallel.wall_ms),
+                ms(cmp.looped_sequential.wall_ms),
+                format!(
+                    "{:.2}x",
+                    cmp.looped_parallel.wall_ms / cmp.batched.wall_ms.max(1e-9)
+                ),
+                cmp.batched_launches.to_string(),
+                cmp.looped_launches.to_string(),
+            ]);
+        }
+    }
+    print!("{t}");
+    println!(
+        "(one pool launch per layer carries the whole batch: the launch column is the\n\
+         layer count of the schedule, independent of the batch size)"
+    );
 }
 
 /// Table 1: the five GPUs.
@@ -162,7 +239,14 @@ fn table1() {
 fn table2() {
     print!("{}", banner("Table 2: test polynomials"));
     let mut t = TextTable::new(vec![
-        "poly", "n", "m", "N", "#cnv (ours)", "#cnv (paper)", "#add (ours)", "#add (paper)",
+        "poly",
+        "n",
+        "m",
+        "N",
+        "#cnv (ours)",
+        "#cnv (paper)",
+        "#add (ours)",
+        "#add (paper)",
     ]);
     for poly in TestPolynomial::ALL {
         let p: Polynomial<Md<2>> = poly.build(0, 1);
@@ -191,13 +275,32 @@ fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
         "{}",
         banner("Table 3: p1, degree 152, deca double (modeled per device)")
     );
-    let mut t = TextTable::new(vec!["time (ms)", "C2050", "K20C", "P100", "V100", "RTX 2080"]);
+    let mut t = TextTable::new(vec![
+        "time (ms)",
+        "C2050",
+        "K20C",
+        "P100",
+        "V100",
+        "RTX 2080",
+    ]);
     let rows: Vec<TimingRow> = paper_gpus()
         .iter()
-        .map(|g| modeled_run(cache, TestPolynomial::P1, g, Precision::D10, 152, CostModel::Paper))
+        .map(|g| {
+            modeled_run(
+                cache,
+                TestPolynomial::P1,
+                g,
+                Precision::D10,
+                152,
+                CostModel::Paper,
+            )
+        })
         .collect();
     let paper = [
-        ("convolution", vec![12947.26, 11290.22, 1060.03, 634.29, 10002.32]),
+        (
+            "convolution",
+            vec![12947.26, 11290.22, 1060.03, 634.29, 10002.32],
+        ),
         ("addition", vec![10.72, 11.13, 1.37, 0.77, 5.01]),
         ("sum", vec![12957.98, 11301.35, 1061.40, 635.05, 10007.34]),
         ("wall clock", vec![12964.0, 11309.0, 1066.0, 640.0, 10024.0]),
@@ -219,7 +322,14 @@ fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
     print!("{t}");
     if opts.measure {
         let (scale, degree, label) = measured_setting(opts, 152);
-        let row = measured_run(TestPolynomial::P1, Precision::D10, degree, scale, pool, opts.seed);
+        let row = measured_run(
+            TestPolynomial::P1,
+            Precision::D10,
+            degree,
+            scale,
+            pool,
+            opts.seed,
+        );
         println!(
             "measured CPU ({label}, degree {degree}, deca double): conv {} ms, add {} ms, wall {} ms",
             ms(row.convolution_ms),
@@ -245,10 +355,38 @@ fn table4(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
         "p3 V100",
     ]);
     let runs = [
-        modeled_run(cache, TestPolynomial::P2, &p100, Precision::D10, 152, CostModel::Paper),
-        modeled_run(cache, TestPolynomial::P2, &v100, Precision::D10, 152, CostModel::Paper),
-        modeled_run(cache, TestPolynomial::P3, &p100, Precision::D10, 152, CostModel::Paper),
-        modeled_run(cache, TestPolynomial::P3, &v100, Precision::D10, 152, CostModel::Paper),
+        modeled_run(
+            cache,
+            TestPolynomial::P2,
+            &p100,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        ),
+        modeled_run(
+            cache,
+            TestPolynomial::P2,
+            &v100,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        ),
+        modeled_run(
+            cache,
+            TestPolynomial::P3,
+            &p100,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        ),
+        modeled_run(
+            cache,
+            TestPolynomial::P3,
+            &v100,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        ),
     ];
     let paper = [
         ("convolution", [1700.49, 1115.03, 1566.58, 926.53]),
@@ -342,7 +480,10 @@ fn scalability_table(
         } else {
             REDUCED_DEGREES.to_vec()
         };
-        println!("\nmeasured CPU wall clock (ms), {label} variant of {}:", poly.label());
+        println!(
+            "\nmeasured CPU wall clock (ms), {label} variant of {}:",
+            poly.label()
+        );
         let mut headers = vec!["precision".to_string()];
         headers.extend(degrees.iter().map(|d| format!("d={d}")));
         let mut mt = TextTable::new(headers);
@@ -374,9 +515,8 @@ fn table8(opts: &Options, pool: &WorkerPool) {
         (Scale::Reduced, 31, "reduced p3")
     };
     let precision = Precision::D10;
-    let run_once = |seed: u64| {
-        measured_run(TestPolynomial::P3, precision, degree, scale, pool, seed).wall_ms
-    };
+    let run_once =
+        |seed: u64| measured_run(TestPolynomial::P3, precision, degree, scale, pool, seed).wall_ms;
     let fixed: Vec<f64> = (0..10).map(|_| run_once(1)).collect();
     let varying: Vec<f64> = (0..10).map(|k| run_once(1 + k as u64)).collect();
     let stats = |xs: &[f64]| {
@@ -387,9 +527,19 @@ fn table8(opts: &Options, pool: &WorkerPool) {
     };
     let mut t = TextTable::new(vec!["runs", "min (ms)", "mean (ms)", "max (ms)"]);
     let (min, mean, max) = stats(&fixed);
-    t.add_row(vec!["fixed seed one".to_string(), ms(min), ms(mean), ms(max)]);
+    t.add_row(vec![
+        "fixed seed one".to_string(),
+        ms(min),
+        ms(mean),
+        ms(max),
+    ]);
     let (min, mean, max) = stats(&varying);
-    t.add_row(vec!["different seeds".to_string(), ms(min), ms(mean), ms(max)]);
+    t.add_row(vec![
+        "different seeds".to_string(),
+        ms(min),
+        ms(mean),
+        ms(max),
+    ]);
     print!("{t}");
     println!(
         "({label}, degree {degree}, deca double; the paper reports a spread of ~5 ms around 943 ms on the V100)"
@@ -468,7 +618,9 @@ fn figure3(cache: &mut ShapeCache) {
 fn figure4(cache: &mut ShapeCache) {
     print!(
         "{}",
-        banner("Figure 4: kernel time as a percentage of the wall clock, degree 152 (modeled, V100)")
+        banner(
+            "Figure 4: kernel time as a percentage of the wall clock, degree 152 (modeled, V100)"
+        )
     );
     let v100 = gpu_by_key("v100").unwrap();
     let mut headers = vec!["poly".to_string()];
@@ -536,12 +688,28 @@ fn figure6(cache: &mut ShapeCache) {
 
 /// The TFLOPS computation of Section 6.2.
 fn tflops(cache: &mut ShapeCache) {
-    print!("{}", banner("Section 6.2: throughput of p1, degree 152, deca double"));
-    let total = modeled_double_ops(cache, TestPolynomial::P1, Precision::D10, 152, CostModel::Paper);
+    print!(
+        "{}",
+        banner("Section 6.2: throughput of p1, degree 152, deca double")
+    );
+    let total = modeled_double_ops(
+        cache,
+        TestPolynomial::P1,
+        Precision::D10,
+        152,
+        CostModel::Paper,
+    );
     println!("total double operations (paper cost model): {total:.0} (paper: 1,336,226,651,784)");
     for key in ["p100", "v100"] {
         let gpu = gpu_by_key(key).unwrap();
-        let row = modeled_run(cache, TestPolynomial::P1, &gpu, Precision::D10, 152, CostModel::Paper);
+        let row = modeled_run(
+            cache,
+            TestPolynomial::P1,
+            &gpu,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        );
         let tf = total / (row.wall_ms * 1e-3) / 1e12;
         println!(
             "{:>8}: modeled wall clock {} ms -> {:.2} TFLOPS (paper: 1.25 TFLOPS on the P100)",

@@ -22,6 +22,6 @@ pub mod sweep;
 pub use polynomials::{TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
 pub use report::{banner, log2, ms, pct, TextTable};
 pub use sweep::{
-    measured_double_ops, measured_run, modeled_double_ops, modeled_run, Scale, ShapeCache,
-    TimingRow,
+    batched_comparison, measured_double_ops, measured_run, modeled_double_ops, modeled_run,
+    BatchComparison, Scale, ShapeCache, TimingRow,
 };

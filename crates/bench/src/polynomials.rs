@@ -30,7 +30,8 @@ pub enum TestPolynomial {
 
 impl TestPolynomial {
     /// All three test polynomials in the paper's order.
-    pub const ALL: [TestPolynomial; 3] = [TestPolynomial::P1, TestPolynomial::P2, TestPolynomial::P3];
+    pub const ALL: [TestPolynomial; 3] =
+        [TestPolynomial::P1, TestPolynomial::P2, TestPolynomial::P3];
 
     /// The label used in the paper ("p1", "p2", "p3").
     pub fn label(&self) -> &'static str {
@@ -182,7 +183,10 @@ mod tests {
         assert_eq!(s.convolution_jobs(), 16_380);
         assert_eq!(s.addition_jobs(), 9_084);
         // The four convolution kernel launches of Section 6.1.
-        assert_eq!(s.convolution_layer_sizes(), vec![3_640, 5_460, 5_460, 1_820]);
+        assert_eq!(
+            s.convolution_layer_sizes(),
+            vec![3_640, 5_460, 5_460, 1_820]
+        );
     }
 
     #[test]
@@ -204,7 +208,10 @@ mod tests {
         // 24,384; the paper reports 24,256 (a 0.5% difference documented in
         // EXPERIMENTS.md).
         assert_eq!(s.convolution_jobs(), 3 * 8_128);
-        assert!((s.convolution_jobs() as i64 - TestPolynomial::P3.paper_convolutions() as i64).abs() <= 128);
+        assert!(
+            (s.convolution_jobs() as i64 - TestPolynomial::P3.paper_convolutions() as i64).abs()
+                <= 128
+        );
         // The addition count matches the paper exactly.
         assert_eq!(s.addition_jobs(), 24_256);
     }

@@ -9,10 +9,11 @@
 //! GPUs.
 
 use crate::polynomials::TestPolynomial;
-use psmd_core::{workload_shape, Polynomial, Schedule, ScheduledEvaluator};
+use psmd_core::{workload_shape, BatchEvaluator, Polynomial, Schedule, ScheduledEvaluator};
 use psmd_device::{model_evaluation, GpuSpec, WorkloadShape};
 use psmd_multidouble::{Coeff, CostModel, Md, Precision, RandomCoeff};
 use psmd_runtime::WorkerPool;
+use psmd_series::Series;
 use std::collections::HashMap;
 
 /// One row of a timing table: the four times the paper reports, in
@@ -145,7 +146,10 @@ fn measured_run_generic<C: Coeff + RandomCoeff>(
             poly.build_reduced::<C>(degree, seed),
             poly.reduced_inputs::<C>(degree, seed),
         ),
-        Scale::Full => (poly.build::<C>(degree, seed), poly.inputs::<C>(degree, seed)),
+        Scale::Full => (
+            poly.build::<C>(degree, seed),
+            poly.inputs::<C>(degree, seed),
+        ),
     };
     let evaluator = ScheduledEvaluator::new(&p);
     let eval = evaluator.evaluate_parallel(&z, pool);
@@ -153,6 +157,110 @@ fn measured_run_generic<C: Coeff + RandomCoeff>(
         convolution_ms: eval.timings.convolution_ms(),
         addition_ms: eval.timings.addition_ms(),
         wall_ms: eval.timings.wall_clock_ms(),
+    }
+}
+
+/// One measured comparison of the batched engine against per-polynomial
+/// launches on the same batch of inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchComparison {
+    /// Number of instances in the batch.
+    pub batch: usize,
+    /// One pool launch per layer for the whole batch ([`BatchEvaluator`]).
+    pub batched: TimingRow,
+    /// A loop of per-polynomial pool launches (the pre-batching behavior).
+    pub looped_parallel: TimingRow,
+    /// A loop of single-thread evaluations (the lower bound on overhead).
+    pub looped_sequential: TimingRow,
+    /// Kernel launches issued by the batched run (= layers of the schedule).
+    pub batched_launches: usize,
+    /// Kernel launches issued by the per-polynomial loop (= batch × layers).
+    pub looped_launches: usize,
+}
+
+/// Measures the batched engine against per-polynomial launches at the given
+/// precision (dispatching to the right `Md<N>` instantiation).
+pub fn batched_comparison(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    batch: usize,
+    pool: &WorkerPool,
+    seed: u64,
+) -> BatchComparison {
+    match precision {
+        Precision::D1 => {
+            batched_comparison_generic::<Md<1>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D2 => {
+            batched_comparison_generic::<Md<2>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D3 => {
+            batched_comparison_generic::<Md<3>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D4 => {
+            batched_comparison_generic::<Md<4>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D5 => {
+            batched_comparison_generic::<Md<5>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D8 => {
+            batched_comparison_generic::<Md<8>>(poly, degree, scale, batch, pool, seed)
+        }
+        Precision::D10 => {
+            batched_comparison_generic::<Md<10>>(poly, degree, scale, batch, pool, seed)
+        }
+    }
+}
+
+fn batched_comparison_generic<C: Coeff + RandomCoeff>(
+    poly: TestPolynomial,
+    degree: usize,
+    scale: Scale,
+    batch: usize,
+    pool: &WorkerPool,
+    seed: u64,
+) -> BatchComparison {
+    let p: Polynomial<C> = match scale {
+        Scale::Reduced => poly.build_reduced(degree, seed),
+        Scale::Full => poly.build(degree, seed),
+    };
+    let inputs: Vec<Vec<Series<C>>> = (0..batch)
+        .map(|i| match scale {
+            Scale::Reduced => poly.reduced_inputs(degree, seed.wrapping_add(i as u64)),
+            Scale::Full => poly.inputs(degree, seed.wrapping_add(i as u64)),
+        })
+        .collect();
+    let evaluator = BatchEvaluator::new(&p);
+    let single = ScheduledEvaluator::new(&p);
+    let row = |t: &psmd_runtime::KernelTimings| TimingRow {
+        convolution_ms: t.convolution_ms(),
+        addition_ms: t.addition_ms(),
+        wall_ms: t.wall_clock_ms(),
+    };
+    let batched_eval = evaluator.evaluate_parallel(&inputs, pool);
+    let batched = row(&batched_eval.timings);
+    let batched_launches =
+        batched_eval.timings.convolution_launches + batched_eval.timings.addition_launches;
+    let mut looped = psmd_runtime::KernelTimings::new();
+    for z in &inputs {
+        looped.merge(&single.evaluate_parallel(z, pool).timings);
+    }
+    let looped_launches = looped.convolution_launches + looped.addition_launches;
+    let looped_parallel = row(&looped);
+    let mut sequential = psmd_runtime::KernelTimings::new();
+    for z in &inputs {
+        sequential.merge(&single.evaluate_sequential(z).timings);
+    }
+    let looped_sequential = row(&sequential);
+    BatchComparison {
+        batch,
+        batched,
+        looped_parallel,
+        looped_sequential,
+        batched_launches,
+        looped_launches,
     }
 }
 
@@ -228,8 +336,20 @@ mod tests {
     #[test]
     fn double_ops_increase_with_degree_and_precision() {
         let mut cache = ShapeCache::new();
-        let small = modeled_double_ops(&mut cache, TestPolynomial::P1, Precision::D2, 31, CostModel::Paper);
-        let big = modeled_double_ops(&mut cache, TestPolynomial::P1, Precision::D10, 152, CostModel::Paper);
+        let small = modeled_double_ops(
+            &mut cache,
+            TestPolynomial::P1,
+            Precision::D2,
+            31,
+            CostModel::Paper,
+        );
+        let big = modeled_double_ops(
+            &mut cache,
+            TestPolynomial::P1,
+            Precision::D10,
+            152,
+            CostModel::Paper,
+        );
         assert!(big > small * 10.0);
         // The paper's headline number: 1.336e12 double operations for p1 at
         // degree 152 in deca-double precision.

@@ -1,0 +1,427 @@
+//! Batched multi-series evaluation: one schedule, many input-series vectors,
+//! one kernel launch per layer for the whole batch.
+//!
+//! The paper amortizes the cost of accelerated evaluation by launching many
+//! independent jobs at once; the schedule "depends only on the structure of
+//! the monomials" (Section 5), so it can be reused across any number of
+//! evaluation points.  [`BatchEvaluator`] exploits both observations:
+//!
+//! * the [`Schedule`] is built **once** and shared by every instance of the
+//!   batch, amortizing schedule construction over the whole batch;
+//! * all batch instances live in **one flat coefficient arena** (instance
+//!   `i` occupies the slot range `i * num_slots .. (i + 1) * num_slots`, see
+//!   [`DataLayout::batch_slot`](crate::DataLayout::batch_slot)), so one grid
+//!   launch per layer executes `batch × jobs_per_layer` blocks.
+//!
+//! The second point matters at small truncation degrees: a single
+//! polynomial's layer may hold fewer jobs than the machine has cores, so
+//! per-polynomial launches starve the worker pool.  Batching multiplies the
+//! blocks per launch by the batch size and fills the pool, exactly like the
+//! paper fills the GPU's multiprocessors with wide grids.
+//!
+//! ```
+//! use psmd_core::{BatchEvaluator, Monomial, Polynomial};
+//! use psmd_multidouble::Dd;
+//! use psmd_series::Series;
+//!
+//! let d = 2;
+//! let coeff = |c: f64| Series::constant(Dd::from_f64(c), d);
+//! let p = Polynomial::new(2, coeff(1.0), vec![Monomial::new(coeff(3.0), vec![0, 1])]);
+//! let batch = vec![
+//!     vec![
+//!         Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
+//!         Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
+//!     ],
+//!     vec![
+//!         Series::<Dd>::from_f64_coeffs(&[2.0, 0.0, 0.0]),
+//!         Series::<Dd>::from_f64_coeffs(&[1.0, 0.0, 1.0]),
+//!     ],
+//! ];
+//! let evaluator = BatchEvaluator::new(&p);
+//! let result = evaluator.evaluate_sequential(&batch);
+//! assert_eq!(result.len(), 2);
+//! assert_eq!(result.instances[0].value.coeff(0).to_f64(), 4.0); // 1 + 3
+//! assert_eq!(result.instances[1].value.coeff(0).to_f64(), 7.0); // 1 + 3*2
+//! ```
+
+use crate::evaluate::{run_addition_job, run_convolution_job, ConvolutionKernel, Evaluation};
+use crate::polynomial::Polynomial;
+use crate::schedule::{AddJob, ConvJob, Schedule};
+use psmd_multidouble::Coeff;
+use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
+use psmd_series::Series;
+use std::time::Instant;
+
+/// The evaluations of one batch, plus the aggregate kernel timings of the
+/// shared launches.
+///
+/// The per-instance [`Evaluation::timings`] are empty: in a batched run a
+/// kernel launch serves every instance at once, so launch counts and elapsed
+/// times are only meaningful for the batch as a whole.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluation<C> {
+    /// The value and gradient of every batch instance, in input order.
+    pub instances: Vec<Evaluation<C>>,
+    /// Aggregate timings: one convolution/addition launch per layer for the
+    /// whole batch, with `batch × jobs_per_layer` blocks each.
+    pub timings: KernelTimings,
+}
+
+impl<C> BatchEvaluation<C> {
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// Evaluates one polynomial at many input-series vectors with a single
+/// cached schedule and one worker-pool launch per job layer for the whole
+/// batch.
+pub struct BatchEvaluator<'p, C> {
+    poly: &'p Polynomial<C>,
+    schedule: Schedule,
+    kernel: ConvolutionKernel,
+}
+
+impl<'p, C: Coeff> BatchEvaluator<'p, C> {
+    /// Builds the schedule for a polynomial once; it is shared by every
+    /// batch evaluated through this evaluator.
+    pub fn new(poly: &'p Polynomial<C>) -> Self {
+        Self {
+            poly,
+            schedule: Schedule::build(poly),
+            kernel: ConvolutionKernel::default(),
+        }
+    }
+
+    /// Selects the convolution kernel variant (ablation).
+    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The polynomial the schedule was built for.
+    pub fn polynomial(&self) -> &Polynomial<C> {
+        self.poly
+    }
+
+    /// Evaluates the whole batch on a single thread (the correctness
+    /// reference for the parallel path).
+    pub fn evaluate_sequential(&self, batch: &[Vec<Series<C>>]) -> BatchEvaluation<C> {
+        self.run(batch, None)
+    }
+
+    /// Evaluates the whole batch on the worker pool with one grid launch per
+    /// layer and `batch × jobs_per_layer` blocks per launch.
+    pub fn evaluate_parallel(
+        &self,
+        batch: &[Vec<Series<C>>],
+        pool: &WorkerPool,
+    ) -> BatchEvaluation<C> {
+        self.run(batch, Some(pool))
+    }
+
+    fn run(&self, batch: &[Vec<Series<C>>], pool: Option<&WorkerPool>) -> BatchEvaluation<C> {
+        let wall = Stopwatch::start();
+        let mut timings = KernelTimings::new();
+        if batch.is_empty() {
+            timings.wall_clock = wall.elapsed();
+            return BatchEvaluation {
+                instances: Vec::new(),
+                timings,
+            };
+        }
+        let layout = &self.schedule.layout;
+        let per = layout.coeffs_per_slot();
+        let stride = layout.total_coefficients();
+        // Stage 0: lay every instance out back-to-back in one flat arena.
+        let mut data = vec![C::zero(); layout.batch_total_coefficients(batch.len())];
+        for (i, inputs) in batch.iter().enumerate() {
+            let off = layout.batch_instance_offset(i);
+            self.schedule
+                .fill_data_array(self.poly, inputs, &mut data[off..off + stride]);
+        }
+        let shared = SharedArray::new(data);
+        let kernel = self.kernel;
+        // Stage 1: convolution kernels — one launch per layer for the whole
+        // batch.  Block b runs job b % jobs of instance b / jobs; rebasing
+        // every slot with `batch_slot` addresses that instance's region of
+        // the arena, and disjointness within a layer carries over because
+        // distinct instances write distinct regions.
+        for layer in &self.schedule.convolution_layers {
+            let jobs = layer.len();
+            let blocks = batch.len() * jobs;
+            let body = |b: usize| {
+                let instance = b / jobs;
+                let job = layer[b % jobs];
+                let shifted = ConvJob {
+                    in1: layout.batch_slot(instance, job.in1),
+                    in2: layout.batch_slot(instance, job.in2),
+                    out: layout.batch_slot(instance, job.out),
+                };
+                run_convolution_job(&shared, &shifted, per, kernel);
+            };
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(blocks, body),
+                None => (0..blocks).for_each(body),
+            }
+            timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+        }
+        // Stage 2: addition kernels, batched the same way.
+        for layer in &self.schedule.addition_layers {
+            let jobs = layer.len();
+            let blocks = batch.len() * jobs;
+            let body = |b: usize| {
+                let instance = b / jobs;
+                let job = layer[b % jobs];
+                let shifted = AddJob {
+                    src: layout.batch_slot(instance, job.src),
+                    dst: layout.batch_slot(instance, job.dst),
+                };
+                run_addition_job(&shared, &shifted, per);
+            };
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(blocks, body),
+                None => (0..blocks).for_each(body),
+            }
+            timings.record(KernelKind::Addition, start.elapsed(), blocks);
+        }
+        // Stage 3: extract every instance's value and gradient.
+        let data = shared.into_inner();
+        let instances = (0..batch.len())
+            .map(|i| {
+                let off = layout.batch_instance_offset(i);
+                let region = &data[off..off + stride];
+                let value = self.schedule.extract(region, self.schedule.value_location);
+                let gradient = self
+                    .schedule
+                    .gradient_locations
+                    .iter()
+                    .map(|&loc| self.schedule.extract(region, loc))
+                    .collect();
+                Evaluation {
+                    value,
+                    gradient,
+                    timings: KernelTimings::new(),
+                }
+            })
+            .collect();
+        timings.wall_clock = wall.elapsed();
+        BatchEvaluation { instances, timings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::ScheduledEvaluator;
+    use crate::generators::{random_inputs, random_polynomial};
+    use crate::monomial::Monomial;
+    use psmd_multidouble::{Complex, Dd, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coeff(c: f64, d: usize) -> Series<Qd> {
+        Series::constant(Qd::from_f64(c), d)
+    }
+
+    fn paper_example(d: usize) -> Polynomial<Qd> {
+        Polynomial::new(
+            6,
+            coeff(0.5, d),
+            vec![
+                Monomial::new(coeff(1.0, d), vec![0, 2, 5]),
+                Monomial::new(coeff(2.0, d), vec![0, 1, 4, 5]),
+                Monomial::new(coeff(3.0, d), vec![1, 2, 3]),
+            ],
+        )
+    }
+
+    fn random_batch(n: usize, degree: usize, size: usize, seed: u64) -> Vec<Vec<Series<Qd>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..size)
+            .map(|_| random_inputs::<Qd, _>(n, degree, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_instance_sequential_bitwise() {
+        let d = 6;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 7, 17);
+        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        let single = ScheduledEvaluator::new(&p);
+        assert_eq!(batched.len(), batch.len());
+        for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
+            let want = single.evaluate_sequential(inputs);
+            // Same schedule, same arithmetic, same order: bitwise identical.
+            assert_eq!(got.value, want.value);
+            assert_eq!(got.gradient, want.gradient);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let d = 5;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 9, 3);
+        let evaluator = BatchEvaluator::new(&p);
+        let seq = evaluator.evaluate_sequential(&batch);
+        let pool = WorkerPool::new(3);
+        let par = evaluator.evaluate_parallel(&batch, &pool);
+        for (a, b) in seq.instances.iter().zip(par.instances.iter()) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.gradient, b.gradient);
+        }
+    }
+
+    #[test]
+    fn one_launch_per_layer_for_the_whole_batch() {
+        let d = 3;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 11, 5);
+        let pool = WorkerPool::new(2);
+        let evaluator = BatchEvaluator::new(&p);
+        let result = evaluator.evaluate_parallel(&batch, &pool);
+        let schedule = evaluator.schedule();
+        // Launch counts equal the layer counts — independent of batch size.
+        assert_eq!(
+            result.timings.convolution_launches,
+            schedule.convolution_layers.len()
+        );
+        assert_eq!(
+            result.timings.addition_launches,
+            schedule.addition_layers.len()
+        );
+        // Every launch carries the whole batch: batch × jobs blocks.
+        assert_eq!(
+            result.timings.convolution_blocks,
+            batch.len() * schedule.convolution_jobs()
+        );
+        assert_eq!(
+            result.timings.addition_blocks,
+            batch.len() * schedule.addition_jobs()
+        );
+    }
+
+    #[test]
+    fn empty_batch_returns_no_instances_and_no_launches() {
+        let p = paper_example(2);
+        let evaluator = BatchEvaluator::new(&p);
+        let result = evaluator.evaluate_sequential(&[]);
+        assert!(result.is_empty());
+        assert_eq!(result.timings.convolution_launches, 0);
+        assert_eq!(result.timings.addition_launches, 0);
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_evaluation() {
+        let d = 4;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 1, 9);
+        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        let single = ScheduledEvaluator::new(&p).evaluate_sequential(&batch[0]);
+        assert_eq!(batched.instances[0].value, single.value);
+        assert_eq!(batched.instances[0].gradient, single.gradient);
+    }
+
+    #[test]
+    fn direct_kernel_ablation_matches_zero_insertion() {
+        let d = 4;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 4, 23);
+        let zi = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        let direct = BatchEvaluator::new(&p)
+            .with_kernel(ConvolutionKernel::Direct)
+            .evaluate_sequential(&batch);
+        for (a, b) in zi.instances.iter().zip(direct.instances.iter()) {
+            assert!(a.max_difference(b) < 1e-55);
+        }
+    }
+
+    #[test]
+    fn complex_coefficients_evaluate_in_batch() {
+        type Cx = Complex<Dd>;
+        let d = 3;
+        let c = |re: f64, im: f64| Series::constant(Cx::new(Dd::from_f64(re), Dd::from_f64(im)), d);
+        let p = Polynomial::new(
+            3,
+            c(0.5, -0.5),
+            vec![
+                Monomial::new(c(1.0, 1.0), vec![0, 1]),
+                Monomial::new(c(0.0, 2.0), vec![1, 2]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(31);
+        let batch: Vec<Vec<Series<Cx>>> = (0..5)
+            .map(|_| (0..3).map(|_| Series::random(&mut rng, d)).collect())
+            .collect();
+        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        let single = ScheduledEvaluator::new(&p);
+        for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
+            let want = single.evaluate_sequential(inputs);
+            assert_eq!(got.value, want.value);
+            assert_eq!(got.gradient, want.gradient);
+        }
+    }
+
+    #[test]
+    fn degenerate_scratch_slots_are_batched_correctly() {
+        // Duplicate single-variable monomials force a scratch accumulator;
+        // its slot must be shifted per instance like every other slot.
+        let d = 2;
+        let p = Polynomial::new(
+            1,
+            coeff(0.0, d),
+            vec![
+                Monomial::new(coeff(2.0, d), vec![0]),
+                Monomial::new(coeff(5.0, d), vec![0]),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        let batch: Vec<Vec<Series<Qd>>> =
+            (0..6).map(|_| vec![Series::random(&mut rng, d)]).collect();
+        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        for got in &batched.instances {
+            assert_eq!(got.gradient[0].coeff(0).to_f64(), 7.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of inputs")]
+    fn mismatched_input_count_panics() {
+        let p = paper_example(2);
+        let bad = vec![random_batch(5, 2, 1, 1)[0].clone()];
+        let _ = BatchEvaluator::new(&p).evaluate_sequential(&bad);
+    }
+
+    #[test]
+    fn random_structures_batch_consistently() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..8 {
+            let p: Polynomial<Dd> = random_polynomial(6, 10, 5, 4, &mut rng);
+            let batch: Vec<Vec<Series<Dd>>> = (0..5)
+                .map(|_| random_inputs::<Dd, _>(6, 4, &mut rng))
+                .collect();
+            let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+            let single = ScheduledEvaluator::new(&p);
+            for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
+                let want = single.evaluate_sequential(inputs);
+                assert_eq!(got.value, want.value);
+                assert_eq!(got.gradient, want.gradient);
+            }
+        }
+    }
+}

@@ -115,7 +115,10 @@ mod tests {
         assert_eq!(w.degree, 5);
         assert_eq!(w.convolution_jobs(), s.convolution_jobs());
         assert_eq!(w.addition_jobs(), s.addition_jobs());
-        assert_eq!(w.launches(), s.convolution_layers.len() + s.addition_layers.len());
+        assert_eq!(
+            w.launches(),
+            s.convolution_layers.len() + s.addition_layers.len()
+        );
         // The device model and the local count agree on the total double
         // operations.
         let local = coefficient_ops(&s).double_ops(Precision::D4, CostModel::Paper);
@@ -131,6 +134,9 @@ mod tests {
         let slow = achieved_gflops(&s, Precision::D4, CostModel::Paper, 10.0);
         assert!(fast > 0.0);
         assert!((fast / slow - 10.0).abs() < 1e-9);
-        assert_eq!(achieved_gflops(&s, Precision::D4, CostModel::Paper, 0.0), 0.0);
+        assert_eq!(
+            achieved_gflops(&s, Precision::D4, CostModel::Paper, 0.0),
+            0.0
+        );
     }
 }

@@ -198,7 +198,7 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
 /// The inputs are staged into thread-local storage first (the equivalent of
 /// the shared-memory staging of the device kernel), which also makes the
 /// in-place update `b := b * a` safe.
-fn run_convolution_job<C: Coeff>(
+pub(crate) fn run_convolution_job<C: Coeff>(
     shared: &SharedArray<C>,
     job: &ConvJob,
     per: usize,
@@ -221,7 +221,7 @@ fn run_convolution_job<C: Coeff>(
 }
 
 /// Executes one addition job on the shared data array.
-fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, per: usize) {
+pub(crate) fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, per: usize) {
     debug_assert_ne!(job.src, job.dst);
     // Safety: the schedule guarantees src is not written and dst is written
     // only by this job within the current layer.
@@ -315,7 +315,10 @@ mod tests {
             par.timings.addition_launches,
             ev.schedule().addition_layers.len()
         );
-        assert_eq!(par.timings.convolution_blocks, ev.schedule().convolution_jobs());
+        assert_eq!(
+            par.timings.convolution_blocks,
+            ev.schedule().convolution_jobs()
+        );
         assert_eq!(par.timings.addition_blocks, ev.schedule().addition_jobs());
         assert!(par.timings.wall_clock_ms() >= par.timings.sum_ms() * 0.5);
     }
@@ -378,9 +381,7 @@ mod tests {
     fn complex_coefficients_are_supported() {
         type Cx = Complex<Dd>;
         let d = 3;
-        let c = |re: f64, im: f64| {
-            Series::constant(Cx::new(Dd::from_f64(re), Dd::from_f64(im)), d)
-        };
+        let c = |re: f64, im: f64| Series::constant(Cx::new(Dd::from_f64(re), Dd::from_f64(im)), d);
         let p = Polynomial::new(
             3,
             c(0.5, -0.5),
@@ -404,11 +405,7 @@ mod tests {
     fn double_precision_path_works_through_md1() {
         let d = 2;
         let c = |x: f64| Series::constant(Md::<1>::from_f64(x), d);
-        let p = Polynomial::new(
-            2,
-            c(1.0),
-            vec![Monomial::new(c(3.0), vec![0, 1])],
-        );
+        let p = Polynomial::new(2, c(1.0), vec![Monomial::new(c(3.0), vec![0, 1])]);
         let mut rng = StdRng::seed_from_u64(2);
         let z: Vec<Series<Md<1>>> = (0..2).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod counts;
 pub mod evaluate;
 pub mod generators;
@@ -48,6 +49,7 @@ pub mod monomial;
 pub mod polynomial;
 pub mod schedule;
 
+pub use batch::{BatchEvaluation, BatchEvaluator};
 pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
 pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ScheduledEvaluator};
 pub use generators::{

@@ -113,11 +113,7 @@ impl<C: Coeff> Polynomial<C> {
         let value_adds = self.num_monomials();
         let gradient_adds: usize = (0..self.num_variables)
             .map(|v| {
-                let count = self
-                    .monomials
-                    .iter()
-                    .filter(|m| m.contains(v))
-                    .count();
+                let count = self.monomials.iter().filter(|m| m.contains(v)).count();
                 count.saturating_sub(1)
             })
             .sum();
@@ -191,21 +187,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "references variable")]
     fn out_of_range_variables_are_rejected() {
-        let _ = Polynomial::new(
-            2,
-            s(&[0.0]),
-            vec![Monomial::new(s(&[1.0]), vec![0, 5])],
-        );
+        let _ = Polynomial::new(2, s(&[0.0]), vec![Monomial::new(s(&[1.0]), vec![0, 5])]);
     }
 
     #[test]
     #[should_panic(expected = "coefficient degree differs")]
     fn degree_mismatch_is_rejected() {
-        let _ = Polynomial::new(
-            2,
-            s(&[0.0, 0.0]),
-            vec![Monomial::new(s(&[1.0]), vec![0])],
-        );
+        let _ = Polynomial::new(2, s(&[0.0, 0.0]), vec![Monomial::new(s(&[1.0]), vec![0])]);
     }
 
     #[test]

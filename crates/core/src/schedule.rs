@@ -123,11 +123,36 @@ impl DataLayout {
         self.num_slots * self.coeffs_per_slot()
     }
 
+    /// Slot addressing a series of batch instance `instance` when `batch`
+    /// instances of this layout are laid out back-to-back in one flat arena
+    /// (the batched evaluation engine): instance `i` occupies slots
+    /// `i * num_slots .. (i + 1) * num_slots`.
+    pub fn batch_slot(&self, instance: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.num_slots);
+        instance * self.num_slots + slot
+    }
+
+    /// Offset (in coefficients) of the start of batch instance `instance` in
+    /// the flat arena.
+    pub fn batch_instance_offset(&self, instance: usize) -> usize {
+        instance * self.total_coefficients()
+    }
+
+    /// Total number of coefficients of an arena holding `batch` instances.
+    pub fn batch_total_coefficients(&self, batch: usize) -> usize {
+        batch * self.total_coefficients()
+    }
+
     /// The slot holding the derivative of monomial `k` with respect to the
     /// variable at position `pos` of its index tuple, or `None` when the
     /// derivative is the read-only coefficient itself (single-variable
     /// monomials).
-    pub fn derivative_slot(&self, monomial: &Monomial<impl Coeff>, k: usize, pos: usize) -> Option<usize> {
+    pub fn derivative_slot(
+        &self,
+        monomial: &Monomial<impl Coeff>,
+        k: usize,
+        pos: usize,
+    ) -> Option<usize> {
         let nk = monomial.num_variables();
         match nk {
             1 => None,
@@ -222,7 +247,10 @@ impl Schedule {
             let mut outputs = std::collections::HashSet::new();
             for job in layer {
                 if !outputs.insert(job.out) {
-                    return Err(format!("convolution layer {l}: duplicate output slot {}", job.out));
+                    return Err(format!(
+                        "convolution layer {l}: duplicate output slot {}",
+                        job.out
+                    ));
                 }
             }
             for job in layer {
@@ -238,7 +266,10 @@ impl Schedule {
             let mut outputs = std::collections::HashSet::new();
             for job in layer {
                 if !outputs.insert(job.dst) {
-                    return Err(format!("addition layer {l}: duplicate destination {}", job.dst));
+                    return Err(format!(
+                        "addition layer {l}: duplicate destination {}",
+                        job.dst
+                    ));
                 }
             }
             for job in layer {
@@ -254,27 +285,41 @@ impl Schedule {
 
     /// Populates the flat data array with the polynomial's coefficient
     /// series and the input series; product slots are zero-initialized.
-    pub fn build_data_array<C: Coeff>(
+    pub fn build_data_array<C: Coeff>(&self, poly: &Polynomial<C>, inputs: &[Series<C>]) -> Vec<C> {
+        let mut data = vec![C::zero(); self.layout.total_coefficients()];
+        self.fill_data_array(poly, inputs, &mut data);
+        data
+    }
+
+    /// Populates one instance's region of a (possibly batched) flat data
+    /// array: writes the constant, the monomial coefficients and the input
+    /// series into their slots and leaves every product slot untouched (the
+    /// caller provides a zero-initialized slice).
+    pub fn fill_data_array<C: Coeff>(
         &self,
         poly: &Polynomial<C>,
         inputs: &[Series<C>],
-    ) -> Vec<C> {
+        data: &mut [C],
+    ) {
         assert_eq!(inputs.len(), poly.num_variables(), "wrong number of inputs");
+        assert_eq!(
+            data.len(),
+            self.layout.total_coefficients(),
+            "data slice does not match the layout"
+        );
         let per = self.layout.coeffs_per_slot();
-        let mut data = vec![C::zero(); self.layout.total_coefficients()];
-        let write_slot = |slot: usize, series: &Series<C>, data: &mut Vec<C>| {
+        let write_slot = |slot: usize, series: &Series<C>, data: &mut [C]| {
             assert_eq!(series.degree(), self.layout.degree, "degree mismatch");
             let off = slot * per;
             data[off..off + per].copy_from_slice(series.coeffs());
         };
-        write_slot(self.layout.constant_slot, poly.constant(), &mut data);
+        write_slot(self.layout.constant_slot, poly.constant(), data);
         for (k, m) in poly.monomials().iter().enumerate() {
-            write_slot(self.layout.coefficient_slots[k], &m.coefficient, &mut data);
+            write_slot(self.layout.coefficient_slots[k], &m.coefficient, data);
         }
         for (i, z) in inputs.iter().enumerate() {
-            write_slot(self.layout.input_slots[i], z, &mut data);
+            write_slot(self.layout.input_slots[i], z, data);
         }
-        data
     }
 
     /// Extracts a result series from the populated data array.

@@ -91,7 +91,7 @@ mod tests {
             let real = max_degree(gpu, p);
             let cplx = max_degree_complex(gpu, p);
             assert!(cplx <= real);
-            assert!(cplx + 1 >= (real + 1) / 2);
+            assert!(cplx + 1 >= real.div_ceil(2));
         }
     }
 

@@ -241,7 +241,12 @@ mod tests {
 
     #[test]
     fn parse_round_trips_through_format() {
-        let cases = ["1.5e0", "-2.25e3", "3.333333333333333333333333333e-1", "0.125"];
+        let cases = [
+            "1.5e0",
+            "-2.25e3",
+            "3.333333333333333333333333333e-1",
+            "0.125",
+        ];
         for c in &cases {
             let x: Qd = c.parse().unwrap();
             let formatted = x.to_decimal(40);

@@ -161,7 +161,13 @@ mod tests {
     #[test]
     fn two_prod_fma_agrees_with_split_version() {
         let values = [
-            0.1, -0.3, 1.0e8, 3.5e-7, 123456.789, -9.87654321e3, 1.0 / 3.0,
+            0.1,
+            -0.3,
+            1.0e8,
+            3.5e-7,
+            123456.789,
+            -9.87654321e3,
+            1.0 / 3.0,
         ];
         for &a in &values {
             for &b in &values {

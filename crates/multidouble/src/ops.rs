@@ -79,7 +79,7 @@ impl<const N: usize> Neg for Md<N> {
     }
 }
 
-impl<'a, const N: usize> Neg for &'a Md<N> {
+impl<const N: usize> Neg for &Md<N> {
     type Output = Md<N>;
     #[inline]
     fn neg(self) -> Md<N> {
@@ -180,7 +180,7 @@ mod tests {
         let a = Qd::from_f64(1.25) + Qd::from_f64(2f64.powi(-80));
         let b = Qd::from_f64(0.75);
         assert_eq!(a + b, a.add(&b));
-        assert_eq!(&a - &b, a.sub(&b));
+        assert_eq!(a - b, a.sub(&b));
         assert_eq!(a * b, a.mul(&b));
         assert_eq!(a / b, a.div(&b));
         assert_eq!(-a, a.neg());

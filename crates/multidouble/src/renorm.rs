@@ -165,7 +165,10 @@ mod tests {
         // The transformation is error free: the exact sum of the slice does
         // not change (here every partial sum is representable).
         let after: f64 = terms.iter().sum::<f64>();
-        assert_eq!(before, 1.0 + 2f64.powi(-53) + 2f64.powi(-54) + 2f64.powi(-105));
+        assert_eq!(
+            before,
+            1.0 + 2f64.powi(-53) + 2f64.powi(-54) + 2f64.powi(-105)
+        );
         assert!((after - before).abs() <= f64::EPSILON * before.abs());
         // Head approximates the total: the sub-ulp tail rounds up to one ulp.
         assert_eq!(terms[0], 1.0 + f64::EPSILON);

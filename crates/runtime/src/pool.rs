@@ -277,6 +277,104 @@ mod tests {
     }
 
     #[test]
+    fn zero_block_launch_is_a_no_op_on_any_pool_size() {
+        for threads in [0, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let count = AtomicUsize::new(0);
+            pool.launch_grid(0, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 0, "threads = {threads}");
+            // The pool stays usable after the empty launch.
+            pool.launch_grid(3, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_reports_its_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_threads(), 0);
+        // The launcher always participates.
+        assert_eq!(pool.parallelism(), 1);
+    }
+
+    #[test]
+    fn zero_worker_pool_propagates_panics_and_survives() {
+        // With no workers the launch runs inline; the panic must still reach
+        // the caller and must not wedge the pool.
+        let pool = WorkerPool::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.launch_grid(4, |b| {
+                if b == 2 {
+                    panic!("inline boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let count = AtomicUsize::new(0);
+        pool.launch_grid(4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn single_block_panic_propagates_on_the_inline_fast_path() {
+        // blocks == 1 takes the inline fast path even on a threaded pool.
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.launch_grid(1, |_| panic!("one-block boom"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn poisoning_is_reported_even_when_many_blocks_panic() {
+        let pool = WorkerPool::new(3);
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.launch_grid(64, |b| {
+                if b % 2 == 0 {
+                    panic!("boom {b}");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // Panicking blocks do not abort the grid: the odd blocks all ran.
+        assert_eq!(survivors.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn concurrent_launches_from_multiple_threads_are_isolated() {
+        // The batch engine launches from the evaluation thread while other
+        // evaluations may be in flight on other threads; each launch must
+        // run each of its own blocks exactly once.
+        let pool = std::sync::Arc::new(WorkerPool::new(3));
+        let launchers: Vec<_> = (0..4)
+            .map(|l| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let blocks = 100 + l;
+                    let hits: Vec<AtomicUsize> = (0..blocks).map(|_| AtomicUsize::new(0)).collect();
+                    for _ in 0..10 {
+                        pool.launch_grid(blocks, |b| {
+                            hits[b].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 10)
+                })
+            })
+            .collect();
+        for launcher in launchers {
+            assert!(launcher.join().unwrap(), "a launch lost or repeated blocks");
+        }
+    }
+
+    #[test]
     fn launches_can_be_nested_sequentially() {
         // Launch-from-within-launch is not supported in CUDA either; what we
         // check is that back-to-back launches on the same pool reuse workers.

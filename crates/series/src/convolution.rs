@@ -51,14 +51,12 @@ pub fn convolve_zero_insertion<C: Coeff>(x: &[C], y: &[C], z: &mut [C], scratch:
     // inserting zeroes before the second operand.  The two assignments to
     // `Y` are separate lock-step statements in the paper's kernel (all
     // threads zero their slot before any thread stores `y_k` at `d + k`),
-    // hence two separate loops here.
+    // hence a separate bulk store after the zeroing loop.
     for k in 0..n {
         xs[k] = x[k];
         ys[k] = C::zero();
     }
-    for k in 0..n {
-        ys[d + k] = y[k];
-    }
+    ys[d..d + n].copy_from_slice(y);
     // Stage 2: d + 1 identical multiply-add steps per thread.
     for k in 0..n {
         let mut acc = C::zero();
@@ -146,8 +144,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for d in [0usize, 1, 2, 7, 31] {
             let n = d + 1;
-            let x: Vec<Dd> = (0..n).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
-            let y: Vec<Dd> = (0..n).map(|_| RandomCoeff::random_uniform(&mut rng)).collect();
+            let x: Vec<Dd> = (0..n)
+                .map(|_| RandomCoeff::random_uniform(&mut rng))
+                .collect();
+            let y: Vec<Dd> = (0..n)
+                .map(|_| RandomCoeff::random_uniform(&mut rng))
+                .collect();
             let mut z1 = vec![Dd::ZERO; n];
             let mut z2 = vec![Dd::ZERO; n];
             let mut scratch = vec![Dd::ZERO; 4 * n];
@@ -157,7 +159,10 @@ mod tests {
                 let err = z1[k].sub(&z2[k]).abs().to_f64();
                 // Both orderings accumulate the same products; tiny rounding
                 // differences from the different summation order are allowed.
-                assert!(err <= 1e-28 * (1.0 + z1[k].abs().to_f64()), "k={k} err={err}");
+                assert!(
+                    err <= 1e-28 * (1.0 + z1[k].abs().to_f64()),
+                    "k={k} err={err}"
+                );
             }
         }
     }

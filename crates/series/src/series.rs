@@ -46,7 +46,10 @@ impl<C: Coeff> Series<C> {
     /// Builds a series from its coefficients (`coeffs[k]` is the coefficient
     /// of `t^k`).  The truncation degree is `coeffs.len() - 1`.
     pub fn from_coeffs(coeffs: Vec<C>) -> Self {
-        assert!(!coeffs.is_empty(), "a series needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "a series needs at least one coefficient"
+        );
         Self { coeffs }
     }
 
@@ -188,7 +191,10 @@ impl<C: RealCoeff> Series<C> {
     pub fn recip(&self) -> Self {
         let d = self.degree();
         let v0 = self.coeffs[0];
-        assert!(!v0.is_zero(), "series with zero constant term is not invertible");
+        assert!(
+            !v0.is_zero(),
+            "series with zero constant term is not invertible"
+        );
         let mut w = Self::zero(d);
         w.coeffs[0] = C::one().div(&v0);
         for k in 1..=d {
@@ -247,9 +253,9 @@ impl<C: Coeff + psmd_multidouble::RandomCoeff> Series<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psmd_multidouble::{Complex, Dd, Qd};
     #[allow(unused_imports)]
     use psmd_multidouble::Coeff;
+    use psmd_multidouble::{Complex, Dd, Qd};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -293,7 +299,7 @@ mod tests {
         let one_minus_t: Series<Qd> = Series::from_f64_coeffs(
             &std::iter::once(1.0)
                 .chain(std::iter::once(-1.0))
-                .chain(std::iter::repeat(0.0).take(d - 1))
+                .chain(std::iter::repeat_n(0.0, d - 1))
                 .collect::<Vec<_>>(),
         );
         let g = geometric(d);
@@ -310,7 +316,7 @@ mod tests {
         let expect: Series<Qd> = Series::from_f64_coeffs(
             &std::iter::once(1.0)
                 .chain(std::iter::once(-1.0))
-                .chain(std::iter::repeat(0.0).take(d - 1))
+                .chain(std::iter::repeat_n(0.0, d - 1))
                 .collect::<Vec<_>>(),
         );
         assert!(r.distance(&expect) < 1e-60);

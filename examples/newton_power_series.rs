@@ -47,11 +47,7 @@ fn build_system(degree: usize) -> (Polynomial<C>, Polynomial<C>) {
     // exponent-folding constructor at evaluation time inside the Newton loop.
     // Here we only return the "affine" parts that do not change: -c1 and -c2.
     let f1 = Polynomial::new(2, c1.neg(), vec![]);
-    let f2 = Polynomial::new(
-        2,
-        c2.neg(),
-        vec![Monomial::new(one, vec![0, 1])],
-    );
+    let f2 = Polynomial::new(2, c2.neg(), vec![Monomial::new(one, vec![0, 1])]);
     (f1, f2)
 }
 
@@ -95,6 +91,7 @@ fn main() {
         let j12 = e1.gradient[1].mul(&two); // d f1 / dy = 2y
         let j21 = e2.gradient[0].clone(); // d f2 / dx = y
         let j22 = e2.gradient[1].clone(); // d f2 / dy = x
+
         // Solve J * (dx, dy) = -(f1, f2) with Cramer's rule in series
         // arithmetic.
         let det = j11.mul(&j22).sub(&j12.mul(&j21));

@@ -53,7 +53,11 @@ fn main() {
     println!("\np(z)       = {:.30}", eval.value.coeff(0));
     println!("p(z), t^1  = {:.30}", eval.value.coeff(1));
     for (i, g) in eval.gradient.iter().enumerate() {
-        println!("dp/dx{i}(z) = {:.30}  (+ {:.30} t + ...)", g.coeff(0), g.coeff(1));
+        println!(
+            "dp/dx{i}(z) = {:.30}  (+ {:.30} t + ...)",
+            g.coeff(0),
+            g.coeff(1)
+        );
     }
 
     // Block-parallel evaluation on the worker pool gives bitwise identical

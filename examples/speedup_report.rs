@@ -5,9 +5,7 @@
 //! Run with `cargo run --release --example speedup_report -- [degree]`.
 
 use psmd_bench::TestPolynomial;
-use psmd_core::{
-    achieved_gflops, evaluate_naive, workload_shape, Polynomial, ScheduledEvaluator,
-};
+use psmd_core::{achieved_gflops, evaluate_naive, workload_shape, Polynomial, ScheduledEvaluator};
 use psmd_device::{model_evaluation, paper_gpus};
 use psmd_multidouble::{CostModel, Dd, Precision};
 use psmd_runtime::WorkerPool;
@@ -47,7 +45,10 @@ fn main() {
     assert!(naive.max_difference(&seq) < 1e-25);
     assert_eq!(seq.value, par.value);
 
-    println!("measured on this machine ({} parallel lanes):", pool.parallelism());
+    println!(
+        "measured on this machine ({} parallel lanes):",
+        pool.parallelism()
+    );
     println!("  naive baseline            {naive_ms:10.3} ms");
     println!(
         "  scheduled, sequential     {seq_ms:10.3} ms   ({:.2}x vs naive)",
@@ -70,10 +71,7 @@ fn main() {
         let m = model_evaluation(&gpu, &shape, precision, CostModel::Paper);
         println!(
             "  {:<18} convolution {:9.3} ms, addition {:7.3} ms, wall {:9.3} ms",
-            gpu.name,
-            m.convolution_ms,
-            m.addition_ms,
-            m.wall_clock_ms
+            gpu.name, m.convolution_ms, m.addition_ms, m.wall_clock_ms
         );
     }
     println!("\nper-kernel measured times (block-parallel run):");

@@ -6,9 +6,13 @@
 //! gradients as the direct definition.
 
 use proptest::prelude::*;
-use psmd_core::{evaluate_naive, random_inputs, random_polynomial, Polynomial, ScheduledEvaluator};
+use psmd_core::{
+    evaluate_naive, random_inputs, random_polynomial, BatchEvaluator, Polynomial,
+    ScheduledEvaluator,
+};
 use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
 use psmd_runtime::WorkerPool;
+use psmd_series::Series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,8 +66,7 @@ fn consistency_for_large_supports() {
     // chains (the p2 structure).
     let mut rng = StdRng::seed_from_u64(21);
     let supports = psmd_core::banded_supports(20, 12, 10);
-    let p: Polynomial<Dd> =
-        psmd_core::polynomial_with_supports(supports, 20, 6, &mut rng);
+    let p: Polynomial<Dd> = psmd_core::polynomial_with_supports(supports, 20, 6, &mut rng);
     let z = random_inputs::<Dd, _>(20, 6, &mut rng);
     let naive = evaluate_naive(&p, &z);
     let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
@@ -71,8 +74,116 @@ fn consistency_for_large_supports() {
     assert!(diff < 1e-22, "difference {diff}");
 }
 
+/// Batched evaluation must agree with the sequential evaluator on every
+/// instance of the batch, within the same precision-scaled tolerance the
+/// naive/scheduled comparison uses.
+fn check_batch_consistency<C: Coeff + RandomCoeff>(
+    seed: u64,
+    n: usize,
+    monomials: usize,
+    degree: usize,
+    batch_size: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
+    let batch: Vec<Vec<Series<C>>> = (0..batch_size)
+        .map(|_| random_inputs::<C, _>(n, degree, &mut rng))
+        .collect();
+    let single = ScheduledEvaluator::new(&p);
+    let evaluator = BatchEvaluator::new(&p);
+    let tol = tolerance::<C>(degree, monomials);
+    let batched = evaluator.evaluate_sequential(&batch);
+    assert_eq!(batched.len(), batch_size);
+    for (i, (inputs, got)) in batch.iter().zip(batched.instances.iter()).enumerate() {
+        let want = single.evaluate_sequential(inputs);
+        let diff = got.max_difference(&want);
+        assert!(
+            diff <= tol,
+            "batched vs sequential differ by {diff:e} (tolerance {tol:e}) \
+             for seed {seed}, instance {i}"
+        );
+    }
+    // The pool-parallel batch must match the sequential batch bitwise.
+    let pool = WorkerPool::new(3);
+    let parallel = evaluator.evaluate_parallel(&batch, &pool);
+    for (seq, par) in batched.instances.iter().zip(parallel.instances.iter()) {
+        assert_eq!(
+            seq.value, par.value,
+            "parallel batch must be bitwise identical"
+        );
+        assert_eq!(seq.gradient, par.gradient);
+    }
+    // One launch per layer for the whole batch, never per instance.
+    assert_eq!(
+        parallel.timings.convolution_launches,
+        evaluator.schedule().convolution_layers.len()
+    );
+    assert_eq!(
+        parallel.timings.convolution_blocks,
+        batch_size * evaluator.schedule().convolution_jobs()
+    );
+}
+
+#[test]
+fn batch_consistency_across_precisions() {
+    check_batch_consistency::<Md<1>>(101, 6, 12, 5, 5);
+    check_batch_consistency::<Dd>(102, 6, 12, 5, 5);
+    check_batch_consistency::<Md<3>>(103, 5, 10, 4, 4);
+    check_batch_consistency::<Qd>(104, 5, 10, 4, 4);
+    check_batch_consistency::<Md<5>>(105, 5, 8, 4, 3);
+    check_batch_consistency::<Md<8>>(106, 4, 8, 3, 3);
+    check_batch_consistency::<Deca>(107, 4, 8, 3, 3);
+}
+
+#[test]
+fn batch_consistency_for_complex_coefficients() {
+    check_batch_consistency::<Complex<Dd>>(111, 5, 10, 4, 4);
+    check_batch_consistency::<Complex<Qd>>(112, 4, 8, 3, 3);
+    check_batch_consistency::<Complex<Deca>>(113, 4, 6, 2, 3);
+}
+
+#[test]
+fn batch_handles_empty_and_singleton_batches() {
+    let mut rng = StdRng::seed_from_u64(121);
+    let p: Polynomial<Dd> = random_polynomial(5, 8, 4, 3, &mut rng);
+    let evaluator = BatchEvaluator::new(&p);
+    assert!(evaluator.evaluate_sequential(&[]).is_empty());
+    let z = random_inputs::<Dd, _>(5, 3, &mut rng);
+    let one = evaluator.evaluate_sequential(std::slice::from_ref(&z));
+    let single = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+    assert_eq!(one.instances[0].value, single.value);
+    assert_eq!(one.instances[0].gradient, single.gradient);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random structure, random batch size, double-double: every batched
+    /// instance matches the sequential evaluator.
+    #[test]
+    fn random_batches_evaluate_consistently(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        monomials in 1usize..16,
+        degree in 0usize..6,
+        batch in 1usize..9,
+    ) {
+        check_batch_consistency::<Dd>(seed, n, monomials, degree, batch);
+    }
+
+    /// Quad-double and complex double-double batched consistency on random
+    /// structures (smaller sizes, higher-cost arithmetic).
+    #[test]
+    fn random_batches_evaluate_consistently_qd_and_complex(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        monomials in 1usize..10,
+        degree in 0usize..5,
+        batch in 1usize..6,
+    ) {
+        check_batch_consistency::<Qd>(seed, n, monomials, degree, batch);
+        check_batch_consistency::<Complex<Dd>>(seed, n, monomials, degree, batch);
+    }
 
     /// Random structure, double-double precision: the three evaluators agree.
     #[test]

@@ -6,12 +6,8 @@ use psmd_multidouble::{Dd, Deca, Md, Qd};
 
 /// A strategy producing finite, well-scaled doubles.
 fn small_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1e6f64..1e6f64,
-        -1.0f64..1.0f64,
-        (-1e-6f64..1e-6f64),
-    ]
-    .prop_filter("nonzero-ish", |x| x.is_finite())
+    prop_oneof![-1e6f64..1e6f64, -1.0f64..1.0f64, -1e-6f64..1e-6f64,]
+        .prop_filter("nonzero-ish", |x| x.is_finite())
 }
 
 /// A strategy producing quad-double values exercising several limbs.

@@ -26,7 +26,8 @@ fn table2_job_counts() {
         let s = Schedule::build(&p);
         assert_eq!(s.convolution_jobs(), convolutions, "{}", poly.label());
         assert_eq!(s.addition_jobs(), additions, "{}", poly.label());
-        s.validate_layers().expect("schedule layers must be conflict free");
+        s.validate_layers()
+            .expect("schedule layers must be conflict free");
     }
 }
 
@@ -36,7 +37,10 @@ fn section_6_1_launch_structure_of_p1() {
     let s = Schedule::build(&p);
     // "the 16,380 convolutions are performed in four kernel launches of
     // respectively 3,640, 5,460, 5,460, and 1,820 blocks"
-    assert_eq!(s.convolution_layer_sizes(), vec![3_640, 5_460, 5_460, 1_820]);
+    assert_eq!(
+        s.convolution_layer_sizes(),
+        vec![3_640, 5_460, 5_460, 1_820]
+    );
     // The additions happen with a handful of launches whose blocks sum to
     // 9,084 (the paper reports 11 launches; our tree needs 12 because the
     // constant term is folded in a dedicated first launch).
@@ -114,8 +118,16 @@ fn table3_and_table4_modeled_shapes() {
     let t_p = model_evaluation(&p100, &p1, Precision::D10, CostModel::Paper).wall_clock_ms;
     let t_c = model_evaluation(&c2050, &p1, Precision::D10, CostModel::Paper).wall_clock_ms;
     assert!(t_v < t_p && t_p < t_c);
-    assert!((t_p / t_v - 1.67).abs() < 0.25, "P100/V100 ratio {}", t_p / t_v);
-    assert!((t_c / t_v - 20.26).abs() < 4.0, "C2050/V100 ratio {}", t_c / t_v);
+    assert!(
+        (t_p / t_v - 1.67).abs() < 0.25,
+        "P100/V100 ratio {}",
+        t_p / t_v
+    );
+    assert!(
+        (t_c / t_v - 20.26).abs() < 4.0,
+        "C2050/V100 ratio {}",
+        t_c / t_v
+    );
     // Table 4: the p2 ratio between P100 and V100 is lower than the p3 ratio
     // because 256-block launches underutilize the V100's 80 SMs.
     let p2 = mk(TestPolynomial::P2);

@@ -1,0 +1,262 @@
+//! Offline drop-in shim for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors the API subset it uses (see `vendor/README.md`):
+//! [`Criterion`], [`BenchmarkGroup`] with `sample_size`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The shim measures wall-clock time only: it calibrates an iteration count
+//! per sample from a warm-up run, takes `sample_size` samples within
+//! roughly `measurement_time`, and prints min/mean/max per-iteration times.
+//! No statistical analysis, no plots, no baseline comparison — enough to
+//! compare variants by eye, which is what the workspace's benches are for.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement back-ends (the shim measures wall time only).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<measurement::WallTime> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_label(), |b| body(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into_label(), |b| body(b, input));
+        self
+    }
+
+    fn run_one(&mut self, label: String, mut body: impl FnMut(&mut Bencher)) {
+        // Warm-up and calibration: one iteration to estimate the cost.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        let estimate = bencher.elapsed.max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_secs_f64() / estimate.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iterations: iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            per_iter.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "  {}/{label}: [{} {} {}] ({} samples x {} iters)",
+            self.name,
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            self.sample_size,
+            iters
+        );
+    }
+
+    /// Ends the group (output is already printed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Times the benchmark body: `iter` runs the closure for the configured
+/// number of iterations and records the elapsed wall time.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine and measures it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.  When cargo's test runner
+/// invokes the bench binary (`cargo test --benches` passes `--test`), the
+/// benchmarks are skipped so test runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                println!("criterion shim: --test mode, skipping benchmarks");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_bodies_and_chains_config() {
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        let mut runs = 0usize;
+        group.bench_function("counting", |b| {
+            runs += 1;
+            b.iter(|| black_box(3u64.pow(7)))
+        });
+        // Warm-up + samples.
+        assert_eq!(runs, 3);
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).into_label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p1").into_label(), "p1");
+    }
+}

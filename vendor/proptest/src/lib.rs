@@ -1,0 +1,157 @@
+//! Offline drop-in shim for the `proptest` crate.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors the API subset it uses (see `vendor/README.md`): the
+//! [`Strategy`](strategy::Strategy) trait over ranges and tuples,
+//! `prop_map`/`prop_filter`, the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!` and `prop_oneof!` macros, and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate, deliberate for an offline shim: no
+//! shrinking of failing cases (the failing inputs are printed instead), and
+//! case generation is seeded deterministically from the test's name, so
+//! every run explores the same cases — failures are always reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the generated inputs printed) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed_gen($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut __case: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __case < __config.cases {
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut __rng)
+                    {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < 256 * __config.cases.max(1),
+                                "strategy rejected too many inputs in {}",
+                                stringify!($name)
+                            );
+                            continue;
+                        }
+                    };
+                )+
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {
+                        __case += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < 256 * __config.cases.max(1),
+                            "prop_assume rejected too many inputs in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

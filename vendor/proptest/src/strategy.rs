@@ -1,0 +1,218 @@
+//! Value-generation strategies: ranges, tuples, `prop_map`, `prop_filter`
+//! and `prop_oneof!` arms.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values for property tests.
+///
+/// `generate` returns `None` when the underlying strategy rejected the draw
+/// (a failed `prop_filter`); the runner then redraws.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on a filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values not satisfying the predicate.  The reason
+    /// string mirrors the real API; it is used only in exhaustion errors.
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// A strategy transformed by a function (`prop_map`).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// A strategy restricted by a predicate (`prop_filter`).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A single fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A type-erased generator closure: one arm of a `prop_oneof!`.
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> Option<V>>;
+
+/// Type-erases a strategy into a boxed generator closure (used by
+/// `prop_oneof!`, whose arms have distinct types).
+pub fn boxed_gen<S>(strategy: S) -> BoxedGen<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| strategy.generate(rng))
+}
+
+/// Uniform choice between several strategies with the same value type.
+pub struct OneOf<V> {
+    arms: Vec<BoxedGen<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the choice from type-erased arms (see [`boxed_gen`]).
+    pub fn new(arms: Vec<BoxedGen<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let pick = rng.gen_range(0..self.arms.len());
+        (self.arms[pick])(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_map_and_filter_compose() {
+        let mut rng = TestRng::deterministic("strategy::compose");
+        let strat = (0usize..10, -1.0f64..1.0)
+            .prop_map(|(n, x)| (n, x.abs()))
+            .prop_filter("positive", |(_, x)| *x > 0.0);
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if let Some((n, x)) = strat.generate(&mut rng) {
+                assert!(n < 10);
+                assert!(x > 0.0 && x < 1.0);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 90);
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let mut rng = TestRng::deterministic("strategy::oneof");
+        let strat = crate::prop_oneof![0i64..10, 100i64..110, 200i64..210];
+        let mut buckets = [0usize; 3];
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng).unwrap();
+            buckets[(v / 100) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 40), "{buckets:?}");
+    }
+
+    #[test]
+    fn just_always_yields_its_value() {
+        let mut rng = TestRng::deterministic("strategy::just");
+        assert_eq!(Just(7).generate(&mut rng), Some(7));
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline drop-in shim for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors the API subset it uses (see `vendor/README.md`): the
+//! [`Rng`]/[`RngCore`]/[`SeedableRng`] traits, `gen_range` over integer and
+//! float ranges, and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a different
+//! stream than the real `rand`'s ChaCha12, but the reproduction only relies
+//! on *determinism* (same seed, same sequence), never on the specific
+//! stream, so every seeded test and benchmark remains reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`] like in the real crate.
+pub trait Rng: RngCore {
+    /// A uniformly random value in the given range (empty ranges panic).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Converts 64 random bits into a double in `[0, 1)`.
+fn sample_unit_f64(bits: u64) -> f64 {
+    // 53 high bits scaled by 2^-53, the standard open-interval construction.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * sample_unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * sample_unit_f64(rng.next_u64()) as f32
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256** with
+    /// SplitMix64 seeding.  Deterministic for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_splitmix(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let state = [next(), next(), next(), next()];
+            Self { state }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::from_splitmix(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain reference).
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&v));
+        }
+        let neg: i64 = rng.gen_range(-1000i64..1000i64);
+        assert!((-1000..1000).contains(&neg));
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        // The evaluation code passes `&mut R` where `R: Rng + ?Sized`.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
