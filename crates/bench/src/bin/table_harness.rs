@@ -10,7 +10,8 @@
 //!   figure2 figure3 figure4 figure5 figure6
 //!   tflops
 //!   batch          measured batched-vs-looped evaluation comparison
-//!   all            run every command above (except batch)
+//!   system         measured fused-system-vs-per-polynomial-loop comparison
+//!   all            run every command above (except batch and system)
 //!
 //! options:
 //!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
@@ -19,6 +20,10 @@
 //!   --seed <u64>   random seed for coefficients and inputs (default 1)
 //!   --batch <n>    batch size for the batch command (default 32); passing
 //!                  this option also runs the batch report after any command
+//!   --equations <m> system size for the system command (default 4)
+//!   --json         emit a machine-readable JSON report instead of text
+//!                  (supported by table2, batch and system; used by the CI
+//!                  perf-snapshot job)
 //! ```
 //!
 //! Per-device millisecond columns are *modeled* with the analytic
@@ -28,8 +33,8 @@
 //! and are reported for shape comparison, not for absolute agreement.
 
 use psmd_bench::{
-    banner, log2, modeled_double_ops, modeled_run, ms, pct, Scale, ShapeCache, TestPolynomial,
-    TextTable, PAPER_DEGREES, REDUCED_DEGREES,
+    banner, log2, modeled_double_ops, modeled_run, ms, pct, JsonReport, JsonValue, Scale,
+    ShapeCache, TestPolynomial, TextTable, PAPER_DEGREES, REDUCED_DEGREES,
 };
 use psmd_bench::{measured_run, TimingRow};
 use psmd_core::{Polynomial, Schedule};
@@ -45,6 +50,8 @@ struct Options {
     full: bool,
     seed: u64,
     batch: Option<usize>,
+    equations: usize,
+    json: bool,
 }
 
 fn parse_args() -> Options {
@@ -54,6 +61,8 @@ fn parse_args() -> Options {
     let mut full = false;
     let mut seed = 1u64;
     let mut batch = None;
+    let mut equations = 4usize;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +71,7 @@ fn parse_args() -> Options {
                 full = true;
                 measure = true;
             }
+            "--json" => json = true,
             "--seed" => {
                 i += 1;
                 seed = args
@@ -76,6 +86,13 @@ fn parse_args() -> Options {
                         .and_then(|s| s.parse().ok())
                         .expect("--batch needs an integer argument"),
                 );
+            }
+            "--equations" => {
+                i += 1;
+                equations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--equations needs an integer argument");
             }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of table_harness.rs");
@@ -92,6 +109,8 @@ fn parse_args() -> Options {
         full,
         seed,
         batch,
+        equations,
+        json,
     }
 }
 
@@ -104,7 +123,7 @@ fn main() {
         table1();
     }
     if run("table2") {
-        table2();
+        table2(&opts);
     }
     if run("table3") {
         table3(&mut cache, &opts, &pool);
@@ -142,10 +161,115 @@ fn main() {
     if run("tflops") {
         tflops(&mut cache);
     }
-    // The batch report is measured (not modeled), so it runs only when asked
-    // for explicitly — by the `batch` command or the `--batch` option.
-    if opts.command == "batch" || opts.batch.is_some() {
+    // The batch and system reports are measured (not modeled), so they run
+    // only when asked for explicitly — by their command or, for batch, by
+    // the `--batch` option.  In `--json` mode stdout must stay a single
+    // JSON document, so the implicit batch trigger only fires for the
+    // `batch` command itself.
+    if opts.command == "batch" || (opts.batch.is_some() && !opts.json) {
         batch_report(&opts, &pool);
+    }
+    if opts.command == "system" {
+        system_report(&opts, &pool);
+    }
+}
+
+/// Fused system evaluation (one merged schedule, one launch per shared
+/// layer) vs a loop of per-polynomial evaluations.
+fn system_report(opts: &Options, pool: &WorkerPool) {
+    let equations = opts.equations;
+    let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
+        (Scale::Full, PAPER_DEGREES.to_vec(), "full")
+    } else {
+        (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
+    };
+    if !opts.json {
+        print!(
+            "{}",
+            banner(&format!(
+                "System evaluation: {equations} equations fused into one schedule vs a \
+                 per-polynomial loop ({label} polynomials, double-double, measured CPU)"
+            ))
+        );
+    }
+    let mut t = TextTable::new(vec![
+        "poly",
+        "degree",
+        "fused (ms)",
+        "looped par (ms)",
+        "looped seq (ms)",
+        "speedup vs loop",
+        "launches",
+        "launches (loop)",
+    ]);
+    let mut json = JsonReport::new("system");
+    for poly in TestPolynomial::ALL {
+        for &d in &degrees {
+            let cmp = psmd_bench::system_comparison(
+                poly,
+                Precision::D2,
+                d,
+                scale,
+                equations,
+                pool,
+                opts.seed,
+            );
+            if opts.json {
+                json.add_row(vec![
+                    ("poly", JsonValue::Text(poly.label().to_string())),
+                    ("degree", JsonValue::Integer(d as i64)),
+                    ("equations", JsonValue::Integer(equations as i64)),
+                    ("fused_ms", JsonValue::Number(cmp.fused.wall_ms)),
+                    (
+                        "looped_parallel_ms",
+                        JsonValue::Number(cmp.looped_parallel.wall_ms),
+                    ),
+                    (
+                        "looped_sequential_ms",
+                        JsonValue::Number(cmp.looped_sequential.wall_ms),
+                    ),
+                    (
+                        "fused_launches",
+                        JsonValue::Integer(cmp.fused_launches as i64),
+                    ),
+                    (
+                        "looped_launches",
+                        JsonValue::Integer(cmp.looped_launches as i64),
+                    ),
+                    (
+                        "unique_monomials",
+                        JsonValue::Integer(cmp.unique_monomials as i64),
+                    ),
+                    (
+                        "total_monomials",
+                        JsonValue::Integer(cmp.total_monomials as i64),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    poly.label().to_string(),
+                    d.to_string(),
+                    ms(cmp.fused.wall_ms),
+                    ms(cmp.looped_parallel.wall_ms),
+                    ms(cmp.looped_sequential.wall_ms),
+                    format!(
+                        "{:.2}x",
+                        cmp.looped_parallel.wall_ms / cmp.fused.wall_ms.max(1e-9)
+                    ),
+                    cmp.fused_launches.to_string(),
+                    cmp.looped_launches.to_string(),
+                ]);
+            }
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(one pool launch per merged layer carries all {equations} equations; the loop\n\
+             column issues one launch per layer per equation)"
+        );
     }
 }
 
@@ -157,13 +281,15 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
     } else {
         (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
     };
-    print!(
-        "{}",
-        banner(&format!(
-            "Batched evaluation: {batch} instances per launch vs per-polynomial launches \
-             ({label} polynomials, double-double, measured CPU)"
-        ))
-    );
+    if !opts.json {
+        print!(
+            "{}",
+            banner(&format!(
+                "Batched evaluation: {batch} instances per launch vs per-polynomial launches \
+                 ({label} polynomials, double-double, measured CPU)"
+            ))
+        );
+    }
     let mut t = TextTable::new(vec![
         "poly",
         "degree",
@@ -174,6 +300,7 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
         "launches",
         "launches (loop)",
     ]);
+    let mut json = JsonReport::new("batch");
     for poly in TestPolynomial::ALL {
         for &d in &degrees {
             let cmp = psmd_bench::batched_comparison(
@@ -185,26 +312,55 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
                 pool,
                 opts.seed,
             );
-            t.add_row(vec![
-                poly.label().to_string(),
-                d.to_string(),
-                ms(cmp.batched.wall_ms),
-                ms(cmp.looped_parallel.wall_ms),
-                ms(cmp.looped_sequential.wall_ms),
-                format!(
-                    "{:.2}x",
-                    cmp.looped_parallel.wall_ms / cmp.batched.wall_ms.max(1e-9)
-                ),
-                cmp.batched_launches.to_string(),
-                cmp.looped_launches.to_string(),
-            ]);
+            if opts.json {
+                json.add_row(vec![
+                    ("poly", JsonValue::Text(poly.label().to_string())),
+                    ("degree", JsonValue::Integer(d as i64)),
+                    ("batch", JsonValue::Integer(batch as i64)),
+                    ("batched_ms", JsonValue::Number(cmp.batched.wall_ms)),
+                    (
+                        "looped_parallel_ms",
+                        JsonValue::Number(cmp.looped_parallel.wall_ms),
+                    ),
+                    (
+                        "looped_sequential_ms",
+                        JsonValue::Number(cmp.looped_sequential.wall_ms),
+                    ),
+                    (
+                        "batched_launches",
+                        JsonValue::Integer(cmp.batched_launches as i64),
+                    ),
+                    (
+                        "looped_launches",
+                        JsonValue::Integer(cmp.looped_launches as i64),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    poly.label().to_string(),
+                    d.to_string(),
+                    ms(cmp.batched.wall_ms),
+                    ms(cmp.looped_parallel.wall_ms),
+                    ms(cmp.looped_sequential.wall_ms),
+                    format!(
+                        "{:.2}x",
+                        cmp.looped_parallel.wall_ms / cmp.batched.wall_ms.max(1e-9)
+                    ),
+                    cmp.batched_launches.to_string(),
+                    cmp.looped_launches.to_string(),
+                ]);
+            }
         }
     }
-    print!("{t}");
-    println!(
-        "(one pool launch per layer carries the whole batch: the launch column is the\n\
-         layer count of the schedule, independent of the batch size)"
-    );
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(one pool launch per layer carries the whole batch: the launch column is the\n\
+             layer count of the schedule, independent of the batch size)"
+        );
+    }
 }
 
 /// Table 1: the five GPUs.
@@ -236,8 +392,10 @@ fn table1() {
 }
 
 /// Table 2: characteristics of the test polynomials (ours vs the paper).
-fn table2() {
-    print!("{}", banner("Table 2: test polynomials"));
+fn table2(opts: &Options) {
+    if !opts.json {
+        print!("{}", banner("Table 2: test polynomials"));
+    }
     let mut t = TextTable::new(vec![
         "poly",
         "n",
@@ -248,19 +406,49 @@ fn table2() {
         "#add (ours)",
         "#add (paper)",
     ]);
+    let mut json = JsonReport::new("table2");
     for poly in TestPolynomial::ALL {
         let p: Polynomial<Md<2>> = poly.build(0, 1);
         let s = Schedule::build(&p);
-        t.add_row(vec![
-            poly.label().to_string(),
-            poly.num_variables().to_string(),
-            poly.variables_per_monomial().to_string(),
-            poly.num_monomials().to_string(),
-            s.convolution_jobs().to_string(),
-            poly.paper_convolutions().to_string(),
-            s.addition_jobs().to_string(),
-            poly.paper_additions().to_string(),
-        ]);
+        if opts.json {
+            json.add_row(vec![
+                ("poly", JsonValue::Text(poly.label().to_string())),
+                ("n", JsonValue::Integer(poly.num_variables() as i64)),
+                (
+                    "m",
+                    JsonValue::Integer(poly.variables_per_monomial() as i64),
+                ),
+                ("N", JsonValue::Integer(poly.num_monomials() as i64)),
+                (
+                    "convolutions",
+                    JsonValue::Integer(s.convolution_jobs() as i64),
+                ),
+                (
+                    "convolutions_paper",
+                    JsonValue::Integer(poly.paper_convolutions() as i64),
+                ),
+                ("additions", JsonValue::Integer(s.addition_jobs() as i64)),
+                (
+                    "additions_paper",
+                    JsonValue::Integer(poly.paper_additions() as i64),
+                ),
+            ]);
+        } else {
+            t.add_row(vec![
+                poly.label().to_string(),
+                poly.num_variables().to_string(),
+                poly.variables_per_monomial().to_string(),
+                poly.num_monomials().to_string(),
+                s.convolution_jobs().to_string(),
+                poly.paper_convolutions().to_string(),
+                s.addition_jobs().to_string(),
+                poly.paper_additions().to_string(),
+            ]);
+        }
+    }
+    if opts.json {
+        print!("{json}");
+        return;
     }
     print!("{t}");
     println!(

@@ -20,8 +20,8 @@ pub mod report;
 pub mod sweep;
 
 pub use polynomials::{TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
-pub use report::{banner, log2, ms, pct, TextTable};
+pub use report::{banner, log2, ms, pct, JsonReport, JsonValue, TextTable};
 pub use sweep::{
     batched_comparison, measured_double_ops, measured_run, modeled_double_ops, modeled_run,
-    BatchComparison, Scale, ShapeCache, TimingRow,
+    system_comparison, BatchComparison, Scale, ShapeCache, SystemComparison, TimingRow,
 };

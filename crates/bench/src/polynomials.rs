@@ -131,6 +131,33 @@ impl TestPolynomial {
         polynomial_with_supports(supports, n, degree, &mut rng)
     }
 
+    /// Builds a full-scale *system* of `equations` polynomials sharing this
+    /// test polynomial's monomial structure, with independent random
+    /// coefficients per equation (the shape of the paper's Newton systems:
+    /// every equation touches the same variables, none share coefficients).
+    pub fn build_system<C: Coeff + RandomCoeff>(
+        &self,
+        equations: usize,
+        degree: usize,
+        seed: u64,
+    ) -> Vec<Polynomial<C>> {
+        (0..equations)
+            .map(|e| self.build(degree, seed.wrapping_add(7919 * e as u64)))
+            .collect()
+    }
+
+    /// Builds the reduced (CPU-friendly) variant of [`build_system`](Self::build_system).
+    pub fn build_reduced_system<C: Coeff + RandomCoeff>(
+        &self,
+        equations: usize,
+        degree: usize,
+        seed: u64,
+    ) -> Vec<Polynomial<C>> {
+        (0..equations)
+            .map(|e| self.build_reduced(degree, seed.wrapping_add(7919 * e as u64)))
+            .collect()
+    }
+
     /// Random input series for the full-scale polynomial.
     pub fn inputs<C: Coeff + RandomCoeff>(&self, degree: usize, seed: u64) -> Vec<Series<C>> {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));

@@ -110,6 +110,112 @@ pub fn banner(title: &str) -> String {
     format!("\n=== {title} ===\n")
 }
 
+/// One value of a [`JsonReport`] cell (the offline environment has no serde,
+/// so the perf-snapshot pipeline hand-rolls the small JSON subset it needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A floating-point number (non-finite values render as `null`).
+    Number(f64),
+    /// An integer.
+    Integer(i64),
+    /// A string (escaped on render).
+    Text(String),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Number(x) if x.is_finite() => write!(f, "{x}"),
+            JsonValue::Number(_) => write!(f, "null"),
+            JsonValue::Integer(i) => write!(f, "{i}"),
+            JsonValue::Text(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+        }
+    }
+}
+
+/// A machine-readable benchmark report: one named command plus a list of
+/// uniform rows, rendered as a single JSON object.  Consumed by the CI
+/// perf-snapshot job (`BENCH_*.json` artifacts).
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    command: String,
+    rows: Vec<Vec<(String, JsonValue)>>,
+}
+
+impl JsonReport {
+    /// Creates an empty report for the given harness command.
+    pub fn new(command: &str) -> Self {
+        Self {
+            command: command.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row of key/value pairs.
+    pub fn add_row(&mut self, fields: Vec<(&str, JsonValue)>) {
+        self.rows.push(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as one JSON object
+    /// (`{"command": ..., "rows": [...]}`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"command\": ");
+        out.push_str(&JsonValue::Text(self.command.clone()).to_string());
+        out.push_str(", \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('{');
+            for (j, (key, value)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&JsonValue::Text(key.clone()).to_string());
+                out.push_str(": ");
+                out.push_str(&value.to_string());
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for JsonReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +242,32 @@ mod tests {
     fn wrong_row_width_is_rejected() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn json_report_renders_valid_rows() {
+        let mut r = JsonReport::new("system");
+        r.add_row(vec![
+            ("poly", JsonValue::Text("p1".to_string())),
+            ("fused_ms", JsonValue::Number(1.25)),
+            ("launches", JsonValue::Integer(9)),
+        ]);
+        r.add_row(vec![("nan", JsonValue::Number(f64::NAN))]);
+        let s = r.render();
+        assert_eq!(
+            s,
+            "{\"command\": \"system\", \"rows\": [\
+             {\"poly\": \"p1\", \"fused_ms\": 1.25, \"launches\": 9}, \
+             {\"nan\": null}]}"
+        );
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let v = JsonValue::Text("a\"b\\c\nd".to_string());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]

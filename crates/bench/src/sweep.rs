@@ -9,12 +9,31 @@
 //! GPUs.
 
 use crate::polynomials::TestPolynomial;
-use psmd_core::{workload_shape, BatchEvaluator, Polynomial, Schedule, ScheduledEvaluator};
+use psmd_core::{
+    workload_shape, BatchEvaluator, Polynomial, Schedule, ScheduledEvaluator, SystemEvaluator,
+};
 use psmd_device::{model_evaluation, GpuSpec, WorkloadShape};
 use psmd_multidouble::{Coeff, CostModel, Md, Precision, RandomCoeff};
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::collections::HashMap;
+
+/// Instantiates a generic measured-run driver at the `Md<N>` type matching a
+/// runtime [`Precision`] value (the measured sweeps are monomorphized per
+/// precision, the tables select one at runtime).
+macro_rules! dispatch_precision {
+    ($precision:expr, $func:ident($($arg:expr),* $(,)?)) => {
+        match $precision {
+            Precision::D1 => $func::<Md<1>>($($arg),*),
+            Precision::D2 => $func::<Md<2>>($($arg),*),
+            Precision::D3 => $func::<Md<3>>($($arg),*),
+            Precision::D4 => $func::<Md<4>>($($arg),*),
+            Precision::D5 => $func::<Md<5>>($($arg),*),
+            Precision::D8 => $func::<Md<8>>($($arg),*),
+            Precision::D10 => $func::<Md<10>>($($arg),*),
+        }
+    };
+}
 
 /// One row of a timing table: the four times the paper reports, in
 /// milliseconds.
@@ -123,15 +142,10 @@ pub fn measured_run(
     pool: &WorkerPool,
     seed: u64,
 ) -> TimingRow {
-    match precision {
-        Precision::D1 => measured_run_generic::<Md<1>>(poly, degree, scale, pool, seed),
-        Precision::D2 => measured_run_generic::<Md<2>>(poly, degree, scale, pool, seed),
-        Precision::D3 => measured_run_generic::<Md<3>>(poly, degree, scale, pool, seed),
-        Precision::D4 => measured_run_generic::<Md<4>>(poly, degree, scale, pool, seed),
-        Precision::D5 => measured_run_generic::<Md<5>>(poly, degree, scale, pool, seed),
-        Precision::D8 => measured_run_generic::<Md<8>>(poly, degree, scale, pool, seed),
-        Precision::D10 => measured_run_generic::<Md<10>>(poly, degree, scale, pool, seed),
-    }
+    dispatch_precision!(
+        precision,
+        measured_run_generic(poly, degree, scale, pool, seed)
+    )
 }
 
 fn measured_run_generic<C: Coeff + RandomCoeff>(
@@ -189,29 +203,10 @@ pub fn batched_comparison(
     pool: &WorkerPool,
     seed: u64,
 ) -> BatchComparison {
-    match precision {
-        Precision::D1 => {
-            batched_comparison_generic::<Md<1>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D2 => {
-            batched_comparison_generic::<Md<2>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D3 => {
-            batched_comparison_generic::<Md<3>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D4 => {
-            batched_comparison_generic::<Md<4>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D5 => {
-            batched_comparison_generic::<Md<5>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D8 => {
-            batched_comparison_generic::<Md<8>>(poly, degree, scale, batch, pool, seed)
-        }
-        Precision::D10 => {
-            batched_comparison_generic::<Md<10>>(poly, degree, scale, batch, pool, seed)
-        }
-    }
+    dispatch_precision!(
+        precision,
+        batched_comparison_generic(poly, degree, scale, batch, pool, seed)
+    )
 }
 
 fn batched_comparison_generic<C: Coeff + RandomCoeff>(
@@ -261,6 +256,105 @@ fn batched_comparison_generic<C: Coeff + RandomCoeff>(
         looped_sequential,
         batched_launches,
         looped_launches,
+    }
+}
+
+/// One measured comparison of the fused system evaluator against a loop of
+/// per-polynomial evaluations of the same system at the same inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemComparison {
+    /// Number of equations in the system.
+    pub equations: usize,
+    /// One merged schedule, one pool launch per shared layer for the whole
+    /// system ([`SystemEvaluator`]).
+    pub fused: TimingRow,
+    /// A loop of per-polynomial pool launches (the pre-system behavior).
+    pub looped_parallel: TimingRow,
+    /// A loop of single-thread per-polynomial evaluations (the lower bound
+    /// on launch overhead).
+    pub looped_sequential: TimingRow,
+    /// Kernel launches issued by the fused run (= merged layer count).
+    pub fused_launches: usize,
+    /// Kernel launches issued by the per-polynomial loop (≈ equations ×
+    /// per-equation layers).
+    pub looped_launches: usize,
+    /// Unique monomials after merging the equations' monomial sets.
+    pub unique_monomials: usize,
+    /// Total monomial instances across all equations.
+    pub total_monomials: usize,
+}
+
+/// Measures the fused system evaluator against per-polynomial evaluation at
+/// the given precision (dispatching to the right `Md<N>` instantiation).
+pub fn system_comparison(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    equations: usize,
+    pool: &WorkerPool,
+    seed: u64,
+) -> SystemComparison {
+    dispatch_precision!(
+        precision,
+        system_comparison_generic(poly, degree, scale, equations, pool, seed)
+    )
+}
+
+fn system_comparison_generic<C: Coeff + RandomCoeff>(
+    poly: TestPolynomial,
+    degree: usize,
+    scale: Scale,
+    equations: usize,
+    pool: &WorkerPool,
+    seed: u64,
+) -> SystemComparison {
+    let system: Vec<Polynomial<C>> = match scale {
+        Scale::Reduced => poly.build_reduced_system(equations, degree, seed),
+        Scale::Full => poly.build_system(equations, degree, seed),
+    };
+    let inputs: Vec<Series<C>> = match scale {
+        Scale::Reduced => poly.reduced_inputs(degree, seed),
+        Scale::Full => poly.inputs(degree, seed),
+    };
+    let row = |t: &psmd_runtime::KernelTimings| TimingRow {
+        convolution_ms: t.convolution_ms(),
+        addition_ms: t.addition_ms(),
+        wall_ms: t.wall_clock_ms(),
+    };
+    let evaluator = SystemEvaluator::new(&system);
+    let fused_eval = evaluator.evaluate_parallel(&inputs, pool);
+    let fused = row(&fused_eval.timings);
+    let fused_launches =
+        fused_eval.timings.convolution_launches + fused_eval.timings.addition_launches;
+    let mut looped = psmd_runtime::KernelTimings::new();
+    for p in &system {
+        looped.merge(
+            &ScheduledEvaluator::new(p)
+                .evaluate_parallel(&inputs, pool)
+                .timings,
+        );
+    }
+    let looped_launches = looped.convolution_launches + looped.addition_launches;
+    let looped_parallel = row(&looped);
+    let mut sequential = psmd_runtime::KernelTimings::new();
+    for p in &system {
+        sequential.merge(
+            &ScheduledEvaluator::new(p)
+                .evaluate_sequential(&inputs)
+                .timings,
+        );
+    }
+    let looped_sequential = row(&sequential);
+    SystemComparison {
+        equations,
+        fused,
+        looped_parallel,
+        looped_sequential,
+        fused_launches,
+        looped_launches,
+        unique_monomials: evaluator.schedule().unique_monomials(),
+        total_monomials: evaluator.schedule().total_monomials(),
     }
 }
 
@@ -331,6 +425,31 @@ mod tests {
         assert!(row.wall_ms > 0.0);
         assert!(row.sum_ms() <= row.wall_ms * 1.5);
         assert!(row.convolution_ms > 0.0);
+    }
+
+    #[test]
+    fn system_comparison_counts_launches_and_monomials() {
+        let pool = WorkerPool::new(2);
+        let equations = 3;
+        let cmp = system_comparison(
+            TestPolynomial::P1,
+            Precision::D2,
+            4,
+            Scale::Reduced,
+            equations,
+            &pool,
+            7,
+        );
+        assert_eq!(cmp.equations, equations);
+        assert!(cmp.fused.wall_ms > 0.0);
+        assert!(cmp.looped_parallel.wall_ms > 0.0);
+        // The per-polynomial loop issues `equations` times the launches of
+        // the fused run (same structure in every equation).
+        assert_eq!(cmp.looped_launches, equations * cmp.fused_launches);
+        // Independent random coefficients: nothing dedups, every instance is
+        // unique.
+        assert_eq!(cmp.total_monomials, equations * 210); // C(10,4) per equation
+        assert_eq!(cmp.unique_monomials, cmp.total_monomials);
     }
 
     #[test]

@@ -50,9 +50,23 @@ impl<C: Coeff> Evaluation<C> {
     /// Largest coefficient-wise difference between two evaluations (value
     /// and gradient), as a double estimate.  Used by tests and examples to
     /// compare evaluators.
+    ///
+    /// Returns [`f64::INFINITY`] when the two evaluations have different
+    /// shapes (gradient length or truncation degree): evaluations of
+    /// different polynomials are never "close", and silently comparing only
+    /// the common prefix would hide exactly the bugs this method exists to
+    /// catch.
     pub fn max_difference(&self, other: &Evaluation<C>) -> f64 {
+        if self.gradient.len() != other.gradient.len()
+            || self.value.degree() != other.value.degree()
+        {
+            return f64::INFINITY;
+        }
         let mut worst = self.value.distance(&other.value);
         for (a, b) in self.gradient.iter().zip(other.gradient.iter()) {
+            if a.degree() != b.degree() {
+                return f64::INFINITY;
+            }
             worst = worst.max(a.distance(b));
         }
         worst
@@ -411,6 +425,44 @@ mod tests {
         let naive = evaluate_naive(&p, &z);
         let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
         assert!(naive.max_difference(&scheduled) < 1e-13);
+    }
+
+    #[test]
+    fn max_difference_reports_shape_mismatches_as_infinite() {
+        // Regression test: comparing evaluations of polynomials with
+        // different variable counts (gradient lengths) or truncation degrees
+        // used to silently compare only the common prefix.
+        let d = 2;
+        let p2 = Polynomial::new(
+            2,
+            coeff(1.0, d),
+            vec![Monomial::new(coeff(3.0, d), vec![0, 1])],
+        );
+        let p3 = Polynomial::new(
+            3,
+            coeff(1.0, d),
+            vec![Monomial::new(coeff(3.0, d), vec![0, 1])],
+        );
+        let mut rng = StdRng::seed_from_u64(55);
+        let z3: Vec<Series<Qd>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
+        let e2 = evaluate_naive(&p2, &z3[..2]);
+        let e3 = evaluate_naive(&p3, &z3);
+        // p3's gradient has one more component: the shapes differ even though
+        // the shared components agree exactly.
+        assert_eq!(e2.max_difference(&e3), f64::INFINITY);
+        assert_eq!(e3.max_difference(&e2), f64::INFINITY);
+        // Degree mismatches are shape mismatches too.
+        let deeper = Polynomial::new(
+            2,
+            coeff(1.0, 5),
+            vec![Monomial::new(coeff(3.0, 5), vec![0, 1])],
+        );
+        let zd: Vec<Series<Qd>> = (0..2).map(|_| Series::random(&mut rng, 5)).collect();
+        let ed = evaluate_naive(&deeper, &zd);
+        assert_eq!(e2.max_difference(&ed), f64::INFINITY);
+        // Equal shapes still report a finite difference.
+        let again = evaluate_naive(&p2, &z3[..2]);
+        assert_eq!(e2.max_difference(&again), 0.0);
     }
 
     #[test]

@@ -46,8 +46,10 @@ pub mod counts;
 pub mod evaluate;
 pub mod generators;
 pub mod monomial;
+pub mod newton;
 pub mod polynomial;
 pub mod schedule;
+pub mod system;
 
 pub use batch::{BatchEvaluation, BatchEvaluator};
 pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
@@ -57,5 +59,11 @@ pub use generators::{
     random_polynomial,
 };
 pub use monomial::Monomial;
+pub use newton::{
+    newton_system, newton_system_parallel, solve_linearized, NewtonOptions, NewtonResult,
+};
 pub use polynomial::Polynomial;
 pub use schedule::{AddJob, ConvJob, DataLayout, ResultLocation, Schedule};
+pub use system::{
+    evaluate_naive_system, SystemEvaluation, SystemEvaluator, SystemLayout, SystemSchedule,
+};

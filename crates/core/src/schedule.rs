@@ -153,24 +153,92 @@ impl DataLayout {
         k: usize,
         pos: usize,
     ) -> Option<usize> {
-        let nk = monomial.num_variables();
-        match nk {
-            1 => None,
-            2 => {
-                if pos == 0 {
-                    Some(self.backward_slots[k][0])
-                } else {
-                    Some(self.forward_slots[k][0])
-                }
+        derivative_slot_in(
+            monomial.num_variables(),
+            pos,
+            &self.forward_slots[k],
+            &self.backward_slots[k],
+            &self.cross_slots[k],
+        )
+    }
+}
+
+/// Checks the layer invariants of any two-stage job schedule: within one
+/// layer, outputs are pairwise distinct and no job reads a slot that another
+/// job of the same layer writes.  Returns a description of the first
+/// violation, if any.  Shared by the single-polynomial and the system
+/// schedules so both enforce exactly the same invariant.
+pub(crate) fn validate_job_layers(
+    convolution_layers: &[Vec<ConvJob>],
+    addition_layers: &[Vec<AddJob>],
+) -> Result<(), String> {
+    for (l, layer) in convolution_layers.iter().enumerate() {
+        let mut outputs = std::collections::HashSet::new();
+        for job in layer {
+            if !outputs.insert(job.out) {
+                return Err(format!(
+                    "convolution layer {l}: duplicate output slot {}",
+                    job.out
+                ));
             }
-            _ => {
-                if pos == 0 {
-                    Some(self.backward_slots[k][nk - 3])
-                } else if pos == nk - 1 {
-                    Some(self.forward_slots[k][nk - 2])
-                } else {
-                    Some(self.cross_slots[k][pos - 1])
-                }
+        }
+        for job in layer {
+            let reads_foreign_output = |slot: usize| outputs.contains(&slot) && slot != job.out;
+            if reads_foreign_output(job.in1) || reads_foreign_output(job.in2) {
+                return Err(format!(
+                    "convolution layer {l}: job {job:?} reads a slot written by another job"
+                ));
+            }
+        }
+    }
+    for (l, layer) in addition_layers.iter().enumerate() {
+        let mut outputs = std::collections::HashSet::new();
+        for job in layer {
+            if !outputs.insert(job.dst) {
+                return Err(format!(
+                    "addition layer {l}: duplicate destination {}",
+                    job.dst
+                ));
+            }
+        }
+        for job in layer {
+            if outputs.contains(&job.src) {
+                return Err(format!(
+                    "addition layer {l}: job {job:?} reads a destination of the same layer"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The slot holding the derivative with respect to the variable at position
+/// `pos` of an `nk`-variable monomial, given the monomial's forward, backward
+/// and cross slot ranges, or `None` when the derivative is the read-only
+/// coefficient itself (single-variable monomials).
+pub(crate) fn derivative_slot_in(
+    nk: usize,
+    pos: usize,
+    forward: &[usize],
+    backward: &[usize],
+    cross: &[usize],
+) -> Option<usize> {
+    match nk {
+        1 => None,
+        2 => {
+            if pos == 0 {
+                Some(backward[0])
+            } else {
+                Some(forward[0])
+            }
+        }
+        _ => {
+            if pos == 0 {
+                Some(backward[nk - 3])
+            } else if pos == nk - 1 {
+                Some(forward[nk - 2])
+            } else {
+                Some(cross[pos - 1])
             }
         }
     }
@@ -243,44 +311,7 @@ impl Schedule {
     /// distinct and no job reads a slot that another job of the same layer
     /// writes.  Returns a description of the first violation, if any.
     pub fn validate_layers(&self) -> Result<(), String> {
-        for (l, layer) in self.convolution_layers.iter().enumerate() {
-            let mut outputs = std::collections::HashSet::new();
-            for job in layer {
-                if !outputs.insert(job.out) {
-                    return Err(format!(
-                        "convolution layer {l}: duplicate output slot {}",
-                        job.out
-                    ));
-                }
-            }
-            for job in layer {
-                let reads_foreign_output = |slot: usize| outputs.contains(&slot) && slot != job.out;
-                if reads_foreign_output(job.in1) || reads_foreign_output(job.in2) {
-                    return Err(format!(
-                        "convolution layer {l}: job {job:?} reads a slot written by another job"
-                    ));
-                }
-            }
-        }
-        for (l, layer) in self.addition_layers.iter().enumerate() {
-            let mut outputs = std::collections::HashSet::new();
-            for job in layer {
-                if !outputs.insert(job.dst) {
-                    return Err(format!(
-                        "addition layer {l}: duplicate destination {}",
-                        job.dst
-                    ));
-                }
-            }
-            for job in layer {
-                if outputs.contains(&job.src) {
-                    return Err(format!(
-                        "addition layer {l}: job {job:?} reads a destination of the same layer"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        validate_job_layers(&self.convolution_layers, &self.addition_layers)
     }
 
     /// Populates the flat data array with the polynomial's coefficient
@@ -345,132 +376,156 @@ fn build_convolution_layers<C: Coeff>(
     layout: &DataLayout,
 ) -> Vec<Vec<ConvJob>> {
     let mut layers: Vec<Vec<ConvJob>> = Vec::new();
-    let push = |layer: usize, job: ConvJob, layers: &mut Vec<Vec<ConvJob>>| {
-        while layers.len() <= layer {
-            layers.push(Vec::new());
-        }
-        layers[layer].push(job);
-    };
     for (k, m) in poly.monomials().iter().enumerate() {
-        let nk = m.num_variables();
-        let vars = &m.variables;
-        let a_slot = layout.coefficient_slots[k];
-        let z = |j: usize| layout.input_slots[vars[j]];
-        let f = &layout.forward_slots[k];
-        // Forward products: f_1 = a * z_{i1}, f_j = f_{j-1} * z_{ij}.
-        push(
-            0,
-            ConvJob {
-                in1: a_slot,
-                in2: z(0),
-                out: f[0],
-            },
-            &mut layers,
-        );
-        for j in 1..nk {
-            push(
-                j,
-                ConvJob {
-                    in1: f[j - 1],
-                    in2: z(j),
-                    out: f[j],
-                },
-                &mut layers,
-            );
-        }
-        if nk == 1 {
-            continue;
-        }
-        let b = &layout.backward_slots[k];
-        if nk == 2 {
-            // Special case: the only backward product is z_{i2} * a_k, the
-            // derivative with respect to the first variable.
-            push(
-                0,
-                ConvJob {
-                    in1: z(1),
-                    in2: a_slot,
-                    out: b[0],
-                },
-                &mut layers,
-            );
-            continue;
-        }
-        // Backward products: b_1 = z_{ink} * z_{ink-1},
-        // b_j = b_{j-1} * z_{ink-j}, and finally b_{nk-2} *= a_k.
-        push(
-            0,
-            ConvJob {
-                in1: z(nk - 1),
-                in2: z(nk - 2),
-                out: b[0],
-            },
-            &mut layers,
-        );
-        for j in 1..nk - 2 {
-            // Paper (1-based): b_{j+1} = b_j * z_{nk-(j+1)}, i.e. the next
-            // variable below the ones already folded into b_j.
-            push(
-                j,
-                ConvJob {
-                    in1: b[j - 1],
-                    in2: z(nk - 2 - j),
-                    out: b[j],
-                },
-                &mut layers,
-            );
-        }
-        // In-place update of the last backward product with the coefficient;
-        // it depends on b_{nk-2}, which becomes available after nk-2 layers.
-        push(
-            nk - 2,
-            ConvJob {
-                in1: b[nk - 3],
-                in2: a_slot,
-                out: b[nk - 3],
-            },
-            &mut layers,
-        );
-        // Cross products: c_j = f_j * b_{nk-2-j} for j = 1 .. nk-3, plus
-        // c_{nk-2} = f_{nk-2} * z_{ink}.  (The derivative with respect to the
-        // variable at position j is f_j times the product of the variables
-        // above position j.)
-        let c = &layout.cross_slots[k];
-        for j in 1..=nk - 3 {
-            // f_j available after layer j (0-based index j-1), b_{nk-2-j}
-            // after layer nk-2-j (0-based index nk-3-j).
-            let layer = j.max(nk - 2 - j);
-            push(
-                layer,
-                ConvJob {
-                    in1: f[j - 1],
-                    in2: b[nk - 3 - j],
-                    out: c[j - 1],
-                },
-                &mut layers,
-            );
-        }
-        push(
-            nk - 2,
-            ConvJob {
-                in1: f[nk - 3],
-                in2: z(nk - 1),
-                out: c[nk - 3],
-            },
+        let z_slots: Vec<usize> = m.variables.iter().map(|&v| layout.input_slots[v]).collect();
+        schedule_monomial_convolutions(
+            layout.coefficient_slots[k],
+            &z_slots,
+            &layout.forward_slots[k],
+            &layout.backward_slots[k],
+            &layout.cross_slots[k],
             &mut layers,
         );
     }
     layers
 }
 
+/// Schedules the forward, backward and cross products of one monomial into
+/// the shared convolution layers: job `j` of each chain lands in the earliest
+/// layer in which both of its inputs are available (Section 3 of the paper).
+///
+/// `a_slot` is the monomial's coefficient slot, `z_slots` the input slots of
+/// its variables in tuple order, and `forward`/`backward`/`cross` the product
+/// slot ranges reserved for it.
+pub(crate) fn schedule_monomial_convolutions(
+    a_slot: usize,
+    z_slots: &[usize],
+    forward: &[usize],
+    backward: &[usize],
+    cross: &[usize],
+    layers: &mut Vec<Vec<ConvJob>>,
+) {
+    let nk = z_slots.len();
+    let push = |layer: usize, job: ConvJob, layers: &mut Vec<Vec<ConvJob>>| {
+        while layers.len() <= layer {
+            layers.push(Vec::new());
+        }
+        layers[layer].push(job);
+    };
+    let z = |j: usize| z_slots[j];
+    let f = forward;
+    // Forward products: f_1 = a * z_{i1}, f_j = f_{j-1} * z_{ij}.
+    push(
+        0,
+        ConvJob {
+            in1: a_slot,
+            in2: z(0),
+            out: f[0],
+        },
+        layers,
+    );
+    for j in 1..nk {
+        push(
+            j,
+            ConvJob {
+                in1: f[j - 1],
+                in2: z(j),
+                out: f[j],
+            },
+            layers,
+        );
+    }
+    if nk == 1 {
+        return;
+    }
+    let b = backward;
+    if nk == 2 {
+        // Special case: the only backward product is z_{i2} * a_k, the
+        // derivative with respect to the first variable.
+        push(
+            0,
+            ConvJob {
+                in1: z(1),
+                in2: a_slot,
+                out: b[0],
+            },
+            layers,
+        );
+        return;
+    }
+    // Backward products: b_1 = z_{ink} * z_{ink-1},
+    // b_j = b_{j-1} * z_{ink-j}, and finally b_{nk-2} *= a_k.
+    push(
+        0,
+        ConvJob {
+            in1: z(nk - 1),
+            in2: z(nk - 2),
+            out: b[0],
+        },
+        layers,
+    );
+    for j in 1..nk - 2 {
+        // Paper (1-based): b_{j+1} = b_j * z_{nk-(j+1)}, i.e. the next
+        // variable below the ones already folded into b_j.
+        push(
+            j,
+            ConvJob {
+                in1: b[j - 1],
+                in2: z(nk - 2 - j),
+                out: b[j],
+            },
+            layers,
+        );
+    }
+    // In-place update of the last backward product with the coefficient;
+    // it depends on b_{nk-2}, which becomes available after nk-2 layers.
+    push(
+        nk - 2,
+        ConvJob {
+            in1: b[nk - 3],
+            in2: a_slot,
+            out: b[nk - 3],
+        },
+        layers,
+    );
+    // Cross products: c_j = f_j * b_{nk-2-j} for j = 1 .. nk-3, plus
+    // c_{nk-2} = f_{nk-2} * z_{ink}.  (The derivative with respect to the
+    // variable at position j is f_j times the product of the variables
+    // above position j.)
+    let c = cross;
+    for j in 1..=nk - 3 {
+        // f_j available after layer j (0-based index j-1), b_{nk-2-j}
+        // after layer nk-2-j (0-based index nk-3-j).
+        let layer = j.max(nk - 2 - j);
+        push(
+            layer,
+            ConvJob {
+                in1: f[j - 1],
+                in2: b[nk - 3 - j],
+                out: c[j - 1],
+            },
+            layers,
+        );
+    }
+    push(
+        nk - 2,
+        ConvJob {
+            in1: f[nk - 3],
+            in2: z(nk - 1),
+            out: c[nk - 3],
+        },
+        layers,
+    );
+}
+
 /// One summation problem: read-only contributions plus writable accumulator
 /// slots to be combined into a single result.
-struct OutputSum {
+pub(crate) struct OutputSum {
     /// Slots that may be updated in place (monomial product slots).
-    targets: Vec<usize>,
+    pub(crate) targets: Vec<usize>,
     /// Slots that may only be read (the constant term, coefficients of
-    /// single-variable monomials).
-    read_only: Vec<usize>,
+    /// single-variable monomials, products shared between equations).
+    pub(crate) read_only: Vec<usize>,
 }
 
 impl OutputSum {
@@ -485,51 +540,28 @@ impl OutputSum {
     }
 }
 
-/// Builds the addition layers for the value and every gradient component.
+/// Schedules every output's summation and merges the per-output layers into
+/// shared kernel launches (layer `i` of every output lands in launch `i`;
+/// slots of different outputs are disjoint by construction).
 ///
 /// Every output is summed with a binary tree over its writable slots; read-
 /// only contributions are folded into writable slots in dedicated leading
 /// layers.  Outputs whose every contribution is read-only receive a scratch
-/// accumulator slot.  Layers of different outputs with the same index are
-/// merged into one kernel launch (their slots are disjoint by construction).
-fn build_addition_layers<C: Coeff>(
-    poly: &Polynomial<C>,
-    layout: &mut DataLayout,
-) -> (Vec<Vec<AddJob>>, ResultLocation, Vec<ResultLocation>) {
-    // Assemble the summation problem of every output.
-    let mut outputs: Vec<OutputSum> = Vec::with_capacity(1 + poly.num_variables());
-    // The polynomial value: a_0 plus the last forward product of every
-    // monomial.
-    outputs.push(OutputSum {
-        targets: (0..poly.num_monomials())
-            .map(|k| {
-                let f = &layout.forward_slots[k];
-                f[f.len() - 1]
-            })
-            .collect(),
-        read_only: vec![layout.constant_slot],
-    });
-    // Each gradient component.
-    for v in 0..poly.num_variables() {
-        let mut targets = Vec::new();
-        let mut read_only = Vec::new();
-        for (k, m) in poly.monomials().iter().enumerate() {
-            if let Some(pos) = m.position_of(v) {
-                match layout.derivative_slot(m, k, pos) {
-                    Some(slot) => targets.push(slot),
-                    None => read_only.push(layout.coefficient_slots[k]),
-                }
-            }
-        }
-        outputs.push(OutputSum { targets, read_only });
-    }
+/// accumulator slot taken from `next_slot` and recorded in `scratch_slots`.
+/// Returns the merged layers and the result location of every output, in
+/// input order.
+pub(crate) fn schedule_output_sums(
+    mut outputs: Vec<OutputSum>,
+    next_slot: &mut usize,
+    scratch_slots: &mut Vec<usize>,
+) -> (Vec<Vec<AddJob>>, Vec<ResultLocation>) {
     // Degenerate outputs (more than one contribution but no writable slot)
     // receive a scratch accumulator appended to the layout.
     for out in outputs.iter_mut() {
         if out.targets.is_empty() && out.read_only.len() > 1 {
-            let slot = layout.num_slots;
-            layout.num_slots += 1;
-            layout.scratch_slots.push(slot);
+            let slot = *next_slot;
+            *next_slot += 1;
+            scratch_slots.push(slot);
             out.targets.push(slot);
         }
     }
@@ -585,9 +617,48 @@ fn build_addition_layers<C: Coeff>(
             layer += 1;
         }
     }
-    let value_location = outputs[0].location();
-    let gradient_locations = outputs[1..].iter().map(|o| o.location()).collect();
-    (merged, value_location, gradient_locations)
+    let locations = outputs.iter().map(|o| o.location()).collect();
+    (merged, locations)
+}
+
+/// Builds the addition layers for the value and every gradient component by
+/// assembling one [`OutputSum`] per output and handing them to the shared
+/// scheduler [`schedule_output_sums`].
+fn build_addition_layers<C: Coeff>(
+    poly: &Polynomial<C>,
+    layout: &mut DataLayout,
+) -> (Vec<Vec<AddJob>>, ResultLocation, Vec<ResultLocation>) {
+    // Assemble the summation problem of every output.
+    let mut outputs: Vec<OutputSum> = Vec::with_capacity(1 + poly.num_variables());
+    // The polynomial value: a_0 plus the last forward product of every
+    // monomial.
+    outputs.push(OutputSum {
+        targets: (0..poly.num_monomials())
+            .map(|k| {
+                let f = &layout.forward_slots[k];
+                f[f.len() - 1]
+            })
+            .collect(),
+        read_only: vec![layout.constant_slot],
+    });
+    // Each gradient component.
+    for v in 0..poly.num_variables() {
+        let mut targets = Vec::new();
+        let mut read_only = Vec::new();
+        for (k, m) in poly.monomials().iter().enumerate() {
+            if let Some(pos) = m.position_of(v) {
+                match layout.derivative_slot(m, k, pos) {
+                    Some(slot) => targets.push(slot),
+                    None => read_only.push(layout.coefficient_slots[k]),
+                }
+            }
+        }
+        outputs.push(OutputSum { targets, read_only });
+    }
+    let (merged, mut locations) =
+        schedule_output_sums(outputs, &mut layout.num_slots, &mut layout.scratch_slots);
+    let gradient_locations = locations.split_off(1);
+    (merged, locations[0], gradient_locations)
 }
 
 #[cfg(test)]
