@@ -1,0 +1,89 @@
+//! Graph-executor benchmarks: dependency-driven work stealing vs layered
+//! barrier launches.
+//!
+//! The layered reference pays one pool rendezvous per job layer — a deep
+//! schedule at a small degree is almost entirely rendezvous overhead on a
+//! CPU.  The graph executor pays one rendezvous per evaluation and releases
+//! every block the moment its operands are ready, so the win grows with the
+//! layer count (p2's 16-variable monomials have the deepest chains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psmd_bench::TestPolynomial;
+use psmd_core::{ExecMode, Polynomial, ScheduledEvaluator, SystemEvaluator};
+use psmd_multidouble::Dd;
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Layered vs graph execution of single evaluations across the three test
+/// polynomials (reduced scale, double-double).
+fn layered_vs_graph(c: &mut Criterion) {
+    let degree = 8;
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("graph_executor_reduced_d8_2d");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for poly in TestPolynomial::ALL {
+        let p: Polynomial<Dd> = poly.build_reduced(degree, 1);
+        let inputs: Vec<Series<Dd>> = poly.reduced_inputs(degree, 1);
+        let layered = ScheduledEvaluator::new(&p);
+        let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+        // Same schedule, same jobs: results are bitwise identical.
+        let a = layered.evaluate_parallel(&inputs, &pool);
+        let b = graph.evaluate_parallel(&inputs, &pool);
+        assert_eq!(a.value, b.value);
+        group.bench_function(BenchmarkId::new("layered_barriers", poly.label()), |bch| {
+            bch.iter(|| {
+                let r = layered.evaluate_parallel(black_box(&inputs), &pool);
+                black_box(r.value.degree())
+            })
+        });
+        group.bench_function(
+            BenchmarkId::new("graph_work_stealing", poly.label()),
+            |bch| {
+                bch.iter(|| {
+                    let r = graph.evaluate_parallel(black_box(&inputs), &pool);
+                    black_box(r.value.degree())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The same comparison on a fused system evaluation, where the merged
+/// schedule multiplies the blocks per layer but keeps the layer count.
+fn system_layered_vs_graph(c: &mut Criterion) {
+    let degree = 6;
+    let m = 4;
+    let pool = WorkerPool::with_default_parallelism();
+    let system: Vec<Polynomial<Dd>> = TestPolynomial::P1.build_reduced_system(m, degree, 1);
+    let inputs: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
+    let layered = SystemEvaluator::new(&system);
+    let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
+    let a = layered.evaluate_parallel(&inputs, &pool);
+    let b = graph.evaluate_parallel(&inputs, &pool);
+    assert_eq!(a.values, b.values);
+    let mut group = c.benchmark_group("graph_executor_system_reduced_p1_d6_2d");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("layered_barriers", m), |bch| {
+        bch.iter(|| {
+            let r = layered.evaluate_parallel(black_box(&inputs), &pool);
+            black_box(r.values.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("graph_work_stealing", m), |bch| {
+        bch.iter(|| {
+            let r = graph.evaluate_parallel(black_box(&inputs), &pool);
+            black_box(r.values.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, layered_vs_graph, system_layered_vs_graph);
+criterion_main!(benches);

@@ -11,7 +11,11 @@
 //!   tflops
 //!   batch          measured batched-vs-looped evaluation comparison
 //!   system         measured fused-system-vs-per-polynomial-loop comparison
-//!   all            run every command above (except batch and system)
+//!   graph          measured graph-executor-vs-layered-barrier comparison
+//!   compare        compare a current JSON report against a baseline and
+//!                  exit non-zero on perf regressions (the CI gate)
+//!   all            run every command above (except batch, system, graph
+//!                  and compare)
 //!
 //! options:
 //!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
@@ -22,8 +26,14 @@
 //!                  this option also runs the batch report after any command
 //!   --equations <m> system size for the system command (default 4)
 //!   --json         emit a machine-readable JSON report instead of text
-//!                  (supported by table2, batch and system; used by the CI
-//!                  perf-snapshot job)
+//!                  (supported by table2, batch, system and graph; used by
+//!                  the CI perf-snapshot job).  stdout carries only the JSON
+//!                  document; progress and notes go to stderr.
+//!   --baseline <file>       baseline report for the compare command
+//!   --current <file>        current report for the compare command
+//!   --tolerance-pct <N>     allowed timing regression in percent for the
+//!                           compare command (default 50; deterministic
+//!                           counts must always match exactly)
 //! ```
 //!
 //! Per-device millisecond columns are *modeled* with the analytic
@@ -52,6 +62,9 @@ struct Options {
     batch: Option<usize>,
     equations: usize,
     json: bool,
+    baseline: Option<String>,
+    current: Option<String>,
+    tolerance_pct: f64,
 }
 
 fn parse_args() -> Options {
@@ -63,6 +76,9 @@ fn parse_args() -> Options {
     let mut batch = None;
     let mut equations = 4usize;
     let mut json = false;
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance_pct = 50.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -94,6 +110,21 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .expect("--equations needs an integer argument");
             }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).expect("--baseline needs a file path").clone());
+            }
+            "--current" => {
+                i += 1;
+                current = Some(args.get(i).expect("--current needs a file path").clone());
+            }
+            "--tolerance-pct" => {
+                i += 1;
+                tolerance_pct = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance-pct needs a numeric argument");
+            }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of table_harness.rs");
                 std::process::exit(0);
@@ -111,11 +142,18 @@ fn parse_args() -> Options {
         batch,
         equations,
         json,
+        baseline,
+        current,
+        tolerance_pct,
     }
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.command == "compare" {
+        compare_command(&opts);
+        return;
+    }
     let mut cache = ShapeCache::new();
     let pool = WorkerPool::with_default_parallelism();
     let run = |cmd: &str| opts.command == "all" || opts.command == cmd;
@@ -172,6 +210,146 @@ fn main() {
     if opts.command == "system" {
         system_report(&opts, &pool);
     }
+    if opts.command == "graph" {
+        graph_report(&opts);
+    }
+}
+
+/// The CI perf-regression gate: compares a current JSON report against a
+/// committed baseline and exits non-zero on regressions (timings beyond the
+/// tolerance, or any deterministic count drift).
+fn compare_command(opts: &Options) {
+    let baseline_path = opts
+        .baseline
+        .as_deref()
+        .expect("compare needs --baseline <file>");
+    let current_path = opts
+        .current
+        .as_deref()
+        .expect("compare needs --current <file>");
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let current = std::fs::read_to_string(current_path)
+        .unwrap_or_else(|e| panic!("cannot read current {current_path}: {e}"));
+    match psmd_bench::compare_reports(&baseline, &current, opts.tolerance_pct) {
+        Ok(summary) => {
+            print!(
+                "compare {current_path} against {baseline_path} (tolerance {}%):\n{}",
+                opts.tolerance_pct,
+                summary.render()
+            );
+            if !summary.is_pass() {
+                eprintln!(
+                    "perf regression detected; regenerate bench/baselines/ if intentional, \
+                     or apply the perf-regression-ok PR label to override the gate"
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints a report heading: to stdout normally, to stderr in JSON mode
+/// (stdout must stay a single valid JSON document for the tee'd CI
+/// artifacts).
+fn emit_banner(opts: &Options, heading: &str) {
+    if opts.json {
+        eprint!("{heading}");
+    } else {
+        print!("{heading}");
+    }
+}
+
+/// Dependency-driven graph executor vs the layered barrier-per-layer
+/// reference on the same schedules.
+///
+/// Uses a dedicated pool with at least three workers so the rendezvous
+/// counts in the report are machine-independent (a zero-worker pool would
+/// take the inline fast path and report zero rendezvous).
+fn graph_report(opts: &Options) {
+    let workers = WorkerPool::default_worker_threads().max(3);
+    let pool = WorkerPool::new(workers);
+    let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
+        (Scale::Full, PAPER_DEGREES.to_vec(), "full")
+    } else {
+        (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
+    };
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "Graph executor: dependency-driven work stealing (one rendezvous per \
+             evaluation) vs layered barriers ({label} polynomials, double-double, \
+             measured CPU, {workers} workers)"
+        )),
+    );
+    let mut t = TextTable::new(vec![
+        "poly",
+        "degree",
+        "layered (ms)",
+        "graph (ms)",
+        "speedup",
+        "barriers",
+        "rendezvous",
+        "blocks",
+        "critical path",
+    ]);
+    let mut json = JsonReport::new("graph");
+    for poly in TestPolynomial::ALL {
+        for &d in &degrees {
+            // Progress goes to stderr so `--json | tee BENCH_graph.json`
+            // stays a single valid JSON document on stdout.
+            eprintln!("graph: measuring {} at degree {d}...", poly.label());
+            let cmp = psmd_bench::graph_comparison(poly, Precision::D2, d, scale, &pool, opts.seed);
+            if opts.json {
+                json.add_row(vec![
+                    ("poly", JsonValue::Text(poly.label().to_string())),
+                    ("degree", JsonValue::Integer(d as i64)),
+                    ("layered_ms", JsonValue::Number(cmp.layered.wall_ms)),
+                    ("graph_ms", JsonValue::Number(cmp.graph.wall_ms)),
+                    (
+                        "layered_rendezvous",
+                        JsonValue::Integer(cmp.layered_rendezvous as i64),
+                    ),
+                    (
+                        "graph_rendezvous",
+                        JsonValue::Integer(cmp.graph_rendezvous as i64),
+                    ),
+                    ("layers", JsonValue::Integer(cmp.layers as i64)),
+                    ("blocks", JsonValue::Integer(cmp.blocks as i64)),
+                    ("edges", JsonValue::Integer(cmp.edges as i64)),
+                    (
+                        "critical_path",
+                        JsonValue::Integer(cmp.critical_path as i64),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    poly.label().to_string(),
+                    d.to_string(),
+                    ms(cmp.layered.wall_ms),
+                    ms(cmp.graph.wall_ms),
+                    format!("{:.2}x", cmp.layered.wall_ms / cmp.graph.wall_ms.max(1e-9)),
+                    cmp.layered_rendezvous.to_string(),
+                    cmp.graph_rendezvous.to_string(),
+                    cmp.blocks.to_string(),
+                    cmp.critical_path.to_string(),
+                ]);
+            }
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(the layered path pays one pool rendezvous per multi-block layer; the graph\n\
+             path releases blocks as their predecessors retire and pays exactly one)"
+        );
+    }
 }
 
 /// Fused system evaluation (one merged schedule, one launch per shared
@@ -183,15 +361,13 @@ fn system_report(opts: &Options, pool: &WorkerPool) {
     } else {
         (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
     };
-    if !opts.json {
-        print!(
-            "{}",
-            banner(&format!(
-                "System evaluation: {equations} equations fused into one schedule vs a \
-                 per-polynomial loop ({label} polynomials, double-double, measured CPU)"
-            ))
-        );
-    }
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "System evaluation: {equations} equations fused into one schedule vs a \
+             per-polynomial loop ({label} polynomials, double-double, measured CPU)"
+        )),
+    );
     let mut t = TextTable::new(vec![
         "poly",
         "degree",
@@ -205,6 +381,7 @@ fn system_report(opts: &Options, pool: &WorkerPool) {
     let mut json = JsonReport::new("system");
     for poly in TestPolynomial::ALL {
         for &d in &degrees {
+            eprintln!("system: measuring {} at degree {d}...", poly.label());
             let cmp = psmd_bench::system_comparison(
                 poly,
                 Precision::D2,
@@ -281,15 +458,13 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
     } else {
         (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
     };
-    if !opts.json {
-        print!(
-            "{}",
-            banner(&format!(
-                "Batched evaluation: {batch} instances per launch vs per-polynomial launches \
-                 ({label} polynomials, double-double, measured CPU)"
-            ))
-        );
-    }
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "Batched evaluation: {batch} instances per launch vs per-polynomial launches \
+             ({label} polynomials, double-double, measured CPU)"
+        )),
+    );
     let mut t = TextTable::new(vec![
         "poly",
         "degree",
@@ -303,6 +478,7 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
     let mut json = JsonReport::new("batch");
     for poly in TestPolynomial::ALL {
         for &d in &degrees {
+            eprintln!("batch: measuring {} at degree {d}...", poly.label());
             let cmp = psmd_bench::batched_comparison(
                 poly,
                 Precision::D2,
@@ -393,9 +569,7 @@ fn table1() {
 
 /// Table 2: characteristics of the test polynomials (ours vs the paper).
 fn table2(opts: &Options) {
-    if !opts.json {
-        print!("{}", banner("Table 2: test polynomials"));
-    }
+    emit_banner(opts, &banner("Table 2: test polynomials"));
     let mut t = TextTable::new(vec![
         "poly",
         "n",

@@ -10,7 +10,8 @@
 
 use crate::polynomials::TestPolynomial;
 use psmd_core::{
-    workload_shape, BatchEvaluator, Polynomial, Schedule, ScheduledEvaluator, SystemEvaluator,
+    workload_shape, BatchEvaluator, ExecMode, Polynomial, Schedule, ScheduledEvaluator,
+    SystemEvaluator,
 };
 use psmd_device::{model_evaluation, GpuSpec, WorkloadShape};
 use psmd_multidouble::{Coeff, CostModel, Md, Precision, RandomCoeff};
@@ -259,6 +260,110 @@ fn batched_comparison_generic<C: Coeff + RandomCoeff>(
     }
 }
 
+/// One measured comparison of the dependency-driven graph executor against
+/// the layered (barrier-per-layer) reference on the same schedule and
+/// inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphComparison {
+    /// The layered reference run (one pool launch per job layer).
+    pub layered: TimingRow,
+    /// The graph-mode run (one task-graph launch for the whole evaluation).
+    pub graph: TimingRow,
+    /// Pool rendezvous paid by the layered run (single-block layers run
+    /// inline and pay none).
+    pub layered_rendezvous: usize,
+    /// Pool rendezvous paid by the graph run (always 1 on a threaded pool).
+    pub graph_rendezvous: usize,
+    /// Job layers of the schedule (the barrier count of the paper's model).
+    pub layers: usize,
+    /// Total blocks (convolution plus addition jobs).
+    pub blocks: usize,
+    /// Dependency edges of the graph plan.
+    pub edges: usize,
+    /// Longest dependency chain of the graph plan, in blocks.
+    pub critical_path: usize,
+}
+
+/// Measures graph-mode against layered execution at the given precision
+/// (dispatching to the right `Md<N>` instantiation).  Both runs use the same
+/// schedule and inputs; results are bitwise identical by construction (and
+/// asserted here), so the comparison is purely about launch overhead.
+pub fn graph_comparison(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    pool: &WorkerPool,
+    seed: u64,
+) -> GraphComparison {
+    dispatch_precision!(
+        precision,
+        graph_comparison_generic(poly, degree, scale, pool, seed)
+    )
+}
+
+fn graph_comparison_generic<C: Coeff + RandomCoeff>(
+    poly: TestPolynomial,
+    degree: usize,
+    scale: Scale,
+    pool: &WorkerPool,
+    seed: u64,
+) -> GraphComparison {
+    let (p, z): (Polynomial<C>, _) = match scale {
+        Scale::Reduced => (
+            poly.build_reduced(degree, seed),
+            poly.reduced_inputs(degree, seed),
+        ),
+        Scale::Full => (poly.build(degree, seed), poly.inputs(degree, seed)),
+    };
+    let layered = ScheduledEvaluator::new(&p);
+    let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+    let row = |t: &psmd_runtime::KernelTimings| TimingRow {
+        convolution_ms: t.convolution_ms(),
+        addition_ms: t.addition_ms(),
+        wall_ms: t.wall_clock_ms(),
+    };
+    // Warmup run per mode (builds the graph plan, wakes the pool) doubling
+    // as the rendezvous measurement and the bitwise-identity check.
+    let before = pool.rendezvous_count();
+    let layered_eval = layered.evaluate_parallel(&z, pool);
+    let layered_rendezvous = pool.rendezvous_count() - before;
+    let before = pool.rendezvous_count();
+    let graph_eval = graph.evaluate_parallel(&z, pool);
+    let graph_rendezvous = pool.rendezvous_count() - before;
+    assert_eq!(
+        layered_eval.value, graph_eval.value,
+        "graph mode must be bitwise identical to layered mode"
+    );
+    assert_eq!(layered_eval.gradient, graph_eval.gradient);
+    // Best-of-3 timed runs per mode: single evaluations are noisy and the
+    // CI perf gate compares these numbers against committed baselines.
+    let mut layered_t = layered_eval.timings;
+    let mut graph_t = graph_eval.timings;
+    for _ in 0..3 {
+        let t = layered.evaluate_parallel(&z, pool).timings;
+        if t.wall_clock < layered_t.wall_clock {
+            layered_t = t;
+        }
+        let t = graph.evaluate_parallel(&z, pool).timings;
+        if t.wall_clock < graph_t.wall_clock {
+            graph_t = t;
+        }
+    }
+    let schedule = layered.schedule();
+    let plan = graph.graph_plan();
+    GraphComparison {
+        layered: row(&layered_t),
+        graph: row(&graph_t),
+        layered_rendezvous,
+        graph_rendezvous,
+        layers: schedule.convolution_layers.len() + schedule.addition_layers.len(),
+        blocks: plan.blocks(),
+        edges: plan.graph.num_edges(),
+        critical_path: plan.graph.critical_path_len(),
+    }
+}
+
 /// One measured comparison of the fused system evaluator against a loop of
 /// per-polynomial evaluations of the same system at the same inputs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -425,6 +530,32 @@ mod tests {
         assert!(row.wall_ms > 0.0);
         assert!(row.sum_ms() <= row.wall_ms * 1.5);
         assert!(row.convolution_ms > 0.0);
+    }
+
+    #[test]
+    fn graph_comparison_pays_one_rendezvous_and_matches_bitwise() {
+        let pool = WorkerPool::new(3);
+        let cmp = graph_comparison(
+            TestPolynomial::P1,
+            Precision::D2,
+            8,
+            Scale::Reduced,
+            &pool,
+            5,
+        );
+        // The whole evaluation is one pool rendezvous in graph mode; the
+        // layered path pays one per multi-block layer.
+        assert_eq!(cmp.graph_rendezvous, 1);
+        assert!(cmp.layered_rendezvous > 1);
+        assert!(cmp.layered_rendezvous <= cmp.layers);
+        assert!(cmp.blocks > 0);
+        assert!(cmp.edges > 0);
+        // A dependency chain visits at most one block per layer, and the
+        // deepest chain spans several layers.
+        assert!(cmp.critical_path > 1);
+        assert!(cmp.critical_path <= cmp.layers);
+        assert!(cmp.graph.wall_ms > 0.0);
+        assert!(cmp.layered.wall_ms > 0.0);
     }
 
     #[test]

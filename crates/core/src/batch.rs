@@ -44,12 +44,16 @@
 //! assert_eq!(result.instances[1].value.coeff(0).to_f64(), 7.0); // 1 + 3*2
 //! ```
 
-use crate::evaluate::{run_addition_job, run_convolution_job, ConvolutionKernel, Evaluation};
+use crate::evaluate::{
+    run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel, Evaluation,
+};
 use crate::polynomial::Polynomial;
-use crate::schedule::{AddJob, ConvJob, Schedule};
+use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
+use crate::ExecMode;
 use psmd_multidouble::Coeff;
 use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
 use psmd_series::Series;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// The evaluations of one batch, plus the aggregate kernel timings of the
@@ -86,6 +90,8 @@ pub struct BatchEvaluator<'p, C> {
     poly: &'p Polynomial<C>,
     schedule: Schedule,
     kernel: ConvolutionKernel,
+    exec_mode: ExecMode,
+    plan: OnceLock<GraphPlan>,
 }
 
 impl<'p, C: Coeff> BatchEvaluator<'p, C> {
@@ -96,6 +102,8 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
             poly,
             schedule: Schedule::build(poly),
             kernel: ConvolutionKernel::default(),
+            exec_mode: ExecMode::default(),
+            plan: OnceLock::new(),
         }
     }
 
@@ -103,6 +111,26 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
         self.kernel = kernel;
         self
+    }
+
+    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
+    /// layered launches (the reference) or one dependency-driven task-graph
+    /// launch per batch evaluation.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// The block-level graph plan of one instance, built once on first use
+    /// (batch launches replicate it per instance without cross-instance
+    /// edges).
+    pub fn graph_plan(&self) -> &GraphPlan {
+        self.plan.get_or_init(|| self.schedule.graph_plan())
     }
 
     /// The shared schedule.
@@ -153,6 +181,28 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
         }
         let shared = SharedArray::new(data);
         let kernel = self.kernel;
+        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
+            // Dependency-driven path: one graph launch carries every block
+            // of every instance — a single pool rendezvous for the whole
+            // batch.  Block b runs node b % nodes of instance b / nodes;
+            // dependency edges apply within each instance (instances occupy
+            // disjoint arena regions, so they share no hazards).
+            let plan = self.graph_plan();
+            let nodes = plan.blocks();
+            let start = Instant::now();
+            pool.launch_graph(&plan.graph, batch.len(), |b| {
+                let instance = b / nodes;
+                run_graph_node(plan, b % nodes, &shared, per, kernel, |slot| {
+                    layout.batch_slot(instance, slot)
+                });
+            });
+            timings.record_graph(
+                start.elapsed(),
+                batch.len() * plan.conv.len(),
+                batch.len() * plan.add.len(),
+            );
+            return self.finish(batch, shared, timings, wall);
+        }
         // Stage 1: convolution kernels — one launch per layer for the whole
         // batch.  Block b runs job b % jobs of instance b / jobs; rebasing
         // every slot with `batch_slot` addresses that instance's region of
@@ -198,7 +248,20 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
             }
             timings.record(KernelKind::Addition, start.elapsed(), blocks);
         }
-        // Stage 3: extract every instance's value and gradient.
+        self.finish(batch, shared, timings, wall)
+    }
+
+    /// Extracts every instance's value and gradient from the arena and
+    /// closes the timing record (shared by the layered and graph paths).
+    fn finish(
+        &self,
+        batch: &[Vec<Series<C>>],
+        shared: SharedArray<C>,
+        mut timings: KernelTimings,
+        wall: Stopwatch,
+    ) -> BatchEvaluation<C> {
+        let layout = &self.schedule.layout;
+        let stride = layout.total_coefficients();
         let data = shared.into_inner();
         let instances = (0..batch.len())
             .map(|i| {
@@ -313,6 +376,33 @@ mod tests {
         assert_eq!(
             result.timings.addition_blocks,
             batch.len() * schedule.addition_jobs()
+        );
+    }
+
+    #[test]
+    fn graph_mode_batch_is_bitwise_identical_with_one_rendezvous() {
+        let d = 5;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 9, 3);
+        let layered = BatchEvaluator::new(&p);
+        let graph = BatchEvaluator::new(&p).with_exec_mode(crate::ExecMode::Graph);
+        let pool = WorkerPool::new(3);
+        let a = layered.evaluate_parallel(&batch, &pool);
+        let before = pool.rendezvous_count();
+        let b = graph.evaluate_parallel(&batch, &pool);
+        assert_eq!(pool.rendezvous_count(), before + 1);
+        for (x, y) in a.instances.iter().zip(b.instances.iter()) {
+            assert_eq!(x.value, y.value, "graph batch must be bitwise identical");
+            assert_eq!(x.gradient, y.gradient);
+        }
+        assert_eq!(b.timings.graph_launches, 1);
+        assert_eq!(
+            b.timings.convolution_blocks,
+            batch.len() * layered.schedule().convolution_jobs()
+        );
+        assert_eq!(
+            b.timings.addition_blocks,
+            batch.len() * layered.schedule().addition_jobs()
         );
     }
 

@@ -16,10 +16,11 @@
 //!   reports per-kernel timings like the paper does.
 
 use crate::polynomial::Polynomial;
-use crate::schedule::{AddJob, ConvJob, Schedule};
+use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
 use psmd_multidouble::Coeff;
 use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
 use psmd_series::{add_assign_slices, convolve_seq, convolve_zero_insertion, Series};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which convolution kernel the scheduled evaluator uses for its jobs.
@@ -31,6 +32,21 @@ pub enum ConvolutionKernel {
     /// The direct formula with thread divergence, kept for the ablation
     /// benchmark.
     Direct,
+}
+
+/// How the evaluators execute the job schedule on the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One kernel launch per job layer with a pool-wide barrier between
+    /// layers — the paper's execution model, kept as the reference path.
+    #[default]
+    Layered,
+    /// One task-graph launch per evaluation: every block is released to the
+    /// per-worker work-stealing deques the moment its input convolutions
+    /// retire, so the whole evaluation costs a single pool rendezvous.
+    /// Bitwise identical to [`ExecMode::Layered`] (the graph preserves the
+    /// per-slot operation order of the layered schedule).
+    Graph,
 }
 
 /// The value and gradient of a polynomial at a vector of power series,
@@ -114,6 +130,8 @@ pub struct ScheduledEvaluator<'p, C> {
     poly: &'p Polynomial<C>,
     schedule: Schedule,
     kernel: ConvolutionKernel,
+    exec_mode: ExecMode,
+    plan: OnceLock<GraphPlan>,
 }
 
 impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
@@ -123,6 +141,8 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
             poly,
             schedule: Schedule::build(poly),
             kernel: ConvolutionKernel::default(),
+            exec_mode: ExecMode::default(),
+            plan: OnceLock::new(),
         }
     }
 
@@ -130,6 +150,24 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
         self.kernel = kernel;
         self
+    }
+
+    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
+    /// layered launches (the reference) or one dependency-driven task-graph
+    /// launch per evaluation.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// The block-level graph plan, built once on first use.
+    pub fn graph_plan(&self) -> &GraphPlan {
+        self.plan.get_or_init(|| self.schedule.graph_plan())
     }
 
     /// The underlying schedule.
@@ -147,8 +185,9 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
         self.run(inputs, None)
     }
 
-    /// Runs the two-stage algorithm with one kernel launch per layer on the
-    /// worker pool (one block per job).
+    /// Runs the two-stage algorithm on the worker pool: one kernel launch
+    /// per layer (the default [`ExecMode::Layered`]) or one dependency-driven
+    /// graph launch for the whole evaluation ([`ExecMode::Graph`]).
     pub fn evaluate_parallel(&self, inputs: &[Series<C>], pool: &WorkerPool) -> Evaluation<C> {
         self.run(inputs, Some(pool))
     }
@@ -160,35 +199,47 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
         let data = self.schedule.build_data_array(self.poly, inputs);
         let shared = SharedArray::new(data);
         let kernel = self.kernel;
-        // Stage 1: convolution kernels, one launch per layer.
-        for layer in &self.schedule.convolution_layers {
+        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
+            // Dependency-driven path: every convolution and addition of the
+            // whole evaluation in one graph launch — one pool rendezvous.
+            let plan = self.graph_plan();
             let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_convolution_job(&shared, &layer[b], per, kernel);
-                }),
-                None => {
-                    for job in layer {
-                        run_convolution_job(&shared, job, per, kernel);
+            pool.launch_graph(&plan.graph, 1, |b| {
+                run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
+            });
+            timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
+        } else {
+            // Layered reference path.
+            // Stage 1: convolution kernels, one launch per layer.
+            for layer in &self.schedule.convolution_layers {
+                let start = Instant::now();
+                match pool {
+                    Some(pool) => pool.launch_grid(layer.len(), |b| {
+                        run_convolution_job(&shared, &layer[b], per, kernel);
+                    }),
+                    None => {
+                        for job in layer {
+                            run_convolution_job(&shared, job, per, kernel);
+                        }
                     }
                 }
+                timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
             }
-            timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
-        }
-        // Stage 2: addition kernels.
-        for layer in &self.schedule.addition_layers {
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_addition_job(&shared, &layer[b], per);
-                }),
-                None => {
-                    for job in layer {
-                        run_addition_job(&shared, job, per);
+            // Stage 2: addition kernels.
+            for layer in &self.schedule.addition_layers {
+                let start = Instant::now();
+                match pool {
+                    Some(pool) => pool.launch_grid(layer.len(), |b| {
+                        run_addition_job(&shared, &layer[b], per);
+                    }),
+                    None => {
+                        for job in layer {
+                            run_addition_job(&shared, job, per);
+                        }
                     }
                 }
+                timings.record(KernelKind::Addition, start.elapsed(), layer.len());
             }
-            timings.record(KernelKind::Addition, start.elapsed(), layer.len());
         }
         let data = shared.into_inner();
         let value = self.schedule.extract(&data, self.schedule.value_location);
@@ -204,6 +255,38 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
             gradient,
             timings,
         }
+    }
+}
+
+/// Executes one node of a [`GraphPlan`] on the shared data array: node ids
+/// below `plan.conv.len()` are convolution jobs, the rest addition jobs.
+/// `map_slot` rebases slots into the arena (identity for single and system
+/// evaluation, the instance shift for batched evaluation), so the three
+/// graph-mode evaluators share one dispatch.
+pub(crate) fn run_graph_node<C: Coeff>(
+    plan: &GraphPlan,
+    node: usize,
+    shared: &SharedArray<C>,
+    per: usize,
+    kernel: ConvolutionKernel,
+    map_slot: impl Fn(usize) -> usize,
+) {
+    let n_conv = plan.conv.len();
+    if node < n_conv {
+        let job = plan.conv[node];
+        let mapped = ConvJob {
+            in1: map_slot(job.in1),
+            in2: map_slot(job.in2),
+            out: map_slot(job.out),
+        };
+        run_convolution_job(shared, &mapped, per, kernel);
+    } else {
+        let job = plan.add[node - n_conv];
+        let mapped = AddJob {
+            src: map_slot(job.src),
+            dst: map_slot(job.dst),
+        };
+        run_addition_job(shared, &mapped, per);
     }
 }
 
@@ -335,6 +418,55 @@ mod tests {
         );
         assert_eq!(par.timings.addition_blocks, ev.schedule().addition_jobs());
         assert!(par.timings.wall_clock_ms() >= par.timings.sum_ms() * 0.5);
+    }
+
+    #[test]
+    fn graph_mode_is_bitwise_identical_and_pays_one_rendezvous() {
+        let d = 8;
+        let p = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
+        let layered = ScheduledEvaluator::new(&p);
+        let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+        assert_eq!(graph.exec_mode(), ExecMode::Graph);
+        let pool = WorkerPool::new(3);
+        let a = layered.evaluate_parallel(&z, &pool);
+        let before = pool.rendezvous_count();
+        let b = graph.evaluate_parallel(&z, &pool);
+        // The whole evaluation costs exactly one pool rendezvous, against
+        // one per layer (with >= 2 blocks) on the layered path.
+        assert_eq!(pool.rendezvous_count(), before + 1);
+        assert_eq!(a.value, b.value, "graph mode must be bitwise identical");
+        assert_eq!(a.gradient, b.gradient);
+        assert_eq!(b.timings.graph_launches, 1);
+        assert_eq!(b.timings.convolution_launches, 0);
+        assert_eq!(b.timings.addition_launches, 0);
+        assert_eq!(
+            b.timings.convolution_blocks,
+            layered.schedule().convolution_jobs()
+        );
+        assert_eq!(
+            b.timings.addition_blocks,
+            layered.schedule().addition_jobs()
+        );
+    }
+
+    #[test]
+    fn graph_mode_matches_on_a_zero_worker_pool() {
+        // PSMD_THREADS=0 degenerates to inline dependency-order execution;
+        // it must still be bitwise identical to the sequential reference.
+        let d = 5;
+        let p = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(29);
+        let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
+        let evaluator = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+        let seq = evaluator.evaluate_sequential(&z);
+        let pool = WorkerPool::new(0);
+        let par = evaluator.evaluate_parallel(&z, &pool);
+        assert_eq!(seq.value, par.value);
+        assert_eq!(seq.gradient, par.gradient);
+        // The inline path never wakes a pool.
+        assert_eq!(pool.rendezvous_count(), 0);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!    products of every monomial, layered so that independent jobs form one
 //!    kernel launch, plus the tree summation of the evaluated monomials);
 //! 3. evaluate at any input series with the [`ScheduledEvaluator`], either
-//!    sequentially or with one block per job on the worker pool, and collect
-//!    per-kernel timings;
+//!    sequentially or with one block per job on the worker pool — layered
+//!    (one kernel launch per layer) or dependency-driven ([`ExecMode::Graph`]:
+//!    one task-graph launch, hence one pool rendezvous, per evaluation) —
+//!    and collect per-kernel timings;
 //! 4. compare against the naive baseline ([`evaluate_naive`]) and convert the
 //!    schedule into the [`psmd_device::WorkloadShape`] of the analytic GPU
 //!    performance model ([`counts::workload_shape`]).
@@ -53,7 +55,7 @@ pub mod system;
 
 pub use batch::{BatchEvaluation, BatchEvaluator};
 pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
-pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ScheduledEvaluator};
+pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ExecMode, ScheduledEvaluator};
 pub use generators::{
     banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,
     random_polynomial,
@@ -63,7 +65,7 @@ pub use newton::{
     newton_system, newton_system_parallel, solve_linearized, NewtonOptions, NewtonResult,
 };
 pub use polynomial::Polynomial;
-pub use schedule::{AddJob, ConvJob, DataLayout, ResultLocation, Schedule};
+pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};
 pub use system::{
     evaluate_naive_system, SystemEvaluation, SystemEvaluator, SystemLayout, SystemSchedule,
 };

@@ -55,17 +55,19 @@
 //! ```
 
 use crate::evaluate::{
-    evaluate_naive, run_addition_job, run_convolution_job, ConvolutionKernel, Evaluation,
+    evaluate_naive, run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel,
+    Evaluation, ExecMode,
 };
 use crate::polynomial::Polynomial;
 use crate::schedule::{
-    derivative_slot_in, schedule_monomial_convolutions, schedule_output_sums, validate_job_layers,
-    AddJob, ConvJob, OutputSum, ResultLocation,
+    build_graph_plan, derivative_slot_in, schedule_monomial_convolutions, schedule_output_sums,
+    validate_job_layers, AddJob, ConvJob, GraphPlan, OutputSum, ResultLocation,
 };
 use psmd_multidouble::Coeff;
 use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
 use psmd_series::Series;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Positions of every series of a polynomial *system* in one flat data
@@ -382,6 +384,14 @@ impl SystemSchedule {
         validate_job_layers(&self.convolution_layers, &self.addition_layers)
     }
 
+    /// Lowers the merged schedule to block granularity for the
+    /// dependency-driven executor (see [`crate::Schedule::graph_plan`]);
+    /// shared products feed every consuming equation's summation through the
+    /// same dependency edges.
+    pub fn graph_plan(&self) -> GraphPlan {
+        build_graph_plan(&self.convolution_layers, &self.addition_layers)
+    }
+
     /// Populates the flat data array: each equation's constant, each unique
     /// monomial's coefficient (from its representative) and the shared input
     /// series; product and scratch slots are left zero.
@@ -504,6 +514,8 @@ pub struct SystemEvaluator<'p, C> {
     polys: &'p [Polynomial<C>],
     schedule: SystemSchedule,
     kernel: ConvolutionKernel,
+    exec_mode: ExecMode,
+    plan: OnceLock<GraphPlan>,
 }
 
 impl<'p, C: Coeff> SystemEvaluator<'p, C> {
@@ -514,6 +526,8 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
             polys,
             schedule: SystemSchedule::build(polys),
             kernel: ConvolutionKernel::default(),
+            exec_mode: ExecMode::default(),
+            plan: OnceLock::new(),
         }
     }
 
@@ -521,6 +535,25 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
         self.kernel = kernel;
         self
+    }
+
+    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
+    /// layered launches (the reference) or one dependency-driven task-graph
+    /// launch per system evaluation.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// The block-level graph plan of the merged schedule, built once on
+    /// first use.
+    pub fn graph_plan(&self) -> &GraphPlan {
+        self.plan.get_or_init(|| self.schedule.graph_plan())
     }
 
     /// The merged schedule.
@@ -557,6 +590,18 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
         self.schedule.fill_data_array(self.polys, inputs, &mut data);
         let shared = SharedArray::new(data);
         let kernel = self.kernel;
+        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
+            // Dependency-driven path: the whole system — every equation's
+            // deduplicated products plus all m values and m×n Jacobian sums
+            // — in one graph launch, one pool rendezvous.
+            let plan = self.graph_plan();
+            let start = Instant::now();
+            pool.launch_graph(&plan.graph, 1, |b| {
+                run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
+            });
+            timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
+            return self.finish(shared, timings, wall);
+        }
         // Stage 1: convolution kernels — one launch per merged layer covers
         // every equation's (deduplicated) products.
         for layer in &self.schedule.convolution_layers {
@@ -589,7 +634,17 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
             }
             timings.record(KernelKind::Addition, start.elapsed(), layer.len());
         }
-        // Stage 3: extract every value and Jacobian entry.
+        self.finish(shared, timings, wall)
+    }
+
+    /// Extracts every value and Jacobian entry from the arena and closes the
+    /// timing record (shared by the layered and graph paths).
+    fn finish(
+        &self,
+        shared: SharedArray<C>,
+        mut timings: KernelTimings,
+        wall: Stopwatch,
+    ) -> SystemEvaluation<C> {
         let data = shared.into_inner();
         let values = self
             .schedule
@@ -762,6 +817,51 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(schedule.convolution_layers.len(), max_layers);
+    }
+
+    #[test]
+    fn graph_mode_system_is_bitwise_identical_with_one_rendezvous() {
+        let d = 6;
+        let system = paper_system(d);
+        let z = random_z(6, d, 3);
+        let layered = SystemEvaluator::new(&system);
+        let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
+        let pool = WorkerPool::new(3);
+        let a = layered.evaluate_parallel(&z, &pool);
+        let before = pool.rendezvous_count();
+        let b = graph.evaluate_parallel(&z, &pool);
+        assert_eq!(pool.rendezvous_count(), before + 1);
+        assert_eq!(a.values, b.values, "graph system must be bitwise identical");
+        assert_eq!(a.jacobian, b.jacobian);
+        assert_eq!(b.timings.graph_launches, 1);
+        assert_eq!(
+            b.timings.convolution_blocks,
+            layered.schedule().convolution_jobs()
+        );
+    }
+
+    #[test]
+    fn graph_mode_preserves_shared_monomial_summation_order() {
+        // Shared products are read-only contributions summed through
+        // scratch accumulators; the graph edges must serialize those sums
+        // exactly like the layered path.
+        let d = 3;
+        let shared = |dd| Monomial::new(coeff(2.0, dd), vec![0, 1, 2]);
+        let f1 = Polynomial::new(3, coeff(1.0, d), vec![shared(d)]);
+        let f2 = Polynomial::new(
+            3,
+            coeff(0.0, d),
+            vec![shared(d), Monomial::new(coeff(5.0, d), vec![1])],
+        );
+        let system = vec![f1, f2];
+        let layered = SystemEvaluator::new(&system);
+        let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
+        let z = random_z(3, d, 61);
+        let pool = WorkerPool::new(2);
+        let a = layered.evaluate_parallel(&z, &pool);
+        let b = graph.evaluate_parallel(&z, &pool);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.jacobian, b.jacobian);
     }
 
     #[test]

@@ -10,13 +10,21 @@
 //! CUDA runtime while preserving its execution model (one block per job,
 //! blocks executed in parallel, one kernel launch per layer of jobs), so the
 //! algorithmic layer above is the same code path the paper describes.
+//!
+//! Beyond the layered reference path, the crate provides a dependency-driven
+//! executor ([`WorkerPool::launch_graph`] over a [`TaskGraph`]): blocks are
+//! released to per-worker work-stealing deques as their predecessors retire,
+//! replacing the per-layer barrier with a single pool rendezvous per
+//! evaluation.
 
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod pool;
 pub mod shared;
 pub mod timer;
 
+pub use graph::{TaskGraph, TaskGraphBuilder};
 pub use pool::{global_pool, WorkerPool};
 pub use shared::SharedArray;
 pub use timer::{duration_ms, KernelKind, KernelTimings, Stopwatch};

@@ -1,41 +1,92 @@
 //! A persistent worker pool executing "grids of blocks" on CPU threads.
 //!
 //! The paper launches CUDA kernels with one thread block per job; this pool
-//! is the CPU stand-in for that execution model.  A launch hands the pool a
-//! closure and a number of blocks; worker threads repeatedly claim block
-//! indices from a shared atomic counter and run the closure for each claimed
-//! block, so blocks execute in parallel across the machine's cores exactly
-//! like blocks execute in parallel across streaming multiprocessors.
+//! is the CPU stand-in for that execution model.  Two launch shapes exist:
+//!
+//! * [`WorkerPool::launch_grid`] — the layered reference path: a launch
+//!   hands the pool a closure and a number of blocks; worker threads claim
+//!   block indices from a shared atomic counter and run the closure for each
+//!   claimed block.  One launch per job layer reproduces the paper's
+//!   kernel-per-layer execution, including its global barrier between
+//!   layers.
+//! * [`WorkerPool::launch_graph`] — the dependency-driven path: the launch
+//!   hands the pool a [`TaskGraph`] whose blocks are released to per-worker
+//!   work-stealing deques as their predecessors retire, so the whole
+//!   multi-layer computation costs **one** pool rendezvous instead of one
+//!   per layer.
 //!
 //! The launching thread participates in the work, so a pool of `T` workers
 //! provides `T + 1`-way parallelism and a launch never deadlocks even if the
 //! pool has zero worker threads.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::graph::TaskGraph;
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
+/// Completion rendezvous shared by the launcher and the workers of one
+/// launch: the last participant to finish wakes the launcher.
+struct Completion {
+    /// Number of participants that have not yet finished.
+    pending: AtomicUsize,
+    done_lock: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Completion {
+    fn new(participants: usize) -> Self {
+        Self {
+            pending: AtomicUsize::new(participants),
+            done_lock: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Marks one participant as finished; the last one signals the launcher.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done_lock.lock();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every participant has finished.
+    fn wait(&self) {
+        let mut done = self.done_lock.lock();
+        while !*done {
+            self.done_cv.wait(&mut done);
+        }
+    }
+}
+
+/// One unit of pool work: a whole launch (grid or graph) that every
+/// participating thread helps to drain.
+trait PoolTask: Send + Sync {
+    /// Runs this participant's share of the launch and signals completion.
+    /// `index` identifies the participant (workers `0..T`, launcher `T`).
+    fn run_participant(&self, index: usize);
+}
+
 /// State shared between the launcher and the workers for one grid launch.
-struct LaunchState {
+struct GridLaunchState {
     /// The per-block body.
     body: Box<dyn Fn(usize) + Send + Sync>,
     /// Next block index to claim.
     next_block: AtomicUsize,
     /// Total number of blocks in the grid.
     blocks: usize,
-    /// Number of workers that have not yet drained the counter.
-    pending_workers: AtomicUsize,
     /// Set when any block body panicked.
     poisoned: AtomicBool,
     /// Completion signalling.
-    done_lock: Mutex<bool>,
-    done_cv: Condvar,
+    completion: Completion,
 }
 
-impl LaunchState {
+impl GridLaunchState {
     /// Claims and runs blocks until the counter is exhausted.
     fn drain(&self) {
         loop {
@@ -49,39 +100,261 @@ impl LaunchState {
             }
         }
     }
+}
 
-    /// Marks one worker as finished; the last one signals the launcher.
-    fn finish_worker(&self) {
-        if self.pending_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self.done_lock.lock();
-            *done = true;
-            self.done_cv.notify_all();
-        }
+impl PoolTask for GridLaunchState {
+    fn run_participant(&self, _index: usize) {
+        self.drain();
+        self.completion.finish_one();
     }
 }
 
-/// A persistent pool of worker threads executing grid launches.
+/// State shared between the launcher and the workers for one graph launch:
+/// per-participant work-stealing deques, an atomic remaining-dependency
+/// counter per block, and blocks released to the deques as their
+/// predecessors retire.
+struct GraphLaunchState {
+    /// The per-block body.
+    body: Box<dyn Fn(usize) + Send + Sync>,
+    /// The dependency graph of one instance (lifetime-erased; the launcher
+    /// waits for completion before returning, so the reference stays valid
+    /// for the whole launch).
+    graph: &'static TaskGraph,
+    /// Nodes per instance.
+    nodes: usize,
+    /// Total blocks across all instances (`instances * nodes`).
+    total_blocks: usize,
+    /// Remaining-predecessor count per block.
+    pending: Vec<AtomicU32>,
+    /// Nodes ready at launch (zero in-degree), shared by every instance.
+    roots: Vec<u32>,
+    /// Next root to claim, indexing the virtual `instances × roots` list.
+    /// Roots are claimed from this shared counter exactly like the layered
+    /// path claims blocks — no deque traffic for the launch wavefront; the
+    /// deques only carry blocks released at fan-outs.
+    next_root: AtomicUsize,
+    /// One work-stealing deque per participant, taken by its owner at the
+    /// start of the launch.
+    deques: Vec<Mutex<Option<Worker<usize>>>>,
+    /// Stealers over every participant's deque.
+    stealers: Vec<Stealer<usize>>,
+    /// Next unclaimed deque.  The pool channel is MPMC, not broadcast: one
+    /// worker may receive several copies of this launch (and another none),
+    /// so participants claim deque slots here instead of using their worker
+    /// index.  Exactly `participants` messages exist (threads sends plus the
+    /// launcher), so every slot is claimed exactly once.
+    next_participant: AtomicUsize,
+    /// Bumped whenever a fan-out pushes stealable work to a deque.  Idle
+    /// participants read it before scanning and park on `idle_cv` only if it
+    /// is unchanged afterwards, so they sleep through the serial tail of a
+    /// launch instead of busy-spinning on the deque mutexes.
+    work_epoch: AtomicUsize,
+    /// Parking lot for idle participants (no ready work anywhere).
+    idle_lock: Mutex<()>,
+    /// Notified on fan-out pushes and on final retirement.
+    idle_cv: Condvar,
+    /// Number of retired blocks (termination condition).
+    retired: AtomicUsize,
+    /// Set when any block body panicked.
+    poisoned: AtomicBool,
+    /// Completion signalling.
+    completion: Completion,
+}
+
+impl GraphLaunchState {
+    fn new(
+        body: Box<dyn Fn(usize) + Send + Sync>,
+        graph: &'static TaskGraph,
+        instances: usize,
+        participants: usize,
+    ) -> Self {
+        let nodes = graph.len();
+        let total_blocks = instances * nodes;
+        let mut pending = Vec::with_capacity(total_blocks);
+        for _ in 0..instances {
+            for n in 0..nodes {
+                pending.push(AtomicU32::new(graph.in_degree(n)));
+            }
+        }
+        let workers: Vec<Worker<usize>> = (0..participants).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let roots = graph.roots().iter().map(|&n| n as u32).collect();
+        let deques = workers.into_iter().map(|w| Mutex::new(Some(w))).collect();
+        Self {
+            body,
+            graph,
+            nodes,
+            total_blocks,
+            pending,
+            roots,
+            next_root: AtomicUsize::new(0),
+            deques,
+            stealers,
+            next_participant: AtomicUsize::new(0),
+            work_epoch: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            retired: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            completion: Completion::new(participants),
+        }
+    }
+
+    /// Claims the next unclaimed root block (launch wavefront), if any.
+    fn claim_root(&self) -> Option<usize> {
+        let instances = self.total_blocks / self.nodes;
+        let i = self.next_root.fetch_add(1, Ordering::Relaxed);
+        if i >= self.roots.len() * instances {
+            return None;
+        }
+        let instance = i / self.roots.len();
+        let node = self.roots[i % self.roots.len()] as usize;
+        Some(instance * self.nodes + node)
+    }
+
+    /// Runs one block and releases its successors.  The first successor
+    /// whose last predecessor retires is returned as the **continuation** —
+    /// the caller runs it directly, so a dependency chain executes with no
+    /// deque traffic at all (the dominant pattern: forward/backward product
+    /// chains and tree summations).  Any further released successors are
+    /// pushed onto this participant's deque for other workers to steal.
+    fn execute(&self, block: usize, local: &Worker<usize>) -> Option<usize> {
+        let result = catch_unwind(AssertUnwindSafe(|| (self.body)(block)));
+        if result.is_err() {
+            // Poison the launch but still release the successors below: the
+            // graph must drain so the launch terminates, exactly like the
+            // layered path runs the remaining blocks after a panic.  The
+            // launcher re-raises the panic once every block has retired.
+            self.poisoned.store(true, Ordering::Release);
+        }
+        let node = block % self.nodes;
+        let instance_base = block - node;
+        let mut continuation = None;
+        let mut pushed = false;
+        for &s in self.graph.successors(node) {
+            let succ_block = instance_base + s as usize;
+            if self.pending[succ_block].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if continuation.is_none() {
+                    continuation = Some(succ_block);
+                } else {
+                    local.push(succ_block);
+                    pushed = true;
+                }
+            }
+        }
+        if pushed {
+            // Wake parked participants: new stealable work exists.  Bumping
+            // the epoch before taking the lock closes the race against a
+            // scanner that found nothing and is about to park.
+            self.work_epoch.fetch_add(1, Ordering::Release);
+            let _guard = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+        if self.retired.fetch_add(1, Ordering::AcqRel) + 1 == self.total_blocks {
+            // Final retirement: wake everyone so they observe termination.
+            let _guard = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+        continuation
+    }
+
+    /// Steals ready blocks from another participant's deque: one batched
+    /// steal moves about half the victim's queue into `local` and returns
+    /// one block, so the thief works from its own deque afterwards.
+    fn steal(&self, me: usize, local: &Worker<usize>) -> Option<usize> {
+        let n = self.stealers.len();
+        for k in 1..n {
+            let target = (me + k) % n;
+            loop {
+                match self.stealers[target].steal_batch_and_pop(local) {
+                    Steal::Success(block) => return Some(block),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+impl PoolTask for GraphLaunchState {
+    fn run_participant(&self, _index: usize) {
+        // Claim a deque slot (not the worker index: a worker may drain more
+        // than one message of this launch, see `next_participant`).
+        let me = self.next_participant.fetch_add(1, Ordering::AcqRel);
+        let local = self.deques[me]
+            .lock()
+            .take()
+            .expect("participant deque already taken");
+        loop {
+            // Snapshot the work epoch BEFORE scanning: if a fan-out pushes
+            // work while we scan, the epoch moves and we rescan instead of
+            // parking past it.
+            let epoch = self.work_epoch.load(Ordering::Acquire);
+            let block = local
+                .pop()
+                .or_else(|| self.claim_root())
+                .or_else(|| self.steal(me, &local));
+            match block {
+                Some(b) => {
+                    // Run the block, then chase its continuation chain:
+                    // each retired block hands over the successor it just
+                    // made ready, so chains run back to back without
+                    // touching the deque.
+                    let mut current = b;
+                    while let Some(next) = self.execute(current, &local) {
+                        current = next;
+                    }
+                }
+                None => {
+                    if self.retired.load(Ordering::Acquire) >= self.total_blocks {
+                        break;
+                    }
+                    // Park instead of spinning: idle participants would
+                    // otherwise contend on the deque mutexes the working
+                    // threads need.  Wakers take `idle_lock` after bumping
+                    // the epoch / retiring the last block, so re-checking
+                    // both under the lock makes the park race-free; the
+                    // timeout is pure insurance.
+                    let mut guard = self.idle_lock.lock();
+                    if self.retired.load(Ordering::Acquire) >= self.total_blocks {
+                        break;
+                    }
+                    if self.work_epoch.load(Ordering::Acquire) == epoch {
+                        let _ = self
+                            .idle_cv
+                            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        self.completion.finish_one();
+    }
+}
+
+/// A persistent pool of worker threads executing grid and graph launches.
 pub struct WorkerPool {
-    sender: Sender<Arc<LaunchState>>,
+    sender: Sender<Arc<dyn PoolTask>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Total number of pool rendezvous performed (launches that woke the
+    /// workers and waited for them; inline fast paths do not count).
+    rendezvous: AtomicUsize,
 }
 
 impl WorkerPool {
     /// Creates a pool with `threads` worker threads (the launching thread
     /// always helps, so `threads == 0` degenerates to sequential execution).
     pub fn new(threads: usize) -> Self {
-        let (sender, receiver): (Sender<Arc<LaunchState>>, Receiver<Arc<LaunchState>>) =
-            unbounded();
+        let (sender, receiver) = unbounded::<Arc<dyn PoolTask>>();
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = receiver.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("psmd-worker-{i}"))
                 .spawn(move || {
-                    while let Ok(state) = rx.recv() {
-                        state.drain();
-                        state.finish_worker();
+                    while let Ok(task) = rx.recv() {
+                        task.run_participant(i);
                     }
                 })
                 .expect("failed to spawn worker thread");
@@ -91,15 +364,48 @@ impl WorkerPool {
             sender,
             workers,
             threads,
+            rendezvous: AtomicUsize::new(0),
         }
     }
 
-    /// Creates a pool sized to the available hardware parallelism.
+    /// Creates a pool sized to the available hardware parallelism, or to the
+    /// `PSMD_THREADS` environment variable when set (the value is the number
+    /// of worker threads; `0` degenerates to sequential execution).  CI runs
+    /// the test suite under `PSMD_THREADS=0,1,4` to exercise the executor
+    /// under no, little and real contention.
     pub fn with_default_parallelism() -> Self {
-        let cores = std::thread::available_parallelism()
+        Self::new(Self::default_worker_threads())
+    }
+
+    /// The worker-thread count [`Self::with_default_parallelism`] would use:
+    /// the `PSMD_THREADS` override when set, otherwise one less than the
+    /// hardware parallelism (the launcher always participates).  Callers
+    /// that need the count without building a pool (harness reports,
+    /// examples) should use this instead of constructing a throwaway pool.
+    pub fn default_worker_threads() -> usize {
+        if let Some(threads) = Self::threads_from_env() {
+            return threads;
+        }
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1);
-        Self::new(cores.saturating_sub(1))
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// The worker-thread count requested via `PSMD_THREADS`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but not an integer: the CI thread
+    /// matrix exists to pin specific worker counts, and a typo that
+    /// silently fell back to hardware sizing would green-light CI while
+    /// never testing the configurations it claims to.
+    pub fn threads_from_env() -> Option<usize> {
+        let value = std::env::var("PSMD_THREADS").ok()?;
+        match value.trim().parse() {
+            Ok(threads) => Some(threads),
+            Err(_) => panic!("PSMD_THREADS must be an integer worker-thread count, got '{value}'"),
+        }
     }
 
     /// Number of worker threads (excluding the launching thread).
@@ -110,6 +416,28 @@ impl WorkerPool {
     /// Total parallel lanes used by a launch (workers plus the launcher).
     pub fn parallelism(&self) -> usize {
         self.threads + 1
+    }
+
+    /// Total number of pool rendezvous performed so far: launches that woke
+    /// the worker threads and waited for all of them to finish.  The layered
+    /// path pays one rendezvous per job layer; the graph path pays one per
+    /// evaluation.  Inline fast paths (zero workers, single-block grids) do
+    /// not count.
+    pub fn rendezvous_count(&self) -> usize {
+        self.rendezvous.load(Ordering::Relaxed)
+    }
+
+    /// Hands a launch to every worker, participates as the last index, and
+    /// waits for completion — the one pool-wide rendezvous of a launch.
+    fn rendezvous(&self, task: Arc<dyn PoolTask>) {
+        self.rendezvous.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..self.threads {
+            self.sender
+                .send(Arc::clone(&task))
+                .expect("worker channel closed");
+        }
+        // The launcher participates too, as the highest participant index.
+        task.run_participant(self.threads);
     }
 
     /// Executes `body` once for every block index in `0..blocks`, returning
@@ -138,33 +466,69 @@ impl WorkerPool {
             std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + '_>, _>(Box::new(body))
         };
         let participants = self.threads + 1;
-        let state = Arc::new(LaunchState {
+        let state = Arc::new(GridLaunchState {
             body: body_static,
             next_block: AtomicUsize::new(0),
             blocks,
-            pending_workers: AtomicUsize::new(participants),
             poisoned: AtomicBool::new(false),
-            done_lock: Mutex::new(false),
-            done_cv: Condvar::new(),
+            completion: Completion::new(participants),
         });
-        for _ in 0..self.threads {
-            self.sender
-                .send(Arc::clone(&state))
-                .expect("worker channel closed");
-        }
-        // The launcher participates too.
-        state.drain();
-        state.finish_worker();
+        self.rendezvous(Arc::clone(&state) as Arc<dyn PoolTask>);
         // Wait for every participant to finish before returning (and before
         // `body` is dropped).
-        {
-            let mut done = state.done_lock.lock();
-            while !*done {
-                state.done_cv.wait(&mut done);
-            }
-        }
+        state.completion.wait();
         if state.poisoned.load(Ordering::Acquire) {
             panic!("a block of the grid launch panicked");
+        }
+    }
+
+    /// Executes `body` once for every block of `instances` independent
+    /// copies of `graph`, releasing each block as soon as its predecessors
+    /// have retired — no per-layer barrier, exactly **one** pool rendezvous
+    /// for the whole launch.
+    ///
+    /// Block `b` runs node `b % graph.len()` of instance `b / graph.len()`;
+    /// dependency edges apply within each instance, and instances share no
+    /// edges (the batched arena gives every instance disjoint slots).
+    ///
+    /// Panics if any block body panicked (the remaining blocks still run
+    /// first, like the layered path).
+    pub fn launch_graph<F>(&self, graph: &TaskGraph, instances: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let blocks = instances * graph.len();
+        if blocks == 0 {
+            return;
+        }
+        // Lifetime erasure is sound for the same reason as in `launch_grid`:
+        // the launcher waits for every participant before returning.
+        let body_static: Box<dyn Fn(usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + '_>, _>(Box::new(body))
+        };
+        let graph_static: &'static TaskGraph =
+            unsafe { std::mem::transmute::<&TaskGraph, &'static TaskGraph>(graph) };
+        if self.threads == 0 || blocks == 1 {
+            // Inline fast path: one participant drains the whole graph in
+            // dependency order without waking the pool.
+            let state = GraphLaunchState::new(body_static, graph_static, instances, 1);
+            state.run_participant(0);
+            if state.poisoned.load(Ordering::Acquire) {
+                panic!("a block of the graph launch panicked");
+            }
+            return;
+        }
+        let participants = self.threads + 1;
+        let state = Arc::new(GraphLaunchState::new(
+            body_static,
+            graph_static,
+            instances,
+            participants,
+        ));
+        self.rendezvous(Arc::clone(&state) as Arc<dyn PoolTask>);
+        state.completion.wait();
+        if state.poisoned.load(Ordering::Acquire) {
+            panic!("a block of the graph launch panicked");
         }
     }
 }
@@ -181,7 +545,8 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The process-wide default pool, sized to the hardware parallelism.
+/// The process-wide default pool, sized to the hardware parallelism (or to
+/// `PSMD_THREADS` when set).
 pub fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(WorkerPool::with_default_parallelism)
@@ -190,6 +555,7 @@ pub fn global_pool() -> &'static WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::TaskGraphBuilder;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -386,5 +752,164 @@ mod tests {
             });
             assert_eq!(counter.load(Ordering::Relaxed), round + 1);
         }
+    }
+
+    /// A diamond graph: 0 -> {1, 2} -> 3.
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(&[], &[0]);
+        b.add_task(&[0], &[1]);
+        b.add_task(&[0], &[2]);
+        b.add_task(&[1, 2], &[3]);
+        b.build()
+    }
+
+    #[test]
+    fn graph_launch_respects_dependency_order() {
+        for threads in [0, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let g = diamond();
+            let stamp = AtomicUsize::new(0);
+            let order: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.launch_graph(&g, 1, |b| {
+                order[b].store(stamp.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            });
+            let at = |i: usize| order[i].load(Ordering::SeqCst);
+            assert!(at(0) < at(1), "threads = {threads}");
+            assert!(at(0) < at(2), "threads = {threads}");
+            assert!(at(1) < at(3), "threads = {threads}");
+            assert!(at(2) < at(3), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn graph_launch_runs_every_block_of_every_instance_once() {
+        let pool = WorkerPool::new(3);
+        let g = diamond();
+        let instances = 25;
+        let hits: Vec<AtomicUsize> = (0..4 * instances).map(|_| AtomicUsize::new(0)).collect();
+        pool.launch_graph(&g, instances, |b| {
+            hits[b].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn graph_launch_performs_exactly_one_rendezvous() {
+        let pool = WorkerPool::new(3);
+        let g = diamond();
+        let before = pool.rendezvous_count();
+        pool.launch_graph(&g, 8, |_| {});
+        assert_eq!(pool.rendezvous_count(), before + 1);
+        // The layered equivalent of a 4-deep chain pays one rendezvous per
+        // layer.
+        let before = pool.rendezvous_count();
+        for _ in 0..3 {
+            pool.launch_grid(8, |_| {});
+        }
+        assert_eq!(pool.rendezvous_count(), before + 3);
+    }
+
+    #[test]
+    fn empty_graph_and_zero_instances_are_no_ops() {
+        let pool = WorkerPool::new(2);
+        let empty = TaskGraphBuilder::new().build();
+        let count = AtomicUsize::new(0);
+        let before = pool.rendezvous_count();
+        pool.launch_graph(&empty, 5, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let g = diamond();
+        pool.launch_graph(&g, 0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.rendezvous_count(), before);
+        // The pool stays usable.
+        pool.launch_graph(&g, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn graph_panics_poison_the_launch_and_the_pool_survives() {
+        for threads in [0, 2] {
+            let pool = WorkerPool::new(threads);
+            let g = diamond();
+            let ran = AtomicUsize::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.launch_graph(&g, 4, |b| {
+                    if b % 4 == 1 {
+                        panic!("graph boom {b}");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            assert!(result.is_err(), "threads = {threads}");
+            // The panicking node still releases its successors, so the
+            // graph drains: 3 surviving blocks per instance.
+            assert_eq!(ran.load(Ordering::Relaxed), 12, "threads = {threads}");
+            // The pool stays usable afterwards.
+            let count = AtomicUsize::new(0);
+            pool.launch_graph(&g, 2, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 8, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_executes_in_order_under_stealing() {
+        // A single long chain forces the executor through the release path
+        // for every block; any ordering bug corrupts the running product.
+        let mut b = TaskGraphBuilder::new();
+        let n = 500usize;
+        for i in 0..n {
+            if i == 0 {
+                b.add_task(&[], &[0]);
+            } else {
+                b.add_task(&[i - 1], &[i]);
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.critical_path_len(), n);
+        let pool = WorkerPool::new(4);
+        let acc = AtomicU64::new(1);
+        pool.launch_graph(&g, 1, |b| {
+            // acc := acc * 3 + b, order-sensitive.
+            let prev = acc.load(Ordering::Acquire);
+            acc.store(
+                prev.wrapping_mul(3).wrapping_add(b as u64),
+                Ordering::Release,
+            );
+        });
+        let mut want = 1u64;
+        for i in 0..n as u64 {
+            want = want.wrapping_mul(3).wrapping_add(i);
+        }
+        assert_eq!(acc.load(Ordering::Relaxed), want);
+    }
+
+    #[test]
+    fn wide_graph_saturates_all_deques() {
+        // 64 independent 3-chains per instance, several instances: exercises
+        // round-robin seeding plus stealing.
+        let mut b = TaskGraphBuilder::new();
+        for c in 0..64usize {
+            b.add_task(&[], &[3 * c]);
+            b.add_task(&[3 * c], &[3 * c + 1]);
+            b.add_task(&[3 * c + 1], &[3 * c + 2]);
+        }
+        let g = b.build();
+        let pool = WorkerPool::new(5);
+        let instances = 4;
+        let hits: Vec<AtomicUsize> = (0..g.len() * instances)
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        pool.launch_graph(&g, instances, |blk| {
+            hits[blk].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 }

@@ -39,6 +39,14 @@ pub struct KernelTimings {
     pub convolution_blocks: usize,
     /// Total number of addition jobs (blocks) executed.
     pub addition_blocks: usize,
+    /// Number of whole-graph launches (dependency-driven execution runs the
+    /// entire multi-layer computation as one launch, so this is one per
+    /// evaluation in graph mode and zero in layered mode).
+    pub graph_launches: usize,
+    /// Sum of the elapsed times of all graph launches (convolutions and
+    /// additions interleave inside a graph launch, so their times cannot be
+    /// attributed separately).
+    pub graph: Duration,
     /// Wall clock time of the whole evaluation.
     pub wall_clock: Duration,
 }
@@ -66,10 +74,25 @@ impl KernelTimings {
         }
     }
 
+    /// Records one whole-graph launch covering `conv_blocks` convolution and
+    /// `add_blocks` addition jobs.
+    pub fn record_graph(&mut self, elapsed: Duration, conv_blocks: usize, add_blocks: usize) {
+        self.graph += elapsed;
+        self.graph_launches += 1;
+        self.convolution_blocks += conv_blocks;
+        self.addition_blocks += add_blocks;
+    }
+
     /// Sum of the convolution and addition kernel times (the paper's third
-    /// reported number).
+    /// reported number).  Graph launches report their time in
+    /// [`KernelTimings::graph`] instead, since the two kinds interleave.
     pub fn kernel_sum(&self) -> Duration {
         self.convolution + self.addition
+    }
+
+    /// Graph-launch time in milliseconds.
+    pub fn graph_ms(&self) -> f64 {
+        duration_ms(self.graph)
     }
 
     /// Convolution time in milliseconds.
@@ -112,6 +135,8 @@ impl KernelTimings {
         self.addition_launches += other.addition_launches;
         self.convolution_blocks += other.convolution_blocks;
         self.addition_blocks += other.addition_blocks;
+        self.graph_launches += other.graph_launches;
+        self.graph += other.graph;
         self.wall_clock += other.wall_clock;
     }
 }
@@ -190,6 +215,23 @@ mod tests {
         assert_eq!(a.wall_clock_ms(), 7.0);
         assert_eq!(a.convolution_blocks, 5);
         assert_eq!(a.addition_blocks, 7);
+    }
+
+    #[test]
+    fn record_graph_accumulates_launches_and_blocks() {
+        let mut t = KernelTimings::new();
+        t.record_graph(Duration::from_millis(4), 100, 30);
+        t.record_graph(Duration::from_millis(6), 50, 20);
+        assert_eq!(t.graph_launches, 2);
+        assert_eq!(t.graph_ms(), 10.0);
+        assert_eq!(t.convolution_blocks, 150);
+        assert_eq!(t.addition_blocks, 50);
+        // Graph time is not part of the per-kind kernel sum.
+        assert_eq!(t.sum_ms(), 0.0);
+        let mut merged = KernelTimings::new();
+        merged.merge(&t);
+        assert_eq!(merged.graph_launches, 2);
+        assert_eq!(merged.graph_ms(), 10.0);
     }
 
     #[test]

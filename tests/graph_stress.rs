@@ -1,0 +1,87 @@
+//! Seeded stress loop for the graph executor's claim/steal/retire machinery.
+//!
+//! Races in the work-stealing release path (a block released twice, a missed
+//! release, a stale dependency count) are probabilistic: they need many
+//! evaluations under real contention to surface.  This loop runs randomized
+//! graph-vs-layered comparisons back to back on one shared pool; CI runs it
+//! as a dedicated step with `PSMD_STRESS_ITERS=200` under the thread-count
+//! matrix, while the default (25) keeps `cargo test` affordable.
+
+use psmd_core::{
+    random_inputs, random_polynomial, BatchEvaluator, ExecMode, Polynomial, ScheduledEvaluator,
+    SystemEvaluator,
+};
+use psmd_multidouble::Dd;
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn iterations() -> usize {
+    std::env::var("PSMD_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25)
+}
+
+fn stress_pool() -> WorkerPool {
+    match WorkerPool::threads_from_env() {
+        Some(threads) => WorkerPool::new(threads),
+        None => WorkerPool::new(4),
+    }
+}
+
+#[test]
+fn graph_vs_layered_stress_loop() {
+    let iters = iterations();
+    let pool = stress_pool();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for iter in 0..iters {
+        let n = rng.gen_range(2..8);
+        let monomials = rng.gen_range(1..14);
+        let degree = rng.gen_range(0..6);
+        let p: Polynomial<Dd> = random_polynomial(n, monomials, n.min(5), degree, &mut rng);
+        match iter % 3 {
+            // Single evaluation.
+            0 => {
+                let z = random_inputs::<Dd, _>(n, degree, &mut rng);
+                let layered = ScheduledEvaluator::new(&p);
+                let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+                let a = layered.evaluate_parallel(&z, &pool);
+                let b = graph.evaluate_parallel(&z, &pool);
+                assert_eq!(a.value, b.value, "iteration {iter}: value");
+                assert_eq!(a.gradient, b.gradient, "iteration {iter}: gradient");
+            }
+            // Batched evaluation.
+            1 => {
+                let batch: Vec<Vec<Series<Dd>>> = (0..rng.gen_range(1..7))
+                    .map(|_| random_inputs::<Dd, _>(n, degree, &mut rng))
+                    .collect();
+                let layered = BatchEvaluator::new(&p);
+                let graph = BatchEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+                let a = layered.evaluate_parallel(&batch, &pool);
+                let b = graph.evaluate_parallel(&batch, &pool);
+                for (i, (x, y)) in a.instances.iter().zip(b.instances.iter()).enumerate() {
+                    assert_eq!(x.value, y.value, "iteration {iter}: batch value {i}");
+                    assert_eq!(x.gradient, y.gradient, "iteration {iter}: batch grad {i}");
+                }
+            }
+            // Fused system evaluation.
+            _ => {
+                let m = rng.gen_range(1..4);
+                let system: Vec<Polynomial<Dd>> = std::iter::once(p.clone())
+                    .chain(
+                        (1..m).map(|_| random_polynomial(n, monomials, n.min(5), degree, &mut rng)),
+                    )
+                    .collect();
+                let z = random_inputs::<Dd, _>(n, degree, &mut rng);
+                let layered = SystemEvaluator::new(&system);
+                let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
+                let a = layered.evaluate_parallel(&z, &pool);
+                let b = graph.evaluate_parallel(&z, &pool);
+                assert_eq!(a.values, b.values, "iteration {iter}: system values");
+                assert_eq!(a.jacobian, b.jacobian, "iteration {iter}: jacobian");
+            }
+        }
+    }
+}

@@ -2,11 +2,214 @@
 //!
 //! The build environment has no network access to a crate registry, so the
 //! workspace vendors the API subset it uses (see `vendor/README.md`).  The
-//! worker pool needs exactly one thing from crossbeam: an unbounded
-//! multi-producer **multi-consumer** channel (`std::sync::mpsc` receivers
-//! cannot be cloned).  This module provides it with a mutex-protected queue
-//! and a condition variable — adequate for the pool's launch cadence, where
-//! a message is one whole grid launch, not a hot per-item path.
+//! worker pool needs two things from crossbeam: an unbounded multi-producer
+//! **multi-consumer** channel (`std::sync::mpsc` receivers cannot be cloned)
+//! and the work-stealing deques of `crossbeam::deque` for the task-graph
+//! executor.  Both are provided with mutex-protected queues — adequate for
+//! the pool's cadence, where a message is one whole launch and a deque item
+//! is one block of real convolution work, not a hot micro-item path.
+
+pub mod deque {
+    //! Work-stealing deques mirroring the `crossbeam-deque` API subset the
+    //! task-graph executor uses: a [`Worker`] owned by one thread (push/pop
+    //! at the worker end) and any number of [`Stealer`] handles taking work
+    //! from the opposite end.
+    //!
+    //! The real crate is lock-free; this shim serializes each deque with a
+    //! mutex, which is adequate because one deque item is one block of power
+    //! series convolution work (microseconds), not a micro-task.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts the steal result into an `Option`, treating `Retry` as
+        /// empty (callers loop over all stealers anyway).
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The worker end of a deque: LIFO push/pop for cache-friendly
+    /// dependency chains (a block released by its predecessor runs next).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle stealing from the opposite (FIFO) end of a [`Worker`]'s
+    /// deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty LIFO deque.
+        pub fn new_lifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes an item onto the worker end.
+        pub fn push(&self, item: T) {
+            self.inner.lock().unwrap().push_back(item);
+        }
+
+        /// Pops an item from the worker end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_back()
+        }
+
+        /// True when the deque holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Creates a stealer for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one item from the opposite end of the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals about half of the victim's items in one lock acquisition,
+        /// moves them into `dest`, and returns one of them — the batched
+        /// steal of the real crate, which keeps thieves off the victim's
+        /// deque for many subsequent pops.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch: Vec<T> = {
+                let mut src = self.inner.lock().unwrap();
+                let take = src.len().div_ceil(2);
+                src.drain(..take).collect()
+            };
+            let mut batch = batch.into_iter();
+            match batch.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    let mut dst = dest.inner.lock().unwrap();
+                    dst.extend(batch);
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_lifo_and_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal(), Steal::Empty);
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn concurrent_steals_deliver_every_item_once() {
+            let w = Worker::new_lifo();
+            for i in 0..1000usize {
+                w.push(i);
+            }
+            let thieves: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => got.push(v),
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<usize> = thieves
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            // The owner never popped, so every item was stolen exactly once.
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn batched_steal_moves_half_and_pops_one() {
+            let victim = Worker::new_lifo();
+            for i in 0..10 {
+                victim.push(i);
+            }
+            let thief = Worker::new_lifo();
+            let s = victim.stealer();
+            // Half of 10 is 5: one returned, four land in the thief's deque.
+            assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(0));
+            let mut got = Vec::new();
+            while let Some(v) = thief.pop() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3, 4]);
+            // The victim keeps the other half.
+            let mut left = Vec::new();
+            while let Some(v) = victim.pop() {
+                left.push(v);
+            }
+            left.sort_unstable();
+            assert_eq!(left, vec![5, 6, 7, 8, 9]);
+            // Stealing from an empty deque reports Empty.
+            assert_eq!(s.steal_batch_and_pop(&thief), Steal::Empty);
+        }
+
+        #[test]
+        fn steal_success_converts_to_option() {
+            assert_eq!(Steal::Success(7).success(), Some(7));
+            assert_eq!(Steal::<u8>::Empty.success(), None);
+            assert_eq!(Steal::<u8>::Retry.success(), None);
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;

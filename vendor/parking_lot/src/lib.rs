@@ -91,6 +91,28 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Blocks the current thread until notified or the timeout elapses,
+    /// returning whether the wait timed out (parking_lot's
+    /// `WaitTimeoutResult` subset).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard already taken");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -99,6 +121,19 @@ impl Condvar {
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// The result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -124,6 +159,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn timed_wait_reports_timeout_and_wakeup() {
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody notifies: the wait must time out.
+        {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            let result = cv.wait_for(&mut ready, Duration::from_millis(5));
+            assert!(result.timed_out());
+        }
+        // A notification arrives: the wait must not time out.
+        let p2 = Arc::clone(&pair);
+        let notifier = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            let _ = cv.wait_for(&mut ready, Duration::from_millis(50));
+        }
+        notifier.join().unwrap();
     }
 
     #[test]
