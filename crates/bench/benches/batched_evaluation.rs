@@ -1,17 +1,17 @@
 //! Batched multi-series evaluation benchmarks.
 //!
-//! The batch engine evaluates many input-series vectors against one cached
-//! schedule with a single pool launch per job layer (`batch × jobs` blocks),
-//! instead of one launch per polynomial per layer.  At small degrees a
-//! single polynomial's layers hold too few jobs to fill the worker pool, so
-//! the per-polynomial loop starves the workers; the batched launch keeps
-//! them busy.  This bench measures that effect on the reduced p1.
+//! A single-polynomial plan evaluates many input-series vectors against one
+//! cached schedule with a single pool launch per job layer (`batch × jobs`
+//! blocks), instead of one launch per polynomial per layer.  At small
+//! degrees a single polynomial's layers hold too few jobs to fill the
+//! worker pool, so the per-polynomial loop starves the workers; the batched
+//! launch keeps them busy.  This bench measures that effect on the reduced
+//! p1 through the engine's unified `Inputs::Batch` path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psmd_bench::TestPolynomial;
-use psmd_core::{BatchEvaluator, Polynomial, ScheduledEvaluator};
+use psmd_core::{Engine, Polynomial};
 use psmd_multidouble::Dd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::hint::black_box;
 use std::time::Duration;
@@ -22,26 +22,23 @@ fn batch_inputs(poly: TestPolynomial, degree: usize, size: usize) -> Vec<Vec<Ser
         .collect()
 }
 
-/// Batched launch vs a loop of per-polynomial launches, increasing batch
+/// Batched launch vs a loop of per-instance evaluations, increasing batch
 /// sizes, reduced p1 at a small degree (where single launches starve the
 /// pool).
 fn batched_vs_looped(c: &mut Criterion) {
     let degree = 8;
     let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(degree, 1);
-    let evaluator = BatchEvaluator::new(&p);
-    let single = ScheduledEvaluator::new(&p);
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
+    let plan = engine.compile(p);
+    let layers = plan.schedule().unwrap().convolution_layers.len();
+    let jobs = plan.schedule().unwrap().convolution_jobs();
     // One launch per layer for the whole batch — not one per polynomial:
     // launches stay at layer-count while blocks scale with the batch.
-    let probe = evaluator.evaluate_parallel(&batch_inputs(TestPolynomial::P1, degree, 4), &pool);
-    assert_eq!(
-        probe.timings.convolution_launches,
-        evaluator.schedule().convolution_layers.len()
-    );
-    assert_eq!(
-        probe.timings.convolution_blocks,
-        4 * evaluator.schedule().convolution_jobs()
-    );
+    let probe = plan
+        .evaluate(&batch_inputs(TestPolynomial::P1, degree, 4))
+        .into_batch();
+    assert_eq!(probe.timings.convolution_launches, layers);
+    assert_eq!(probe.timings.convolution_blocks, 4 * jobs);
     let mut group = c.benchmark_group("batched_reduced_p1_d8_2d");
     group
         .sample_size(10)
@@ -52,7 +49,7 @@ fn batched_vs_looped(c: &mut Criterion) {
             BenchmarkId::new("batched_one_launch_per_layer", size),
             |b| {
                 b.iter(|| {
-                    let r = evaluator.evaluate_parallel(black_box(&batch), &pool);
+                    let r = plan.evaluate(black_box(&batch)).into_batch();
                     black_box(r.instances.len())
                 })
             },
@@ -63,7 +60,7 @@ fn batched_vs_looped(c: &mut Criterion) {
                 b.iter(|| {
                     let mut n = 0usize;
                     for inputs in &batch {
-                        let r = single.evaluate_parallel(black_box(inputs), &pool);
+                        let r = plan.evaluate(black_box(inputs)).into_single();
                         n += r.gradient.len();
                     }
                     black_box(n)
@@ -74,7 +71,7 @@ fn batched_vs_looped(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for inputs in &batch {
-                    let r = single.evaluate_sequential(black_box(inputs));
+                    let r = plan.evaluate_sequential(black_box(inputs)).into_single();
                     n += r.gradient.len();
                 }
                 black_box(n)
@@ -84,31 +81,36 @@ fn batched_vs_looped(c: &mut Criterion) {
     group.finish();
 }
 
-/// Schedule-construction amortization: building the schedule per polynomial
-/// vs building it once for the whole batch.
+/// Schedule-construction amortization: compiling per instance (plan cache
+/// disabled) vs compiling once and evaluating the whole batch through the
+/// shared plan.
 fn schedule_amortization(c: &mut Criterion) {
     let degree = 4;
     let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(degree, 1);
     let batch = batch_inputs(TestPolynomial::P1, degree, 16);
+    let cold = Engine::builder().plan_cache_capacity(0).build();
+    let warm = Engine::new();
+    let shared = warm.compile(p.clone());
     let mut group = c.benchmark_group("schedule_amortization_reduced_p1_d4");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(1));
-    group.bench_function("rebuild_schedule_per_instance", |b| {
+    group.bench_function("recompile_plan_per_instance", |b| {
         b.iter(|| {
             let mut acc = 0usize;
             for inputs in &batch {
-                let ev = ScheduledEvaluator::new(black_box(&p));
-                acc += ev.evaluate_sequential(inputs).gradient.len();
+                let plan = cold.compile(black_box(p.clone()));
+                acc += plan
+                    .evaluate_sequential(inputs)
+                    .into_single()
+                    .gradient
+                    .len();
             }
             black_box(acc)
         })
     });
-    group.bench_function("build_schedule_once_batched", |b| {
-        b.iter(|| {
-            let ev = BatchEvaluator::new(black_box(&p));
-            black_box(ev.evaluate_sequential(&batch).len())
-        })
+    group.bench_function("compile_once_batched", |b| {
+        b.iter(|| black_box(shared.evaluate_sequential(&batch).into_batch().len()))
     });
     group.finish();
 }

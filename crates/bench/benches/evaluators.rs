@@ -3,9 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psmd_bench::TestPolynomial;
-use psmd_core::{evaluate_naive, ConvolutionKernel, Polynomial, ScheduledEvaluator};
+use psmd_core::{evaluate_naive, ConvolutionKernel, Engine, EvalOptions, Polynomial};
 use psmd_multidouble::Dd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::hint::black_box;
 use std::time::Duration;
@@ -14,9 +13,12 @@ fn evaluator_comparison(c: &mut Criterion) {
     let degree = 15;
     let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(degree, 1);
     let z: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
-    let evaluator = ScheduledEvaluator::new(&p);
-    let direct = ScheduledEvaluator::new(&p).with_kernel(ConvolutionKernel::Direct);
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
+    let plan = engine.compile(p.clone());
+    let direct = engine.compile_with_options(
+        p.clone(),
+        EvalOptions::new().with_kernel(ConvolutionKernel::Direct),
+    );
     let mut group = c.benchmark_group("evaluators_reduced_p1_d15_2d");
     group
         .sample_size(10)
@@ -25,13 +27,13 @@ fn evaluator_comparison(c: &mut Criterion) {
         b.iter(|| black_box(evaluate_naive(&p, &z).value.coeff(0)))
     });
     group.bench_function("scheduled_sequential", |b| {
-        b.iter(|| black_box(evaluator.evaluate_sequential(&z).value.coeff(0)))
+        b.iter(|| black_box(plan.evaluate_sequential(&z).into_single().value.coeff(0)))
     });
     group.bench_function("scheduled_sequential_direct_kernel", |b| {
-        b.iter(|| black_box(direct.evaluate_sequential(&z).value.coeff(0)))
+        b.iter(|| black_box(direct.evaluate_sequential(&z).into_single().value.coeff(0)))
     });
     group.bench_function("scheduled_parallel", |b| {
-        b.iter(|| black_box(evaluator.evaluate_parallel(&z, &pool).value.coeff(0)))
+        b.iter(|| black_box(plan.evaluate(&z).into_single().value.coeff(0)))
     });
     group.finish();
 }
@@ -44,6 +46,16 @@ fn schedule_construction(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     group.bench_function("reduced_p1", |b| {
         b.iter(|| black_box(psmd_core::Schedule::build(&p).convolution_jobs()))
+    });
+    // The same construction through the engine with the plan cache hitting:
+    // the steady-state cost of `Engine::compile` for a known polynomial.
+    let engine = Engine::new();
+    let _warm = engine.compile(p.clone());
+    group.bench_function("reduced_p1_engine_cache_hit", |b| {
+        b.iter(|| {
+            let plan = engine.compile(p.clone());
+            black_box(plan.schedule().unwrap().convolution_jobs())
+        })
     });
     group.finish();
 }

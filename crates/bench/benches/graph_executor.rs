@@ -9,9 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psmd_bench::TestPolynomial;
-use psmd_core::{ExecMode, Polynomial, ScheduledEvaluator, SystemEvaluator};
+use psmd_core::{Engine, EvalOptions, ExecMode, Polynomial};
 use psmd_multidouble::Dd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::hint::black_box;
 use std::time::Duration;
@@ -20,7 +19,7 @@ use std::time::Duration;
 /// polynomials (reduced scale, double-double).
 fn layered_vs_graph(c: &mut Criterion) {
     let degree = 8;
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let mut group = c.benchmark_group("graph_executor_reduced_d8_2d");
     group
         .sample_size(10)
@@ -28,15 +27,16 @@ fn layered_vs_graph(c: &mut Criterion) {
     for poly in TestPolynomial::ALL {
         let p: Polynomial<Dd> = poly.build_reduced(degree, 1);
         let inputs: Vec<Series<Dd>> = poly.reduced_inputs(degree, 1);
-        let layered = ScheduledEvaluator::new(&p);
-        let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
+        let layered = engine.compile(p.clone());
+        let graph =
+            engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
         // Same schedule, same jobs: results are bitwise identical.
-        let a = layered.evaluate_parallel(&inputs, &pool);
-        let b = graph.evaluate_parallel(&inputs, &pool);
-        assert_eq!(a.value, b.value);
+        assert!(layered
+            .evaluate(&inputs)
+            .bitwise_eq(&graph.evaluate(&inputs)));
         group.bench_function(BenchmarkId::new("layered_barriers", poly.label()), |bch| {
             bch.iter(|| {
-                let r = layered.evaluate_parallel(black_box(&inputs), &pool);
+                let r = layered.evaluate(black_box(&inputs)).into_single();
                 black_box(r.value.degree())
             })
         });
@@ -44,7 +44,7 @@ fn layered_vs_graph(c: &mut Criterion) {
             BenchmarkId::new("graph_work_stealing", poly.label()),
             |bch| {
                 bch.iter(|| {
-                    let r = graph.evaluate_parallel(black_box(&inputs), &pool);
+                    let r = graph.evaluate(black_box(&inputs)).into_single();
                     black_box(r.value.degree())
                 })
             },
@@ -58,27 +58,28 @@ fn layered_vs_graph(c: &mut Criterion) {
 fn system_layered_vs_graph(c: &mut Criterion) {
     let degree = 6;
     let m = 4;
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let system: Vec<Polynomial<Dd>> = TestPolynomial::P1.build_reduced_system(m, degree, 1);
     let inputs: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
-    let layered = SystemEvaluator::new(&system);
-    let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
-    let a = layered.evaluate_parallel(&inputs, &pool);
-    let b = graph.evaluate_parallel(&inputs, &pool);
-    assert_eq!(a.values, b.values);
+    let layered = engine.compile(system.clone());
+    let graph =
+        engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+    assert!(layered
+        .evaluate(&inputs)
+        .bitwise_eq(&graph.evaluate(&inputs)));
     let mut group = c.benchmark_group("graph_executor_system_reduced_p1_d6_2d");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     group.bench_function(BenchmarkId::new("layered_barriers", m), |bch| {
         bch.iter(|| {
-            let r = layered.evaluate_parallel(black_box(&inputs), &pool);
+            let r = layered.evaluate(black_box(&inputs)).into_system();
             black_box(r.values.len())
         })
     });
     group.bench_function(BenchmarkId::new("graph_work_stealing", m), |bch| {
         bch.iter(|| {
-            let r = graph.evaluate_parallel(black_box(&inputs), &pool);
+            let r = graph.evaluate(black_box(&inputs)).into_system();
             black_box(r.values.len())
         })
     });

@@ -4,34 +4,28 @@
 //! * `table3_4`: p1/p2/p3 at one degree and precision (block-parallel).
 //! * `tables5to7_degrees`: degree scaling of p1 (Tables 5-7, Figure 6).
 //! * `figures2to5_precisions`: precision scaling of p1 (Figures 2-5).
+//!
+//! Every run goes through the engine's precision-erased plans: the
+//! precision is a [`Precision`] *value*, and the plan cache amortizes
+//! schedule construction across iterations exactly like a serving process
+//! would.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psmd_bench::TestPolynomial;
-use psmd_core::{Polynomial, ScheduledEvaluator};
-use psmd_multidouble::{Coeff, Md, RandomCoeff};
-use psmd_runtime::WorkerPool;
-use psmd_series::Series;
+use psmd_bench::{Scale, TestPolynomial};
+use psmd_core::Engine;
+use psmd_multidouble::Precision;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn run_reduced<C: Coeff + RandomCoeff>(
-    poly: TestPolynomial,
-    degree: usize,
-    pool: &WorkerPool,
-) -> f64 {
-    let p: Polynomial<C> = poly.build_reduced(degree, 1);
-    let z: Vec<Series<C>> = poly.reduced_inputs(degree, 1);
-    let evaluator = ScheduledEvaluator::new(&p);
-    evaluator
-        .evaluate_parallel(&z, pool)
-        .value
-        .coeff(0)
-        .magnitude()
+fn run_reduced(engine: &Engine, poly: TestPolynomial, precision: Precision, degree: usize) -> f64 {
+    let plan = engine.compile_any(poly.any_polynomial(precision, degree, Scale::Reduced, 1));
+    let inputs = poly.any_inputs(precision, degree, Scale::Reduced, 1);
+    plan.evaluate(&inputs).timings().wall_clock_ms()
 }
 
 /// The three test polynomials at a common degree/precision (Tables 3 and 4).
 fn table3_4(c: &mut Criterion) {
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let mut group = c.benchmark_group("tables3_4_reduced_d15_2d");
     group
         .sample_size(10)
@@ -40,7 +34,7 @@ fn table3_4(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(poly.label()),
             &poly,
-            |b, &poly| b.iter(|| black_box(run_reduced::<Md<2>>(poly, 15, &pool))),
+            |b, &poly| b.iter(|| black_box(run_reduced(&engine, poly, Precision::D2, 15))),
         );
     }
     group.finish();
@@ -48,14 +42,14 @@ fn table3_4(c: &mut Criterion) {
 
 /// Degree scaling of reduced p1 in double-double (Tables 5-7, Figure 6).
 fn tables5to7_degrees(c: &mut Criterion) {
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let mut group = c.benchmark_group("tables5to7_reduced_p1_2d_degrees");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(1));
     for d in [0usize, 8, 15, 31] {
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            b.iter(|| black_box(run_reduced::<Md<2>>(TestPolynomial::P1, d, &pool)))
+            b.iter(|| black_box(run_reduced(&engine, TestPolynomial::P1, Precision::D2, d)))
         });
     }
     group.finish();
@@ -63,26 +57,22 @@ fn tables5to7_degrees(c: &mut Criterion) {
 
 /// Precision scaling of reduced p1 at degree 15 (Figures 2-5).
 fn figures2to5_precisions(c: &mut Criterion) {
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let mut group = c.benchmark_group("figures2to5_reduced_p1_d15_precisions");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(1));
-    group.bench_function("1d", |b| {
-        b.iter(|| black_box(run_reduced::<Md<1>>(TestPolynomial::P1, 15, &pool)))
-    });
-    group.bench_function("2d", |b| {
-        b.iter(|| black_box(run_reduced::<Md<2>>(TestPolynomial::P1, 15, &pool)))
-    });
-    group.bench_function("4d", |b| {
-        b.iter(|| black_box(run_reduced::<Md<4>>(TestPolynomial::P1, 15, &pool)))
-    });
-    group.bench_function("8d", |b| {
-        b.iter(|| black_box(run_reduced::<Md<8>>(TestPolynomial::P1, 15, &pool)))
-    });
-    group.bench_function("10d", |b| {
-        b.iter(|| black_box(run_reduced::<Md<10>>(TestPolynomial::P1, 15, &pool)))
-    });
+    for precision in [
+        Precision::D1,
+        Precision::D2,
+        Precision::D4,
+        Precision::D8,
+        Precision::D10,
+    ] {
+        group.bench_function(precision.label(), |b| {
+            b.iter(|| black_box(run_reduced(&engine, TestPolynomial::P1, precision, 15)))
+        });
+    }
     group.finish();
 }
 

@@ -1,17 +1,16 @@
 //! Fused polynomial-system evaluation benchmarks.
 //!
-//! The system evaluator merges the monomial sets of all `m` equations into
-//! one deduplicated schedule and runs each job layer as a single pool launch
+//! A system plan merges the monomial sets of all `m` equations into one
+//! deduplicated schedule and runs each job layer as a single pool launch
 //! covering every equation, producing all values plus the full `m × n`
-//! Jacobian in one pass.  The alternative — one `ScheduledEvaluator` per
+//! Jacobian in one pass.  The alternative — one single-polynomial plan per
 //! equation — issues `m` times the launches and rebuilds per-equation
 //! schedules.  This bench measures both effects on a reduced p1 system.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psmd_bench::TestPolynomial;
-use psmd_core::{Polynomial, ScheduledEvaluator, SystemEvaluator};
+use psmd_core::{Engine, Polynomial};
 use psmd_multidouble::Dd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,7 +20,7 @@ use std::time::Duration;
 /// are too small to fill the pool).
 fn fused_vs_looped(c: &mut Criterion) {
     let degree = 8;
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::new();
     let inputs: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
     let mut group = c.benchmark_group("system_reduced_p1_d8_2d");
     group
@@ -29,18 +28,17 @@ fn fused_vs_looped(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for &m in &[2usize, 4, 8] {
         let system: Vec<Polynomial<Dd>> = TestPolynomial::P1.build_reduced_system(m, degree, 1);
-        let fused = SystemEvaluator::new(&system);
+        let fused = engine.compile(system.clone());
         // One launch per merged layer for the whole system, not per equation.
-        let probe = fused.evaluate_parallel(&inputs, &pool);
+        let probe = fused.evaluate(&inputs).into_system();
         assert_eq!(
             probe.timings.convolution_launches,
-            fused.schedule().convolution_layers.len()
+            fused.system_schedule().unwrap().convolution_layers.len()
         );
-        let singles: Vec<ScheduledEvaluator<Dd>> =
-            system.iter().map(ScheduledEvaluator::new).collect();
+        let singles: Vec<_> = system.iter().map(|p| engine.compile(p.clone())).collect();
         group.bench_function(BenchmarkId::new("fused_one_launch_per_layer", m), |b| {
             b.iter(|| {
-                let r = fused.evaluate_parallel(black_box(&inputs), &pool);
+                let r = fused.evaluate(black_box(&inputs)).into_system();
                 black_box(r.values.len())
             })
         });
@@ -48,7 +46,7 @@ fn fused_vs_looped(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for single in &singles {
-                    let r = single.evaluate_parallel(black_box(&inputs), &pool);
+                    let r = single.evaluate(black_box(&inputs)).into_single();
                     n += r.gradient.len();
                 }
                 black_box(n)
@@ -58,32 +56,44 @@ fn fused_vs_looped(c: &mut Criterion) {
     group.finish();
 }
 
-/// Schedule amortization across Newton-style repeated evaluations: build
-/// the merged schedule once and reuse it, vs rebuilding per-equation
-/// schedules at every evaluation.
+/// Schedule amortization across Newton-style repeated evaluations: compile
+/// the merged plan once and reuse it, vs recompiling per-equation plans at
+/// every evaluation (plan cache disabled to model the cold path).
 fn schedule_reuse(c: &mut Criterion) {
     let degree = 4;
     let m = 4;
     let system: Vec<Polynomial<Dd>> = TestPolynomial::P1.build_reduced_system(m, degree, 1);
     let inputs: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(degree, 1);
+    let cold = Engine::builder().plan_cache_capacity(0).build();
+    let warm = Engine::new();
+    let merged = warm.compile(system.clone());
     let mut group = c.benchmark_group("system_schedule_reuse_reduced_p1_d4");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(1));
-    group.bench_function("rebuild_schedules_per_evaluation", |b| {
+    group.bench_function("recompile_plans_per_evaluation", |b| {
         b.iter(|| {
             let mut acc = 0usize;
             for p in &system {
-                let ev = ScheduledEvaluator::new(black_box(p));
-                acc += ev.evaluate_sequential(&inputs).gradient.len();
+                let plan = cold.compile(black_box(p.clone()));
+                acc += plan
+                    .evaluate_sequential(&inputs)
+                    .into_single()
+                    .gradient
+                    .len();
             }
             black_box(acc)
         })
     });
-    group.bench_function("build_merged_schedule_once", |b| {
+    group.bench_function("compile_merged_plan_once", |b| {
         b.iter(|| {
-            let ev = SystemEvaluator::new(black_box(&system));
-            black_box(ev.evaluate_sequential(&inputs).values.len())
+            black_box(
+                merged
+                    .evaluate_sequential(&inputs)
+                    .into_system()
+                    .values
+                    .len(),
+            )
         })
     });
     group.finish();

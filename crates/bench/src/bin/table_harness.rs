@@ -12,10 +12,12 @@
 //!   batch          measured batched-vs-looped evaluation comparison
 //!   system         measured fused-system-vs-per-polynomial-loop comparison
 //!   graph          measured graph-executor-vs-layered-barrier comparison
+//!   engine         measured compile-once/evaluate-many amortization of the
+//!                  Engine/Plan API (plan-cache hits, per-eval cost)
 //!   compare        compare a current JSON report against a baseline and
 //!                  exit non-zero on perf regressions (the CI gate)
-//!   all            run every command above (except batch, system, graph
-//!                  and compare)
+//!   all            run every command above (except batch, system, graph,
+//!                  engine and compare)
 //!
 //! options:
 //!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
@@ -26,9 +28,9 @@
 //!                  this option also runs the batch report after any command
 //!   --equations <m> system size for the system command (default 4)
 //!   --json         emit a machine-readable JSON report instead of text
-//!                  (supported by table2, batch, system and graph; used by
-//!                  the CI perf-snapshot job).  stdout carries only the JSON
-//!                  document; progress and notes go to stderr.
+//!                  (supported by table2, batch, system, graph and engine;
+//!                  used by the CI perf-snapshot job).  stdout carries only
+//!                  the JSON document; progress and notes go to stderr.
 //!   --baseline <file>       baseline report for the compare command
 //!   --current <file>        current report for the compare command
 //!   --tolerance-pct <N>     allowed timing regression in percent for the
@@ -47,7 +49,7 @@ use psmd_bench::{
     ShapeCache, TestPolynomial, TextTable, PAPER_DEGREES, REDUCED_DEGREES,
 };
 use psmd_bench::{measured_run, TimingRow};
-use psmd_core::{Polynomial, Schedule};
+use psmd_core::{Engine, Polynomial, Schedule};
 use psmd_device::{gpu_by_key, max_degree, paper_gpus};
 use psmd_multidouble::{CostModel, Md, Precision};
 use psmd_runtime::WorkerPool;
@@ -155,7 +157,10 @@ fn main() {
         return;
     }
     let mut cache = ShapeCache::new();
-    let pool = WorkerPool::with_default_parallelism();
+    // One engine for every measured run: it owns the default-sized worker
+    // pool and the plan cache that amortizes schedule construction across
+    // the sweeps.
+    let engine = Engine::new();
     let run = |cmd: &str| opts.command == "all" || opts.command == cmd;
     if run("table1") {
         table1();
@@ -164,25 +169,25 @@ fn main() {
         table2(&opts);
     }
     if run("table3") {
-        table3(&mut cache, &opts, &pool);
+        table3(&mut cache, &opts, &engine);
     }
     if run("table4") {
-        table4(&mut cache, &opts, &pool);
+        table4(&mut cache, &opts, &engine);
     }
     if run("table5") {
-        scalability_table(&mut cache, TestPolynomial::P1, "Table 5", &opts, &pool);
+        scalability_table(&mut cache, TestPolynomial::P1, "Table 5", &opts, &engine);
     }
     if run("table6") {
-        scalability_table(&mut cache, TestPolynomial::P2, "Table 6", &opts, &pool);
+        scalability_table(&mut cache, TestPolynomial::P2, "Table 6", &opts, &engine);
     }
     if run("table7") {
-        scalability_table(&mut cache, TestPolynomial::P3, "Table 7", &opts, &pool);
+        scalability_table(&mut cache, TestPolynomial::P3, "Table 7", &opts, &engine);
     }
     if run("table8") {
-        table8(&opts, &pool);
+        table8(&opts, &engine);
     }
     if run("figure2") {
-        figure2(&mut cache, &opts, &pool);
+        figure2(&mut cache, &opts, &engine);
     }
     if run("figure3") {
         figure3(&mut cache);
@@ -205,13 +210,16 @@ fn main() {
     // JSON document, so the implicit batch trigger only fires for the
     // `batch` command itself.
     if opts.command == "batch" || (opts.batch.is_some() && !opts.json) {
-        batch_report(&opts, &pool);
+        batch_report(&opts, &engine);
     }
     if opts.command == "system" {
-        system_report(&opts, &pool);
+        system_report(&opts, &engine);
     }
     if opts.command == "graph" {
         graph_report(&opts);
+    }
+    if opts.command == "engine" {
+        engine_report(&opts);
     }
 }
 
@@ -267,12 +275,12 @@ fn emit_banner(opts: &Options, heading: &str) {
 /// Dependency-driven graph executor vs the layered barrier-per-layer
 /// reference on the same schedules.
 ///
-/// Uses a dedicated pool with at least three workers so the rendezvous
+/// Uses a dedicated engine with at least three workers so the rendezvous
 /// counts in the report are machine-independent (a zero-worker pool would
 /// take the inline fast path and report zero rendezvous).
 fn graph_report(opts: &Options) {
     let workers = WorkerPool::default_worker_threads().max(3);
-    let pool = WorkerPool::new(workers);
+    let engine = Engine::builder().threads(workers).build();
     let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
         (Scale::Full, PAPER_DEGREES.to_vec(), "full")
     } else {
@@ -303,7 +311,8 @@ fn graph_report(opts: &Options) {
             // Progress goes to stderr so `--json | tee BENCH_graph.json`
             // stays a single valid JSON document on stdout.
             eprintln!("graph: measuring {} at degree {d}...", poly.label());
-            let cmp = psmd_bench::graph_comparison(poly, Precision::D2, d, scale, &pool, opts.seed);
+            let cmp =
+                psmd_bench::graph_comparison(&engine, poly, Precision::D2, d, scale, opts.seed);
             if opts.json {
                 json.add_row(vec![
                     ("poly", JsonValue::Text(poly.label().to_string())),
@@ -352,9 +361,99 @@ fn graph_report(opts: &Options) {
     }
 }
 
+/// Compile-once/evaluate-many amortization of the Engine/Plan API: the
+/// one-time schedule compile, the (free) cached recompile, and the repeated
+/// per-evaluation cost.
+///
+/// Uses a dedicated engine with at least three workers so the deterministic
+/// rendezvous-per-evaluation column is machine-independent.
+fn engine_report(opts: &Options) {
+    let workers = WorkerPool::default_worker_threads().max(3);
+    let engine = Engine::builder().threads(workers).build();
+    let evals = 16usize;
+    let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
+        (Scale::Full, PAPER_DEGREES.to_vec(), "full")
+    } else {
+        (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
+    };
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "Engine amortization: compile once, evaluate many ({evals} evaluations per \
+             plan; {label} polynomials, double-double, measured CPU, {workers} workers)"
+        )),
+    );
+    let mut t = TextTable::new(vec![
+        "poly",
+        "degree",
+        "compile (ms)",
+        "cached compile (ms)",
+        "first eval (ms)",
+        "mean eval (ms)",
+        "compile/eval",
+        "cache hits",
+        "rendezvous/eval",
+    ]);
+    let mut json = JsonReport::new("engine");
+    for poly in TestPolynomial::ALL {
+        for &d in &degrees {
+            eprintln!("engine: measuring {} at degree {d}...", poly.label());
+            let rec = psmd_bench::engine_amortization(
+                &engine,
+                poly,
+                Precision::D2,
+                d,
+                scale,
+                evals,
+                opts.seed,
+            );
+            if opts.json {
+                json.add_row(vec![
+                    ("poly", JsonValue::Text(poly.label().to_string())),
+                    ("degree", JsonValue::Integer(d as i64)),
+                    ("compile_ms", JsonValue::Number(rec.compile_ms)),
+                    (
+                        "cached_compile_ms",
+                        JsonValue::Number(rec.cached_compile_ms),
+                    ),
+                    ("cache_hits", JsonValue::Integer(rec.cache_hits as i64)),
+                    ("evals", JsonValue::Integer(rec.evals as i64)),
+                    ("first_eval_ms", JsonValue::Number(rec.first_eval_ms)),
+                    ("mean_eval_ms", JsonValue::Number(rec.mean_eval_ms)),
+                    (
+                        "rendezvous_per_eval",
+                        JsonValue::Integer(rec.rendezvous_per_eval as i64),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    poly.label().to_string(),
+                    d.to_string(),
+                    ms(rec.compile_ms),
+                    ms(rec.cached_compile_ms),
+                    ms(rec.first_eval_ms),
+                    ms(rec.mean_eval_ms),
+                    format!("{:.1}x", rec.compile_ms / rec.mean_eval_ms.max(1e-9)),
+                    rec.cache_hits.to_string(),
+                    rec.rendezvous_per_eval.to_string(),
+                ]);
+            }
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(the schedule is the expensive artifact: compiling it costs a multiple of one\n\
+             evaluation, recompiling a structurally identical polynomial is a cache hit)"
+        );
+    }
+}
+
 /// Fused system evaluation (one merged schedule, one launch per shared
 /// layer) vs a loop of per-polynomial evaluations.
-fn system_report(opts: &Options, pool: &WorkerPool) {
+fn system_report(opts: &Options, engine: &Engine) {
     let equations = opts.equations;
     let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
         (Scale::Full, PAPER_DEGREES.to_vec(), "full")
@@ -383,12 +482,12 @@ fn system_report(opts: &Options, pool: &WorkerPool) {
         for &d in &degrees {
             eprintln!("system: measuring {} at degree {d}...", poly.label());
             let cmp = psmd_bench::system_comparison(
+                engine,
                 poly,
                 Precision::D2,
                 d,
                 scale,
                 equations,
-                pool,
                 opts.seed,
             );
             if opts.json {
@@ -451,7 +550,7 @@ fn system_report(opts: &Options, pool: &WorkerPool) {
 }
 
 /// Batched multi-series evaluation vs a loop of per-polynomial launches.
-fn batch_report(opts: &Options, pool: &WorkerPool) {
+fn batch_report(opts: &Options, engine: &Engine) {
     let batch = opts.batch.unwrap_or(32);
     let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
         (Scale::Full, PAPER_DEGREES.to_vec(), "full")
@@ -480,12 +579,12 @@ fn batch_report(opts: &Options, pool: &WorkerPool) {
         for &d in &degrees {
             eprintln!("batch: measuring {} at degree {d}...", poly.label());
             let cmp = psmd_bench::batched_comparison(
+                engine,
                 poly,
                 Precision::D2,
                 d,
                 scale,
                 batch,
-                pool,
                 opts.seed,
             );
             if opts.json {
@@ -632,7 +731,7 @@ fn table2(opts: &Options) {
 }
 
 /// Table 3: p1 at degree 152 in deca-double precision on the five GPUs.
-fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+fn table3(cache: &mut ShapeCache, opts: &Options, engine: &Engine) {
     print!(
         "{}",
         banner("Table 3: p1, degree 152, deca double (modeled per device)")
@@ -685,11 +784,11 @@ fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
     if opts.measure {
         let (scale, degree, label) = measured_setting(opts, 152);
         let row = measured_run(
+            engine,
             TestPolynomial::P1,
             Precision::D10,
             degree,
             scale,
-            pool,
             opts.seed,
         );
         println!(
@@ -702,7 +801,7 @@ fn table3(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
 }
 
 /// Table 4: p2 and p3 at degree 152 in deca-double on P100 and V100.
-fn table4(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+fn table4(cache: &mut ShapeCache, opts: &Options, engine: &Engine) {
     print!(
         "{}",
         banner("Table 4: p2 and p3, degree 152, deca double (modeled, P100/V100)")
@@ -780,7 +879,7 @@ fn table4(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
     if opts.measure {
         for poly in [TestPolynomial::P2, TestPolynomial::P3] {
             let (scale, degree, label) = measured_setting(opts, 152);
-            let row = measured_run(poly, Precision::D10, degree, scale, pool, opts.seed);
+            let row = measured_run(engine, poly, Precision::D10, degree, scale, opts.seed);
             println!(
                 "measured CPU {} ({label}, degree {degree}, deca double): conv {} ms, add {} ms, wall {} ms",
                 poly.label(),
@@ -798,7 +897,7 @@ fn scalability_table(
     poly: TestPolynomial,
     title: &str,
     opts: &Options,
-    pool: &WorkerPool,
+    engine: &Engine,
 ) {
     print!(
         "{}",
@@ -856,7 +955,7 @@ fn scalability_table(
                     cells.push("-".to_string());
                     continue;
                 }
-                let row = measured_run(poly, prec, d, scale, pool, opts.seed);
+                let row = measured_run(engine, poly, prec, d, scale, opts.seed);
                 cells.push(ms(row.wall_ms));
             }
             mt.add_row(cells);
@@ -866,7 +965,7 @@ fn scalability_table(
 }
 
 /// Table 8: wall-clock fluctuation over ten runs, fixed seed vs varying seed.
-fn table8(opts: &Options, pool: &WorkerPool) {
+fn table8(opts: &Options, engine: &Engine) {
     print!(
         "{}",
         banner("Table 8: wall clock fluctuation over 10 runs (measured CPU)")
@@ -877,8 +976,9 @@ fn table8(opts: &Options, pool: &WorkerPool) {
         (Scale::Reduced, 31, "reduced p3")
     };
     let precision = Precision::D10;
-    let run_once =
-        |seed: u64| measured_run(TestPolynomial::P3, precision, degree, scale, pool, seed).wall_ms;
+    let run_once = |seed: u64| {
+        measured_run(engine, TestPolynomial::P3, precision, degree, scale, seed).wall_ms
+    };
     let fixed: Vec<f64> = (0..10).map(|_| run_once(1)).collect();
     let varying: Vec<f64> = (0..10).map(|k| run_once(1 + k as u64)).collect();
     let stats = |xs: &[f64]| {
@@ -910,7 +1010,7 @@ fn table8(opts: &Options, pool: &WorkerPool) {
 
 /// Figure 2: addition kernel times of p1 for increasing degrees and all
 /// precisions.
-fn figure2(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
+fn figure2(cache: &mut ShapeCache, opts: &Options, engine: &Engine) {
     print!(
         "{}",
         banner("Figure 2: addition kernel times for p1 (ms, modeled on the V100)")
@@ -942,7 +1042,7 @@ fn figure2(cache: &mut ShapeCache, opts: &Options, pool: &WorkerPool) {
         for prec in Precision::ALL {
             let mut cells = vec![prec.label().to_string()];
             for &d in &REDUCED_DEGREES {
-                let row = measured_run(TestPolynomial::P1, prec, d, scale, pool, opts.seed);
+                let row = measured_run(engine, TestPolynomial::P1, prec, d, scale, opts.seed);
                 cells.push(format!("{:.3}", row.addition_ms));
             }
             mt.add_row(cells);

@@ -21,10 +21,10 @@ pub mod report;
 pub mod sweep;
 
 pub use compare::{compare_reports, parse_json, CompareSummary, Json, Regression};
-pub use polynomials::{TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
+pub use polynomials::{Scale, TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
 pub use report::{banner, log2, ms, pct, JsonReport, JsonValue, TextTable};
 pub use sweep::{
-    batched_comparison, graph_comparison, measured_double_ops, measured_run, modeled_double_ops,
-    modeled_run, system_comparison, BatchComparison, GraphComparison, Scale, ShapeCache,
-    SystemComparison, TimingRow,
+    batched_comparison, engine_amortization, graph_comparison, measured_double_ops, measured_run,
+    modeled_double_ops, modeled_run, system_comparison, BatchComparison, EngineAmortization,
+    GraphComparison, ShapeCache, SystemComparison, TimingRow,
 };

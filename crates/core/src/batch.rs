@@ -47,6 +47,7 @@
 use crate::evaluate::{
     run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel, Evaluation,
 };
+use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
 use crate::ExecMode;
@@ -83,17 +84,158 @@ impl<C> BatchEvaluation<C> {
     }
 }
 
+/// Evaluates a whole batch through one polynomial's schedule — the shared
+/// internal of [`BatchEvaluator`] and the engine's single-polynomial
+/// [`Plan`](crate::Plan) under batched inputs.  `graph` caches the
+/// block-level plan of one instance (batch launches replicate it per
+/// instance without cross-instance edges).
+pub(crate) fn run_batch<C: Coeff>(
+    poly: &Polynomial<C>,
+    schedule: &Schedule,
+    options: EvalOptions,
+    graph: &OnceLock<GraphPlan>,
+    batch: &[Vec<Series<C>>],
+    pool: Option<&WorkerPool>,
+) -> BatchEvaluation<C> {
+    let wall = Stopwatch::start();
+    let mut timings = KernelTimings::new();
+    if batch.is_empty() {
+        timings.wall_clock = wall.elapsed();
+        return BatchEvaluation {
+            instances: Vec::new(),
+            timings,
+        };
+    }
+    let layout = &schedule.layout;
+    let per = layout.coeffs_per_slot();
+    let stride = layout.total_coefficients();
+    // Stage 0: lay every instance out back-to-back in one flat arena.
+    let mut data = vec![C::zero(); layout.batch_total_coefficients(batch.len())];
+    for (i, inputs) in batch.iter().enumerate() {
+        let off = layout.batch_instance_offset(i);
+        schedule.fill_data_array(poly, inputs, &mut data[off..off + stride]);
+    }
+    let shared = SharedArray::new(data);
+    let kernel = options.kernel;
+    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
+        // Dependency-driven path: one graph launch carries every block
+        // of every instance — a single pool rendezvous for the whole
+        // batch.  Block b runs node b % nodes of instance b / nodes;
+        // dependency edges apply within each instance (instances occupy
+        // disjoint arena regions, so they share no hazards).
+        let plan = graph.get_or_init(|| schedule.graph_plan());
+        let nodes = plan.blocks();
+        let start = Instant::now();
+        pool.launch_graph(&plan.graph, batch.len(), |b| {
+            let instance = b / nodes;
+            run_graph_node(plan, b % nodes, &shared, per, kernel, |slot| {
+                layout.batch_slot(instance, slot)
+            });
+        });
+        timings.record_graph(
+            start.elapsed(),
+            batch.len() * plan.conv.len(),
+            batch.len() * plan.add.len(),
+        );
+        return finish_batch(schedule, batch, shared, timings, wall);
+    }
+    // Stage 1: convolution kernels — one launch per layer for the whole
+    // batch.  Block b runs job b % jobs of instance b / jobs; rebasing
+    // every slot with `batch_slot` addresses that instance's region of
+    // the arena, and disjointness within a layer carries over because
+    // distinct instances write distinct regions.
+    for layer in &schedule.convolution_layers {
+        let jobs = layer.len();
+        let blocks = batch.len() * jobs;
+        let body = |b: usize| {
+            let instance = b / jobs;
+            let job = layer[b % jobs];
+            let shifted = ConvJob {
+                in1: layout.batch_slot(instance, job.in1),
+                in2: layout.batch_slot(instance, job.in2),
+                out: layout.batch_slot(instance, job.out),
+            };
+            run_convolution_job(&shared, &shifted, per, kernel);
+        };
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid(blocks, body),
+            None => (0..blocks).for_each(body),
+        }
+        timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+    }
+    // Stage 2: addition kernels, batched the same way.
+    for layer in &schedule.addition_layers {
+        let jobs = layer.len();
+        let blocks = batch.len() * jobs;
+        let body = |b: usize| {
+            let instance = b / jobs;
+            let job = layer[b % jobs];
+            let shifted = AddJob {
+                src: layout.batch_slot(instance, job.src),
+                dst: layout.batch_slot(instance, job.dst),
+            };
+            run_addition_job(&shared, &shifted, per);
+        };
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid(blocks, body),
+            None => (0..blocks).for_each(body),
+        }
+        timings.record(KernelKind::Addition, start.elapsed(), blocks);
+    }
+    finish_batch(schedule, batch, shared, timings, wall)
+}
+
+/// Extracts every instance's value and gradient from the arena and closes
+/// the timing record (shared by the layered and graph paths).
+fn finish_batch<C: Coeff>(
+    schedule: &Schedule,
+    batch: &[Vec<Series<C>>],
+    shared: SharedArray<C>,
+    mut timings: KernelTimings,
+    wall: Stopwatch,
+) -> BatchEvaluation<C> {
+    let layout = &schedule.layout;
+    let stride = layout.total_coefficients();
+    let data = shared.into_inner();
+    let instances = (0..batch.len())
+        .map(|i| {
+            let off = layout.batch_instance_offset(i);
+            let region = &data[off..off + stride];
+            let value = schedule.extract(region, schedule.value_location);
+            let gradient = schedule
+                .gradient_locations
+                .iter()
+                .map(|&loc| schedule.extract(region, loc))
+                .collect();
+            Evaluation {
+                value,
+                gradient,
+                timings: KernelTimings::new(),
+            }
+        })
+        .collect();
+    timings.wall_clock = wall.elapsed();
+    BatchEvaluation { instances, timings }
+}
+
 /// Evaluates one polynomial at many input-series vectors with a single
 /// cached schedule and one worker-pool launch per job layer for the whole
 /// batch.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::compile` and evaluate the `Plan` with `Inputs::Batch` (this \
+            borrowing shim will be removed after one release)"
+)]
 pub struct BatchEvaluator<'p, C> {
     poly: &'p Polynomial<C>,
     schedule: Schedule,
-    kernel: ConvolutionKernel,
-    exec_mode: ExecMode,
+    options: EvalOptions,
     plan: OnceLock<GraphPlan>,
 }
 
+#[allow(deprecated)]
 impl<'p, C: Coeff> BatchEvaluator<'p, C> {
     /// Builds the schedule for a polynomial once; it is shared by every
     /// batch evaluated through this evaluator.
@@ -101,15 +243,14 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
         Self {
             poly,
             schedule: Schedule::build(poly),
-            kernel: ConvolutionKernel::default(),
-            exec_mode: ExecMode::default(),
+            options: EvalOptions::default(),
             plan: OnceLock::new(),
         }
     }
 
     /// Selects the convolution kernel variant (ablation).
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.kernel = kernel;
+        self.options.kernel = kernel;
         self
     }
 
@@ -117,13 +258,24 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
     /// layered launches (the reference) or one dependency-driven task-graph
     /// launch per batch evaluation.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec_mode = mode;
+        self.options.exec_mode = mode;
         self
+    }
+
+    /// Replaces both knobs at once with a shared [`EvalOptions`].
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> EvalOptions {
+        self.options
     }
 
     /// The configured execution mode.
     pub fn exec_mode(&self) -> ExecMode {
-        self.exec_mode
+        self.options.exec_mode
     }
 
     /// The block-level graph plan of one instance, built once on first use
@@ -146,7 +298,14 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
     /// Evaluates the whole batch on a single thread (the correctness
     /// reference for the parallel path).
     pub fn evaluate_sequential(&self, batch: &[Vec<Series<C>>]) -> BatchEvaluation<C> {
-        self.run(batch, None)
+        run_batch(
+            self.poly,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            batch,
+            None,
+        )
     }
 
     /// Evaluates the whole batch on the worker pool with one grid launch per
@@ -156,137 +315,19 @@ impl<'p, C: Coeff> BatchEvaluator<'p, C> {
         batch: &[Vec<Series<C>>],
         pool: &WorkerPool,
     ) -> BatchEvaluation<C> {
-        self.run(batch, Some(pool))
-    }
-
-    fn run(&self, batch: &[Vec<Series<C>>], pool: Option<&WorkerPool>) -> BatchEvaluation<C> {
-        let wall = Stopwatch::start();
-        let mut timings = KernelTimings::new();
-        if batch.is_empty() {
-            timings.wall_clock = wall.elapsed();
-            return BatchEvaluation {
-                instances: Vec::new(),
-                timings,
-            };
-        }
-        let layout = &self.schedule.layout;
-        let per = layout.coeffs_per_slot();
-        let stride = layout.total_coefficients();
-        // Stage 0: lay every instance out back-to-back in one flat arena.
-        let mut data = vec![C::zero(); layout.batch_total_coefficients(batch.len())];
-        for (i, inputs) in batch.iter().enumerate() {
-            let off = layout.batch_instance_offset(i);
-            self.schedule
-                .fill_data_array(self.poly, inputs, &mut data[off..off + stride]);
-        }
-        let shared = SharedArray::new(data);
-        let kernel = self.kernel;
-        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
-            // Dependency-driven path: one graph launch carries every block
-            // of every instance — a single pool rendezvous for the whole
-            // batch.  Block b runs node b % nodes of instance b / nodes;
-            // dependency edges apply within each instance (instances occupy
-            // disjoint arena regions, so they share no hazards).
-            let plan = self.graph_plan();
-            let nodes = plan.blocks();
-            let start = Instant::now();
-            pool.launch_graph(&plan.graph, batch.len(), |b| {
-                let instance = b / nodes;
-                run_graph_node(plan, b % nodes, &shared, per, kernel, |slot| {
-                    layout.batch_slot(instance, slot)
-                });
-            });
-            timings.record_graph(
-                start.elapsed(),
-                batch.len() * plan.conv.len(),
-                batch.len() * plan.add.len(),
-            );
-            return self.finish(batch, shared, timings, wall);
-        }
-        // Stage 1: convolution kernels — one launch per layer for the whole
-        // batch.  Block b runs job b % jobs of instance b / jobs; rebasing
-        // every slot with `batch_slot` addresses that instance's region of
-        // the arena, and disjointness within a layer carries over because
-        // distinct instances write distinct regions.
-        for layer in &self.schedule.convolution_layers {
-            let jobs = layer.len();
-            let blocks = batch.len() * jobs;
-            let body = |b: usize| {
-                let instance = b / jobs;
-                let job = layer[b % jobs];
-                let shifted = ConvJob {
-                    in1: layout.batch_slot(instance, job.in1),
-                    in2: layout.batch_slot(instance, job.in2),
-                    out: layout.batch_slot(instance, job.out),
-                };
-                run_convolution_job(&shared, &shifted, per, kernel);
-            };
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(blocks, body),
-                None => (0..blocks).for_each(body),
-            }
-            timings.record(KernelKind::Convolution, start.elapsed(), blocks);
-        }
-        // Stage 2: addition kernels, batched the same way.
-        for layer in &self.schedule.addition_layers {
-            let jobs = layer.len();
-            let blocks = batch.len() * jobs;
-            let body = |b: usize| {
-                let instance = b / jobs;
-                let job = layer[b % jobs];
-                let shifted = AddJob {
-                    src: layout.batch_slot(instance, job.src),
-                    dst: layout.batch_slot(instance, job.dst),
-                };
-                run_addition_job(&shared, &shifted, per);
-            };
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(blocks, body),
-                None => (0..blocks).for_each(body),
-            }
-            timings.record(KernelKind::Addition, start.elapsed(), blocks);
-        }
-        self.finish(batch, shared, timings, wall)
-    }
-
-    /// Extracts every instance's value and gradient from the arena and
-    /// closes the timing record (shared by the layered and graph paths).
-    fn finish(
-        &self,
-        batch: &[Vec<Series<C>>],
-        shared: SharedArray<C>,
-        mut timings: KernelTimings,
-        wall: Stopwatch,
-    ) -> BatchEvaluation<C> {
-        let layout = &self.schedule.layout;
-        let stride = layout.total_coefficients();
-        let data = shared.into_inner();
-        let instances = (0..batch.len())
-            .map(|i| {
-                let off = layout.batch_instance_offset(i);
-                let region = &data[off..off + stride];
-                let value = self.schedule.extract(region, self.schedule.value_location);
-                let gradient = self
-                    .schedule
-                    .gradient_locations
-                    .iter()
-                    .map(|&loc| self.schedule.extract(region, loc))
-                    .collect();
-                Evaluation {
-                    value,
-                    gradient,
-                    timings: KernelTimings::new(),
-                }
-            })
-            .collect();
-        timings.wall_clock = wall.elapsed();
-        BatchEvaluation { instances, timings }
+        run_batch(
+            self.poly,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            batch,
+            Some(pool),
+        )
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::evaluate::ScheduledEvaluator;

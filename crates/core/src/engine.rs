@@ -1,0 +1,1578 @@
+//! The engine: one owned, shareable entry point for every evaluator.
+//!
+//! The paper's central observation is that the expensive artifact is the
+//! *schedule* — "the coordinates of the jobs depend only on the structure of
+//! the monomials and are computed only once" (Section 5) — while the
+//! evaluation is the cheap, endlessly repeated part.  The engine makes that
+//! split explicit and production-shaped:
+//!
+//! * [`EngineBuilder`] configures precision, kernel, execution mode and
+//!   thread count once; [`Engine`] owns its [`WorkerPool`] and is
+//!   `Send + Sync`.
+//! * [`Engine::compile`] turns a [`PolySource`] (a single polynomial or a
+//!   system) into an [`Arc<Plan>`]: an **owned** (`'static`) compiled
+//!   schedule with no borrowed polynomials, shareable across threads and
+//!   cacheable behind a long-lived handle.  Compiling the same source twice
+//!   hits an internal plan cache keyed by a structural hash of the
+//!   polynomial, so repeat compiles are free.
+//! * [`Plan::evaluate`] accepts unified [`Inputs`] (one input vector or a
+//!   whole batch) and returns a unified [`EvalOutput`] (single, batched or
+//!   system evaluation) with full kernel timings, including the pool
+//!   rendezvous paid by the run.
+//! * [`AnyPlan`] erases the coefficient type behind a [`Precision`] tag, so
+//!   non-generic callers — the bench harness, servers — pick the precision
+//!   with a *value* instead of monomorphizing through a macro.
+//!
+//! The three historical front-ends (`ScheduledEvaluator`, `BatchEvaluator`,
+//! `SystemEvaluator`) are thin deprecated shims over the same internals and
+//! produce bitwise-identical results.
+//!
+//! ```
+//! use psmd_core::{Engine, Inputs, Monomial, Polynomial};
+//! use psmd_multidouble::Dd;
+//! use psmd_series::Series;
+//! use std::sync::Arc;
+//!
+//! // p = 1 + 3 x0 x1 at z0 = 1 + t, z1 = 1 - t (double-double).
+//! let d = 2;
+//! let c = |x: f64| Series::constant(Dd::from_f64(x), d);
+//! let p = Polynomial::new(2, c(1.0), vec![Monomial::new(c(3.0), vec![0, 1])]);
+//! let z = vec![
+//!     Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
+//!     Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
+//! ];
+//!
+//! let engine = Engine::builder().build();
+//! let plan = engine.compile(p.clone());          // compiled once...
+//! let again = engine.compile(p);                 // ...the second compile is a cache hit
+//! assert!(Arc::ptr_eq(&plan, &again));
+//!
+//! let eval = plan.evaluate(Inputs::Single(&z)).into_single();
+//! assert_eq!(eval.value.coeff(0).to_f64(), 4.0); // 1 + 3
+//! assert_eq!(eval.value.coeff(2).to_f64(), -3.0);
+//! ```
+
+use crate::batch::{run_batch, BatchEvaluation};
+use crate::evaluate::{run_single, Evaluation};
+use crate::monomial::Monomial;
+use crate::options::EvalOptions;
+use crate::polynomial::Polynomial;
+use crate::schedule::{GraphPlan, Schedule};
+use crate::system::{run_system, SystemEvaluation, SystemSchedule};
+use parking_lot::Mutex;
+use psmd_multidouble::{Coeff, Md, Precision};
+use psmd_runtime::{KernelTimings, WorkerPool};
+use psmd_series::Series;
+use std::any::{Any, TypeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// What a [`Plan`] is compiled from: one polynomial or a whole system.
+///
+/// The source is stored **by value** inside the plan — unlike the historical
+/// borrowing evaluators there is no `'p` lifetime, which is what lets plans
+/// live in caches, cross threads and outlive the code that built them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolySource<C> {
+    /// One polynomial: supports single and batched evaluation.
+    Single(Polynomial<C>),
+    /// A system of polynomials over shared variables: one merged,
+    /// deduplicated schedule produces all values plus the full Jacobian.
+    System(Vec<Polynomial<C>>),
+}
+
+impl<C: Coeff> PolySource<C> {
+    /// Number of variables of the source.
+    pub fn num_variables(&self) -> usize {
+        match self {
+            PolySource::Single(p) => p.num_variables(),
+            PolySource::System(ps) => ps.first().map_or(0, Polynomial::num_variables),
+        }
+    }
+
+    /// Common truncation degree of the source.
+    pub fn degree(&self) -> usize {
+        match self {
+            PolySource::Single(p) => p.degree(),
+            PolySource::System(ps) => ps.first().map_or(0, Polynomial::degree),
+        }
+    }
+
+    /// Number of equations (1 for a single polynomial).
+    pub fn num_equations(&self) -> usize {
+        match self {
+            PolySource::Single(_) => 1,
+            PolySource::System(ps) => ps.len(),
+        }
+    }
+
+    /// A structural hash of the source: variable structure, truncation
+    /// degree and the exact coefficient bits.  Two sources hash equally
+    /// exactly when they would compile to interchangeable plans; the plan
+    /// cache confirms hash hits with [`PolySource::bitwise_eq`] before
+    /// reusing a plan.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash_structure(&mut h);
+        h.finish()
+    }
+
+    /// True when the two sources are bit-for-bit identical: same variable
+    /// structure, same degrees and the exact same coefficient bit patterns.
+    /// Unlike `PartialEq`, this treats equal-bit NaN coefficients as equal
+    /// and distinguishes `-0.0` from `0.0` — it is the confirmation the
+    /// plan cache pairs with [`PolySource::structural_hash`], so sources
+    /// with NaN coefficients still hit the cache.  Streams and early-exits;
+    /// no allocation.
+    pub fn bitwise_eq(&self, other: &PolySource<C>) -> bool {
+        match (self, other) {
+            (PolySource::Single(a), PolySource::Single(b)) => polynomial_bits_eq(a, b),
+            (PolySource::System(a), PolySource::System(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| polynomial_bits_eq(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    fn hash_structure<H: Hasher>(&self, h: &mut H) {
+        match self {
+            PolySource::Single(p) => {
+                0u8.hash(h);
+                hash_polynomial(p, h);
+            }
+            PolySource::System(ps) => {
+                1u8.hash(h);
+                ps.len().hash(h);
+                for p in ps {
+                    hash_polynomial(p, h);
+                }
+            }
+        }
+    }
+}
+
+impl<C: Coeff> From<Polynomial<C>> for PolySource<C> {
+    fn from(poly: Polynomial<C>) -> Self {
+        PolySource::Single(poly)
+    }
+}
+
+impl<C: Coeff> From<Vec<Polynomial<C>>> for PolySource<C> {
+    fn from(polys: Vec<Polynomial<C>>) -> Self {
+        PolySource::System(polys)
+    }
+}
+
+/// A stack-buffer "hasher" that records the exact byte stream of **one**
+/// coefficient's [`Coeff::hash_bits`] call, so bit patterns can be compared
+/// directly (`PartialEq` on floats rejects identical NaNs and conflates
+/// `±0.0`) without heap allocation.  The largest coefficient is
+/// `Complex<Md<10>>` at 160 bytes; the buffer leaves headroom.
+struct CoeffBits {
+    buf: [u8; 256],
+    len: usize,
+}
+
+impl CoeffBits {
+    fn of<C: Coeff>(value: &C) -> Self {
+        let mut bits = Self {
+            buf: [0; 256],
+            len: 0,
+        };
+        value.hash_bits(&mut bits);
+        bits
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+impl Hasher for CoeffBits {
+    fn finish(&self) -> u64 {
+        0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let end = self.len + bytes.len();
+        debug_assert!(end <= self.buf.len(), "coefficient exceeds the bit buffer");
+        self.buf[self.len..end].copy_from_slice(bytes);
+        self.len = end;
+    }
+}
+
+fn hash_series<C: Coeff, H: Hasher>(series: &Series<C>, state: &mut H) {
+    series.degree().hash(state);
+    for coeff in series.coeffs() {
+        coeff.hash_bits(state);
+    }
+}
+
+/// Bit-for-bit equality of two coefficients.
+fn coeff_bits_eq<C: Coeff>(a: &C, b: &C) -> bool {
+    CoeffBits::of(a).as_slice() == CoeffBits::of(b).as_slice()
+}
+
+/// Bit-for-bit equality of two series (degree and exact coefficient bits),
+/// streaming with early exit.
+fn series_bits_eq<C: Coeff>(a: &Series<C>, b: &Series<C>) -> bool {
+    a.degree() == b.degree()
+        && a.coeffs()
+            .iter()
+            .zip(b.coeffs().iter())
+            .all(|(x, y)| coeff_bits_eq(x, y))
+}
+
+/// Bit-for-bit equality of two series slices.
+fn series_slice_bits_eq<C: Coeff>(a: &[Series<C>], b: &[Series<C>]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| series_bits_eq(x, y))
+}
+
+/// Bit-for-bit equality of two polynomials (variable structure, degrees and
+/// exact coefficient bits).
+fn polynomial_bits_eq<C: Coeff>(a: &Polynomial<C>, b: &Polynomial<C>) -> bool {
+    a.num_variables() == b.num_variables()
+        && a.degree() == b.degree()
+        && series_bits_eq(a.constant(), b.constant())
+        && a.num_monomials() == b.num_monomials()
+        && a.monomials()
+            .iter()
+            .zip(b.monomials().iter())
+            .all(|(x, y)| {
+                x.variables == y.variables && series_bits_eq(&x.coefficient, &y.coefficient)
+            })
+}
+
+fn hash_polynomial<C: Coeff, H: Hasher>(poly: &Polynomial<C>, state: &mut H) {
+    poly.num_variables().hash(state);
+    poly.degree().hash(state);
+    hash_series(poly.constant(), state);
+    poly.num_monomials().hash(state);
+    for m in poly.monomials() {
+        m.variables.hash(state);
+        hash_series(&m.coefficient, state);
+    }
+}
+
+/// Unified evaluation inputs: one input-series vector or a whole batch.
+///
+/// Built from references — evaluation never consumes the inputs — with
+/// `From` conversions so call sites can pass `&inputs` directly.
+#[derive(Debug, Clone, Copy)]
+pub enum Inputs<'a, C> {
+    /// One vector of input series (one series per variable).
+    Single(&'a [Series<C>]),
+    /// Many independent input vectors evaluated in one arena with shared
+    /// launches (only supported by single-polynomial plans).
+    Batch(&'a [Vec<Series<C>>]),
+}
+
+impl<'a, C> From<&'a [Series<C>]> for Inputs<'a, C> {
+    fn from(inputs: &'a [Series<C>]) -> Self {
+        Inputs::Single(inputs)
+    }
+}
+
+impl<'a, C> From<&'a Vec<Series<C>>> for Inputs<'a, C> {
+    fn from(inputs: &'a Vec<Series<C>>) -> Self {
+        Inputs::Single(inputs)
+    }
+}
+
+impl<'a, C> From<&'a [Vec<Series<C>>]> for Inputs<'a, C> {
+    fn from(batch: &'a [Vec<Series<C>>]) -> Self {
+        Inputs::Batch(batch)
+    }
+}
+
+impl<'a, C> From<&'a Vec<Vec<Series<C>>>> for Inputs<'a, C> {
+    fn from(batch: &'a Vec<Vec<Series<C>>>) -> Self {
+        Inputs::Batch(batch)
+    }
+}
+
+/// Unified evaluation result: the variant matches the plan kind and the
+/// input shape (`Single` plan × `Single` inputs → `Single`, `Single` plan ×
+/// `Batch` inputs → `Batch`, `System` plan × `Single` inputs → `System`).
+#[derive(Debug, Clone)]
+pub enum EvalOutput<C> {
+    /// Value and gradient of one polynomial at one input vector.
+    Single(Evaluation<C>),
+    /// Values and gradients of one polynomial at every batch instance.
+    Batch(BatchEvaluation<C>),
+    /// All equation values and the full Jacobian of a system.
+    System(SystemEvaluation<C>),
+}
+
+impl<C: Coeff> EvalOutput<C> {
+    /// The kernel timings of the run, whichever variant it is.  The
+    /// [`KernelTimings::pool_rendezvous`] field carries the pool rendezvous
+    /// paid by this evaluation, so the one-rendezvous invariant of graph
+    /// mode is checkable from the result alone.
+    pub fn timings(&self) -> &KernelTimings {
+        match self {
+            EvalOutput::Single(e) => &e.timings,
+            EvalOutput::Batch(e) => &e.timings,
+            EvalOutput::System(e) => &e.timings,
+        }
+    }
+
+    fn timings_mut(&mut self) -> &mut KernelTimings {
+        match self {
+            EvalOutput::Single(e) => &mut e.timings,
+            EvalOutput::Batch(e) => &mut e.timings,
+            EvalOutput::System(e) => &mut e.timings,
+        }
+    }
+
+    /// The single evaluation, if this is the `Single` variant.
+    pub fn as_single(&self) -> Option<&Evaluation<C>> {
+        match self {
+            EvalOutput::Single(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The batch evaluation, if this is the `Batch` variant.
+    pub fn as_batch(&self) -> Option<&BatchEvaluation<C>> {
+        match self {
+            EvalOutput::Batch(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The system evaluation, if this is the `System` variant.
+    pub fn as_system(&self) -> Option<&SystemEvaluation<C>> {
+        match self {
+            EvalOutput::System(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the `Single` variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is not a single evaluation.
+    pub fn into_single(self) -> Evaluation<C> {
+        match self {
+            EvalOutput::Single(e) => e,
+            _ => panic!("expected a single evaluation output"),
+        }
+    }
+
+    /// Unwraps the `Batch` variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is not a batch evaluation.
+    pub fn into_batch(self) -> BatchEvaluation<C> {
+        match self {
+            EvalOutput::Batch(e) => e,
+            _ => panic!("expected a batch evaluation output"),
+        }
+    }
+
+    /// Unwraps the `System` variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is not a system evaluation.
+    pub fn into_system(self) -> SystemEvaluation<C> {
+        match self {
+            EvalOutput::System(e) => e,
+            _ => panic!("expected a system evaluation output"),
+        }
+    }
+
+    /// True when both outputs are the same variant and every series — value,
+    /// gradient, Jacobian — is **bit-for-bit** identical (timings are
+    /// ignored).  Unlike float `PartialEq`, equal-bit NaNs compare equal and
+    /// `-0.0` differs from `0.0`, so this really is the bitwise-identity
+    /// check the graph-vs-layered guarantee is stated in terms of.
+    pub fn bitwise_eq(&self, other: &EvalOutput<C>) -> bool {
+        let eval_eq = |a: &Evaluation<C>, b: &Evaluation<C>| {
+            series_bits_eq(&a.value, &b.value) && series_slice_bits_eq(&a.gradient, &b.gradient)
+        };
+        match (self, other) {
+            (EvalOutput::Single(a), EvalOutput::Single(b)) => eval_eq(a, b),
+            (EvalOutput::Batch(a), EvalOutput::Batch(b)) => {
+                a.instances.len() == b.instances.len()
+                    && a.instances
+                        .iter()
+                        .zip(b.instances.iter())
+                        .all(|(x, y)| eval_eq(x, y))
+            }
+            (EvalOutput::System(a), EvalOutput::System(b)) => {
+                series_slice_bits_eq(&a.values, &b.values)
+                    && a.jacobian.len() == b.jacobian.len()
+                    && a.jacobian
+                        .iter()
+                        .zip(b.jacobian.iter())
+                        .all(|(x, y)| series_slice_bits_eq(x, y))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Structure counts of a compiled plan, for reports and capacity planning.
+/// All fields derive from the job schedule alone; the dependency-graph
+/// numbers live in [`GraphPlanStats`] so that reading these does not force
+/// graph-plan construction on layered-mode plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Number of equations (1 for a single-polynomial plan).
+    pub equations: usize,
+    /// Number of variables.
+    pub num_variables: usize,
+    /// Truncation degree.
+    pub degree: usize,
+    /// Convolution layers (kernel launches per layered evaluation).
+    pub convolution_layers: usize,
+    /// Addition layers.
+    pub addition_layers: usize,
+    /// Total convolution jobs.
+    pub convolution_jobs: usize,
+    /// Total addition jobs.
+    pub addition_jobs: usize,
+    /// Unique monomials after system merging (equals `total_monomials` for a
+    /// single-polynomial plan).
+    pub unique_monomials: usize,
+    /// Total monomial instances across all equations.
+    pub total_monomials: usize,
+}
+
+/// Structure counts of a plan's dependency graph (see
+/// [`Plan::graph_stats`]; building them constructs the graph plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphPlanStats {
+    /// Blocks of the dependency graph (convolution plus addition jobs).
+    pub blocks: usize,
+    /// Dependency edges of the graph plan.
+    pub edges: usize,
+    /// Longest dependency chain, in blocks.
+    pub critical_path: usize,
+}
+
+/// The compiled schedule of one [`PolySource`].
+enum PlanKind {
+    Single(Schedule),
+    System(SystemSchedule),
+}
+
+/// An owned, compiled evaluation plan: the polynomial source, its job
+/// schedule, layout and (lazily built) dependency-graph plan, plus a handle
+/// to the worker pool it evaluates on.
+///
+/// Plans are `'static`, `Send + Sync` and handed out as [`Arc<Plan>`] by
+/// [`Engine::compile`]: clone the `Arc` freely, evaluate from as many
+/// threads as you like, keep it alive after the engine is gone.
+pub struct Plan<C: Coeff> {
+    source: PolySource<C>,
+    kind: PlanKind,
+    options: EvalOptions,
+    pool: Arc<WorkerPool>,
+    graph: OnceLock<GraphPlan>,
+}
+
+impl<C: Coeff> Plan<C> {
+    fn build(source: PolySource<C>, options: EvalOptions, pool: Arc<WorkerPool>) -> Self {
+        let kind = match &source {
+            PolySource::Single(p) => PlanKind::Single(Schedule::build(p)),
+            PolySource::System(ps) => PlanKind::System(SystemSchedule::build(ps)),
+        };
+        Self {
+            source,
+            kind,
+            options,
+            pool,
+            graph: OnceLock::new(),
+        }
+    }
+
+    /// The polynomial source the plan owns.
+    pub fn source(&self) -> &PolySource<C> {
+        &self.source
+    }
+
+    /// The options the plan was compiled with.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// The single-polynomial schedule, if this is a single plan.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match &self.kind {
+            PlanKind::Single(s) => Some(s),
+            PlanKind::System(_) => None,
+        }
+    }
+
+    /// The merged system schedule, if this is a system plan.
+    pub fn system_schedule(&self) -> Option<&SystemSchedule> {
+        match &self.kind {
+            PlanKind::Single(_) => None,
+            PlanKind::System(s) => Some(s),
+        }
+    }
+
+    /// The block-level dependency-graph plan, built once on first use and
+    /// shared by every graph-mode evaluation of this plan.
+    pub fn graph_plan(&self) -> &GraphPlan {
+        self.graph.get_or_init(|| match &self.kind {
+            PlanKind::Single(s) => s.graph_plan(),
+            PlanKind::System(s) => s.graph_plan(),
+        })
+    }
+
+    /// Structure counts of the compiled schedule.  Cheap: reads the job
+    /// schedule only; the dependency-graph numbers are in
+    /// [`Plan::graph_stats`] (which does build the graph plan).
+    pub fn stats(&self) -> PlanStats {
+        let (conv_layers, add_layers, conv_jobs, add_jobs, unique, total) = match &self.kind {
+            PlanKind::Single(s) => {
+                let monomials = match &self.source {
+                    PolySource::Single(p) => p.num_monomials(),
+                    PolySource::System(_) => unreachable!("single plan with system source"),
+                };
+                (
+                    s.convolution_layers.len(),
+                    s.addition_layers.len(),
+                    s.convolution_jobs(),
+                    s.addition_jobs(),
+                    monomials,
+                    monomials,
+                )
+            }
+            PlanKind::System(s) => (
+                s.convolution_layers.len(),
+                s.addition_layers.len(),
+                s.convolution_jobs(),
+                s.addition_jobs(),
+                s.unique_monomials(),
+                s.total_monomials(),
+            ),
+        };
+        PlanStats {
+            equations: self.source.num_equations(),
+            num_variables: self.source.num_variables(),
+            degree: self.source.degree(),
+            convolution_layers: conv_layers,
+            addition_layers: add_layers,
+            convolution_jobs: conv_jobs,
+            addition_jobs: add_jobs,
+            unique_monomials: unique,
+            total_monomials: total,
+        }
+    }
+
+    /// Structure counts of the dependency graph, building (and caching) the
+    /// graph plan on first call.
+    pub fn graph_stats(&self) -> GraphPlanStats {
+        let graph = self.graph_plan();
+        GraphPlanStats {
+            blocks: graph.blocks(),
+            edges: graph.graph.num_edges(),
+            critical_path: graph.graph.critical_path_len(),
+        }
+    }
+
+    /// Evaluates on the engine's worker pool (layered launches or one graph
+    /// launch, per the plan's [`EvalOptions`]).
+    ///
+    /// The returned output's timings carry the pool-rendezvous delta of this
+    /// run; the counter is shared per pool, so when several threads evaluate
+    /// on one engine concurrently a run may be charged with rendezvous its
+    /// neighbors paid (see [`KernelTimings::pool_rendezvous`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a system plan is given batched inputs, or when the input
+    /// shape does not match the source (wrong variable count or degree).
+    pub fn evaluate<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
+        self.run(inputs.into(), true)
+    }
+
+    /// Evaluates on the calling thread only — the correctness reference for
+    /// the parallel path, bitwise identical to [`Plan::evaluate`].
+    pub fn evaluate_sequential<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
+        self.run(inputs.into(), false)
+    }
+
+    fn run(&self, inputs: Inputs<'_, C>, parallel: bool) -> EvalOutput<C> {
+        let pool = parallel.then_some(self.pool.as_ref());
+        // Sequential runs never touch the pool: report zero rendezvous
+        // without reading the shared counter, so concurrent parallel
+        // evaluations on the same pool cannot be misattributed to them.
+        let before = parallel.then(|| self.pool.rendezvous_count());
+        let mut output = match (&self.kind, inputs) {
+            (PlanKind::Single(schedule), Inputs::Single(z)) => {
+                let PolySource::Single(poly) = &self.source else {
+                    unreachable!("single plan with system source")
+                };
+                EvalOutput::Single(run_single(
+                    poly,
+                    schedule,
+                    self.options,
+                    &self.graph,
+                    z,
+                    pool,
+                ))
+            }
+            (PlanKind::Single(schedule), Inputs::Batch(batch)) => {
+                let PolySource::Single(poly) = &self.source else {
+                    unreachable!("single plan with system source")
+                };
+                EvalOutput::Batch(run_batch(
+                    poly,
+                    schedule,
+                    self.options,
+                    &self.graph,
+                    batch,
+                    pool,
+                ))
+            }
+            (PlanKind::System(schedule), Inputs::Single(z)) => {
+                let PolySource::System(polys) = &self.source else {
+                    unreachable!("system plan with single source")
+                };
+                EvalOutput::System(run_system(
+                    polys,
+                    schedule,
+                    self.options,
+                    &self.graph,
+                    z,
+                    pool,
+                ))
+            }
+            (PlanKind::System(_), Inputs::Batch(_)) => panic!(
+                "batched system evaluation is not supported: evaluate each input vector of \
+                 the batch separately"
+            ),
+        };
+        output.timings_mut().pool_rendezvous = match before {
+            Some(before) => self.pool.rendezvous_count().saturating_sub(before),
+            None => 0,
+        };
+        output
+    }
+}
+
+/// Statistics of the engine's plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Maximum number of cached plans (0 disables caching).
+    pub capacity: usize,
+    /// Compiles answered from the cache.
+    pub hits: u64,
+    /// Compiles that built a new plan.
+    pub misses: u64,
+    /// Plans displaced from the cache: LRU evictions to make room, plus
+    /// replacements of a slot by a hash-colliding or concurrently compiled
+    /// source.
+    pub evictions: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    type_id: TypeId,
+    structural_hash: u64,
+    options: EvalOptions,
+}
+
+struct CacheEntry {
+    plan: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+struct PlanCache {
+    entries: HashMap<PlanKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    precision: Precision,
+    options: EvalOptions,
+    threads: Option<usize>,
+    plan_cache_capacity: usize,
+}
+
+impl EngineBuilder {
+    /// The default configuration: double-double precision, zero-insertion
+    /// kernel, layered execution, `PSMD_THREADS`/hardware-sized pool, 64
+    /// cached plans.
+    pub fn new() -> Self {
+        Self {
+            precision: Precision::D2,
+            options: EvalOptions::default(),
+            threads: None,
+            plan_cache_capacity: 64,
+        }
+    }
+
+    /// Sets the engine's default [`Precision`] — used by the value-level
+    /// (dyn-erased) entry points such as [`Engine::compile_single_f64`].
+    /// Typed [`Engine::compile`] calls fix the precision through their
+    /// coefficient type instead.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the convolution kernel variant of compiled plans.
+    pub fn kernel(mut self, kernel: crate::ConvolutionKernel) -> Self {
+        self.options.kernel = kernel;
+        self
+    }
+
+    /// Sets the pool execution mode of compiled plans.
+    pub fn exec_mode(mut self, exec_mode: crate::ExecMode) -> Self {
+        self.options.exec_mode = exec_mode;
+        self
+    }
+
+    /// Sets both evaluation knobs at once.
+    pub fn options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the number of worker threads of the engine's pool (the launching
+    /// thread always participates, so 0 degenerates to sequential
+    /// execution).  Defaults to [`WorkerPool::default_worker_threads`]
+    /// (the `PSMD_THREADS` override, else hardware parallelism minus one).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the plan-cache capacity (0 disables plan caching).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Builds the engine, spawning its worker pool.
+    pub fn build(self) -> Engine {
+        let threads = self
+            .threads
+            .unwrap_or_else(WorkerPool::default_worker_threads);
+        Engine {
+            pool: Arc::new(WorkerPool::new(threads)),
+            options: self.options,
+            precision: self.precision,
+            cache: Mutex::new(PlanCache::new(self.plan_cache_capacity)),
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The owned evaluation engine: a worker pool, default [`EvalOptions`] and a
+/// structural plan cache behind one `Send + Sync` handle.
+///
+/// Compile once, evaluate many times, from as many threads as you like —
+/// see the [module documentation](self) for the full picture.
+pub struct Engine {
+    pool: Arc<WorkerPool>,
+    options: EvalOptions,
+    precision: Precision,
+    cache: Mutex<PlanCache>,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// An engine with the default configuration.
+    pub fn new() -> Self {
+        EngineBuilder::new().build()
+    }
+
+    /// The engine's worker pool (shared with every plan it compiles).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The default evaluation options of compiled plans.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// The default precision of the value-level entry points.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Compiles a polynomial source into an owned, shareable plan using the
+    /// engine's default options.  Repeat compiles of a structurally
+    /// identical source return the cached `Arc` without rebuilding the
+    /// schedule.
+    pub fn compile<C: Coeff>(&self, source: impl Into<PolySource<C>>) -> Arc<Plan<C>> {
+        self.compile_with_options(source, self.options)
+    }
+
+    /// Like [`Engine::compile`], but with per-plan option overrides; plans
+    /// compiled from the same source with different options coexist in the
+    /// cache.
+    pub fn compile_with_options<C: Coeff>(
+        &self,
+        source: impl Into<PolySource<C>>,
+        options: EvalOptions,
+    ) -> Arc<Plan<C>> {
+        let source = source.into();
+        let key = PlanKey {
+            type_id: TypeId::of::<C>(),
+            structural_hash: source.structural_hash(),
+            options,
+        };
+        {
+            let mut cache = self.cache.lock();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                if let Ok(plan) = Arc::clone(&entry.plan).downcast::<Plan<C>>() {
+                    // A structural-hash hit is confirmed with bit-level
+                    // equality before reuse, so hash collisions cannot alias
+                    // plans — and NaN coefficients (where `PartialEq` would
+                    // always say "different") still hit the cache.
+                    if plan.source().bitwise_eq(&source) {
+                        entry.last_used = tick;
+                        cache.hits += 1;
+                        return plan;
+                    }
+                }
+            }
+            cache.misses += 1;
+        }
+        // Compile outside the lock: schedule construction is the expensive
+        // part and must not serialize concurrent compiles of different
+        // sources.
+        let plan = Arc::new(Plan::build(source, options, Arc::clone(&self.pool)));
+        let mut cache = self.cache.lock();
+        if cache.capacity > 0 {
+            if cache.entries.len() >= cache.capacity && !cache.entries.contains_key(&key) {
+                // Evict the least-recently-used plan (callers holding its
+                // Arc keep it alive; only the cache slot is reclaimed).
+                if let Some(lru) = cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    cache.entries.remove(&lru);
+                    cache.evictions += 1;
+                }
+            }
+            let tick = cache.tick;
+            let displaced = cache
+                .entries
+                .insert(
+                    key,
+                    CacheEntry {
+                        plan: Arc::clone(&plan) as Arc<dyn Any + Send + Sync>,
+                        last_used: tick,
+                    },
+                )
+                .is_some();
+            if displaced {
+                // A hash-colliding source (or a concurrent compile of the
+                // same source) occupied the slot: its plan is displaced and
+                // counted, so cache churn is visible in the stats.
+                cache.evictions += 1;
+            }
+        }
+        plan
+    }
+
+    /// Plan-cache statistics (entries, hits, misses, evictions).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        let cache = self.cache.lock();
+        PlanCacheStats {
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+        }
+    }
+
+    /// Drops every cached plan (outstanding `Arc<Plan>` handles stay valid).
+    pub fn clear_plan_cache(&self) {
+        self.cache.lock().entries.clear();
+    }
+
+    /// Compiles a single polynomial given as plain doubles at the engine's
+    /// default [`Precision`] — the fully value-level entry point for callers
+    /// (servers, FFI) that never see a coefficient type.  Each monomial is a
+    /// `(coefficient, variables)` pair; constant and coefficients are
+    /// embedded at the selected precision.
+    pub fn compile_single_f64(
+        &self,
+        num_variables: usize,
+        degree: usize,
+        constant: f64,
+        monomials: &[(f64, Vec<usize>)],
+    ) -> AnyPlan {
+        self.compile_any(AnyPolySource::single_from_f64(
+            self.precision,
+            num_variables,
+            degree,
+            constant,
+            monomials,
+        ))
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn single_poly_from_f64<C: Coeff>(
+    num_variables: usize,
+    degree: usize,
+    constant: f64,
+    monomials: &[(f64, Vec<usize>)],
+) -> Polynomial<C> {
+    Polynomial::new(
+        num_variables,
+        Series::constant(C::from_f64(constant), degree),
+        monomials
+            .iter()
+            .map(|(coefficient, variables)| {
+                Monomial::new(
+                    Series::constant(C::from_f64(*coefficient), degree),
+                    variables.clone(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Owned evaluation inputs for the precision-erased API (the borrowed
+/// [`Inputs`] enum needs a lifetime, which a value-level handle cannot
+/// carry).
+#[derive(Debug, Clone)]
+pub enum OwnedInputs<C> {
+    /// One vector of input series.
+    Single(Vec<Series<C>>),
+    /// Many independent input vectors.
+    Batch(Vec<Vec<Series<C>>>),
+}
+
+impl<C: Coeff> OwnedInputs<C> {
+    /// Borrows the owned inputs as the unified [`Inputs`] view.
+    pub fn as_inputs(&self) -> Inputs<'_, C> {
+        match self {
+            OwnedInputs::Single(z) => Inputs::Single(z),
+            OwnedInputs::Batch(b) => Inputs::Batch(b),
+        }
+    }
+}
+
+macro_rules! define_any_api {
+    ($(($variant:ident, $limbs:literal)),+ $(,)?) => {
+        /// A [`PolySource`] whose precision is a run-time [`Precision`]
+        /// value: one variant per `Md<N>` instantiation of the paper.
+        #[derive(Debug, Clone)]
+        pub enum AnyPolySource {
+            $(
+                #[doc = concat!("A source over `Md<", stringify!($limbs), ">` (`", stringify!($variant), "`).")]
+                $variant(PolySource<Md<$limbs>>),
+            )+
+        }
+
+        /// Owned inputs whose precision is a run-time [`Precision`] value.
+        #[derive(Debug, Clone)]
+        pub enum AnyInputs {
+            $(
+                #[doc = concat!("Inputs over `Md<", stringify!($limbs), ">` (`", stringify!($variant), "`).")]
+                $variant(OwnedInputs<Md<$limbs>>),
+            )+
+        }
+
+        /// A compiled plan whose precision is a run-time [`Precision`]
+        /// value — the dyn-erased handle non-generic callers evaluate
+        /// through.  Cloning clones the inner `Arc`.
+        #[derive(Clone)]
+        pub enum AnyPlan {
+            $(
+                #[doc = concat!("A plan over `Md<", stringify!($limbs), ">` (`", stringify!($variant), "`).")]
+                $variant(Arc<Plan<Md<$limbs>>>),
+            )+
+        }
+
+        /// An evaluation result whose precision is a run-time
+        /// [`Precision`] value.
+        #[derive(Debug, Clone)]
+        pub enum AnyEvalOutput {
+            $(
+                #[doc = concat!("Output over `Md<", stringify!($limbs), ">` (`", stringify!($variant), "`).")]
+                $variant(EvalOutput<Md<$limbs>>),
+            )+
+        }
+
+        impl AnyPolySource {
+            /// The precision tag of the source.
+            pub fn precision(&self) -> Precision {
+                match self {
+                    $( AnyPolySource::$variant(_) => Precision::$variant, )+
+                }
+            }
+
+            /// Builds a single-polynomial source from plain doubles at a
+            /// run-time precision: each monomial is a `(coefficient,
+            /// variables)` pair.
+            pub fn single_from_f64(
+                precision: Precision,
+                num_variables: usize,
+                degree: usize,
+                constant: f64,
+                monomials: &[(f64, Vec<usize>)],
+            ) -> Self {
+                match precision {
+                    $(
+                        Precision::$variant => AnyPolySource::$variant(PolySource::Single(
+                            single_poly_from_f64::<Md<$limbs>>(
+                                num_variables,
+                                degree,
+                                constant,
+                                monomials,
+                            ),
+                        )),
+                    )+
+                }
+            }
+        }
+
+        impl AnyInputs {
+            /// The precision tag of the inputs.
+            pub fn precision(&self) -> Precision {
+                match self {
+                    $( AnyInputs::$variant(_) => Precision::$variant, )+
+                }
+            }
+
+            /// Builds one input-series vector from plain doubles at a
+            /// run-time precision (`series[v]` holds the coefficients of
+            /// variable `v`, constant term first).
+            pub fn single_from_f64(precision: Precision, series: &[Vec<f64>]) -> Self {
+                match precision {
+                    $(
+                        Precision::$variant => AnyInputs::$variant(OwnedInputs::Single(
+                            series.iter().map(|coeffs| Series::from_f64_coeffs(coeffs)).collect(),
+                        )),
+                    )+
+                }
+            }
+        }
+
+        impl AnyPlan {
+            /// The precision tag of the plan.
+            pub fn precision(&self) -> Precision {
+                match self {
+                    $( AnyPlan::$variant(_) => Precision::$variant, )+
+                }
+            }
+
+            /// Structure counts of the compiled schedule (cheap; see
+            /// [`Plan::stats`]).
+            pub fn stats(&self) -> PlanStats {
+                match self {
+                    $( AnyPlan::$variant(plan) => plan.stats(), )+
+                }
+            }
+
+            /// Structure counts of the dependency graph, building (and
+            /// caching) the graph plan on first call.
+            pub fn graph_stats(&self) -> GraphPlanStats {
+                match self {
+                    $( AnyPlan::$variant(plan) => plan.graph_stats(), )+
+                }
+            }
+
+            /// The single-polynomial schedule, if this is a single plan
+            /// (cheaper than [`AnyPlan::stats`], which also builds the
+            /// graph plan).
+            pub fn schedule(&self) -> Option<&Schedule> {
+                match self {
+                    $( AnyPlan::$variant(plan) => plan.schedule(), )+
+                }
+            }
+
+            /// The merged system schedule, if this is a system plan.
+            pub fn system_schedule(&self) -> Option<&SystemSchedule> {
+                match self {
+                    $( AnyPlan::$variant(plan) => plan.system_schedule(), )+
+                }
+            }
+
+            /// The options the plan was compiled with.
+            pub fn options(&self) -> EvalOptions {
+                match self {
+                    $( AnyPlan::$variant(plan) => plan.options(), )+
+                }
+            }
+
+            /// Evaluates on the engine's worker pool.
+            ///
+            /// # Panics
+            ///
+            /// Panics when the inputs carry a different precision tag than
+            /// the plan, and in the same cases as [`Plan::evaluate`].
+            pub fn evaluate(&self, inputs: &AnyInputs) -> AnyEvalOutput {
+                match (self, inputs) {
+                    $(
+                        (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
+                            AnyEvalOutput::$variant(plan.evaluate(inputs.as_inputs()))
+                        }
+                    )+
+                    (plan, inputs) => panic!(
+                        "precision mismatch: the plan is {} but the inputs are {}",
+                        plan.precision(),
+                        inputs.precision()
+                    ),
+                }
+            }
+
+            /// Evaluates on the calling thread only (bitwise identical to
+            /// [`AnyPlan::evaluate`]).
+            ///
+            /// # Panics
+            ///
+            /// Panics when the inputs carry a different precision tag than
+            /// the plan.
+            pub fn evaluate_sequential(&self, inputs: &AnyInputs) -> AnyEvalOutput {
+                match (self, inputs) {
+                    $(
+                        (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
+                            AnyEvalOutput::$variant(plan.evaluate_sequential(inputs.as_inputs()))
+                        }
+                    )+
+                    (plan, inputs) => panic!(
+                        "precision mismatch: the plan is {} but the inputs are {}",
+                        plan.precision(),
+                        inputs.precision()
+                    ),
+                }
+            }
+        }
+
+        impl AnyEvalOutput {
+            /// The precision tag of the output.
+            pub fn precision(&self) -> Precision {
+                match self {
+                    $( AnyEvalOutput::$variant(_) => Precision::$variant, )+
+                }
+            }
+
+            /// The kernel timings of the run.
+            pub fn timings(&self) -> &KernelTimings {
+                match self {
+                    $( AnyEvalOutput::$variant(out) => out.timings(), )+
+                }
+            }
+
+            /// True when both outputs share a precision tag and are bitwise
+            /// identical (see [`EvalOutput::bitwise_eq`]).
+            pub fn bitwise_eq(&self, other: &AnyEvalOutput) -> bool {
+                match (self, other) {
+                    $(
+                        (AnyEvalOutput::$variant(a), AnyEvalOutput::$variant(b)) => a.bitwise_eq(b),
+                    )+
+                    _ => false,
+                }
+            }
+
+            /// The value series of a single evaluation rounded to doubles
+            /// (for display and transport), if this is a single output.
+            pub fn single_value_f64(&self) -> Option<Vec<f64>> {
+                match self {
+                    $(
+                        AnyEvalOutput::$variant(out) => out
+                            .as_single()
+                            .map(|e| e.value.coeffs().iter().map(|c| c.to_f64()).collect()),
+                    )+
+                }
+            }
+        }
+
+        impl Engine {
+            /// Compiles a precision-erased source with the engine's default
+            /// options; the returned [`AnyPlan`] carries the source's
+            /// precision tag.  Shares the same plan cache as the typed
+            /// [`Engine::compile`].
+            pub fn compile_any(&self, source: AnyPolySource) -> AnyPlan {
+                self.compile_any_with_options(source, self.options)
+            }
+
+            /// Like [`Engine::compile_any`] with per-plan option overrides.
+            pub fn compile_any_with_options(
+                &self,
+                source: AnyPolySource,
+                options: EvalOptions,
+            ) -> AnyPlan {
+                match source {
+                    $(
+                        AnyPolySource::$variant(source) => {
+                            AnyPlan::$variant(self.compile_with_options(source, options))
+                        }
+                    )+
+                }
+            }
+        }
+
+        $(
+            impl From<PolySource<Md<$limbs>>> for AnyPolySource {
+                fn from(source: PolySource<Md<$limbs>>) -> Self {
+                    AnyPolySource::$variant(source)
+                }
+            }
+
+            impl From<Polynomial<Md<$limbs>>> for AnyPolySource {
+                fn from(poly: Polynomial<Md<$limbs>>) -> Self {
+                    AnyPolySource::$variant(PolySource::Single(poly))
+                }
+            }
+
+            impl From<Vec<Polynomial<Md<$limbs>>>> for AnyPolySource {
+                fn from(polys: Vec<Polynomial<Md<$limbs>>>) -> Self {
+                    AnyPolySource::$variant(PolySource::System(polys))
+                }
+            }
+
+            impl From<OwnedInputs<Md<$limbs>>> for AnyInputs {
+                fn from(inputs: OwnedInputs<Md<$limbs>>) -> Self {
+                    AnyInputs::$variant(inputs)
+                }
+            }
+
+            impl From<Vec<Series<Md<$limbs>>>> for AnyInputs {
+                fn from(inputs: Vec<Series<Md<$limbs>>>) -> Self {
+                    AnyInputs::$variant(OwnedInputs::Single(inputs))
+                }
+            }
+
+            impl From<Vec<Vec<Series<Md<$limbs>>>>> for AnyInputs {
+                fn from(batch: Vec<Vec<Series<Md<$limbs>>>>) -> Self {
+                    AnyInputs::$variant(OwnedInputs::Batch(batch))
+                }
+            }
+        )+
+    };
+}
+
+define_any_api! {
+    (D1, 1),
+    (D2, 2),
+    (D3, 3),
+    (D4, 4),
+    (D5, 5),
+    (D8, 8),
+    (D10, 10),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_inputs, random_polynomial};
+    use crate::{ConvolutionKernel, ExecMode};
+    use psmd_multidouble::{Dd, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coeff(c: f64, d: usize) -> Series<Qd> {
+        Series::constant(Qd::from_f64(c), d)
+    }
+
+    fn paper_example(d: usize) -> Polynomial<Qd> {
+        Polynomial::new(
+            6,
+            coeff(0.5, d),
+            vec![
+                Monomial::new(coeff(1.0, d), vec![0, 2, 5]),
+                Monomial::new(coeff(2.0, d), vec![0, 1, 4, 5]),
+                Monomial::new(coeff(3.0, d), vec![1, 2, 3]),
+            ],
+        )
+    }
+
+    fn random_z(n: usize, d: usize, seed: u64) -> Vec<Series<Qd>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_inputs::<Qd, _>(n, d, &mut rng)
+    }
+
+    #[test]
+    fn engine_and_plan_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Plan<Qd>>();
+        assert_send_sync::<Arc<Plan<Dd>>>();
+        assert_send_sync::<AnyPlan>();
+        assert_send_sync::<EvalOutput<Qd>>();
+    }
+
+    #[test]
+    fn single_plan_evaluates_single_and_batch_inputs() {
+        let d = 4;
+        let p = paper_example(d);
+        let engine = Engine::builder().threads(2).build();
+        let plan = engine.compile(p);
+        let z = random_z(6, d, 3);
+        let single = plan.evaluate(Inputs::Single(&z)).into_single();
+        let sequential = plan.evaluate_sequential(&z).into_single();
+        assert_eq!(single.value, sequential.value);
+        assert_eq!(single.gradient, sequential.gradient);
+        let batch: Vec<Vec<Series<Qd>>> = (0..3).map(|i| random_z(6, d, 10 + i)).collect();
+        let batched = plan.evaluate(&batch).into_batch();
+        assert_eq!(batched.len(), 3);
+        for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
+            let want = plan.evaluate_sequential(inputs).into_single();
+            assert_eq!(got.value, want.value);
+            assert_eq!(got.gradient, want.gradient);
+        }
+    }
+
+    #[test]
+    fn system_plan_produces_values_and_jacobian() {
+        let d = 3;
+        let f1 = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f2: Polynomial<Qd> = random_polynomial(6, 4, 3, d, &mut rng);
+        let engine = Engine::builder().threads(2).build();
+        let plan = engine.compile(vec![f1, f2]);
+        let z = random_z(6, d, 9);
+        let out = plan.evaluate(&z).into_system();
+        assert_eq!(out.values.len(), 2);
+        assert_eq!(out.jacobian.len(), 2);
+        assert_eq!(out.jacobian[0].len(), 6);
+        let seq = plan.evaluate_sequential(&z).into_system();
+        assert_eq!(out.values, seq.values);
+        assert_eq!(out.jacobian, seq.jacobian);
+    }
+
+    #[test]
+    #[should_panic(expected = "batched system evaluation is not supported")]
+    fn system_plan_rejects_batched_inputs() {
+        let d = 2;
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile(vec![paper_example(d)]);
+        let batch: Vec<Vec<Series<Qd>>> = vec![random_z(6, d, 1)];
+        let _ = plan.evaluate(&batch);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_structural_equality() {
+        let d = 3;
+        let engine = Engine::builder().threads(0).build();
+        let a = engine.compile(paper_example(d));
+        // A fresh but structurally identical polynomial hits the cache.
+        let b = engine.compile(paper_example(d));
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // Different coefficients are a different plan.
+        let mut other = paper_example(d);
+        other = Polynomial::new(
+            other.num_variables(),
+            coeff(0.25, d),
+            other.monomials().to_vec(),
+        );
+        let c = engine.compile(other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Different options coexist with the default-options plan.
+        let g = engine.compile_with_options(
+            paper_example(d),
+            EvalOptions::new().with_exec_mode(ExecMode::Graph),
+        );
+        assert!(!Arc::ptr_eq(&a, &g));
+        assert_eq!(engine.cache_stats().entries, 3);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let d = 2;
+        let engine = Engine::builder().threads(0).plan_cache_capacity(2).build();
+        let mut rng = StdRng::seed_from_u64(77);
+        let polys: Vec<Polynomial<Dd>> = (0..3)
+            .map(|_| random_polynomial(4, 6, 3, d, &mut rng))
+            .collect();
+        let a = engine.compile(polys[0].clone());
+        let _b = engine.compile(polys[1].clone());
+        // Touch the first plan so the second becomes the LRU victim.
+        let a2 = engine.compile(polys[0].clone());
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = engine.compile(polys[2].clone());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // The surviving first plan still hits; the evicted second plan
+        // recompiles as a miss (displacing the LRU survivor in turn).
+        let a3 = engine.compile(polys[0].clone());
+        assert!(Arc::ptr_eq(&a, &a3));
+        let misses = stats.misses;
+        let _b2 = engine.compile(polys[1].clone());
+        assert_eq!(engine.cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn nan_coefficients_still_hit_the_cache() {
+        // PartialEq would reject NaN == NaN forever; the cache confirms
+        // hash hits with bit-level equality instead, so a source with NaN
+        // coefficients compiles once and then hits like any other.
+        let d = 1;
+        let nan_poly = || {
+            Polynomial::new(
+                2,
+                Series::constant(Qd::from_f64(f64::NAN), d),
+                vec![Monomial::new(
+                    Series::constant(Qd::from_f64(2.0), d),
+                    vec![0, 1],
+                )],
+            )
+        };
+        let engine = Engine::builder().threads(0).build();
+        let a = engine.compile(nan_poly());
+        let b = engine.compile(nan_poly());
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // bitwise_eq on outputs likewise treats equal-bit NaNs as equal.
+        let z = vec![Series::<Qd>::one(d), Series::<Qd>::one(d)];
+        let x = a.evaluate_sequential(&z);
+        let y = b.evaluate_sequential(&z);
+        assert!(x.bitwise_eq(&y));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = Engine::builder().threads(0).plan_cache_capacity(0).build();
+        let a = engine.compile(paper_example(2));
+        let b = engine.compile(paper_example(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn graph_mode_pays_one_rendezvous_visible_in_timings() {
+        let d = 6;
+        let engine = Engine::builder()
+            .threads(3)
+            .exec_mode(ExecMode::Graph)
+            .build();
+        let plan = engine.compile(paper_example(d));
+        let z = random_z(6, d, 11);
+        let out = plan.evaluate(&z);
+        assert_eq!(out.timings().pool_rendezvous, 1);
+        assert_eq!(out.timings().graph_launches, 1);
+        let seq = plan.evaluate_sequential(&z);
+        assert_eq!(seq.timings().pool_rendezvous, 0);
+        assert!(out.bitwise_eq(&seq));
+    }
+
+    #[test]
+    fn plan_stats_report_the_schedule_structure() {
+        let d = 2;
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile(paper_example(d));
+        let stats = plan.stats();
+        assert_eq!(stats.equations, 1);
+        assert_eq!(stats.num_variables, 6);
+        assert_eq!(stats.degree, d);
+        // Equation (4): 21 convolutions, 7 additions.
+        assert_eq!(stats.convolution_jobs, 21);
+        assert_eq!(stats.addition_jobs, 7);
+        assert_eq!(stats.unique_monomials, 3);
+        assert_eq!(stats.total_monomials, 3);
+        let graph = plan.graph_stats();
+        assert_eq!(graph.blocks, 28);
+        assert!(graph.edges > 0);
+        assert!(graph.critical_path > 1);
+    }
+
+    #[test]
+    fn any_plan_round_trips_f64_sources() {
+        // A value-level caller: no generic parameter anywhere.
+        let engine = Engine::builder()
+            .threads(0)
+            .precision(Precision::D4)
+            .build();
+        let plan = engine.compile_single_f64(2, 2, 1.0, &[(3.0, vec![0, 1])]);
+        assert_eq!(plan.precision(), Precision::D4);
+        let inputs =
+            AnyInputs::single_from_f64(Precision::D4, &[vec![1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0]]);
+        let out = plan.evaluate(&inputs);
+        assert_eq!(out.precision(), Precision::D4);
+        let value = out.single_value_f64().unwrap();
+        assert_eq!(value, vec![4.0, 0.0, -3.0]); // 1 + 3 (1+t)(1-t)
+                                                 // Compiling the same f64 source again hits the cache.
+        let hits = engine.cache_stats().hits;
+        let _again = engine.compile_single_f64(2, 2, 1.0, &[(3.0, vec![0, 1])]);
+        assert_eq!(engine.cache_stats().hits, hits + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn any_plan_rejects_mismatched_input_precision() {
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile_single_f64(1, 1, 0.0, &[(1.0, vec![0])]);
+        let wrong = AnyInputs::single_from_f64(Precision::D10, &[vec![1.0, 0.0]]);
+        let _ = plan.evaluate(&wrong);
+    }
+
+    #[test]
+    fn per_plan_option_overrides_apply() {
+        let d = 4;
+        let engine = Engine::builder().threads(2).build();
+        let zero = engine.compile(paper_example(d));
+        let direct = engine.compile_with_options(
+            paper_example(d),
+            EvalOptions::new().with_kernel(ConvolutionKernel::Direct),
+        );
+        assert_eq!(direct.options().kernel, ConvolutionKernel::Direct);
+        let z = random_z(6, d, 21);
+        let a = zero.evaluate(&z).into_single();
+        let b = direct.evaluate(&z).into_single();
+        // Different kernels round differently but agree to precision.
+        assert!(a.max_difference(&b) < 1e-55);
+    }
+}

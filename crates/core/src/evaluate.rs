@@ -15,6 +15,7 @@
 //!   the CPU equivalent of the accelerated algorithm of Section 5 — and
 //!   reports per-kernel timings like the paper does.
 
+use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
 use psmd_multidouble::Coeff;
@@ -24,7 +25,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which convolution kernel the scheduled evaluator uses for its jobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ConvolutionKernel {
     /// The zero-insertion data-parallel kernel of Section 2 (default).
     #[default]
@@ -35,7 +36,7 @@ pub enum ConvolutionKernel {
 }
 
 /// How the evaluators execute the job schedule on the worker pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecMode {
     /// One kernel launch per job layer with a pool-wide barrier between
     /// layers — the paper's execution model, kept as the reference path.
@@ -122,33 +123,112 @@ pub fn evaluate_naive<C: Coeff>(poly: &Polynomial<C>, inputs: &[Series<C>]) -> E
     }
 }
 
+/// Runs the two-stage algorithm of one polynomial's schedule at one input
+/// vector — the shared internal of [`ScheduledEvaluator`] and the engine's
+/// single-polynomial [`Plan`](crate::Plan).  `graph` caches the block-level
+/// plan across evaluations (built on first graph-mode use).
+pub(crate) fn run_single<C: Coeff>(
+    poly: &Polynomial<C>,
+    schedule: &Schedule,
+    options: EvalOptions,
+    graph: &OnceLock<GraphPlan>,
+    inputs: &[Series<C>],
+    pool: Option<&WorkerPool>,
+) -> Evaluation<C> {
+    let wall = Stopwatch::start();
+    let mut timings = KernelTimings::new();
+    let per = schedule.layout.coeffs_per_slot();
+    let data = schedule.build_data_array(poly, inputs);
+    let shared = SharedArray::new(data);
+    let kernel = options.kernel;
+    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
+        // Dependency-driven path: every convolution and addition of the
+        // whole evaluation in one graph launch — one pool rendezvous.
+        let plan = graph.get_or_init(|| schedule.graph_plan());
+        let start = Instant::now();
+        pool.launch_graph(&plan.graph, 1, |b| {
+            run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
+        });
+        timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
+    } else {
+        // Layered reference path.
+        // Stage 1: convolution kernels, one launch per layer.
+        for layer in &schedule.convolution_layers {
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(layer.len(), |b| {
+                    run_convolution_job(&shared, &layer[b], per, kernel);
+                }),
+                None => {
+                    for job in layer {
+                        run_convolution_job(&shared, job, per, kernel);
+                    }
+                }
+            }
+            timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
+        }
+        // Stage 2: addition kernels.
+        for layer in &schedule.addition_layers {
+            let start = Instant::now();
+            match pool {
+                Some(pool) => pool.launch_grid(layer.len(), |b| {
+                    run_addition_job(&shared, &layer[b], per);
+                }),
+                None => {
+                    for job in layer {
+                        run_addition_job(&shared, job, per);
+                    }
+                }
+            }
+            timings.record(KernelKind::Addition, start.elapsed(), layer.len());
+        }
+    }
+    let data = shared.into_inner();
+    let value = schedule.extract(&data, schedule.value_location);
+    let gradient = schedule
+        .gradient_locations
+        .iter()
+        .map(|&loc| schedule.extract(&data, loc))
+        .collect();
+    timings.wall_clock = wall.elapsed();
+    Evaluation {
+        value,
+        gradient,
+        timings,
+    }
+}
+
 /// The scheduled evaluator: builds the job schedule of a polynomial once and
 /// evaluates it at any number of input vectors (the coordinates of the jobs
 /// "depend only on the structure of the monomials and are computed only
 /// once", Section 5).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::compile` for an owned, shareable `Plan` (this borrowing shim \
+            will be removed after one release)"
+)]
 pub struct ScheduledEvaluator<'p, C> {
     poly: &'p Polynomial<C>,
     schedule: Schedule,
-    kernel: ConvolutionKernel,
-    exec_mode: ExecMode,
+    options: EvalOptions,
     plan: OnceLock<GraphPlan>,
 }
 
+#[allow(deprecated)]
 impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
     /// Builds the schedule for a polynomial.
     pub fn new(poly: &'p Polynomial<C>) -> Self {
         Self {
             poly,
             schedule: Schedule::build(poly),
-            kernel: ConvolutionKernel::default(),
-            exec_mode: ExecMode::default(),
+            options: EvalOptions::default(),
             plan: OnceLock::new(),
         }
     }
 
     /// Selects the convolution kernel variant (ablation).
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.kernel = kernel;
+        self.options.kernel = kernel;
         self
     }
 
@@ -156,13 +236,24 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
     /// layered launches (the reference) or one dependency-driven task-graph
     /// launch per evaluation.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec_mode = mode;
+        self.options.exec_mode = mode;
         self
+    }
+
+    /// Replaces both knobs at once with a shared [`EvalOptions`].
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> EvalOptions {
+        self.options
     }
 
     /// The configured execution mode.
     pub fn exec_mode(&self) -> ExecMode {
-        self.exec_mode
+        self.options.exec_mode
     }
 
     /// The block-level graph plan, built once on first use.
@@ -182,79 +273,28 @@ impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
 
     /// Runs the two-stage algorithm on a single thread.
     pub fn evaluate_sequential(&self, inputs: &[Series<C>]) -> Evaluation<C> {
-        self.run(inputs, None)
+        run_single(
+            self.poly,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            inputs,
+            None,
+        )
     }
 
     /// Runs the two-stage algorithm on the worker pool: one kernel launch
     /// per layer (the default [`ExecMode::Layered`]) or one dependency-driven
     /// graph launch for the whole evaluation ([`ExecMode::Graph`]).
     pub fn evaluate_parallel(&self, inputs: &[Series<C>], pool: &WorkerPool) -> Evaluation<C> {
-        self.run(inputs, Some(pool))
-    }
-
-    fn run(&self, inputs: &[Series<C>], pool: Option<&WorkerPool>) -> Evaluation<C> {
-        let wall = Stopwatch::start();
-        let mut timings = KernelTimings::new();
-        let per = self.schedule.layout.coeffs_per_slot();
-        let data = self.schedule.build_data_array(self.poly, inputs);
-        let shared = SharedArray::new(data);
-        let kernel = self.kernel;
-        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
-            // Dependency-driven path: every convolution and addition of the
-            // whole evaluation in one graph launch — one pool rendezvous.
-            let plan = self.graph_plan();
-            let start = Instant::now();
-            pool.launch_graph(&plan.graph, 1, |b| {
-                run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
-            });
-            timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
-        } else {
-            // Layered reference path.
-            // Stage 1: convolution kernels, one launch per layer.
-            for layer in &self.schedule.convolution_layers {
-                let start = Instant::now();
-                match pool {
-                    Some(pool) => pool.launch_grid(layer.len(), |b| {
-                        run_convolution_job(&shared, &layer[b], per, kernel);
-                    }),
-                    None => {
-                        for job in layer {
-                            run_convolution_job(&shared, job, per, kernel);
-                        }
-                    }
-                }
-                timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
-            }
-            // Stage 2: addition kernels.
-            for layer in &self.schedule.addition_layers {
-                let start = Instant::now();
-                match pool {
-                    Some(pool) => pool.launch_grid(layer.len(), |b| {
-                        run_addition_job(&shared, &layer[b], per);
-                    }),
-                    None => {
-                        for job in layer {
-                            run_addition_job(&shared, job, per);
-                        }
-                    }
-                }
-                timings.record(KernelKind::Addition, start.elapsed(), layer.len());
-            }
-        }
-        let data = shared.into_inner();
-        let value = self.schedule.extract(&data, self.schedule.value_location);
-        let gradient = self
-            .schedule
-            .gradient_locations
-            .iter()
-            .map(|&loc| self.schedule.extract(&data, loc))
-            .collect();
-        timings.wall_clock = wall.elapsed();
-        Evaluation {
-            value,
-            gradient,
-            timings,
-        }
+        run_single(
+            self.poly,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            inputs,
+            Some(pool),
+        )
     }
 }
 
@@ -328,6 +368,7 @@ pub(crate) fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, 
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::monomial::Monomial;

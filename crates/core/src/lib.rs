@@ -11,17 +11,19 @@
 //! 2. build the job [`Schedule`] once per polynomial (forward/backward/cross
 //!    products of every monomial, layered so that independent jobs form one
 //!    kernel launch, plus the tree summation of the evaluated monomials);
-//! 3. evaluate at any input series with the [`ScheduledEvaluator`], either
-//!    sequentially or with one block per job on the worker pool — layered
-//!    (one kernel launch per layer) or dependency-driven ([`ExecMode::Graph`]:
-//!    one task-graph launch, hence one pool rendezvous, per evaluation) —
-//!    and collect per-kernel timings;
+//! 3. compile it once into an owned, shareable plan with the [`Engine`]
+//!    ([`Engine::compile`] returns an `Arc<`[`Plan`]`>`; repeat compiles hit
+//!    a structural plan cache) and evaluate at any input series — one
+//!    vector, a whole batch, or a system — with [`Plan::evaluate`], layered
+//!    (one kernel launch per layer) or dependency-driven
+//!    ([`ExecMode::Graph`]: one task-graph launch, hence one pool
+//!    rendezvous, per evaluation), collecting per-kernel timings;
 //! 4. compare against the naive baseline ([`evaluate_naive`]) and convert the
 //!    schedule into the [`psmd_device::WorkloadShape`] of the analytic GPU
 //!    performance model ([`counts::workload_shape`]).
 //!
 //! ```
-//! use psmd_core::{evaluate_naive, Monomial, Polynomial, ScheduledEvaluator};
+//! use psmd_core::{evaluate_naive, Engine, Monomial, Polynomial};
 //! use psmd_multidouble::Dd;
 //! use psmd_series::Series;
 //!
@@ -34,28 +36,45 @@
 //!     Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
 //!     Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
 //! ];
-//! let eval = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+//! let engine = Engine::builder().build();
+//! let plan = engine.compile(p.clone());
+//! let eval = plan.evaluate(&z).into_single();
 //! assert_eq!(eval.value.coeff(0).to_f64(), 4.0);      // 1 + 3
 //! assert_eq!(eval.value.coeff(2).to_f64(), -3.0);     // -3 t^2
 //! assert_eq!(eval.gradient[0].coeff(1).to_f64(), -3.0);
 //! assert!(eval.max_difference(&evaluate_naive(&p, &z)) < 1e-30);
 //! ```
+//!
+//! The historical borrowing front-ends ([`ScheduledEvaluator`],
+//! [`BatchEvaluator`], [`SystemEvaluator`]) remain as deprecated shims over
+//! the same internals for one release; they produce bitwise-identical
+//! results.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod counts;
+pub mod engine;
 pub mod evaluate;
 pub mod generators;
 pub mod monomial;
 pub mod newton;
+pub mod options;
 pub mod polynomial;
 pub mod schedule;
 pub mod system;
 
-pub use batch::{BatchEvaluation, BatchEvaluator};
+pub use batch::BatchEvaluation;
+#[allow(deprecated)]
+pub use batch::BatchEvaluator;
 pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
-pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ExecMode, ScheduledEvaluator};
+pub use engine::{
+    AnyEvalOutput, AnyInputs, AnyPlan, AnyPolySource, Engine, EngineBuilder, EvalOutput,
+    GraphPlanStats, Inputs, OwnedInputs, Plan, PlanCacheStats, PlanStats, PolySource,
+};
+#[allow(deprecated)]
+pub use evaluate::ScheduledEvaluator;
+pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ExecMode};
 pub use generators::{
     banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,
     random_polynomial,
@@ -64,8 +83,9 @@ pub use monomial::Monomial;
 pub use newton::{
     newton_system, newton_system_parallel, solve_linearized, NewtonOptions, NewtonResult,
 };
+pub use options::EvalOptions;
 pub use polynomial::Polynomial;
 pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};
-pub use system::{
-    evaluate_naive_system, SystemEvaluation, SystemEvaluator, SystemLayout, SystemSchedule,
-};
+#[allow(deprecated)]
+pub use system::SystemEvaluator;
+pub use system::{evaluate_naive_system, SystemEvaluation, SystemLayout, SystemSchedule};

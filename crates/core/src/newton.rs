@@ -1,6 +1,6 @@
 //! Newton's method on polynomial systems at power series — the paper's
-//! motivating application (Section 1), built on the fused
-//! [`SystemEvaluator`].
+//! motivating application (Section 1), built on the fused system schedule
+//! (see [`SystemSchedule`]).
 //!
 //! One Newton step at the current series vector `z(t)` solves the linearized
 //! system
@@ -25,11 +25,14 @@
 //! constant-term solution as the starting point, the number of correct
 //! series coefficients doubles every iteration.
 
+use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
-use crate::system::{SystemEvaluation, SystemEvaluator};
+use crate::schedule::GraphPlan;
+use crate::system::{run_system, SystemEvaluation, SystemSchedule};
 use psmd_multidouble::RealCoeff;
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
+use std::sync::OnceLock;
 
 /// Options of the Newton iteration.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +67,7 @@ pub struct NewtonResult<C> {
 }
 
 /// Runs Newton's method on a square polynomial system at power series,
-/// evaluating values and Jacobian with one fused [`SystemEvaluator`] pass
+/// evaluating values and Jacobian with one fused system-schedule pass
 /// per step (sequential kernels).
 ///
 /// # Panics
@@ -110,16 +113,16 @@ fn newton_system_impl<C: RealCoeff>(
         assert_eq!(z.degree(), degree, "initial guess degree mismatch");
     }
     // The merged schedule is built once and reused by every step.
-    let evaluator = SystemEvaluator::new(polys);
+    let schedule = SystemSchedule::build(polys);
+    let graph: OnceLock<GraphPlan> = OnceLock::new();
+    let evaluate =
+        |z: &[Series<C>]| run_system(polys, &schedule, EvalOptions::default(), &graph, z, pool);
     let mut z: Vec<Series<C>> = initial.to_vec();
     let mut residuals = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
     for _ in 0..options.max_iterations {
-        let eval: SystemEvaluation<C> = match pool {
-            Some(pool) => evaluator.evaluate_parallel(&z, pool),
-            None => evaluator.evaluate_sequential(&z),
-        };
+        let eval: SystemEvaluation<C> = evaluate(&z);
         let residual = eval
             .values
             .iter()
@@ -139,10 +142,7 @@ fn newton_system_impl<C: RealCoeff>(
     }
     if !converged {
         // Report the residual of the final iterate.
-        let eval = match pool {
-            Some(pool) => evaluator.evaluate_parallel(&z, pool),
-            None => evaluator.evaluate_sequential(&z),
-        };
+        let eval = evaluate(&z);
         let residual = eval
             .values
             .iter()

@@ -1,0 +1,62 @@
+//! Shared evaluation options.
+//!
+//! The three evaluator front-ends ([`crate::ScheduledEvaluator`],
+//! [`crate::BatchEvaluator`], [`crate::SystemEvaluator`]) and the engine
+//! ([`crate::Engine`]) all expose the same two knobs: which convolution
+//! kernel to run and how to execute the schedule on the worker pool.  This
+//! module holds the one struct they all share, replacing three copy-pasted
+//! sets of `with_kernel`/`with_exec_mode` builder methods.
+
+use crate::evaluate::{ConvolutionKernel, ExecMode};
+
+/// The evaluation knobs shared by every evaluator front-end and by the
+/// engine: the convolution kernel variant and the pool execution mode.
+///
+/// `EvalOptions` is part of the engine's plan-cache key, so it is `Hash`
+/// and `Eq`: plans compiled with different options coexist in the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct EvalOptions {
+    /// Which convolution kernel the jobs run (ablation knob).
+    pub kernel: ConvolutionKernel,
+    /// How parallel evaluation executes on the pool: layered launches or one
+    /// dependency-driven task-graph launch.
+    pub exec_mode: ExecMode,
+}
+
+impl EvalOptions {
+    /// The default options: zero-insertion kernel, layered execution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the convolution kernel variant.
+    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the pool execution mode.
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_set_the_knobs() {
+        let o = EvalOptions::new()
+            .with_kernel(ConvolutionKernel::Direct)
+            .with_exec_mode(ExecMode::Graph);
+        assert_eq!(o.kernel, ConvolutionKernel::Direct);
+        assert_eq!(o.exec_mode, ExecMode::Graph);
+        assert_eq!(
+            EvalOptions::default().kernel,
+            ConvolutionKernel::ZeroInsertion
+        );
+        assert_eq!(EvalOptions::default().exec_mode, ExecMode::Layered);
+    }
+}

@@ -58,6 +58,7 @@ use crate::evaluate::{
     evaluate_naive, run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel,
     Evaluation, ExecMode,
 };
+use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{
     build_graph_plan, derivative_slot_in, schedule_monomial_convolutions, schedule_output_sums,
@@ -507,17 +508,119 @@ impl<C: Coeff> SystemEvaluation<C> {
     }
 }
 
+/// Evaluates a whole system through its merged schedule — the shared
+/// internal of [`SystemEvaluator`] and the engine's system
+/// [`Plan`](crate::Plan).  `graph` caches the block-level plan across
+/// evaluations (built on first graph-mode use).
+pub(crate) fn run_system<C: Coeff>(
+    polys: &[Polynomial<C>],
+    schedule: &SystemSchedule,
+    options: EvalOptions,
+    graph: &OnceLock<GraphPlan>,
+    inputs: &[Series<C>],
+    pool: Option<&WorkerPool>,
+) -> SystemEvaluation<C> {
+    let wall = Stopwatch::start();
+    let mut timings = KernelTimings::new();
+    let per = schedule.layout.coeffs_per_slot();
+    let mut data = vec![C::zero(); schedule.layout.total_coefficients()];
+    schedule.fill_data_array(polys, inputs, &mut data);
+    let shared = SharedArray::new(data);
+    let kernel = options.kernel;
+    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
+        // Dependency-driven path: the whole system — every equation's
+        // deduplicated products plus all m values and m×n Jacobian sums
+        // — in one graph launch, one pool rendezvous.
+        let plan = graph.get_or_init(|| schedule.graph_plan());
+        let start = Instant::now();
+        pool.launch_graph(&plan.graph, 1, |b| {
+            run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
+        });
+        timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
+        return finish_system(schedule, shared, timings, wall);
+    }
+    // Stage 1: convolution kernels — one launch per merged layer covers
+    // every equation's (deduplicated) products.
+    for layer in &schedule.convolution_layers {
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid(layer.len(), |b| {
+                run_convolution_job(&shared, &layer[b], per, kernel);
+            }),
+            None => {
+                for job in layer {
+                    run_convolution_job(&shared, job, per, kernel);
+                }
+            }
+        }
+        timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
+    }
+    // Stage 2: addition kernels — one launch per merged layer sums all
+    // m values and all m×n Jacobian entries.
+    for layer in &schedule.addition_layers {
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid(layer.len(), |b| {
+                run_addition_job(&shared, &layer[b], per);
+            }),
+            None => {
+                for job in layer {
+                    run_addition_job(&shared, job, per);
+                }
+            }
+        }
+        timings.record(KernelKind::Addition, start.elapsed(), layer.len());
+    }
+    finish_system(schedule, shared, timings, wall)
+}
+
+/// Extracts every value and Jacobian entry from the arena and closes the
+/// timing record (shared by the layered and graph paths).
+fn finish_system<C: Coeff>(
+    schedule: &SystemSchedule,
+    shared: SharedArray<C>,
+    mut timings: KernelTimings,
+    wall: Stopwatch,
+) -> SystemEvaluation<C> {
+    let data = shared.into_inner();
+    let values = schedule
+        .value_locations
+        .iter()
+        .map(|&loc| schedule.extract(&data, loc))
+        .collect();
+    let jacobian = schedule
+        .jacobian_locations
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&loc| schedule.extract(&data, loc))
+                .collect()
+        })
+        .collect();
+    timings.wall_clock = wall.elapsed();
+    SystemEvaluation {
+        values,
+        jacobian,
+        timings,
+    }
+}
+
 /// Evaluates a system of polynomials and its full Jacobian at a vector of
 /// power series with one merged schedule and one worker-pool launch per job
 /// layer for the whole system.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::compile` with `PolySource::System` for an owned, shareable \
+            `Plan` (this borrowing shim will be removed after one release)"
+)]
 pub struct SystemEvaluator<'p, C> {
     polys: &'p [Polynomial<C>],
     schedule: SystemSchedule,
-    kernel: ConvolutionKernel,
-    exec_mode: ExecMode,
+    options: EvalOptions,
     plan: OnceLock<GraphPlan>,
 }
 
+#[allow(deprecated)]
 impl<'p, C: Coeff> SystemEvaluator<'p, C> {
     /// Builds the merged schedule of a system once; it is reused by every
     /// evaluation (a Newton iteration evaluates the same system many times).
@@ -525,15 +628,14 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
         Self {
             polys,
             schedule: SystemSchedule::build(polys),
-            kernel: ConvolutionKernel::default(),
-            exec_mode: ExecMode::default(),
+            options: EvalOptions::default(),
             plan: OnceLock::new(),
         }
     }
 
     /// Selects the convolution kernel variant (ablation).
     pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.kernel = kernel;
+        self.options.kernel = kernel;
         self
     }
 
@@ -541,13 +643,24 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
     /// layered launches (the reference) or one dependency-driven task-graph
     /// launch per system evaluation.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec_mode = mode;
+        self.options.exec_mode = mode;
         self
+    }
+
+    /// Replaces both knobs at once with a shared [`EvalOptions`].
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> EvalOptions {
+        self.options
     }
 
     /// The configured execution mode.
     pub fn exec_mode(&self) -> ExecMode {
-        self.exec_mode
+        self.options.exec_mode
     }
 
     /// The block-level graph plan of the merged schedule, built once on
@@ -569,7 +682,14 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
     /// Evaluates the whole system on a single thread (the correctness
     /// reference for the parallel path).
     pub fn evaluate_sequential(&self, inputs: &[Series<C>]) -> SystemEvaluation<C> {
-        self.run(inputs, None)
+        run_system(
+            self.polys,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            inputs,
+            None,
+        )
     }
 
     /// Evaluates the whole system on the worker pool with exactly one grid
@@ -579,95 +699,14 @@ impl<'p, C: Coeff> SystemEvaluator<'p, C> {
         inputs: &[Series<C>],
         pool: &WorkerPool,
     ) -> SystemEvaluation<C> {
-        self.run(inputs, Some(pool))
-    }
-
-    fn run(&self, inputs: &[Series<C>], pool: Option<&WorkerPool>) -> SystemEvaluation<C> {
-        let wall = Stopwatch::start();
-        let mut timings = KernelTimings::new();
-        let per = self.schedule.layout.coeffs_per_slot();
-        let mut data = vec![C::zero(); self.schedule.layout.total_coefficients()];
-        self.schedule.fill_data_array(self.polys, inputs, &mut data);
-        let shared = SharedArray::new(data);
-        let kernel = self.kernel;
-        if let (ExecMode::Graph, Some(pool)) = (self.exec_mode, pool) {
-            // Dependency-driven path: the whole system — every equation's
-            // deduplicated products plus all m values and m×n Jacobian sums
-            // — in one graph launch, one pool rendezvous.
-            let plan = self.graph_plan();
-            let start = Instant::now();
-            pool.launch_graph(&plan.graph, 1, |b| {
-                run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
-            });
-            timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
-            return self.finish(shared, timings, wall);
-        }
-        // Stage 1: convolution kernels — one launch per merged layer covers
-        // every equation's (deduplicated) products.
-        for layer in &self.schedule.convolution_layers {
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_convolution_job(&shared, &layer[b], per, kernel);
-                }),
-                None => {
-                    for job in layer {
-                        run_convolution_job(&shared, job, per, kernel);
-                    }
-                }
-            }
-            timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
-        }
-        // Stage 2: addition kernels — one launch per merged layer sums all
-        // m values and all m×n Jacobian entries.
-        for layer in &self.schedule.addition_layers {
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_addition_job(&shared, &layer[b], per);
-                }),
-                None => {
-                    for job in layer {
-                        run_addition_job(&shared, job, per);
-                    }
-                }
-            }
-            timings.record(KernelKind::Addition, start.elapsed(), layer.len());
-        }
-        self.finish(shared, timings, wall)
-    }
-
-    /// Extracts every value and Jacobian entry from the arena and closes the
-    /// timing record (shared by the layered and graph paths).
-    fn finish(
-        &self,
-        shared: SharedArray<C>,
-        mut timings: KernelTimings,
-        wall: Stopwatch,
-    ) -> SystemEvaluation<C> {
-        let data = shared.into_inner();
-        let values = self
-            .schedule
-            .value_locations
-            .iter()
-            .map(|&loc| self.schedule.extract(&data, loc))
-            .collect();
-        let jacobian = self
-            .schedule
-            .jacobian_locations
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&loc| self.schedule.extract(&data, loc))
-                    .collect()
-            })
-            .collect();
-        timings.wall_clock = wall.elapsed();
-        SystemEvaluation {
-            values,
-            jacobian,
-            timings,
-        }
+        run_system(
+            self.polys,
+            &self.schedule,
+            self.options,
+            &self.plan,
+            inputs,
+            Some(pool),
+        )
     }
 }
 
@@ -695,6 +734,7 @@ pub fn evaluate_naive_system<C: Coeff>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::evaluate::ScheduledEvaluator;

@@ -41,6 +41,12 @@ pub trait Coeff: Copy + Clone + PartialEq + core::fmt::Debug + Send + Sync + 'st
     fn mul_add_assign(&mut self, a: &Self, b: &Self) {
         *self = self.add(&a.mul(b));
     }
+    /// Feeds the exact bit pattern of the value into a hasher.
+    ///
+    /// Used for structural hashing of polynomials (the engine's plan cache):
+    /// two coefficients hash equally exactly when they are bitwise equal, so
+    /// a hash hit can be confirmed with `PartialEq` afterwards.
+    fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H);
 }
 
 /// Additional operations available on real (totally ordered) coefficients.
@@ -103,6 +109,10 @@ impl Coeff for f64 {
     #[inline]
     fn mul_add_assign(&mut self, a: &Self, b: &Self) {
         *self = a.mul_add(*b, *self);
+    }
+    #[inline]
+    fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.to_bits());
     }
 }
 
@@ -169,6 +179,12 @@ impl<const N: usize> Coeff for Md<N> {
     #[inline]
     fn doubles_per_value() -> usize {
         N
+    }
+    #[inline]
+    fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H) {
+        for limb in self.limbs() {
+            state.write_u64(limb.to_bits());
+        }
     }
 }
 
@@ -238,6 +254,11 @@ impl<T: RealCoeff> Coeff for Complex<T> {
     fn doubles_per_value() -> usize {
         2 * T::doubles_per_value()
     }
+    #[inline]
+    fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.re.hash_bits(state);
+        self.im.hash_bits(state);
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +320,29 @@ mod tests {
         assert_eq!(<Qd as Coeff>::doubles_per_value(), 4);
         assert_eq!(<Complex<Dd> as Coeff>::doubles_per_value(), 4);
         assert_eq!(<Complex<Qd> as Coeff>::doubles_per_value(), 8);
+    }
+
+    #[test]
+    fn hash_bits_separates_unequal_values_and_matches_equal_ones() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        fn digest<C: Coeff>(value: &C) -> u64 {
+            let mut h = DefaultHasher::new();
+            value.hash_bits(&mut h);
+            h.finish()
+        }
+        assert_eq!(digest(&1.5f64), digest(&1.5f64));
+        assert_ne!(digest(&1.5f64), digest(&-1.5f64));
+        let tiny = Qd::one().div(&Qd::from_f64(3.0));
+        assert_eq!(digest(&tiny), digest(&tiny));
+        // Values equal in the leading limb but different below must hash
+        // differently: the plan cache distinguishes full-precision inputs.
+        let a = Qd::from_f64(1.0);
+        let b = Qd::from_f64(1.0).add_f64(2f64.powi(-200));
+        assert_ne!(digest(&a), digest(&b));
+        let c = Complex::new(Dd::from_f64(1.0), Dd::from_f64(2.0));
+        let d = Complex::new(Dd::from_f64(2.0), Dd::from_f64(1.0));
+        assert_ne!(digest(&c), digest(&d));
     }
 
     #[test]

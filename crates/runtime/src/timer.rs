@@ -47,6 +47,15 @@ pub struct KernelTimings {
     /// additions interleave inside a graph launch, so their times cannot be
     /// attributed separately).
     pub graph: Duration,
+    /// Pool rendezvous paid by the evaluation (layered execution pays one per
+    /// multi-block layer, graph execution exactly one, inline fast paths
+    /// none).  Filled in by callers that own the pool — the engine's
+    /// `Plan::evaluate` records the pool counter delta here, which makes the
+    /// one-rendezvous invariant of graph mode checkable through the
+    /// evaluation result alone.  The delta is taken on a shared counter, so
+    /// concurrent evaluations on the same pool may attribute each other's
+    /// rendezvous to this field.
+    pub pool_rendezvous: usize,
     /// Wall clock time of the whole evaluation.
     pub wall_clock: Duration,
 }
@@ -137,6 +146,7 @@ impl KernelTimings {
         self.addition_blocks += other.addition_blocks;
         self.graph_launches += other.graph_launches;
         self.graph += other.graph;
+        self.pool_rendezvous += other.pool_rendezvous;
         self.wall_clock += other.wall_clock;
     }
 }

@@ -1,10 +1,10 @@
 //! Batched multi-series evaluation: evaluate one polynomial at many points
-//! with one cached schedule and one pool launch per job layer.
+//! with one cached plan and one pool launch per job layer.
 //!
 //! This is the serving scenario of the roadmap: many independent requests
-//! (input-series vectors) arrive for the same polynomial; the schedule is
-//! built once, every request lands in one flat coefficient arena, and each
-//! kernel launch carries `batch × jobs_per_layer` blocks — keeping the
+//! (input-series vectors) arrive for the same polynomial; the plan is
+//! compiled once, every request lands in one flat coefficient arena, and
+//! each kernel launch carries `batch × jobs_per_layer` blocks — keeping the
 //! worker pool busy even at small truncation degrees, where per-polynomial
 //! launches starve it.
 //!
@@ -15,9 +15,8 @@
 //! ```
 
 use psmd_bench::TestPolynomial;
-use psmd_core::{BatchEvaluator, Polynomial, ScheduledEvaluator};
+use psmd_core::{Engine, Polynomial};
 use psmd_multidouble::Dd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::time::Instant;
 
@@ -32,21 +31,21 @@ fn main() {
         .map(|i| TestPolynomial::P1.reduced_inputs(degree, 1 + i as u64))
         .collect();
 
-    let pool = WorkerPool::with_default_parallelism();
-    let evaluator = BatchEvaluator::new(&p);
-    let schedule = evaluator.schedule();
+    let engine = Engine::builder().build();
+    let plan = engine.compile(p);
+    let stats = plan.stats();
     println!(
-        "reduced p1, degree {degree}, batch {batch}: schedule has {} convolution jobs in {} \
+        "reduced p1, degree {degree}, batch {batch}: plan has {} convolution jobs in {} \
          layers, {} addition jobs in {} layers",
-        schedule.convolution_jobs(),
-        schedule.convolution_layers.len(),
-        schedule.addition_jobs(),
-        schedule.addition_layers.len()
+        stats.convolution_jobs,
+        stats.convolution_layers,
+        stats.addition_jobs,
+        stats.addition_layers
     );
 
-    // Batched: one launch per layer for the whole batch.
+    // Batched: one launch per layer for the whole batch (`Inputs::Batch`).
     let start = Instant::now();
-    let batched = evaluator.evaluate_parallel(&inputs, &pool);
+    let batched = plan.evaluate(&inputs).into_batch();
     let batched_ms = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "batched:             {batched_ms:8.2} ms  ({} launches, {} blocks)",
@@ -55,13 +54,12 @@ fn main() {
     );
 
     // The pre-batching behavior: one evaluation (and one set of launches)
-    // per input vector.
-    let single = ScheduledEvaluator::new(&p);
+    // per input vector, through the same shared plan.
     let start = Instant::now();
     let mut looped_launches = 0usize;
     let mut looped = Vec::with_capacity(batch);
     for z in &inputs {
-        let e = single.evaluate_parallel(z, &pool);
+        let e = plan.evaluate(z).into_single();
         looped_launches += e.timings.convolution_launches + e.timings.addition_launches;
         looped.push(e);
     }

@@ -7,6 +7,8 @@
 //! start the moment its operand convolutions retire, so `ExecMode::Graph`
 //! runs the whole evaluation as one task-graph launch over per-worker
 //! work-stealing deques, and is bitwise identical to the layered reference.
+//! Both modes are per-plan option overrides on one engine here, and the
+//! rendezvous counts come from the `pool_rendezvous` timing field.
 //!
 //! Run with:
 //!
@@ -15,7 +17,7 @@
 //! ```
 
 use psmd_bench::TestPolynomial;
-use psmd_core::{ExecMode, Polynomial, ScheduledEvaluator};
+use psmd_core::{Engine, EvalOptions, ExecMode, Polynomial};
 use psmd_multidouble::Dd;
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
@@ -32,43 +34,42 @@ fn main() {
     let z: Vec<Series<Dd>> = TestPolynomial::P2.reduced_inputs(degree, 1);
     // At least three workers so the rendezvous counts are visible even on a
     // small machine (a zero-worker pool runs everything inline).
-    let pool = WorkerPool::new(WorkerPool::default_worker_threads().max(3));
+    let engine = Engine::builder()
+        .threads(WorkerPool::default_worker_threads().max(3))
+        .build();
 
-    let layered = ScheduledEvaluator::new(&p);
-    let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-    let schedule = layered.schedule();
-    let plan = graph.graph_plan();
+    let layered = engine.compile(p.clone());
+    let graph = engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+    let stats = graph.stats();
+    let graph_stats = graph.graph_stats();
     println!(
         "reduced p2, degree {degree}: {} blocks in {} layers; graph has {} edges, \
          critical path {} blocks",
-        plan.blocks(),
-        schedule.convolution_layers.len() + schedule.addition_layers.len(),
-        plan.graph.num_edges(),
-        plan.graph.critical_path_len(),
+        graph_stats.blocks,
+        stats.convolution_layers + stats.addition_layers,
+        graph_stats.edges,
+        graph_stats.critical_path,
     );
 
     // Same schedule, same jobs, same per-slot order: bitwise identical.
-    let a = layered.evaluate_parallel(&z, &pool);
-    let b = graph.evaluate_parallel(&z, &pool);
-    assert_eq!(a.value, b.value);
-    assert_eq!(a.gradient, b.gradient);
+    let a = layered.evaluate(&z);
+    let b = graph.evaluate(&z);
+    assert!(a.bitwise_eq(&b));
     println!("graph result is bitwise identical to the layered reference");
 
-    let before = pool.rendezvous_count();
     let start = Instant::now();
+    let mut layered_rdv = 0usize;
     for _ in 0..repeats {
-        let _ = layered.evaluate_parallel(&z, &pool);
+        layered_rdv = layered.evaluate(&z).timings().pool_rendezvous;
     }
     let layered_ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
-    let layered_rdv = (pool.rendezvous_count() - before) / repeats;
 
-    let before = pool.rendezvous_count();
     let start = Instant::now();
+    let mut graph_rdv = 0usize;
     for _ in 0..repeats {
-        let _ = graph.evaluate_parallel(&z, &pool);
+        graph_rdv = graph.evaluate(&z).timings().pool_rendezvous;
     }
     let graph_ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
-    let graph_rdv = (pool.rendezvous_count() - before) / repeats;
 
     println!("layered: {layered_ms:.3} ms/eval, {layered_rdv} pool rendezvous per evaluation");
     println!("graph:   {graph_ms:.3} ms/eval, {graph_rdv} pool rendezvous per evaluation");

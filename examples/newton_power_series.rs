@@ -19,7 +19,7 @@
 //!
 //! Run with `cargo run --release --example newton_power_series`.
 
-use psmd_core::{Monomial, Polynomial, ScheduledEvaluator};
+use psmd_core::{Engine, Monomial, Polynomial};
 use psmd_multidouble::Deca;
 use psmd_series::Series;
 
@@ -68,6 +68,11 @@ fn main() {
     let x_exact = Series::<C>::from_f64_coeffs(&pad(&[1.0, 1.0], degree));
     let y_exact = Series::<C>::from_f64_coeffs(&pad(&[2.0, -1.0], degree));
 
+    // One engine for the whole run: f2 never changes, so its plan compiles
+    // once and every later iteration is a cache hit; f1 folds the current
+    // point into its coefficients, so it recompiles each iteration.
+    let engine = Engine::builder().build();
+
     println!("Newton at power series, degree {degree}, deca-double precision");
     println!("iter   |x - x*|        |y - y*|        |f1|            |f2|");
     for iter in 0..6 {
@@ -82,8 +87,11 @@ fn main() {
                 Monomial::from_exponents(Series::one(degree), &[0, 2], &z),
             ],
         );
-        let e1 = ScheduledEvaluator::new(&f1).evaluate_sequential(&z);
-        let e2 = ScheduledEvaluator::new(&f2).evaluate_sequential(&z);
+        let e1 = engine.compile(f1).evaluate_sequential(&z).into_single();
+        let e2 = engine
+            .compile(f2.clone())
+            .evaluate_sequential(&z)
+            .into_single();
         // Jacobian (as series): note d(x^2)/dx = coefficient * 1 from the
         // folded monomial, which equals x, so multiply by 2 explicitly.
         let two = Series::constant(C::from_f64(2.0), degree);

@@ -3,7 +3,7 @@
 //!
 //! Unlike `newton_power_series.rs` (which drives a hand-rolled 2x2 Cramer
 //! solve), this example uses the `psmd_core::newton_system` solver: one
-//! merged [`SystemEvaluator`](psmd_core::SystemEvaluator) schedule is built
+//! merged [`SystemSchedule`](psmd_core::SystemSchedule) is built
 //! once and reused by every iteration, each step evaluates all values and
 //! the full Jacobian in one fused pass, and the linearized series system is
 //! solved degree by degree from a single LU factorization of the
@@ -23,7 +23,7 @@
 //!
 //! Run with `cargo run --release --example newton_system`.
 
-use psmd_core::{newton_system, Monomial, NewtonOptions, Polynomial, SystemEvaluator};
+use psmd_core::{newton_system, Monomial, NewtonOptions, Polynomial, SystemSchedule};
 use psmd_multidouble::Deca;
 use psmd_series::Series;
 
@@ -55,8 +55,7 @@ fn main() {
     let (system, exact) = build_system(degree);
 
     // The merged schedule: one launch per layer for the whole system.
-    let evaluator = SystemEvaluator::new(&system);
-    let schedule = evaluator.schedule();
+    let schedule = SystemSchedule::build(&system);
     println!("Newton on a 3x3 system at power series, degree {degree}, deca-double");
     println!(
         "merged schedule: {} convolution layers ({} jobs), {} addition layers ({} jobs)",

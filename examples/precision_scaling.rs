@@ -3,28 +3,30 @@
 //!
 //! Evaluates the reduced p1 polynomial at increasing truncation degrees in
 //! double, double-double, quad-double, octo-double and deca-double precision
-//! and prints the wall-clock times and their base-2 logarithms.
+//! and prints the wall-clock times and their base-2 logarithms.  The
+//! precision is a runtime value dispatched through the engine's
+//! precision-erased plans — no per-precision match at the call site.
 //!
 //! Run with `cargo run --release --example precision_scaling`.
 
-use psmd_bench::TestPolynomial;
-use psmd_core::{Polynomial, ScheduledEvaluator};
-use psmd_multidouble::{Coeff, Md, Precision, RandomCoeff};
-use psmd_runtime::WorkerPool;
-use psmd_series::Series;
+use psmd_bench::{Scale, TestPolynomial};
+use psmd_core::Engine;
+use psmd_multidouble::Precision;
 
-fn measure<C: Coeff + RandomCoeff>(degree: usize, pool: &WorkerPool) -> f64 {
-    let p: Polynomial<C> = TestPolynomial::P1.build_reduced(degree, 1);
-    let z: Vec<Series<C>> = TestPolynomial::P1.reduced_inputs(degree, 1);
-    let evaluator = ScheduledEvaluator::new(&p);
-    let eval = evaluator.evaluate_parallel(&z, pool);
-    eval.timings.wall_clock_ms()
+fn measure(engine: &Engine, precision: Precision, degree: usize) -> f64 {
+    let plan =
+        engine.compile_any(TestPolynomial::P1.any_polynomial(precision, degree, Scale::Reduced, 1));
+    let inputs = TestPolynomial::P1.any_inputs(precision, degree, Scale::Reduced, 1);
+    plan.evaluate(&inputs).timings().wall_clock_ms()
 }
 
 fn main() {
-    let pool = WorkerPool::with_default_parallelism();
+    let engine = Engine::builder().build();
     let degrees = [7usize, 15, 31];
-    println!("reduced p1, block-parallel on {} lanes", pool.parallelism());
+    println!(
+        "reduced p1, block-parallel on {} lanes",
+        engine.pool().parallelism()
+    );
     println!("wall clock in ms (and log2 of it) per precision and degree:\n");
     print!("{:<10}", "precision");
     for d in degrees {
@@ -41,14 +43,7 @@ fn main() {
     for prec in precisions {
         print!("{:<10}", prec.label());
         for d in degrees {
-            let ms = match prec {
-                Precision::D1 => measure::<Md<1>>(d, &pool),
-                Precision::D2 => measure::<Md<2>>(d, &pool),
-                Precision::D4 => measure::<Md<4>>(d, &pool),
-                Precision::D8 => measure::<Md<8>>(d, &pool),
-                Precision::D10 => measure::<Md<10>>(d, &pool),
-                _ => unreachable!(),
-            };
+            let ms = measure(&engine, prec, d);
             print!("{:>18}", format!("{ms:9.2} ({:5.2})", ms.log2()));
         }
         println!();

@@ -1,5 +1,5 @@
 //! Quickstart: evaluate a small polynomial and its gradient at power series
-//! in quad-double precision, on one thread and on the worker pool.
+//! in quad-double precision through the Engine/Plan API.
 //!
 //! Run with:
 //!
@@ -7,9 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use psmd_core::{evaluate_naive, Monomial, Polynomial, ScheduledEvaluator};
+use psmd_core::{evaluate_naive, Engine, Monomial, Polynomial};
 use psmd_multidouble::Qd;
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 
 fn main() {
@@ -37,19 +36,21 @@ fn main() {
         Series::<Qd>::from_f64_coeffs(&[1.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]), // 1 - t
     ];
 
-    // Build the job schedule once, evaluate as often as needed.
-    let evaluator = ScheduledEvaluator::new(&p);
-    let schedule = evaluator.schedule();
+    // The engine owns the worker pool and a plan cache; compile the job
+    // schedule once, evaluate as often as needed.
+    let engine = Engine::builder().build();
+    let plan = engine.compile(p.clone());
+    let schedule = plan.schedule().expect("single plan");
     println!(
-        "schedule: {} convolution jobs in {} layers, {} addition jobs in {} layers",
+        "plan: {} convolution jobs in {} layers, {} addition jobs in {} layers",
         schedule.convolution_jobs(),
         schedule.convolution_layers.len(),
         schedule.addition_jobs(),
         schedule.addition_layers.len()
     );
 
-    // Sequential evaluation.
-    let eval = evaluator.evaluate_sequential(&z);
+    // Sequential evaluation (the single-thread reference).
+    let eval = plan.evaluate_sequential(&z).into_single();
     println!("\np(z)       = {:.30}", eval.value.coeff(0));
     println!("p(z), t^1  = {:.30}", eval.value.coeff(1));
     for (i, g) in eval.gradient.iter().enumerate() {
@@ -60,17 +61,25 @@ fn main() {
         );
     }
 
-    // Block-parallel evaluation on the worker pool gives bitwise identical
+    // Block-parallel evaluation on the engine's pool gives bitwise identical
     // results and reports per-kernel timings like the paper does.
-    let pool = WorkerPool::with_default_parallelism();
-    let parallel = evaluator.evaluate_parallel(&z, &pool);
+    let parallel = plan.evaluate(&z).into_single();
     assert_eq!(parallel.value, eval.value);
     println!(
         "\nparallel run on {} lanes: convolution kernels {:.3} ms, addition kernels {:.3} ms, wall {:.3} ms",
-        pool.parallelism(),
+        engine.pool().parallelism(),
         parallel.timings.convolution_ms(),
         parallel.timings.addition_ms(),
         parallel.timings.wall_clock_ms()
+    );
+
+    // Compiling the same polynomial again is a plan-cache hit.
+    let again = engine.compile(p.clone());
+    assert!(std::sync::Arc::ptr_eq(&plan, &again));
+    let cache = engine.cache_stats();
+    println!(
+        "plan cache: {} entries, {} hits, {} misses",
+        cache.entries, cache.hits, cache.misses
     );
 
     // The naive baseline computes the same values without sharing work.

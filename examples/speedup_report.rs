@@ -5,10 +5,9 @@
 //! Run with `cargo run --release --example speedup_report -- [degree]`.
 
 use psmd_bench::TestPolynomial;
-use psmd_core::{achieved_gflops, evaluate_naive, workload_shape, Polynomial, ScheduledEvaluator};
+use psmd_core::{achieved_gflops, evaluate_naive, workload_shape, Engine, Polynomial};
 use psmd_device::{model_evaluation, paper_gpus};
 use psmd_multidouble::{CostModel, Dd, Precision};
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use std::time::Instant;
 
@@ -30,16 +29,16 @@ fn main() {
     let naive = evaluate_naive(&p, &z);
     let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Scheduled, sequential.
-    let evaluator = ScheduledEvaluator::new(&p);
+    // Scheduled, sequential (the plan is compiled once by the engine).
+    let engine = Engine::builder().build();
+    let plan = engine.compile(p.clone());
     let t0 = Instant::now();
-    let seq = evaluator.evaluate_sequential(&z);
+    let seq = plan.evaluate_sequential(&z).into_single();
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Scheduled, block-parallel.
-    let pool = WorkerPool::with_default_parallelism();
+    // Scheduled, block-parallel on the engine's pool.
     let t0 = Instant::now();
-    let par = evaluator.evaluate_parallel(&z, &pool);
+    let par = plan.evaluate(&z).into_single();
     let par_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     assert!(naive.max_difference(&seq) < 1e-25);
@@ -47,7 +46,7 @@ fn main() {
 
     println!(
         "measured on this machine ({} parallel lanes):",
-        pool.parallelism()
+        engine.pool().parallelism()
     );
     println!("  naive baseline            {naive_ms:10.3} ms");
     println!(
@@ -59,7 +58,7 @@ fn main() {
         naive_ms / par_ms,
         seq_ms / par_ms
     );
-    let schedule = evaluator.schedule();
+    let schedule = plan.schedule().expect("single plan");
     println!(
         "  achieved throughput: {:.2} GFLOPS (implementation cost model)",
         achieved_gflops(schedule, precision, CostModel::Implementation, par_ms)

@@ -1,0 +1,240 @@
+//! Engine-vs-direct-evaluator identity: the Engine/Plan API is a re-plumbed
+//! front-end over the exact same kernels, so its results must be **bitwise**
+//! identical to the three historical evaluators — across every precision,
+//! real and complex coefficients, single/batch/system sources, and both
+//! execution modes.  This is the contract that let the evaluators become
+//! deprecated shims without a behavioral release note.
+
+// The borrowing evaluators are deprecated shims of the engine; this suite
+// exists precisely to pin them against the engine until they are removed.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use psmd_core::{
+    random_inputs, random_polynomial, BatchEvaluator, Engine, EvalOptions, ExecMode, Inputs,
+    Polynomial, ScheduledEvaluator, SystemEvaluator,
+};
+use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
+use psmd_runtime::WorkerPool;
+use psmd_series::Series;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine_with(exec_mode: ExecMode) -> Engine {
+    Engine::builder()
+        .threads(3)
+        .options(EvalOptions::new().with_exec_mode(exec_mode))
+        .build()
+}
+
+/// Single-polynomial identity: sequential and parallel engine evaluations
+/// are bitwise equal to the `ScheduledEvaluator` under the same options.
+fn check_single_identity<C: Coeff + RandomCoeff>(
+    seed: u64,
+    n: usize,
+    monomials: usize,
+    degree: usize,
+    exec_mode: ExecMode,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
+    let z = random_inputs::<C, _>(n, degree, &mut rng);
+    let direct = ScheduledEvaluator::new(&p).with_exec_mode(exec_mode);
+    let engine = engine_with(exec_mode);
+    let plan = engine.compile(p.clone());
+    let seq_direct = direct.evaluate_sequential(&z);
+    let seq_engine = plan.evaluate_sequential(Inputs::Single(&z)).into_single();
+    assert_eq!(
+        seq_engine.value, seq_direct.value,
+        "sequential, seed {seed}"
+    );
+    assert_eq!(seq_engine.gradient, seq_direct.gradient);
+    let pool = WorkerPool::new(3);
+    let par_direct = direct.evaluate_parallel(&z, &pool);
+    let par_engine = plan.evaluate(&z).into_single();
+    assert_eq!(par_engine.value, par_direct.value, "parallel, seed {seed}");
+    assert_eq!(par_engine.gradient, par_direct.gradient);
+}
+
+/// Batch identity: every instance of the engine's `Inputs::Batch` result is
+/// bitwise equal to the `BatchEvaluator`'s.
+fn check_batch_identity<C: Coeff + RandomCoeff>(
+    seed: u64,
+    n: usize,
+    monomials: usize,
+    degree: usize,
+    batch_size: usize,
+    exec_mode: ExecMode,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
+    let batch: Vec<Vec<Series<C>>> = (0..batch_size)
+        .map(|_| random_inputs::<C, _>(n, degree, &mut rng))
+        .collect();
+    let direct = BatchEvaluator::new(&p).with_exec_mode(exec_mode);
+    let engine = engine_with(exec_mode);
+    let plan = engine.compile(p.clone());
+    let pool = WorkerPool::new(3);
+    for (a, b) in direct.evaluate_sequential(&batch).instances.iter().zip(
+        plan.evaluate_sequential(&batch)
+            .into_batch()
+            .instances
+            .iter(),
+    ) {
+        assert_eq!(a.value, b.value, "sequential batch, seed {seed}");
+        assert_eq!(a.gradient, b.gradient);
+    }
+    for (a, b) in direct
+        .evaluate_parallel(&batch, &pool)
+        .instances
+        .iter()
+        .zip(plan.evaluate(&batch).into_batch().instances.iter())
+    {
+        assert_eq!(a.value, b.value, "parallel batch, seed {seed}");
+        assert_eq!(a.gradient, b.gradient);
+    }
+}
+
+/// System identity: the engine's `PolySource::System` plan reproduces the
+/// `SystemEvaluator` bitwise, values and full Jacobian.
+fn check_system_identity<C: Coeff + RandomCoeff>(
+    seed: u64,
+    n: usize,
+    equations: usize,
+    monomials: usize,
+    degree: usize,
+    exec_mode: ExecMode,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system: Vec<Polynomial<C>> = (0..equations)
+        .map(|_| random_polynomial(n, monomials, n.min(5), degree, &mut rng))
+        .collect();
+    let z = random_inputs::<C, _>(n, degree, &mut rng);
+    let direct = SystemEvaluator::new(&system).with_exec_mode(exec_mode);
+    let engine = engine_with(exec_mode);
+    let plan = engine.compile(system.clone());
+    let seq_direct = direct.evaluate_sequential(&z);
+    let seq_engine = plan.evaluate_sequential(&z).into_system();
+    assert_eq!(
+        seq_engine.values, seq_direct.values,
+        "sequential, seed {seed}"
+    );
+    assert_eq!(seq_engine.jacobian, seq_direct.jacobian);
+    let pool = WorkerPool::new(3);
+    let par_direct = direct.evaluate_parallel(&z, &pool);
+    let par_engine = plan.evaluate(&z).into_system();
+    assert_eq!(
+        par_engine.values, par_direct.values,
+        "parallel, seed {seed}"
+    );
+    assert_eq!(par_engine.jacobian, par_direct.jacobian);
+}
+
+fn both_modes(check: impl Fn(ExecMode)) {
+    check(ExecMode::Layered);
+    check(ExecMode::Graph);
+}
+
+#[test]
+fn single_identity_across_precisions_and_modes() {
+    both_modes(|m| {
+        check_single_identity::<Md<1>>(201, 6, 12, 5, m);
+        check_single_identity::<Dd>(202, 6, 12, 5, m);
+        check_single_identity::<Md<3>>(203, 5, 10, 4, m);
+        check_single_identity::<Qd>(204, 5, 10, 4, m);
+        check_single_identity::<Md<5>>(205, 5, 8, 4, m);
+        check_single_identity::<Md<8>>(206, 4, 8, 3, m);
+        check_single_identity::<Deca>(207, 4, 8, 3, m);
+    });
+}
+
+#[test]
+fn single_identity_for_complex_coefficients() {
+    both_modes(|m| {
+        check_single_identity::<Complex<Dd>>(211, 5, 10, 4, m);
+        check_single_identity::<Complex<Qd>>(212, 4, 8, 3, m);
+        check_single_identity::<Complex<Deca>>(213, 4, 6, 2, m);
+    });
+}
+
+#[test]
+fn batch_identity_across_precisions_and_modes() {
+    both_modes(|m| {
+        check_batch_identity::<Md<1>>(301, 6, 10, 4, 5, m);
+        check_batch_identity::<Dd>(302, 6, 10, 4, 5, m);
+        check_batch_identity::<Qd>(304, 5, 8, 3, 4, m);
+        check_batch_identity::<Md<5>>(305, 5, 8, 3, 3, m);
+        check_batch_identity::<Deca>(307, 4, 6, 2, 3, m);
+    });
+}
+
+#[test]
+fn batch_identity_for_complex_coefficients() {
+    both_modes(|m| {
+        check_batch_identity::<Complex<Dd>>(311, 5, 8, 3, 4, m);
+        check_batch_identity::<Complex<Qd>>(312, 4, 6, 2, 3, m);
+    });
+}
+
+#[test]
+fn system_identity_across_precisions_and_modes() {
+    both_modes(|m| {
+        check_system_identity::<Md<1>>(401, 5, 3, 8, 3, m);
+        check_system_identity::<Dd>(402, 5, 3, 8, 3, m);
+        check_system_identity::<Qd>(404, 4, 3, 6, 3, m);
+        check_system_identity::<Md<8>>(406, 4, 2, 6, 2, m);
+        check_system_identity::<Deca>(407, 4, 2, 6, 2, m);
+    });
+}
+
+#[test]
+fn system_identity_for_complex_coefficients() {
+    both_modes(|m| {
+        check_system_identity::<Complex<Dd>>(411, 4, 3, 6, 3, m);
+        check_system_identity::<Complex<Qd>>(412, 4, 2, 5, 2, m);
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random structures, double-double, both exec modes: the engine and the
+    /// direct evaluators are bitwise interchangeable.
+    #[test]
+    fn random_single_plans_match_the_evaluator(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        monomials in 1usize..16,
+        degree in 0usize..6,
+    ) {
+        check_single_identity::<Dd>(seed, n, monomials, degree, ExecMode::Layered);
+        check_single_identity::<Dd>(seed, n, monomials, degree, ExecMode::Graph);
+    }
+
+    /// Random batches through the unified inputs (quad-double and complex).
+    #[test]
+    fn random_batch_plans_match_the_evaluator(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        monomials in 1usize..10,
+        degree in 0usize..5,
+        batch in 1usize..6,
+    ) {
+        check_batch_identity::<Qd>(seed, n, monomials, degree, batch, ExecMode::Layered);
+        check_batch_identity::<Complex<Dd>>(seed, n, monomials, degree, batch, ExecMode::Graph);
+    }
+
+    /// Random systems (shared monomials arise naturally from small variable
+    /// counts) through the unified source.
+    #[test]
+    fn random_system_plans_match_the_evaluator(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        equations in 1usize..5,
+        monomials in 1usize..8,
+        degree in 0usize..4,
+    ) {
+        check_system_identity::<Dd>(seed, n, equations, monomials, degree, ExecMode::Layered);
+        check_system_identity::<Dd>(seed, n, equations, monomials, degree, ExecMode::Graph);
+    }
+}

@@ -5,6 +5,10 @@
 //! reproduction: the accelerated algorithm computes the same values and
 //! gradients as the direct definition.
 
+// The borrowing evaluators under test are deprecated shims of the engine;
+// these suites keep asserting they stay bitwise identical until removal.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use psmd_core::{
     evaluate_naive, random_inputs, random_polynomial, BatchEvaluator, Polynomial,

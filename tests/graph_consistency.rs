@@ -8,6 +8,10 @@
 //! respecting the edges performs the same floating-point operations in the
 //! same per-slot order — the results cannot differ by even one ulp.
 
+// The borrowing evaluators under test are deprecated shims of the engine;
+// these suites keep asserting they stay bitwise identical until removal.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use psmd_core::{
     random_inputs, random_polynomial, BatchEvaluator, ExecMode, Polynomial, ScheduledEvaluator,

@@ -7,6 +7,10 @@
 //! as a dedicated step with `PSMD_STRESS_ITERS=200` under the thread-count
 //! matrix, while the default (25) keeps `cargo test` affordable.
 
+// The borrowing evaluators under test are deprecated shims of the engine;
+// these suites keep asserting they stay bitwise identical until removal.
+#![allow(deprecated)]
+
 use psmd_core::{
     random_inputs, random_polynomial, BatchEvaluator, ExecMode, Polynomial, ScheduledEvaluator,
     SystemEvaluator,

@@ -6,6 +6,10 @@
 //! and deduplicating the equations' monomial sets changes the work sharing,
 //! not the results.
 
+// The borrowing evaluators under test are deprecated shims of the engine;
+// these suites keep asserting they stay bitwise identical until removal.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use psmd_core::{
     evaluate_naive, evaluate_naive_system, random_inputs, random_polynomial, Monomial, Polynomial,
