@@ -14,10 +14,14 @@
 //!   graph          measured graph-executor-vs-layered-barrier comparison
 //!   engine         measured compile-once/evaluate-many amortization of the
 //!                  Engine/Plan API (plan-cache hits, per-eval cost)
+//!   workspace      measured workspace-reuse comparison (pooled evaluate vs
+//!                  zero-allocation evaluate_into) plus the steady-state
+//!                  allocation count from a counting global allocator (the
+//!                  deterministic zero-alloc gate)
 //!   compare        compare a current JSON report against a baseline and
 //!                  exit non-zero on perf regressions (the CI gate)
 //!   all            run every command above (except batch, system, graph,
-//!                  engine and compare)
+//!                  engine, workspace and compare)
 //!
 //! options:
 //!   --measure      add measured CPU rows (reduced polynomials, degrees <= 31)
@@ -53,6 +57,17 @@ use psmd_core::{Engine, Polynomial, Schedule};
 use psmd_device::{gpu_by_key, max_degree, paper_gpus};
 use psmd_multidouble::{CostModel, Md, Precision};
 use psmd_runtime::WorkerPool;
+// The `workspace` report's instrument for its deterministic steady-state
+// allocation count: the shared per-thread counting allocator (the measured
+// engine is zero-worker, so the measuring thread runs every kernel itself;
+// see `psmd_bench::alloc_counter`).
+#[global_allocator]
+static ALLOCATOR: psmd_bench::CountingAllocator = psmd_bench::CountingAllocator;
+
+/// Allocator calls the calling thread makes during `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    psmd_bench::measure_allocs(f).allocs
+}
 
 /// Command-line options.
 #[derive(Debug, Clone)]
@@ -220,6 +235,115 @@ fn main() {
     }
     if opts.command == "engine" {
         engine_report(&opts);
+    }
+    if opts.command == "workspace" {
+        workspace_report(&opts);
+    }
+}
+
+/// Workspace reuse: the pooled `Plan::evaluate` and the zero-allocation
+/// `Plan::evaluate_into` steady states against the cold first evaluation,
+/// plus the counting-allocator measurement of the steady state.
+///
+/// The allocation count runs on a dedicated **zero-worker** engine (every
+/// kernel executes inline on the measuring thread, so the count covers the
+/// entire evaluation and is deterministic: the committed baseline pins it at
+/// exactly zero); timings run on the shared default engine.
+fn workspace_report(opts: &Options) {
+    let engine = Engine::new();
+    let alloc_engine = Engine::builder().threads(0).build();
+    let evals = 16usize;
+    let (scale, degrees, label): (Scale, Vec<usize>, &str) = if opts.full {
+        (Scale::Full, PAPER_DEGREES.to_vec(), "full")
+    } else {
+        (Scale::Reduced, REDUCED_DEGREES.to_vec(), "reduced")
+    };
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "Workspace reuse: pooled evaluate vs zero-allocation evaluate_into \
+             ({evals} steady evaluations per mode; {label} polynomials, double-double, \
+             measured CPU)"
+        )),
+    );
+    let mut t = TextTable::new(vec![
+        "poly",
+        "degree",
+        "cold (ms)",
+        "pooled (ms)",
+        "reused (ms)",
+        "reuse speedup",
+        "arena coeffs",
+        "steady allocs",
+    ]);
+    let mut json = JsonReport::new("workspace");
+    for poly in TestPolynomial::ALL {
+        for &d in &degrees {
+            eprintln!("workspace: measuring {} at degree {d}...", poly.label());
+            let cmp = psmd_bench::workspace_comparison(
+                &engine,
+                poly,
+                Precision::D2,
+                d,
+                scale,
+                evals,
+                opts.seed,
+            );
+            // The deterministic zero-allocation gate: steady-state
+            // evaluate_into on the inline engine must not touch the
+            // allocator at all.
+            let plan =
+                alloc_engine.compile_any(poly.any_polynomial(Precision::D2, d, scale, opts.seed));
+            let inputs = poly.any_inputs(Precision::D2, d, scale, opts.seed);
+            let mut out = plan.evaluate(&inputs);
+            plan.evaluate_into(&inputs, &mut out);
+            let steady_allocs = count_allocs(|| {
+                for _ in 0..4 {
+                    plan.evaluate_into(&inputs, &mut out);
+                }
+            });
+            if opts.json {
+                json.add_row(vec![
+                    ("poly", JsonValue::Text(poly.label().to_string())),
+                    ("degree", JsonValue::Integer(d as i64)),
+                    ("evals", JsonValue::Integer(cmp.evals as i64)),
+                    ("cold_ms", JsonValue::Number(cmp.cold_ms)),
+                    ("pooled_ms", JsonValue::Number(cmp.pooled_ms)),
+                    ("reused_ms", JsonValue::Number(cmp.reused_ms)),
+                    (
+                        "reuse_speedup",
+                        JsonValue::Number(cmp.pooled_ms / cmp.reused_ms.max(1e-9)),
+                    ),
+                    ("arena_coeffs", JsonValue::Integer(cmp.arena_coeffs as i64)),
+                    (
+                        "scratch_lane_coeffs",
+                        JsonValue::Integer(cmp.scratch_lane_coeffs as i64),
+                    ),
+                    ("steady_allocs", JsonValue::Integer(steady_allocs as i64)),
+                ]);
+            } else {
+                t.add_row(vec![
+                    poly.label().to_string(),
+                    d.to_string(),
+                    ms(cmp.cold_ms),
+                    ms(cmp.pooled_ms),
+                    ms(cmp.reused_ms),
+                    format!("{:.2}x", cmp.pooled_ms / cmp.reused_ms.max(1e-9)),
+                    cmp.arena_coeffs.to_string(),
+                    steady_allocs.to_string(),
+                ]);
+            }
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(arena and per-worker scratch live in pooled workspaces; the steady-allocs\n\
+             column counts allocator calls over 4 steady-state evaluate_into calls on a\n\
+             zero-worker engine — the committed baseline pins it at exactly 0)"
+        );
     }
 }
 

@@ -15,16 +15,19 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod compare;
 pub mod polynomials;
 pub mod report;
 pub mod sweep;
 
+pub use alloc_counter::{measure_allocs, AllocCounts, CountingAllocator};
 pub use compare::{compare_reports, parse_json, CompareSummary, Json, Regression};
 pub use polynomials::{Scale, TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
 pub use report::{banner, log2, ms, pct, JsonReport, JsonValue, TextTable};
 pub use sweep::{
     batched_comparison, engine_amortization, graph_comparison, measured_double_ops, measured_run,
-    modeled_double_ops, modeled_run, system_comparison, BatchComparison, EngineAmortization,
-    GraphComparison, ShapeCache, SystemComparison, TimingRow,
+    modeled_double_ops, modeled_run, system_comparison, workspace_comparison, BatchComparison,
+    EngineAmortization, GraphComparison, ShapeCache, SystemComparison, TimingRow,
+    WorkspaceComparison,
 };

@@ -414,6 +414,74 @@ pub fn engine_amortization(
     }
 }
 
+/// One measured record of workspace reuse: the cold first evaluation (pool
+/// empty, graph plan unbuilt), steady-state `Plan::evaluate` (pooled
+/// arena/scratch, fresh outputs) and steady-state `Plan::evaluate_into`
+/// (everything reused — the zero-allocation path), plus the deterministic
+/// buffer sizes the workspace holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkspaceComparison {
+    /// Number of steady-state evaluations timed per mode.
+    pub evals: usize,
+    /// Wall time of the first evaluation through a fresh plan (workspace
+    /// warm-up, graph-plan construction).
+    pub cold_ms: f64,
+    /// Mean steady-state wall time of `Plan::evaluate` (pooled workspace,
+    /// freshly allocated outputs).
+    pub pooled_ms: f64,
+    /// Mean steady-state wall time of `Plan::evaluate_into` (pooled
+    /// workspace, reused outputs — zero heap allocations).
+    pub reused_ms: f64,
+    /// Arena size of one evaluation, in coefficients (deterministic:
+    /// schedule layout × degree).
+    pub arena_coeffs: usize,
+    /// Per-worker convolution-scratch size, in coefficients (deterministic).
+    pub scratch_lane_coeffs: usize,
+}
+
+/// Measures workspace reuse on one engine plan at the given precision.
+pub fn workspace_comparison(
+    engine: &Engine,
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    evals: usize,
+    seed: u64,
+) -> WorkspaceComparison {
+    assert!(evals > 0, "need at least one evaluation");
+    let plan = engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
+    let inputs = poly.any_inputs(precision, degree, scale, seed);
+    let start = Instant::now();
+    let mut out = plan.evaluate(&inputs);
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    for _ in 0..evals {
+        let _ = plan.evaluate(&inputs);
+    }
+    let pooled_ms = start.elapsed().as_secs_f64() * 1e3 / evals as f64;
+    // Warm the reused output, then time the zero-allocation path.
+    plan.evaluate_into(&inputs, &mut out);
+    let start = Instant::now();
+    for _ in 0..evals {
+        plan.evaluate_into(&inputs, &mut out);
+    }
+    let reused_ms = start.elapsed().as_secs_f64() * 1e3 / evals as f64;
+    let arena_coeffs = plan
+        .schedule()
+        .expect("single-polynomial plan")
+        .layout
+        .total_coefficients();
+    WorkspaceComparison {
+        evals,
+        cold_ms,
+        pooled_ms,
+        reused_ms,
+        arena_coeffs,
+        scratch_lane_coeffs: psmd_core::workspace::conv_scratch_coeffs(degree + 1),
+    }
+}
+
 /// Double operations of a measured run's schedule (reduced or full scale),
 /// for achieved-GFLOPS reporting.
 pub fn measured_double_ops(
@@ -559,6 +627,29 @@ mod tests {
         assert!(record.cached_compile_ms > 0.0);
         assert!(record.mean_eval_ms > 0.0);
         assert!(record.rendezvous_per_eval >= 1);
+    }
+
+    #[test]
+    fn workspace_comparison_reports_deterministic_sizes() {
+        let engine = test_engine(2);
+        let cmp = workspace_comparison(
+            &engine,
+            TestPolynomial::P1,
+            Precision::D2,
+            8,
+            Scale::Reduced,
+            4,
+            3,
+        );
+        assert_eq!(cmp.evals, 4);
+        assert!(cmp.cold_ms > 0.0);
+        assert!(cmp.pooled_ms > 0.0);
+        assert!(cmp.reused_ms > 0.0);
+        // The arena of the reduced p1 at degree 8: slots × (d + 1).
+        assert_eq!(cmp.arena_coeffs % 9, 0);
+        assert!(cmp.arena_coeffs > 0);
+        // Two staging slots plus the 4(d+1) kernel scratch.
+        assert_eq!(cmp.scratch_lane_coeffs, 6 * 9);
     }
 
     #[test]

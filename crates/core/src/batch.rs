@@ -4,10 +4,11 @@
 //! The paper amortizes the cost of accelerated evaluation by launching many
 //! independent jobs at once; the schedule "depends only on the structure of
 //! the monomials" (Section 5), so it can be reused across any number of
-//! evaluation points.  [`BatchEvaluator`] exploits both observations:
+//! evaluation points.  The engine's batched path exploits both observations:
 //!
-//! * the [`Schedule`] is built **once** and shared by every instance of the
-//!   batch, amortizing schedule construction over the whole batch;
+//! * the [`Schedule`] is built **once** per plan and shared by every
+//!   instance of the batch, amortizing schedule construction over the whole
+//!   batch;
 //! * all batch instances live in **one flat coefficient arena** (instance
 //!   `i` occupies the slot range `i * num_slots .. (i + 1) * num_slots`, see
 //!   [`DataLayout::batch_slot`](crate::DataLayout::batch_slot)), so one grid
@@ -19,8 +20,11 @@
 //! blocks per launch by the batch size and fills the pool, exactly like the
 //! paper fills the GPU's multiprocessors with wide grids.
 //!
+//! The arena lives in the evaluation [`Workspace`], so a steady stream of
+//! equal-sized batches through one plan allocates nothing after warm-up.
+//!
 //! ```
-//! use psmd_core::{BatchEvaluator, Monomial, Polynomial};
+//! use psmd_core::{Engine, Monomial, Polynomial};
 //! use psmd_multidouble::Dd;
 //! use psmd_series::Series;
 //!
@@ -37,25 +41,24 @@
 //!         Series::<Dd>::from_f64_coeffs(&[1.0, 0.0, 1.0]),
 //!     ],
 //! ];
-//! let evaluator = BatchEvaluator::new(&p);
-//! let result = evaluator.evaluate_sequential(&batch);
+//! let engine = Engine::builder().threads(0).build();
+//! let plan = engine.compile(p);
+//! let result = plan.evaluate(&batch).into_batch();
 //! assert_eq!(result.len(), 2);
 //! assert_eq!(result.instances[0].value.coeff(0).to_f64(), 4.0); // 1 + 3
 //! assert_eq!(result.instances[1].value.coeff(0).to_f64(), 7.0); // 1 + 3*2
 //! ```
 
-use crate::evaluate::{
-    run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel, Evaluation,
-};
+use crate::evaluate::{execute_schedule, Evaluation};
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
-use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
+use crate::schedule::{GraphPlan, Schedule};
+use crate::workspace::Workspace;
 use crate::ExecMode;
 use psmd_multidouble::Coeff;
-use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
+use psmd_runtime::{KernelTimings, SharedSlice, Stopwatch, WorkerPool};
 use psmd_series::Series;
 use std::sync::OnceLock;
-use std::time::Instant;
 
 /// The evaluations of one batch, plus the aggregate kernel timings of the
 /// shared launches.
@@ -84,11 +87,30 @@ impl<C> BatchEvaluation<C> {
     }
 }
 
-/// Evaluates a whole batch through one polynomial's schedule — the shared
-/// internal of [`BatchEvaluator`] and the engine's single-polynomial
-/// [`Plan`](crate::Plan) under batched inputs.  `graph` caches the
-/// block-level plan of one instance (batch launches replicate it per
-/// instance without cross-instance edges).
+impl<C: Coeff> BatchEvaluation<C> {
+    /// An empty batch evaluation to be filled by an `*_into` run; its
+    /// buffers are grown on first use and reused afterwards.
+    pub fn empty() -> Self {
+        Self {
+            instances: Vec::new(),
+            timings: KernelTimings::new(),
+        }
+    }
+}
+
+impl<C: Coeff> Default for BatchEvaluation<C> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Evaluates a whole batch through one polynomial's schedule, writing every
+/// instance's value and gradient into `out` — the shared internal of the
+/// engine's single-polynomial [`Plan`](crate::Plan) under batched inputs.
+/// `graph` caches the block-level plan of one instance (batch launches
+/// replicate it per instance without cross-instance edges); all evaluation
+/// memory is borrowed from `ws`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch<C: Coeff>(
     poly: &Polynomial<C>,
     schedule: &Schedule,
@@ -96,246 +118,86 @@ pub(crate) fn run_batch<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     batch: &[Vec<Series<C>>],
     pool: Option<&WorkerPool>,
-) -> BatchEvaluation<C> {
+    ws: &mut Workspace<C>,
+    out: &mut BatchEvaluation<C>,
+) {
     let wall = Stopwatch::start();
     let mut timings = KernelTimings::new();
     if batch.is_empty() {
+        out.instances.clear();
         timings.wall_clock = wall.elapsed();
-        return BatchEvaluation {
-            instances: Vec::new(),
-            timings,
-        };
+        out.timings = timings;
+        return;
     }
     let layout = &schedule.layout;
     let per = layout.coeffs_per_slot();
     let stride = layout.total_coefficients();
-    // Stage 0: lay every instance out back-to-back in one flat arena.
-    let mut data = vec![C::zero(); layout.batch_total_coefficients(batch.len())];
+    let participants = pool.map_or(1, WorkerPool::parallelism);
+    let (arena, scratch, graph_scratch) =
+        ws.parts(layout.batch_total_coefficients(batch.len()), participants);
+    // Stage 0: lay every instance out back-to-back in the flat arena.
     for (i, inputs) in batch.iter().enumerate() {
         let off = layout.batch_instance_offset(i);
-        schedule.fill_data_array(poly, inputs, &mut data[off..off + stride]);
+        schedule.fill_data_array(poly, inputs, &mut arena[off..off + stride]);
     }
-    let shared = SharedArray::new(data);
-    let kernel = options.kernel;
-    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
-        // Dependency-driven path: one graph launch carries every block
-        // of every instance — a single pool rendezvous for the whole
-        // batch.  Block b runs node b % nodes of instance b / nodes;
-        // dependency edges apply within each instance (instances occupy
-        // disjoint arena regions, so they share no hazards).
-        let plan = graph.get_or_init(|| schedule.graph_plan());
-        let nodes = plan.blocks();
-        let start = Instant::now();
-        pool.launch_graph(&plan.graph, batch.len(), |b| {
-            let instance = b / nodes;
-            run_graph_node(plan, b % nodes, &shared, per, kernel, |slot| {
-                layout.batch_slot(instance, slot)
-            });
-        });
-        timings.record_graph(
-            start.elapsed(),
-            batch.len() * plan.conv.len(),
-            batch.len() * plan.add.len(),
+    // One graph launch (or one grid launch per layer) carries every block
+    // of every instance; `batch_slot` rebases each job into its instance's
+    // arena region, and instances occupy disjoint regions so they share no
+    // hazards.
+    let plan = match (options.exec_mode, pool) {
+        (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
+        _ => None,
+    };
+    {
+        let shared = SharedSlice::new(&mut *arena);
+        execute_schedule(
+            &schedule.convolution_layers,
+            &schedule.addition_layers,
+            plan,
+            &shared,
+            per,
+            options.kernel,
+            pool,
+            scratch,
+            graph_scratch,
+            &mut timings,
+            batch.len(),
+            |instance, slot| layout.batch_slot(instance, slot),
         );
-        return finish_batch(schedule, batch, shared, timings, wall);
     }
-    // Stage 1: convolution kernels — one launch per layer for the whole
-    // batch.  Block b runs job b % jobs of instance b / jobs; rebasing
-    // every slot with `batch_slot` addresses that instance's region of
-    // the arena, and disjointness within a layer carries over because
-    // distinct instances write distinct regions.
-    for layer in &schedule.convolution_layers {
-        let jobs = layer.len();
-        let blocks = batch.len() * jobs;
-        let body = |b: usize| {
-            let instance = b / jobs;
-            let job = layer[b % jobs];
-            let shifted = ConvJob {
-                in1: layout.batch_slot(instance, job.in1),
-                in2: layout.batch_slot(instance, job.in2),
-                out: layout.batch_slot(instance, job.out),
-            };
-            run_convolution_job(&shared, &shifted, per, kernel);
-        };
-        let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid(blocks, body),
-            None => (0..blocks).for_each(body),
+    // Extract every instance's value and gradient from the arena.
+    out.instances.resize_with(batch.len(), Evaluation::empty);
+    for (i, instance) in out.instances.iter_mut().enumerate() {
+        let off = layout.batch_instance_offset(i);
+        let region = &arena[off..off + stride];
+        schedule.extract_into(region, schedule.value_location, &mut instance.value);
+        instance
+            .gradient
+            .resize_with(schedule.gradient_locations.len(), || Series::zero(0));
+        for (&loc, g) in schedule
+            .gradient_locations
+            .iter()
+            .zip(instance.gradient.iter_mut())
+        {
+            schedule.extract_into(region, loc, g);
         }
-        timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+        instance.timings = KernelTimings::new();
     }
-    // Stage 2: addition kernels, batched the same way.
-    for layer in &schedule.addition_layers {
-        let jobs = layer.len();
-        let blocks = batch.len() * jobs;
-        let body = |b: usize| {
-            let instance = b / jobs;
-            let job = layer[b % jobs];
-            let shifted = AddJob {
-                src: layout.batch_slot(instance, job.src),
-                dst: layout.batch_slot(instance, job.dst),
-            };
-            run_addition_job(&shared, &shifted, per);
-        };
-        let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid(blocks, body),
-            None => (0..blocks).for_each(body),
-        }
-        timings.record(KernelKind::Addition, start.elapsed(), blocks);
-    }
-    finish_batch(schedule, batch, shared, timings, wall)
-}
-
-/// Extracts every instance's value and gradient from the arena and closes
-/// the timing record (shared by the layered and graph paths).
-fn finish_batch<C: Coeff>(
-    schedule: &Schedule,
-    batch: &[Vec<Series<C>>],
-    shared: SharedArray<C>,
-    mut timings: KernelTimings,
-    wall: Stopwatch,
-) -> BatchEvaluation<C> {
-    let layout = &schedule.layout;
-    let stride = layout.total_coefficients();
-    let data = shared.into_inner();
-    let instances = (0..batch.len())
-        .map(|i| {
-            let off = layout.batch_instance_offset(i);
-            let region = &data[off..off + stride];
-            let value = schedule.extract(region, schedule.value_location);
-            let gradient = schedule
-                .gradient_locations
-                .iter()
-                .map(|&loc| schedule.extract(region, loc))
-                .collect();
-            Evaluation {
-                value,
-                gradient,
-                timings: KernelTimings::new(),
-            }
-        })
-        .collect();
     timings.wall_clock = wall.elapsed();
-    BatchEvaluation { instances, timings }
-}
-
-/// Evaluates one polynomial at many input-series vectors with a single
-/// cached schedule and one worker-pool launch per job layer for the whole
-/// batch.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Engine::compile` and evaluate the `Plan` with `Inputs::Batch` (this \
-            borrowing shim will be removed after one release)"
-)]
-pub struct BatchEvaluator<'p, C> {
-    poly: &'p Polynomial<C>,
-    schedule: Schedule,
-    options: EvalOptions,
-    plan: OnceLock<GraphPlan>,
-}
-
-#[allow(deprecated)]
-impl<'p, C: Coeff> BatchEvaluator<'p, C> {
-    /// Builds the schedule for a polynomial once; it is shared by every
-    /// batch evaluated through this evaluator.
-    pub fn new(poly: &'p Polynomial<C>) -> Self {
-        Self {
-            poly,
-            schedule: Schedule::build(poly),
-            options: EvalOptions::default(),
-            plan: OnceLock::new(),
-        }
-    }
-
-    /// Selects the convolution kernel variant (ablation).
-    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.options.kernel = kernel;
-        self
-    }
-
-    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
-    /// layered launches (the reference) or one dependency-driven task-graph
-    /// launch per batch evaluation.
-    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.options.exec_mode = mode;
-        self
-    }
-
-    /// Replaces both knobs at once with a shared [`EvalOptions`].
-    pub fn with_options(mut self, options: EvalOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// The configured options.
-    pub fn options(&self) -> EvalOptions {
-        self.options
-    }
-
-    /// The configured execution mode.
-    pub fn exec_mode(&self) -> ExecMode {
-        self.options.exec_mode
-    }
-
-    /// The block-level graph plan of one instance, built once on first use
-    /// (batch launches replicate it per instance without cross-instance
-    /// edges).
-    pub fn graph_plan(&self) -> &GraphPlan {
-        self.plan.get_or_init(|| self.schedule.graph_plan())
-    }
-
-    /// The shared schedule.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
-    }
-
-    /// The polynomial the schedule was built for.
-    pub fn polynomial(&self) -> &Polynomial<C> {
-        self.poly
-    }
-
-    /// Evaluates the whole batch on a single thread (the correctness
-    /// reference for the parallel path).
-    pub fn evaluate_sequential(&self, batch: &[Vec<Series<C>>]) -> BatchEvaluation<C> {
-        run_batch(
-            self.poly,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            batch,
-            None,
-        )
-    }
-
-    /// Evaluates the whole batch on the worker pool with one grid launch per
-    /// layer and `batch × jobs_per_layer` blocks per launch.
-    pub fn evaluate_parallel(
-        &self,
-        batch: &[Vec<Series<C>>],
-        pool: &WorkerPool,
-    ) -> BatchEvaluation<C> {
-        run_batch(
-            self.poly,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            batch,
-            Some(pool),
-        )
-    }
+    out.timings = timings;
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::evaluate::ScheduledEvaluator;
+    use crate::engine::{Engine, Plan};
     use crate::generators::{random_inputs, random_polynomial};
     use crate::monomial::Monomial;
+    use crate::ConvolutionKernel;
     use psmd_multidouble::{Complex, Dd, Qd};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn coeff(c: f64, d: usize) -> Series<Qd> {
         Series::constant(Qd::from_f64(c), d)
@@ -360,16 +222,22 @@ mod tests {
             .collect()
     }
 
+    fn compile(p: &Polynomial<Qd>, threads: usize) -> (Engine, Arc<Plan<Qd>>) {
+        let engine = Engine::builder().threads(threads).build();
+        let plan = engine.compile(p.clone());
+        (engine, plan)
+    }
+
     #[test]
     fn batch_matches_per_instance_sequential_bitwise() {
         let d = 6;
         let p = paper_example(d);
         let batch = random_batch(6, d, 7, 17);
-        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
-        let single = ScheduledEvaluator::new(&p);
+        let (_engine, plan) = compile(&p, 0);
+        let batched = plan.evaluate_sequential(&batch).into_batch();
         assert_eq!(batched.len(), batch.len());
         for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-            let want = single.evaluate_sequential(inputs);
+            let want = plan.evaluate_sequential(inputs).into_single();
             // Same schedule, same arithmetic, same order: bitwise identical.
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
@@ -381,10 +249,9 @@ mod tests {
         let d = 5;
         let p = paper_example(d);
         let batch = random_batch(6, d, 9, 3);
-        let evaluator = BatchEvaluator::new(&p);
-        let seq = evaluator.evaluate_sequential(&batch);
-        let pool = WorkerPool::new(3);
-        let par = evaluator.evaluate_parallel(&batch, &pool);
+        let (_engine, plan) = compile(&p, 3);
+        let seq = plan.evaluate_sequential(&batch).into_batch();
+        let par = plan.evaluate(&batch).into_batch();
         for (a, b) in seq.instances.iter().zip(par.instances.iter()) {
             assert_eq!(a.value, b.value);
             assert_eq!(a.gradient, b.gradient);
@@ -396,10 +263,9 @@ mod tests {
         let d = 3;
         let p = paper_example(d);
         let batch = random_batch(6, d, 11, 5);
-        let pool = WorkerPool::new(2);
-        let evaluator = BatchEvaluator::new(&p);
-        let result = evaluator.evaluate_parallel(&batch, &pool);
-        let schedule = evaluator.schedule();
+        let (_engine, plan) = compile(&p, 2);
+        let result = plan.evaluate(&batch).into_batch();
+        let schedule = plan.schedule().expect("single plan");
         // Launch counts equal the layer counts — independent of batch size.
         assert_eq!(
             result.timings.convolution_launches,
@@ -425,33 +291,57 @@ mod tests {
         let d = 5;
         let p = paper_example(d);
         let batch = random_batch(6, d, 9, 3);
-        let layered = BatchEvaluator::new(&p);
-        let graph = BatchEvaluator::new(&p).with_exec_mode(crate::ExecMode::Graph);
-        let pool = WorkerPool::new(3);
-        let a = layered.evaluate_parallel(&batch, &pool);
-        let before = pool.rendezvous_count();
-        let b = graph.evaluate_parallel(&batch, &pool);
-        assert_eq!(pool.rendezvous_count(), before + 1);
+        let engine = Engine::builder().threads(3).build();
+        let layered = engine.compile(p.clone());
+        let graph =
+            engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+        let a = layered.evaluate(&batch).into_batch();
+        let before = engine.pool().rendezvous_count();
+        let b = graph.evaluate(&batch).into_batch();
+        assert_eq!(engine.pool().rendezvous_count(), before + 1);
         for (x, y) in a.instances.iter().zip(b.instances.iter()) {
             assert_eq!(x.value, y.value, "graph batch must be bitwise identical");
             assert_eq!(x.gradient, y.gradient);
         }
         assert_eq!(b.timings.graph_launches, 1);
+        let schedule = layered.schedule().expect("single plan");
         assert_eq!(
             b.timings.convolution_blocks,
-            batch.len() * layered.schedule().convolution_jobs()
+            batch.len() * schedule.convolution_jobs()
         );
         assert_eq!(
             b.timings.addition_blocks,
-            batch.len() * layered.schedule().addition_jobs()
+            batch.len() * schedule.addition_jobs()
         );
+    }
+
+    #[test]
+    fn graph_mode_batch_runs_inline_on_a_zero_worker_pool() {
+        let d = 4;
+        let p = paper_example(d);
+        let batch = random_batch(6, d, 5, 7);
+        let engine = Engine::builder()
+            .threads(0)
+            .exec_mode(ExecMode::Graph)
+            .build();
+        let plan = engine.compile(p);
+        let seq = plan.evaluate_sequential(&batch).into_batch();
+        let par = plan.evaluate(&batch).into_batch();
+        for (a, b) in seq.instances.iter().zip(par.instances.iter()) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.gradient, b.gradient);
+        }
+        assert_eq!(engine.pool().rendezvous_count(), 0);
+        assert_eq!(par.timings.graph_launches, 1);
     }
 
     #[test]
     fn empty_batch_returns_no_instances_and_no_launches() {
         let p = paper_example(2);
-        let evaluator = BatchEvaluator::new(&p);
-        let result = evaluator.evaluate_sequential(&[]);
+        let (_engine, plan) = compile(&p, 0);
+        let result = plan
+            .evaluate_sequential(&Vec::<Vec<Series<Qd>>>::new())
+            .into_batch();
         assert!(result.is_empty());
         assert_eq!(result.timings.convolution_launches, 0);
         assert_eq!(result.timings.addition_launches, 0);
@@ -462,8 +352,9 @@ mod tests {
         let d = 4;
         let p = paper_example(d);
         let batch = random_batch(6, d, 1, 9);
-        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
-        let single = ScheduledEvaluator::new(&p).evaluate_sequential(&batch[0]);
+        let (_engine, plan) = compile(&p, 0);
+        let batched = plan.evaluate_sequential(&batch).into_batch();
+        let single = plan.evaluate_sequential(&batch[0]).into_single();
         assert_eq!(batched.instances[0].value, single.value);
         assert_eq!(batched.instances[0].gradient, single.gradient);
     }
@@ -473,10 +364,15 @@ mod tests {
         let d = 4;
         let p = paper_example(d);
         let batch = random_batch(6, d, 4, 23);
-        let zi = BatchEvaluator::new(&p).evaluate_sequential(&batch);
-        let direct = BatchEvaluator::new(&p)
-            .with_kernel(ConvolutionKernel::Direct)
-            .evaluate_sequential(&batch);
+        let engine = Engine::builder().threads(0).build();
+        let zi = engine
+            .compile(p.clone())
+            .evaluate_sequential(&batch)
+            .into_batch();
+        let direct = engine
+            .compile_with_options(p, EvalOptions::new().with_kernel(ConvolutionKernel::Direct))
+            .evaluate_sequential(&batch)
+            .into_batch();
         for (a, b) in zi.instances.iter().zip(direct.instances.iter()) {
             assert!(a.max_difference(b) < 1e-55);
         }
@@ -499,10 +395,11 @@ mod tests {
         let batch: Vec<Vec<Series<Cx>>> = (0..5)
             .map(|_| (0..3).map(|_| Series::random(&mut rng, d)).collect())
             .collect();
-        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
-        let single = ScheduledEvaluator::new(&p);
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile(p);
+        let batched = plan.evaluate_sequential(&batch).into_batch();
         for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-            let want = single.evaluate_sequential(inputs);
+            let want = plan.evaluate_sequential(inputs).into_single();
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
         }
@@ -524,7 +421,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let batch: Vec<Vec<Series<Qd>>> =
             (0..6).map(|_| vec![Series::random(&mut rng, d)]).collect();
-        let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
+        let (_engine, plan) = compile(&p, 0);
+        let batched = plan.evaluate_sequential(&batch).into_batch();
         for got in &batched.instances {
             assert_eq!(got.gradient[0].coeff(0).to_f64(), 7.0);
         }
@@ -535,24 +433,46 @@ mod tests {
     fn mismatched_input_count_panics() {
         let p = paper_example(2);
         let bad = vec![random_batch(5, 2, 1, 1)[0].clone()];
-        let _ = BatchEvaluator::new(&p).evaluate_sequential(&bad);
+        let (_engine, plan) = compile(&p, 0);
+        let _ = plan.evaluate_sequential(&bad);
     }
 
     #[test]
     fn random_structures_batch_consistently() {
         let mut rng = StdRng::seed_from_u64(77);
+        let engine = Engine::builder().threads(0).build();
         for _ in 0..8 {
             let p: Polynomial<Dd> = random_polynomial(6, 10, 5, 4, &mut rng);
             let batch: Vec<Vec<Series<Dd>>> = (0..5)
                 .map(|_| random_inputs::<Dd, _>(6, 4, &mut rng))
                 .collect();
-            let batched = BatchEvaluator::new(&p).evaluate_sequential(&batch);
-            let single = ScheduledEvaluator::new(&p);
+            let plan = engine.compile(p);
+            let batched = plan.evaluate_sequential(&batch).into_batch();
             for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-                let want = single.evaluate_sequential(inputs);
+                let want = plan.evaluate_sequential(inputs).into_single();
                 assert_eq!(got.value, want.value);
                 assert_eq!(got.gradient, want.gradient);
             }
+        }
+    }
+
+    #[test]
+    fn shrinking_batches_reuse_the_output_without_stale_instances() {
+        // A warm output filled by a 6-instance batch must come back with
+        // exactly 2 instances when reused for a 2-instance batch.
+        let d = 3;
+        let p = paper_example(d);
+        let (_engine, plan) = compile(&p, 0);
+        let big = random_batch(6, d, 6, 51);
+        let small = random_batch(6, d, 2, 52);
+        let mut out = plan.evaluate(&big);
+        plan.evaluate_into(&small, &mut out);
+        let batched = out.into_batch();
+        assert_eq!(batched.len(), 2);
+        for (inputs, got) in small.iter().zip(batched.instances.iter()) {
+            let want = plan.evaluate_sequential(inputs).into_single();
+            assert_eq!(got.value, want.value);
+            assert_eq!(got.gradient, want.gradient);
         }
     }
 }

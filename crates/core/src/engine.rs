@@ -22,10 +22,12 @@
 //! * [`AnyPlan`] erases the coefficient type behind a [`Precision`] tag, so
 //!   non-generic callers — the bench harness, servers — pick the precision
 //!   with a *value* instead of monomorphizing through a macro.
-//!
-//! The three historical front-ends (`ScheduledEvaluator`, `BatchEvaluator`,
-//! `SystemEvaluator`) are thin deprecated shims over the same internals and
-//! produce bitwise-identical results.
+//! * Evaluation memory lives in pooled [`Workspace`]s (see
+//!   [`crate::workspace`]): `Plan::evaluate` transparently checks one out of
+//!   the engine's lock-free pool, and the `*_with` / `*_into` variants
+//!   ([`Plan::evaluate_with`], [`Plan::evaluate_into`]) let callers manage
+//!   workspace and output reuse explicitly — steady-state evaluation then
+//!   performs **zero heap allocations**.
 //!
 //! ```
 //! use psmd_core::{Engine, Inputs, Monomial, Polynomial};
@@ -59,6 +61,7 @@ use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{GraphPlan, Schedule};
 use crate::system::{run_system, SystemEvaluation, SystemSchedule};
+use crate::workspace::{Workspace, WorkspacePool};
 use parking_lot::Mutex;
 use psmd_multidouble::{Coeff, Md, Precision};
 use psmd_runtime::{KernelTimings, WorkerPool};
@@ -478,11 +481,17 @@ pub struct Plan<C: Coeff> {
     kind: PlanKind,
     options: EvalOptions,
     pool: Arc<WorkerPool>,
+    workspaces: Arc<WorkspacePool<C>>,
     graph: OnceLock<GraphPlan>,
 }
 
 impl<C: Coeff> Plan<C> {
-    fn build(source: PolySource<C>, options: EvalOptions, pool: Arc<WorkerPool>) -> Self {
+    fn build(
+        source: PolySource<C>,
+        options: EvalOptions,
+        pool: Arc<WorkerPool>,
+        workspaces: Arc<WorkspacePool<C>>,
+    ) -> Self {
         let kind = match &source {
             PolySource::Single(p) => PlanKind::Single(Schedule::build(p)),
             PolySource::System(ps) => PlanKind::System(SystemSchedule::build(ps)),
@@ -492,6 +501,7 @@ impl<C: Coeff> Plan<C> {
             kind,
             options,
             pool,
+            workspaces,
             graph: OnceLock::new(),
         }
     }
@@ -583,8 +593,43 @@ impl<C: Coeff> Plan<C> {
         }
     }
 
+    /// A workspace pre-sized for this plan: scratch lanes for every
+    /// participant of the engine's pool, arena capacity for one
+    /// (non-batched) evaluation, and graph scratch for the whole block
+    /// graph.  Pass it to [`Plan::evaluate_with`] /
+    /// [`Plan::evaluate_into_with`] to manage reuse explicitly.  The
+    /// workspace-side buffers are warm from the start, so even the *first*
+    /// [`Plan::evaluate_into_with`] through it (with a warm output, on a
+    /// zero-worker engine) allocates nothing; `evaluate_with` still builds
+    /// its returned output, and threaded pools pay their constant
+    /// per-launch control allocations.
+    pub fn create_workspace(&self) -> Workspace<C> {
+        let per;
+        let arena;
+        let blocks;
+        match &self.kind {
+            PlanKind::Single(s) => {
+                per = s.layout.coeffs_per_slot();
+                arena = s.layout.total_coefficients();
+                blocks = s.convolution_jobs() + s.addition_jobs();
+            }
+            PlanKind::System(s) => {
+                per = s.layout.coeffs_per_slot();
+                arena = s.layout.total_coefficients();
+                blocks = s.convolution_jobs() + s.addition_jobs();
+            }
+        }
+        let mut ws = Workspace::new(self.pool.parallelism());
+        ws.warm(arena, per, blocks);
+        ws
+    }
+
     /// Evaluates on the engine's worker pool (layered launches or one graph
-    /// launch, per the plan's [`EvalOptions`]).
+    /// launch, per the plan's [`EvalOptions`]).  The evaluation memory —
+    /// arena, per-worker convolution scratch — is checked out of the
+    /// engine's workspace pool and returned afterwards, so repeated
+    /// evaluations do not churn the allocator; only the returned output is
+    /// freshly allocated (use [`Plan::evaluate_into`] to reuse that too).
     ///
     /// The returned output's timings carry the pool-rendezvous delta of this
     /// run; the counter is shared per pool, so when several threads evaluate
@@ -596,71 +641,161 @@ impl<C: Coeff> Plan<C> {
     /// Panics when a system plan is given batched inputs, or when the input
     /// shape does not match the source (wrong variable count or degree).
     pub fn evaluate<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        self.run(inputs.into(), true)
+        let inputs = inputs.into();
+        let mut out = self.empty_output(&inputs);
+        let mut ws = self.workspaces.checkout();
+        self.run_into(inputs, true, &mut ws, &mut out);
+        out
     }
 
     /// Evaluates on the calling thread only — the correctness reference for
     /// the parallel path, bitwise identical to [`Plan::evaluate`].
     pub fn evaluate_sequential<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        self.run(inputs.into(), false)
+        let inputs = inputs.into();
+        let mut out = self.empty_output(&inputs);
+        let mut ws = self.workspaces.checkout();
+        self.run_into(inputs, false, &mut ws, &mut out);
+        out
     }
 
-    fn run(&self, inputs: Inputs<'_, C>, parallel: bool) -> EvalOutput<C> {
+    /// Like [`Plan::evaluate`], but with a caller-managed [`Workspace`]
+    /// (see [`Plan::create_workspace`]) instead of the engine's pool.
+    pub fn evaluate_with<'a>(
+        &self,
+        inputs: impl Into<Inputs<'a, C>>,
+        ws: &mut Workspace<C>,
+    ) -> EvalOutput<C> {
+        let inputs = inputs.into();
+        let mut out = self.empty_output(&inputs);
+        self.run_into(inputs, true, ws, &mut out);
+        out
+    }
+
+    /// Like [`Plan::evaluate`], but writes into an existing [`EvalOutput`],
+    /// reusing its buffers.  With a warm output of the same shape (the
+    /// usual steady-state: same plan, same input shape) the whole call —
+    /// staging, kernels, extraction — performs **zero heap allocations**;
+    /// `tests/workspace_alloc.rs` enforces this with a counting allocator.
+    /// An output of a different shape (or variant) is reshaped in place.
+    pub fn evaluate_into<'a>(&self, inputs: impl Into<Inputs<'a, C>>, out: &mut EvalOutput<C>) {
+        let inputs = inputs.into();
+        self.reshape_output(&inputs, out);
+        let mut ws = self.workspaces.checkout();
+        self.run_into(inputs, true, &mut ws, out);
+    }
+
+    /// Like [`Plan::evaluate_into`], with a caller-managed [`Workspace`] —
+    /// the fully explicit zero-allocation entry point.
+    pub fn evaluate_into_with<'a>(
+        &self,
+        inputs: impl Into<Inputs<'a, C>>,
+        ws: &mut Workspace<C>,
+        out: &mut EvalOutput<C>,
+    ) {
+        let inputs = inputs.into();
+        self.reshape_output(&inputs, out);
+        self.run_into(inputs, true, ws, out);
+    }
+
+    /// An empty output of the variant the inputs will produce.
+    fn empty_output(&self, inputs: &Inputs<'_, C>) -> EvalOutput<C> {
+        match (&self.kind, inputs) {
+            (PlanKind::Single(_), Inputs::Single(_)) => EvalOutput::Single(Evaluation::empty()),
+            (PlanKind::Single(_), Inputs::Batch(_)) => EvalOutput::Batch(BatchEvaluation::empty()),
+            (PlanKind::System(_), _) => EvalOutput::System(SystemEvaluation::empty()),
+        }
+    }
+
+    /// Replaces `out` with an empty output of the right variant when its
+    /// current variant does not match what the run will produce (the
+    /// matching-variant steady state keeps every buffer).
+    fn reshape_output(&self, inputs: &Inputs<'_, C>, out: &mut EvalOutput<C>) {
+        let matches = matches!(
+            (&self.kind, inputs, &*out),
+            (
+                PlanKind::Single(_),
+                Inputs::Single(_),
+                EvalOutput::Single(_)
+            ) | (PlanKind::Single(_), Inputs::Batch(_), EvalOutput::Batch(_))
+                | (
+                    PlanKind::System(_),
+                    Inputs::Single(_),
+                    EvalOutput::System(_)
+                )
+        );
+        if !matches {
+            *out = self.empty_output(inputs);
+        }
+    }
+
+    fn run_into(
+        &self,
+        inputs: Inputs<'_, C>,
+        parallel: bool,
+        ws: &mut Workspace<C>,
+        out: &mut EvalOutput<C>,
+    ) {
         let pool = parallel.then_some(self.pool.as_ref());
         // Sequential runs never touch the pool: report zero rendezvous
         // without reading the shared counter, so concurrent parallel
         // evaluations on the same pool cannot be misattributed to them.
         let before = parallel.then(|| self.pool.rendezvous_count());
-        let mut output = match (&self.kind, inputs) {
-            (PlanKind::Single(schedule), Inputs::Single(z)) => {
+        match (&self.kind, inputs, &mut *out) {
+            (PlanKind::Single(schedule), Inputs::Single(z), EvalOutput::Single(single)) => {
                 let PolySource::Single(poly) = &self.source else {
                     unreachable!("single plan with system source")
                 };
-                EvalOutput::Single(run_single(
+                run_single(
                     poly,
                     schedule,
                     self.options,
                     &self.graph,
                     z,
                     pool,
-                ))
+                    ws,
+                    single,
+                );
             }
-            (PlanKind::Single(schedule), Inputs::Batch(batch)) => {
+            (PlanKind::Single(schedule), Inputs::Batch(batch), EvalOutput::Batch(batched)) => {
                 let PolySource::Single(poly) = &self.source else {
                     unreachable!("single plan with system source")
                 };
-                EvalOutput::Batch(run_batch(
+                run_batch(
                     poly,
                     schedule,
                     self.options,
                     &self.graph,
                     batch,
                     pool,
-                ))
+                    ws,
+                    batched,
+                );
             }
-            (PlanKind::System(schedule), Inputs::Single(z)) => {
+            (PlanKind::System(schedule), Inputs::Single(z), EvalOutput::System(system)) => {
                 let PolySource::System(polys) = &self.source else {
                     unreachable!("system plan with single source")
                 };
-                EvalOutput::System(run_system(
+                run_system(
                     polys,
                     schedule,
                     self.options,
                     &self.graph,
                     z,
                     pool,
-                ))
+                    ws,
+                    system,
+                );
             }
-            (PlanKind::System(_), Inputs::Batch(_)) => panic!(
+            (PlanKind::System(_), Inputs::Batch(_), _) => panic!(
                 "batched system evaluation is not supported: evaluate each input vector of \
                  the batch separately"
             ),
-        };
-        output.timings_mut().pool_rendezvous = match before {
+            _ => unreachable!("output variant reshaped before the run"),
+        }
+        out.timings_mut().pool_rendezvous = match before {
             Some(before) => self.pool.rendezvous_count().saturating_sub(before),
             None => 0,
         };
-        output
     }
 }
 
@@ -789,6 +924,7 @@ impl EngineBuilder {
             options: self.options,
             precision: self.precision,
             cache: Mutex::new(PlanCache::new(self.plan_cache_capacity)),
+            workspaces: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -809,6 +945,11 @@ pub struct Engine {
     options: EvalOptions,
     precision: Precision,
     cache: Mutex<PlanCache>,
+    /// One lock-free workspace pool per coefficient type, shared by every
+    /// plan of that precision (the registry lock is taken at compile time
+    /// only; evaluation checks workspaces out of the typed pool without
+    /// locking).
+    workspaces: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
 }
 
 impl Engine {
@@ -881,7 +1022,12 @@ impl Engine {
         // Compile outside the lock: schedule construction is the expensive
         // part and must not serialize concurrent compiles of different
         // sources.
-        let plan = Arc::new(Plan::build(source, options, Arc::clone(&self.pool)));
+        let plan = Arc::new(Plan::build(
+            source,
+            options,
+            Arc::clone(&self.pool),
+            self.workspace_pool::<C>(),
+        ));
         let mut cache = self.cache.lock();
         if cache.capacity > 0 {
             if cache.entries.len() >= cache.capacity && !cache.entries.contains_key(&key) {
@@ -916,6 +1062,26 @@ impl Engine {
             }
         }
         plan
+    }
+
+    /// The engine's workspace pool for coefficient type `C`, created on
+    /// first use and shared by every plan of that precision.  Sized by the
+    /// worker pool: one scratch lane per participant, and enough slots that
+    /// as many concurrent evaluations as the pool has lanes recycle
+    /// workspaces instead of building fresh ones.
+    pub fn workspace_pool<C: Coeff>(&self) -> Arc<WorkspacePool<C>> {
+        let mut map = self.workspaces.lock();
+        let entry = map
+            .entry(TypeId::of::<C>())
+            .or_insert_with(|| {
+                let participants = self.pool.parallelism();
+                Arc::new(WorkspacePool::<C>::new(participants + 2, participants))
+                    as Arc<dyn Any + Send + Sync>
+            })
+            .clone();
+        entry
+            .downcast::<WorkspacePool<C>>()
+            .expect("workspace pool registry keyed by TypeId")
     }
 
     /// Plan-cache statistics (entries, hits, misses, evictions).
@@ -1160,6 +1326,37 @@ macro_rules! define_any_api {
                     $(
                         (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
                             AnyEvalOutput::$variant(plan.evaluate(inputs.as_inputs()))
+                        }
+                    )+
+                    (plan, inputs) => panic!(
+                        "precision mismatch: the plan is {} but the inputs are {}",
+                        plan.precision(),
+                        inputs.precision()
+                    ),
+                }
+            }
+
+            /// Evaluates into an existing output, reusing its buffers —
+            /// the precision-erased counterpart of [`Plan::evaluate_into`]:
+            /// with a warm output of the matching precision and shape, the
+            /// call performs zero heap allocations.  An output of another
+            /// precision (or shape) is replaced.
+            ///
+            /// # Panics
+            ///
+            /// Panics when the inputs carry a different precision tag than
+            /// the plan, and in the same cases as [`Plan::evaluate`].
+            pub fn evaluate_into(&self, inputs: &AnyInputs, out: &mut AnyEvalOutput) {
+                match (self, inputs) {
+                    $(
+                        (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
+                            if let AnyEvalOutput::$variant(out) = out {
+                                plan.evaluate_into(inputs.as_inputs(), out);
+                            } else {
+                                *out = AnyEvalOutput::$variant(
+                                    plan.evaluate(inputs.as_inputs()),
+                                );
+                            }
                         }
                     )+
                     (plan, inputs) => panic!(

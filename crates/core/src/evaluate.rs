@@ -1,25 +1,34 @@
 //! The evaluators: the naive baseline and the scheduled (accelerated)
 //! two-stage algorithm of the paper.
 //!
-//! Three ways to compute the same result:
+//! Two ways to compute the same result:
 //!
 //! * [`evaluate_naive`] multiplies the series of every monomial and of every
 //!   partial derivative independently.  It shares no work and serves as the
 //!   correctness oracle and as the baseline the speedup of the paper's
 //!   scheme is measured against.
-//! * [`ScheduledEvaluator::evaluate_sequential`] runs the paper's job
-//!   schedule (shared forward/backward/cross products, tree summation) on a
-//!   single thread.
-//! * [`ScheduledEvaluator::evaluate_parallel`] runs the same schedule with
-//!   one kernel launch per job layer on the worker pool, one block per job —
-//!   the CPU equivalent of the accelerated algorithm of Section 5 — and
-//!   reports per-kernel timings like the paper does.
+//! * The engine's [`Plan`](crate::Plan) runs the paper's job schedule
+//!   (shared forward/backward/cross products, tree summation) — sequentially
+//!   ([`Plan::evaluate_sequential`](crate::Plan::evaluate_sequential)) or
+//!   with one kernel launch per job layer on the worker pool
+//!   ([`Plan::evaluate`](crate::Plan::evaluate)), the CPU equivalent of the
+//!   accelerated algorithm of Section 5, reporting per-kernel timings like
+//!   the paper does.
+//!
+//! This module holds the shared execution internals: every job borrows its
+//! staging memory from a [`Workspace`] instead of allocating, which is what
+//! keeps steady-state evaluation allocation-free (the CPU analogue of the
+//! paper's pre-sized shared-memory staging).
 
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
+use crate::workspace::{ConvScratch, Workspace};
+use parking_lot::Mutex;
 use psmd_multidouble::Coeff;
-use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
+use psmd_runtime::{
+    InlineGraphScratch, KernelKind, KernelTimings, SharedSlice, Stopwatch, WorkerPool,
+};
 use psmd_series::{add_assign_slices, convolve_seq, convolve_zero_insertion, Series};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -64,6 +73,16 @@ pub struct Evaluation<C> {
 }
 
 impl<C: Coeff> Evaluation<C> {
+    /// An empty evaluation to be filled by an `*_into` run; its buffers are
+    /// grown on first use and reused afterwards.
+    pub fn empty() -> Self {
+        Self {
+            value: Series::zero(0),
+            gradient: Vec::new(),
+            timings: KernelTimings::new(),
+        }
+    }
+
     /// Largest coefficient-wise difference between two evaluations (value
     /// and gradient), as a double estimate.  Used by tests and examples to
     /// compare evaluators.
@@ -87,6 +106,12 @@ impl<C: Coeff> Evaluation<C> {
             worst = worst.max(a.distance(b));
         }
         worst
+    }
+}
+
+impl<C: Coeff> Default for Evaluation<C> {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -123,10 +148,119 @@ pub fn evaluate_naive<C: Coeff>(poly: &Polynomial<C>, inputs: &[Series<C>]) -> E
     }
 }
 
+/// Executes one two-stage job schedule over `instances` independent arena
+/// regions — the shared body of the single, batched and system evaluation
+/// paths.  `map_slot(instance, slot)` rebases each job's slots into that
+/// instance's region (identity for single and system evaluation, the
+/// instance shift for batched evaluation).
+///
+/// Runs the layered reference launches (one per layer, `instances × jobs`
+/// blocks each), or — when `graph` is given — one dependency-driven launch
+/// for the whole schedule.  All job staging is borrowed from the
+/// per-participant `scratch` lanes; zero-worker pools run the graph inline
+/// through the reusable `graph_scratch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_schedule<C: Coeff>(
+    convolution_layers: &[Vec<ConvJob>],
+    addition_layers: &[Vec<AddJob>],
+    graph: Option<&GraphPlan>,
+    shared: &SharedSlice<'_, C>,
+    per: usize,
+    kernel: ConvolutionKernel,
+    pool: Option<&WorkerPool>,
+    scratch: &[Mutex<ConvScratch<C>>],
+    graph_scratch: &mut InlineGraphScratch,
+    timings: &mut KernelTimings,
+    instances: usize,
+    map_slot: impl Fn(usize, usize) -> usize + Sync,
+) {
+    if instances == 0 {
+        return;
+    }
+    if let (Some(plan), Some(pool)) = (graph, pool) {
+        // Dependency-driven path: every convolution and addition of every
+        // instance in one graph launch — one pool rendezvous for the whole
+        // evaluation (none at all on a zero-worker pool, which drains the
+        // graph inline in dependency order through the workspace's reusable
+        // scratch).  Block b runs node b % nodes of instance b / nodes;
+        // dependency edges apply within each instance (instances occupy
+        // disjoint arena regions, so they share no hazards).
+        let nodes = plan.blocks();
+        let start = Instant::now();
+        let body = |lane: usize, b: usize| {
+            let instance = b / nodes;
+            let mut s = scratch[lane].lock();
+            run_graph_node(plan, b % nodes, shared, per, kernel, &mut s, |slot| {
+                map_slot(instance, slot)
+            });
+        };
+        if pool.worker_threads() > 0 {
+            pool.launch_graph_indexed(&plan.graph, instances, body);
+        } else {
+            plan.graph
+                .run_inline(instances, graph_scratch, |b| body(0, b));
+        }
+        timings.record_graph(
+            start.elapsed(),
+            instances * plan.conv.len(),
+            instances * plan.add.len(),
+        );
+        return;
+    }
+    // Layered reference path.  Block b runs job b % jobs of instance
+    // b / jobs; disjointness within a layer carries over to the rebased
+    // slots because distinct instances write distinct regions.
+    // Stage 1: convolution kernels, one launch per layer for all instances.
+    for layer in convolution_layers {
+        let jobs = layer.len();
+        let blocks = instances * jobs;
+        let body = |lane: usize, b: usize| {
+            let instance = b / jobs;
+            let job = layer[b % jobs];
+            let mapped = ConvJob {
+                in1: map_slot(instance, job.in1),
+                in2: map_slot(instance, job.in2),
+                out: map_slot(instance, job.out),
+            };
+            let mut s = scratch[lane].lock();
+            run_convolution_job(shared, &mapped, per, kernel, &mut s);
+        };
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid_indexed(blocks, body),
+            None => (0..blocks).for_each(|b| body(0, b)),
+        }
+        timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+    }
+    // Stage 2: addition kernels, launched the same way.
+    for layer in addition_layers {
+        let jobs = layer.len();
+        let blocks = instances * jobs;
+        let body = |b: usize| {
+            let instance = b / jobs;
+            let job = layer[b % jobs];
+            let mapped = AddJob {
+                src: map_slot(instance, job.src),
+                dst: map_slot(instance, job.dst),
+            };
+            run_addition_job(shared, &mapped, per);
+        };
+        let start = Instant::now();
+        match pool {
+            Some(pool) => pool.launch_grid(blocks, body),
+            None => (0..blocks).for_each(body),
+        }
+        timings.record(KernelKind::Addition, start.elapsed(), blocks);
+    }
+}
+
 /// Runs the two-stage algorithm of one polynomial's schedule at one input
-/// vector — the shared internal of [`ScheduledEvaluator`] and the engine's
-/// single-polynomial [`Plan`](crate::Plan).  `graph` caches the block-level
-/// plan across evaluations (built on first graph-mode use).
+/// vector, writing value and gradient into `out` — the shared internal of
+/// the engine's single-polynomial [`Plan`](crate::Plan).  `graph` caches the
+/// block-level plan across evaluations (built on first graph-mode use); all
+/// evaluation memory is borrowed from `ws`, so a warm workspace makes the
+/// run allocation-free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_single<C: Coeff>(
     poly: &Polynomial<C>,
     schedule: &Schedule,
@@ -134,181 +268,63 @@ pub(crate) fn run_single<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     inputs: &[Series<C>],
     pool: Option<&WorkerPool>,
-) -> Evaluation<C> {
+    ws: &mut Workspace<C>,
+    out: &mut Evaluation<C>,
+) {
     let wall = Stopwatch::start();
     let mut timings = KernelTimings::new();
     let per = schedule.layout.coeffs_per_slot();
-    let data = schedule.build_data_array(poly, inputs);
-    let shared = SharedArray::new(data);
-    let kernel = options.kernel;
-    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
-        // Dependency-driven path: every convolution and addition of the
-        // whole evaluation in one graph launch — one pool rendezvous.
-        let plan = graph.get_or_init(|| schedule.graph_plan());
-        let start = Instant::now();
-        pool.launch_graph(&plan.graph, 1, |b| {
-            run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
-        });
-        timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
-    } else {
-        // Layered reference path.
-        // Stage 1: convolution kernels, one launch per layer.
-        for layer in &schedule.convolution_layers {
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_convolution_job(&shared, &layer[b], per, kernel);
-                }),
-                None => {
-                    for job in layer {
-                        run_convolution_job(&shared, job, per, kernel);
-                    }
-                }
-            }
-            timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
-        }
-        // Stage 2: addition kernels.
-        for layer in &schedule.addition_layers {
-            let start = Instant::now();
-            match pool {
-                Some(pool) => pool.launch_grid(layer.len(), |b| {
-                    run_addition_job(&shared, &layer[b], per);
-                }),
-                None => {
-                    for job in layer {
-                        run_addition_job(&shared, job, per);
-                    }
-                }
-            }
-            timings.record(KernelKind::Addition, start.elapsed(), layer.len());
-        }
+    let participants = pool.map_or(1, WorkerPool::parallelism);
+    let (arena, scratch, graph_scratch) =
+        ws.parts(schedule.layout.total_coefficients(), participants);
+    schedule.fill_data_array(poly, inputs, arena);
+    let plan = match (options.exec_mode, pool) {
+        (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
+        _ => None,
+    };
+    {
+        let shared = SharedSlice::new(&mut *arena);
+        execute_schedule(
+            &schedule.convolution_layers,
+            &schedule.addition_layers,
+            plan,
+            &shared,
+            per,
+            options.kernel,
+            pool,
+            scratch,
+            graph_scratch,
+            &mut timings,
+            1,
+            |_, slot| slot,
+        );
     }
-    let data = shared.into_inner();
-    let value = schedule.extract(&data, schedule.value_location);
-    let gradient = schedule
+    schedule.extract_into(arena, schedule.value_location, &mut out.value);
+    out.gradient
+        .resize_with(schedule.gradient_locations.len(), || Series::zero(0));
+    for (&loc, g) in schedule
         .gradient_locations
         .iter()
-        .map(|&loc| schedule.extract(&data, loc))
-        .collect();
+        .zip(out.gradient.iter_mut())
+    {
+        schedule.extract_into(arena, loc, g);
+    }
     timings.wall_clock = wall.elapsed();
-    Evaluation {
-        value,
-        gradient,
-        timings,
-    }
-}
-
-/// The scheduled evaluator: builds the job schedule of a polynomial once and
-/// evaluates it at any number of input vectors (the coordinates of the jobs
-/// "depend only on the structure of the monomials and are computed only
-/// once", Section 5).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Engine::compile` for an owned, shareable `Plan` (this borrowing shim \
-            will be removed after one release)"
-)]
-pub struct ScheduledEvaluator<'p, C> {
-    poly: &'p Polynomial<C>,
-    schedule: Schedule,
-    options: EvalOptions,
-    plan: OnceLock<GraphPlan>,
-}
-
-#[allow(deprecated)]
-impl<'p, C: Coeff> ScheduledEvaluator<'p, C> {
-    /// Builds the schedule for a polynomial.
-    pub fn new(poly: &'p Polynomial<C>) -> Self {
-        Self {
-            poly,
-            schedule: Schedule::build(poly),
-            options: EvalOptions::default(),
-            plan: OnceLock::new(),
-        }
-    }
-
-    /// Selects the convolution kernel variant (ablation).
-    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.options.kernel = kernel;
-        self
-    }
-
-    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
-    /// layered launches (the reference) or one dependency-driven task-graph
-    /// launch per evaluation.
-    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.options.exec_mode = mode;
-        self
-    }
-
-    /// Replaces both knobs at once with a shared [`EvalOptions`].
-    pub fn with_options(mut self, options: EvalOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// The configured options.
-    pub fn options(&self) -> EvalOptions {
-        self.options
-    }
-
-    /// The configured execution mode.
-    pub fn exec_mode(&self) -> ExecMode {
-        self.options.exec_mode
-    }
-
-    /// The block-level graph plan, built once on first use.
-    pub fn graph_plan(&self) -> &GraphPlan {
-        self.plan.get_or_init(|| self.schedule.graph_plan())
-    }
-
-    /// The underlying schedule.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
-    }
-
-    /// The polynomial the schedule was built for.
-    pub fn polynomial(&self) -> &Polynomial<C> {
-        self.poly
-    }
-
-    /// Runs the two-stage algorithm on a single thread.
-    pub fn evaluate_sequential(&self, inputs: &[Series<C>]) -> Evaluation<C> {
-        run_single(
-            self.poly,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            inputs,
-            None,
-        )
-    }
-
-    /// Runs the two-stage algorithm on the worker pool: one kernel launch
-    /// per layer (the default [`ExecMode::Layered`]) or one dependency-driven
-    /// graph launch for the whole evaluation ([`ExecMode::Graph`]).
-    pub fn evaluate_parallel(&self, inputs: &[Series<C>], pool: &WorkerPool) -> Evaluation<C> {
-        run_single(
-            self.poly,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            inputs,
-            Some(pool),
-        )
-    }
+    out.timings = timings;
 }
 
 /// Executes one node of a [`GraphPlan`] on the shared data array: node ids
 /// below `plan.conv.len()` are convolution jobs, the rest addition jobs.
 /// `map_slot` rebases slots into the arena (identity for single and system
 /// evaluation, the instance shift for batched evaluation), so the three
-/// graph-mode evaluators share one dispatch.
+/// graph-mode paths share one dispatch.
 pub(crate) fn run_graph_node<C: Coeff>(
     plan: &GraphPlan,
     node: usize,
-    shared: &SharedArray<C>,
+    shared: &SharedSlice<'_, C>,
     per: usize,
     kernel: ConvolutionKernel,
+    scratch: &mut ConvScratch<C>,
     map_slot: impl Fn(usize) -> usize,
 ) {
     let n_conv = plan.conv.len();
@@ -319,7 +335,7 @@ pub(crate) fn run_graph_node<C: Coeff>(
             in2: map_slot(job.in2),
             out: map_slot(job.out),
         };
-        run_convolution_job(shared, &mapped, per, kernel);
+        run_convolution_job(shared, &mapped, per, kernel, scratch);
     } else {
         let job = plan.add[node - n_conv];
         let mapped = AddJob {
@@ -332,33 +348,54 @@ pub(crate) fn run_graph_node<C: Coeff>(
 
 /// Executes one convolution job on the shared data array.
 ///
-/// The inputs are staged into thread-local storage first (the equivalent of
-/// the shared-memory staging of the device kernel), which also makes the
-/// in-place update `b := b * a` safe.
+/// Operands are read **directly from the arena** — within one layer no other
+/// job writes them, by the schedule's validated invariant — except an
+/// operand that aliases the job's own output (the in-place `b := b * a`
+/// update), which is staged into the per-worker scratch first, the CPU
+/// equivalent of the paper's shared-memory staging.  Nothing is allocated.
 pub(crate) fn run_convolution_job<C: Coeff>(
-    shared: &SharedArray<C>,
+    shared: &SharedSlice<'_, C>,
     job: &ConvJob,
     per: usize,
     kernel: ConvolutionKernel,
+    scratch: &mut ConvScratch<C>,
 ) {
-    // Safety: the schedule guarantees that within one layer no other job
-    // writes these input ranges.
-    let x: Vec<C> = unsafe { shared.slice(job.in1 * per, per) }.to_vec();
-    let y: Vec<C> = unsafe { shared.slice(job.in2 * per, per) }.to_vec();
-    // Safety: the schedule guarantees the output range is written by this job
-    // only.
+    let buf = scratch.ensure(per);
+    let (stage_x, rest) = buf.split_at_mut(per);
+    let (stage_y, kernel_scratch) = rest.split_at_mut(per);
+    let x_aliases_out = job.in1 == job.out;
+    let y_aliases_out = job.in2 == job.out;
+    // Safety (reads): the schedule guarantees that within one layer no other
+    // job writes these input ranges, and the output range below is only
+    // aliased when staged away first.
+    if x_aliases_out {
+        stage_x.copy_from_slice(unsafe { shared.slice(job.in1 * per, per) });
+    }
+    if y_aliases_out {
+        stage_y.copy_from_slice(unsafe { shared.slice(job.in2 * per, per) });
+    }
+    let x: &[C] = if x_aliases_out {
+        stage_x
+    } else {
+        unsafe { shared.slice(job.in1 * per, per) }
+    };
+    let y: &[C] = if y_aliases_out {
+        stage_y
+    } else {
+        unsafe { shared.slice(job.in2 * per, per) }
+    };
+    // Safety: the schedule guarantees the output range is written by this
+    // job only, and neither `x` nor `y` points into it (aliasing operands
+    // were staged above).
     let out = unsafe { shared.slice_mut(job.out * per, per) };
     match kernel {
-        ConvolutionKernel::ZeroInsertion => {
-            let mut scratch = vec![C::zero(); 4 * per];
-            convolve_zero_insertion(&x, &y, out, &mut scratch);
-        }
-        ConvolutionKernel::Direct => convolve_seq(&x, &y, out),
+        ConvolutionKernel::ZeroInsertion => convolve_zero_insertion(x, y, out, kernel_scratch),
+        ConvolutionKernel::Direct => convolve_seq(x, y, out),
     }
 }
 
 /// Executes one addition job on the shared data array.
-pub(crate) fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, per: usize) {
+pub(crate) fn run_addition_job<C: Coeff>(shared: &SharedSlice<'_, C>, job: &AddJob, per: usize) {
     debug_assert_ne!(job.src, job.dst);
     // Safety: the schedule guarantees src is not written and dst is written
     // only by this job within the current layer.
@@ -368,14 +405,14 @@ pub(crate) fn run_addition_job<C: Coeff>(shared: &SharedArray<C>, job: &AddJob, 
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, Plan};
     use crate::monomial::Monomial;
     use psmd_multidouble::{Complex, Dd, Md, Qd};
-    use psmd_runtime::WorkerPool;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn coeff(c: f64, d: usize) -> Series<Qd> {
         Series::constant(Qd::from_f64(c), d)
@@ -397,6 +434,12 @@ mod tests {
         (0..n)
             .map(|i| Series::constant(Qd::from_f64((i + 1) as f64), d))
             .collect()
+    }
+
+    fn compile(p: &Polynomial<Qd>, threads: usize) -> (Engine, Arc<Plan<Qd>>) {
+        let engine = Engine::builder().threads(threads).build();
+        let plan = engine.compile(p.clone());
+        (engine, plan)
     }
 
     #[test]
@@ -422,8 +465,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
-        let ev = ScheduledEvaluator::new(&p);
-        let scheduled = ev.evaluate_sequential(&z);
+        let (_engine, plan) = compile(&p, 0);
+        let scheduled = plan.evaluate_sequential(&z).into_single();
         assert!(
             naive.max_difference(&scheduled) < 1e-55,
             "difference {}",
@@ -437,27 +480,24 @@ mod tests {
         let p = paper_example(d);
         let mut rng = StdRng::seed_from_u64(5);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
-        let ev = ScheduledEvaluator::new(&p);
-        let seq = ev.evaluate_sequential(&z);
-        let pool = WorkerPool::new(3);
-        let par = ev.evaluate_parallel(&z, &pool);
+        let (_engine, plan) = compile(&p, 3);
+        let seq = plan.evaluate_sequential(&z).into_single();
+        let par = plan.evaluate(&z).into_single();
         // Same schedule, same arithmetic, same order within each job: results
         // must be bitwise identical.
         assert_eq!(seq.value, par.value);
         assert_eq!(seq.gradient, par.gradient);
+        let schedule = plan.schedule().expect("single plan");
         assert_eq!(
             par.timings.convolution_launches,
-            ev.schedule().convolution_layers.len()
+            schedule.convolution_layers.len()
         );
         assert_eq!(
             par.timings.addition_launches,
-            ev.schedule().addition_layers.len()
+            schedule.addition_layers.len()
         );
-        assert_eq!(
-            par.timings.convolution_blocks,
-            ev.schedule().convolution_jobs()
-        );
-        assert_eq!(par.timings.addition_blocks, ev.schedule().addition_jobs());
+        assert_eq!(par.timings.convolution_blocks, schedule.convolution_jobs());
+        assert_eq!(par.timings.addition_blocks, schedule.addition_jobs());
         assert!(par.timings.wall_clock_ms() >= par.timings.sum_ms() * 0.5);
     }
 
@@ -467,29 +507,25 @@ mod tests {
         let p = paper_example(d);
         let mut rng = StdRng::seed_from_u64(5);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
-        let layered = ScheduledEvaluator::new(&p);
-        let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-        assert_eq!(graph.exec_mode(), ExecMode::Graph);
-        let pool = WorkerPool::new(3);
-        let a = layered.evaluate_parallel(&z, &pool);
-        let before = pool.rendezvous_count();
-        let b = graph.evaluate_parallel(&z, &pool);
+        let engine = Engine::builder().threads(3).build();
+        let layered = engine.compile(p.clone());
+        let graph =
+            engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+        assert_eq!(graph.options().exec_mode, ExecMode::Graph);
+        let a = layered.evaluate(&z).into_single();
+        let before = engine.pool().rendezvous_count();
+        let b = graph.evaluate(&z).into_single();
         // The whole evaluation costs exactly one pool rendezvous, against
         // one per layer (with >= 2 blocks) on the layered path.
-        assert_eq!(pool.rendezvous_count(), before + 1);
+        assert_eq!(engine.pool().rendezvous_count(), before + 1);
         assert_eq!(a.value, b.value, "graph mode must be bitwise identical");
         assert_eq!(a.gradient, b.gradient);
         assert_eq!(b.timings.graph_launches, 1);
         assert_eq!(b.timings.convolution_launches, 0);
         assert_eq!(b.timings.addition_launches, 0);
-        assert_eq!(
-            b.timings.convolution_blocks,
-            layered.schedule().convolution_jobs()
-        );
-        assert_eq!(
-            b.timings.addition_blocks,
-            layered.schedule().addition_jobs()
-        );
+        let schedule = layered.schedule().expect("single plan");
+        assert_eq!(b.timings.convolution_blocks, schedule.convolution_jobs());
+        assert_eq!(b.timings.addition_blocks, schedule.addition_jobs());
     }
 
     #[test]
@@ -500,14 +536,19 @@ mod tests {
         let p = paper_example(d);
         let mut rng = StdRng::seed_from_u64(29);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
-        let evaluator = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-        let seq = evaluator.evaluate_sequential(&z);
-        let pool = WorkerPool::new(0);
-        let par = evaluator.evaluate_parallel(&z, &pool);
+        let engine = Engine::builder()
+            .threads(0)
+            .exec_mode(ExecMode::Graph)
+            .build();
+        let plan = engine.compile(p);
+        let seq = plan.evaluate_sequential(&z).into_single();
+        let par = plan.evaluate(&z).into_single();
         assert_eq!(seq.value, par.value);
         assert_eq!(seq.gradient, par.gradient);
         // The inline path never wakes a pool.
-        assert_eq!(pool.rendezvous_count(), 0);
+        assert_eq!(engine.pool().rendezvous_count(), 0);
+        // It still reports the graph launch it performed.
+        assert_eq!(par.timings.graph_launches, 1);
     }
 
     #[test]
@@ -516,10 +557,15 @@ mod tests {
         let p = paper_example(d);
         let mut rng = StdRng::seed_from_u64(12);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
-        let zero_insertion = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
-        let direct = ScheduledEvaluator::new(&p)
-            .with_kernel(ConvolutionKernel::Direct)
-            .evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let zero_insertion = engine
+            .compile(p.clone())
+            .evaluate_sequential(&z)
+            .into_single();
+        let direct = engine
+            .compile_with_options(p, EvalOptions::new().with_kernel(ConvolutionKernel::Direct))
+            .evaluate_sequential(&z)
+            .into_single();
         assert!(zero_insertion.max_difference(&direct) < 1e-55);
     }
 
@@ -538,7 +584,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let z: Vec<Series<Qd>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
-        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let (_engine, plan) = compile(&p, 0);
+        let scheduled = plan.evaluate_sequential(&z).into_single();
         assert!(naive.max_difference(&scheduled) < 1e-58);
         // Gradient with respect to the absent variable is zero.
         assert!(scheduled.gradient[1].is_zero());
@@ -559,7 +606,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let z: Vec<Series<Qd>> = vec![Series::random(&mut rng, d)];
         let naive = evaluate_naive(&p, &z);
-        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let (_engine, plan) = compile(&p, 0);
+        let scheduled = plan.evaluate_sequential(&z).into_single();
         assert!(naive.max_difference(&scheduled) < 1e-60);
         assert_eq!(scheduled.gradient[0].coeff(0).to_f64(), 7.0);
     }
@@ -581,10 +629,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         let z: Vec<Series<Cx>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
-        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let engine = Engine::builder().threads(2).build();
+        let plan = engine.compile(p);
+        let scheduled = plan.evaluate_sequential(&z).into_single();
         assert!(naive.max_difference(&scheduled) < 1e-28);
-        let pool = WorkerPool::new(2);
-        let par = ScheduledEvaluator::new(&p).evaluate_parallel(&z, &pool);
+        let par = plan.evaluate(&z).into_single();
         assert_eq!(par.value, scheduled.value);
     }
 
@@ -596,7 +645,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let z: Vec<Series<Md<1>>> = (0..2).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
-        let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let scheduled = engine.compile(p).evaluate_sequential(&z).into_single();
         assert!(naive.max_difference(&scheduled) < 1e-13);
     }
 
@@ -652,7 +702,8 @@ mod tests {
             Series::<Qd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
             Series::<Qd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
         ];
-        let e = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+        let (_engine, plan) = compile(&p, 0);
+        let e = plan.evaluate_sequential(&z).into_single();
         assert_eq!(e.value.coeff(0).to_f64(), 1.0);
         assert_eq!(e.value.coeff(1).to_f64(), 0.0);
         assert_eq!(e.value.coeff(2).to_f64(), -1.0);

@@ -17,7 +17,10 @@
 //!    vector, a whole batch, or a system — with [`Plan::evaluate`], layered
 //!    (one kernel launch per layer) or dependency-driven
 //!    ([`ExecMode::Graph`]: one task-graph launch, hence one pool
-//!    rendezvous, per evaluation), collecting per-kernel timings;
+//!    rendezvous, per evaluation), collecting per-kernel timings.  All
+//!    evaluation memory is borrowed from pooled [`Workspace`]s, so
+//!    steady-state evaluation allocates nothing ([`Plan::evaluate_into`]
+//!    for callers that also reuse the output);
 //! 4. compare against the naive baseline ([`evaluate_naive`]) and convert the
 //!    schedule into the [`psmd_device::WorkloadShape`] of the analytic GPU
 //!    performance model ([`counts::workload_shape`]).
@@ -45,10 +48,9 @@
 //! assert!(eval.max_difference(&evaluate_naive(&p, &z)) < 1e-30);
 //! ```
 //!
-//! The historical borrowing front-ends ([`ScheduledEvaluator`],
-//! [`BatchEvaluator`], [`SystemEvaluator`]) remain as deprecated shims over
-//! the same internals for one release; they produce bitwise-identical
-//! results.
+//! The historical borrowing front-ends (`ScheduledEvaluator`,
+//! `BatchEvaluator`, `SystemEvaluator`), deprecated in 0.2, have been
+//! removed; [`Engine::compile`] + [`Plan::evaluate`] is the one entry point.
 
 #![warn(missing_docs)]
 
@@ -63,17 +65,14 @@ pub mod options;
 pub mod polynomial;
 pub mod schedule;
 pub mod system;
+pub mod workspace;
 
 pub use batch::BatchEvaluation;
-#[allow(deprecated)]
-pub use batch::BatchEvaluator;
 pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
 pub use engine::{
     AnyEvalOutput, AnyInputs, AnyPlan, AnyPolySource, Engine, EngineBuilder, EvalOutput,
     GraphPlanStats, Inputs, OwnedInputs, Plan, PlanCacheStats, PlanStats, PolySource,
 };
-#[allow(deprecated)]
-pub use evaluate::ScheduledEvaluator;
 pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ExecMode};
 pub use generators::{
     banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,
@@ -81,11 +80,11 @@ pub use generators::{
 };
 pub use monomial::Monomial;
 pub use newton::{
-    newton_system, newton_system_parallel, solve_linearized, NewtonOptions, NewtonResult,
+    newton_system, newton_system_parallel, solve_linearized, LinearSolveWorkspace, NewtonOptions,
+    NewtonResult,
 };
 pub use options::EvalOptions;
 pub use polynomial::Polynomial;
 pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};
-#[allow(deprecated)]
-pub use system::SystemEvaluator;
 pub use system::{evaluate_naive_system, SystemEvaluation, SystemLayout, SystemSchedule};
+pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

@@ -24,11 +24,18 @@
 //! constant coefficients and `d + 1` cheap triangular solves.  With an exact
 //! constant-term solution as the starting point, the number of correct
 //! series coefficients doubles every iteration.
+//!
+//! The whole iteration is **allocation-stable**: one evaluation
+//! [`Workspace`], one [`SystemEvaluation`] and one [`LinearSolveWorkspace`]
+//! are created up front and reused by every Newton step, so steps after the
+//! first neither re-stage the arena nor re-allocate the LU / staging buffers
+//! of the degree-by-degree solves.
 
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::GraphPlan;
 use crate::system::{run_system, SystemEvaluation, SystemSchedule};
+use crate::workspace::Workspace;
 use psmd_multidouble::RealCoeff;
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
@@ -112,29 +119,49 @@ fn newton_system_impl<C: RealCoeff>(
     for z in initial {
         assert_eq!(z.degree(), degree, "initial guess degree mismatch");
     }
-    // The merged schedule is built once and reused by every step.
+    // The merged schedule is built once and reused by every step, and so is
+    // every buffer: the evaluation workspace (arena, per-worker scratch),
+    // the evaluation output, the negated right-hand side, the update, and
+    // the staged-solve workspace.  Steps after the first allocate nothing.
     let schedule = SystemSchedule::build(polys);
     let graph: OnceLock<GraphPlan> = OnceLock::new();
-    let evaluate =
-        |z: &[Series<C>]| run_system(polys, &schedule, EvalOptions::default(), &graph, z, pool);
+    let mut ws = Workspace::new(pool.map_or(1, WorkerPool::parallelism));
+    let mut eval = SystemEvaluation::empty();
+    let mut rhs: Vec<Series<C>> = Vec::new();
+    let mut delta: Vec<Series<C>> = Vec::new();
+    let mut solver = LinearSolveWorkspace::new();
     let mut z: Vec<Series<C>> = initial.to_vec();
     let mut residuals = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
-    for _ in 0..options.max_iterations {
-        let eval: SystemEvaluation<C> = evaluate(&z);
-        let residual = eval
-            .values
+    let residual_of = |eval: &SystemEvaluation<C>| {
+        eval.values
             .iter()
             .map(Series::max_magnitude)
-            .fold(0.0, f64::max);
+            .fold(0.0, f64::max)
+    };
+    for _ in 0..options.max_iterations {
+        run_system(
+            polys,
+            &schedule,
+            EvalOptions::default(),
+            &graph,
+            &z,
+            pool,
+            &mut ws,
+            &mut eval,
+        );
+        let residual = residual_of(&eval);
         residuals.push(residual);
         if residual <= options.tolerance {
             converged = true;
             break;
         }
-        let rhs: Vec<Series<C>> = eval.values.iter().map(Series::neg).collect();
-        let delta = solve_linearized(&eval.jacobian, &rhs);
+        rhs.resize_with(n, || Series::zero(0));
+        for (r, v) in rhs.iter_mut().zip(eval.values.iter()) {
+            v.neg_into(r);
+        }
+        solve_linearized_into(&eval.jacobian, &rhs, &mut solver, &mut delta);
         for (zi, di) in z.iter_mut().zip(delta.iter()) {
             zi.add_assign(di);
         }
@@ -142,12 +169,17 @@ fn newton_system_impl<C: RealCoeff>(
     }
     if !converged {
         // Report the residual of the final iterate.
-        let eval = evaluate(&z);
-        let residual = eval
-            .values
-            .iter()
-            .map(Series::max_magnitude)
-            .fold(0.0, f64::max);
+        run_system(
+            polys,
+            &schedule,
+            EvalOptions::default(),
+            &graph,
+            &z,
+            pool,
+            &mut ws,
+            &mut eval,
+        );
+        let residual = residual_of(&eval);
         residuals.push(residual);
         converged = residual <= options.tolerance;
     }
@@ -156,6 +188,35 @@ fn newton_system_impl<C: RealCoeff>(
         residuals,
         iterations,
         converged,
+    }
+}
+
+/// Reusable buffers of the staged linearized solve: the flat `n × n` LU
+/// factorization of `J_0`, the pivot permutation, and the per-degree
+/// right-hand-side staging.  Create it once and hand it to
+/// [`solve_linearized_into`] for every Newton step — after the first call
+/// the solve allocates nothing.
+#[derive(Debug, Default)]
+pub struct LinearSolveWorkspace<C> {
+    /// Row-major `n × n` LU factors of the constant-term Jacobian.
+    lu: Vec<C>,
+    /// Row permutation of the partial pivoting.
+    perm: Vec<usize>,
+    /// The right-hand side of the current degree.
+    rhs_k: Vec<C>,
+    /// The permuted/solved coefficient vector of the current degree.
+    y: Vec<C>,
+}
+
+impl<C: RealCoeff> LinearSolveWorkspace<C> {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self {
+            lu: Vec::new(),
+            perm: Vec::new(),
+            rhs_k: Vec::new(),
+            y: Vec::new(),
+        }
     }
 }
 
@@ -177,6 +238,22 @@ pub fn solve_linearized<C: RealCoeff>(
     jacobian: &[Vec<Series<C>>],
     rhs: &[Series<C>],
 ) -> Vec<Series<C>> {
+    let mut ws = LinearSolveWorkspace::new();
+    let mut solution = Vec::new();
+    solve_linearized_into(jacobian, rhs, &mut ws, &mut solution);
+    solution
+}
+
+/// Like [`solve_linearized`], but all staging lives in the reusable
+/// [`LinearSolveWorkspace`] and the solution is written into `solution`
+/// (resized in place) — the allocation-free form the Newton iteration runs
+/// every step.
+pub fn solve_linearized_into<C: RealCoeff>(
+    jacobian: &[Vec<Series<C>>],
+    rhs: &[Series<C>],
+    ws: &mut LinearSolveWorkspace<C>,
+    solution: &mut Vec<Series<C>>,
+) {
     let n = jacobian.len();
     assert!(n > 0, "empty linear system");
     assert_eq!(rhs.len(), n, "right-hand side length mismatch");
@@ -190,76 +267,85 @@ pub fn solve_linearized<C: RealCoeff>(
     for b in rhs {
         assert_eq!(b.degree(), degree, "degree mismatch in the right-hand side");
     }
-    // LU factorization of J_0 with partial pivoting, kept in place.
-    let mut lu: Vec<Vec<C>> = jacobian
-        .iter()
-        .map(|row| row.iter().map(|s| s.coeff(0)).collect())
-        .collect();
-    let mut perm: Vec<usize> = (0..n).collect();
+    // LU factorization of J_0 with partial pivoting, kept in place in the
+    // reusable flat row-major buffer.
+    let lu = &mut ws.lu;
+    lu.clear();
+    lu.reserve(n * n);
+    for row in jacobian {
+        lu.extend(row.iter().map(|s| s.coeff(0)));
+    }
+    ws.perm.clear();
+    ws.perm.extend(0..n);
     for col in 0..n {
-        let pivot_row = (col..n)
-            .max_by(|&a, &b| {
-                lu[a][col]
-                    .magnitude()
-                    .partial_cmp(&lu[b][col].magnitude())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("non-empty pivot search");
+        let mut pivot_row = col;
+        let mut best = lu[col * n + col].magnitude();
+        // `>=` keeps the historical tie-break of `Iterator::max_by`, which
+        // returned the last of several equal pivots.
+        for row in col + 1..n {
+            let m = lu[row * n + col].magnitude();
+            if m >= best {
+                best = m;
+                pivot_row = row;
+            }
+        }
         assert!(
-            lu[pivot_row][col].magnitude() > 0.0,
+            best > 0.0,
             "the constant-term Jacobian is singular (column {col})"
         );
-        lu.swap(col, pivot_row);
-        perm.swap(col, pivot_row);
-        let pivot = lu[col][col];
+        if pivot_row != col {
+            for c in 0..n {
+                lu.swap(col * n + c, pivot_row * n + c);
+            }
+            ws.perm.swap(col, pivot_row);
+        }
+        let pivot = lu[col * n + col];
         for row in col + 1..n {
-            let factor = lu[row][col].div(&pivot);
-            lu[row][col] = factor;
-            let (upper, lower) = lu.split_at_mut(row);
-            let pivot_row = &upper[col];
-            for (entry, above) in lower[0][col + 1..].iter_mut().zip(&pivot_row[col + 1..]) {
-                let sub = factor.mul(above);
-                *entry = entry.sub(&sub);
+            let factor = lu[row * n + col].div(&pivot);
+            lu[row * n + col] = factor;
+            for c in col + 1..n {
+                let sub = factor.mul(&lu[col * n + c]);
+                lu[row * n + c] = lu[row * n + c].sub(&sub);
             }
         }
     }
-    // One triangular solve with the factored J_0.
-    let solve_j0 = |b: &[C]| -> Vec<C> {
-        let mut y: Vec<C> = perm.iter().map(|&p| b[p]).collect();
-        for row in 1..n {
-            for col in 0..row {
-                let sub = lu[row][col].mul(&y[col]);
-                y[row] = y[row].sub(&sub);
-            }
-        }
-        for row in (0..n).rev() {
-            for col in row + 1..n {
-                let sub = lu[row][col].mul(&y[col]);
-                y[row] = y[row].sub(&sub);
-            }
-            y[row] = y[row].div(&lu[row][row]);
-        }
-        y
-    };
     // Stage the solution degree by degree.
-    let mut solution: Vec<Series<C>> = (0..n).map(|_| Series::zero(degree)).collect();
+    solution.resize_with(n, || Series::zero(0));
+    for s in solution.iter_mut() {
+        s.fill_zero(degree);
+    }
     for k in 0..=degree {
-        let mut b: Vec<C> = rhs.iter().map(|r| r.coeff(k)).collect();
+        ws.rhs_k.clear();
+        ws.rhs_k.extend(rhs.iter().map(|r| r.coeff(k)));
         // b_k -= Σ_{j=1..k} J_j x_{k-j}
         for j in 1..=k {
             for (i, row) in jacobian.iter().enumerate() {
                 for (c, entry) in row.iter().enumerate() {
                     let sub = entry.coeff(j).mul(&solution[c].coeff(k - j));
-                    b[i] = b[i].sub(&sub);
+                    ws.rhs_k[i] = ws.rhs_k[i].sub(&sub);
                 }
             }
         }
-        let xk = solve_j0(&b);
-        for (c, x) in xk.into_iter().enumerate() {
+        // One triangular solve with the factored J_0.
+        ws.y.clear();
+        ws.y.extend(ws.perm.iter().map(|&p| ws.rhs_k[p]));
+        for row in 1..n {
+            for col in 0..row {
+                let sub = lu[row * n + col].mul(&ws.y[col]);
+                ws.y[row] = ws.y[row].sub(&sub);
+            }
+        }
+        for row in (0..n).rev() {
+            for col in row + 1..n {
+                let sub = lu[row * n + col].mul(&ws.y[col]);
+                ws.y[row] = ws.y[row].sub(&sub);
+            }
+            ws.y[row] = ws.y[row].div(&lu[row * n + row]);
+        }
+        for (c, &x) in ws.y.iter().enumerate() {
             solution[c].set_coeff(k, x);
         }
     }
-    solution
 }
 
 #[cfg(test)]
@@ -304,6 +390,35 @@ mod tests {
         let got = solve_linearized(&jacobian, &b);
         for (a, e) in got.iter().zip(x.iter()) {
             assert!(a.distance(e) < 1e-55, "distance {}", a.distance(e));
+        }
+    }
+
+    #[test]
+    fn solve_linearized_into_reuses_its_workspace_across_solves() {
+        // Two solves of different systems through one workspace must both be
+        // correct (stale LU/permutation state would corrupt the second).
+        let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
+        let mut ws = LinearSolveWorkspace::new();
+        let mut sol = Vec::new();
+        let j1 = vec![
+            vec![s(&[2.0, 0.0]), s(&[0.0, 0.0])],
+            vec![s(&[0.0, 0.0]), s(&[4.0, 0.0])],
+        ];
+        let b1 = vec![s(&[2.0, 4.0]), s(&[8.0, -4.0])];
+        solve_linearized_into(&j1, &b1, &mut ws, &mut sol);
+        assert!(sol[0].distance(&s(&[1.0, 2.0])) < 1e-60);
+        assert!(sol[1].distance(&s(&[2.0, -1.0])) < 1e-60);
+        // A different (permuted, 3x3) system through the same buffers.
+        let j2 = vec![
+            vec![s(&[0.0, 0.0]), s(&[1.0, 0.0]), s(&[0.0, 0.0])],
+            vec![s(&[1.0, 0.0]), s(&[0.0, 0.0]), s(&[0.0, 0.0])],
+            vec![s(&[0.0, 0.0]), s(&[0.0, 0.0]), s(&[2.0, 0.0])],
+        ];
+        let x = [s(&[1.0, 1.0]), s(&[-1.0, 0.5]), s(&[3.0, 0.0])];
+        let b2 = vec![x[1].clone(), x[0].clone(), x[2].scale(&Qd::from_f64(2.0))];
+        solve_linearized_into(&j2, &b2, &mut ws, &mut sol);
+        for (a, e) in sol.iter().zip(x.iter()) {
+            assert!(a.distance(e) < 1e-60, "distance {}", a.distance(e));
         }
     }
 

@@ -1,16 +1,14 @@
 //! Shared evaluation options.
 //!
-//! The three evaluator front-ends ([`crate::ScheduledEvaluator`],
-//! [`crate::BatchEvaluator`], [`crate::SystemEvaluator`]) and the engine
-//! ([`crate::Engine`]) all expose the same two knobs: which convolution
-//! kernel to run and how to execute the schedule on the worker pool.  This
-//! module holds the one struct they all share, replacing three copy-pasted
-//! sets of `with_kernel`/`with_exec_mode` builder methods.
+//! The engine ([`crate::Engine`]) and every plan it compiles expose the same
+//! two knobs: which convolution kernel to run and how to execute the
+//! schedule on the worker pool.  This module holds the one struct they
+//! share.
 
 use crate::evaluate::{ConvolutionKernel, ExecMode};
 
-/// The evaluation knobs shared by every evaluator front-end and by the
-/// engine: the convolution kernel variant and the pool execution mode.
+/// The evaluation knobs shared by the engine and its compiled plans: the
+/// convolution kernel variant and the pool execution mode.
 ///
 /// `EvalOptions` is part of the engine's plan-cache key, so it is `Hash`
 /// and `Eq`: plans compiled with different options coexist in the cache.

@@ -312,6 +312,26 @@ pub enum ResultLocation {
     Slot(usize),
 }
 
+/// Extracts the result series at `location` from a populated data array of
+/// `per`-coefficient slots into `out`, reusing its buffer — the shared body
+/// of [`Schedule::extract_into`] and
+/// [`SystemSchedule::extract_into`](crate::SystemSchedule::extract_into).
+pub(crate) fn extract_location_into<C: Coeff>(
+    data: &[C],
+    location: ResultLocation,
+    per: usize,
+    degree: usize,
+    out: &mut Series<C>,
+) {
+    match location {
+        ResultLocation::Zero => out.fill_zero(degree),
+        ResultLocation::Slot(slot) => {
+            let off = slot * per;
+            out.copy_from_coeffs(&data[off..off + per]);
+        }
+    }
+}
+
 /// The complete two-stage job schedule for one polynomial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
@@ -429,6 +449,24 @@ impl Schedule {
                 Series::from_coeffs(data[off..off + per].to_vec())
             }
         }
+    }
+
+    /// Extracts a result series into `out`, reusing its buffer — the
+    /// allocation-free counterpart of [`Schedule::extract`] used by the
+    /// workspace-reusing evaluation paths.
+    pub fn extract_into<C: Coeff>(
+        &self,
+        data: &[C],
+        location: ResultLocation,
+        out: &mut Series<C>,
+    ) {
+        extract_location_into(
+            data,
+            location,
+            self.layout.coeffs_per_slot(),
+            self.layout.degree,
+            out,
+        );
     }
 }
 

@@ -5,10 +5,10 @@
 //! values of all `m` equations **and** the full `m × n` Jacobian.  Evaluating
 //! the system one polynomial at a time costs `m` schedules, `m` data arenas
 //! and `m` pool launches per job layer — exactly the launch-starvation
-//! pattern the batched engine ([`crate::BatchEvaluator`]) was built to kill,
+//! pattern the batched engine (see [`crate::batch`]) was built to kill,
 //! only across equations instead of across evaluation points.
 //!
-//! [`SystemEvaluator`] amortizes the shared structure once:
+//! [`SystemSchedule`] amortizes the shared structure once:
 //!
 //! * the monomial sets of all equations are **merged and deduplicated**: a
 //!   monomial appearing (with the same variables and the same coefficient
@@ -25,10 +25,10 @@
 //! For an equation that shares no monomials with the others, the merged
 //! schedule reproduces that equation's single-polynomial
 //! [`Schedule`](crate::Schedule) job-for-job, so its value and gradient row
-//! are bitwise identical to [`crate::ScheduledEvaluator`] output.
+//! are bitwise identical to the single-polynomial plan's output.
 //!
 //! ```
-//! use psmd_core::{Monomial, Polynomial, SystemEvaluator};
+//! use psmd_core::{Engine, Monomial, Polynomial};
 //! use psmd_multidouble::Dd;
 //! use psmd_series::Series;
 //!
@@ -41,12 +41,13 @@
 //!     c(0.0),
 //!     vec![Monomial::new(c(1.0), vec![0]), Monomial::new(c(1.0), vec![1])],
 //! );
-//! let system = [f1, f2];
 //! let z = vec![
 //!     Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
 //!     Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
 //! ];
-//! let eval = SystemEvaluator::new(&system).evaluate_sequential(&z);
+//! let engine = Engine::builder().threads(0).build();
+//! let plan = engine.compile(vec![f1, f2]);
+//! let eval = plan.evaluate_sequential(&z).into_system();
 //! assert_eq!(eval.values[0].coeff(0).to_f64(), 4.0);       // 1 + 3
 //! assert_eq!(eval.values[0].coeff(2).to_f64(), -3.0);      // -3 t^2
 //! assert_eq!(eval.values[1].coeff(0).to_f64(), 2.0);       // (1+t) + (1-t)
@@ -54,22 +55,20 @@
 //! assert_eq!(eval.jacobian[1][1].coeff(0).to_f64(), 1.0);  // d f2/dx1 = 1
 //! ```
 
-use crate::evaluate::{
-    evaluate_naive, run_addition_job, run_convolution_job, run_graph_node, ConvolutionKernel,
-    Evaluation, ExecMode,
-};
+use crate::evaluate::{evaluate_naive, execute_schedule, Evaluation, ExecMode};
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{
-    build_graph_plan, derivative_slot_in, schedule_monomial_convolutions, schedule_output_sums,
-    validate_job_layers, AddJob, ConvJob, GraphPlan, OutputSum, ResultLocation,
+    build_graph_plan, derivative_slot_in, extract_location_into, schedule_monomial_convolutions,
+    schedule_output_sums, validate_job_layers, AddJob, ConvJob, GraphPlan, OutputSum,
+    ResultLocation,
 };
+use crate::workspace::Workspace;
 use psmd_multidouble::Coeff;
-use psmd_runtime::{KernelKind, KernelTimings, SharedArray, Stopwatch, WorkerPool};
+use psmd_runtime::{KernelTimings, SharedSlice, Stopwatch, WorkerPool};
 use psmd_series::Series;
 use std::collections::HashMap;
 use std::sync::OnceLock;
-use std::time::Instant;
 
 /// Positions of every series of a polynomial *system* in one flat data
 /// array: the constant term of each equation, the coefficient of each unique
@@ -446,6 +445,24 @@ impl SystemSchedule {
             }
         }
     }
+
+    /// Extracts a result series into `out`, reusing its buffer — the
+    /// allocation-free counterpart of [`SystemSchedule::extract`] used by
+    /// the workspace-reusing evaluation paths.
+    pub fn extract_into<C: Coeff>(
+        &self,
+        data: &[C],
+        location: ResultLocation,
+        out: &mut Series<C>,
+    ) {
+        extract_location_into(
+            data,
+            location,
+            self.layout.coeffs_per_slot(),
+            self.layout.degree,
+            out,
+        );
+    }
 }
 
 /// The result of one fused system evaluation: all equation values, the full
@@ -464,6 +481,16 @@ pub struct SystemEvaluation<C> {
 }
 
 impl<C: Coeff> SystemEvaluation<C> {
+    /// An empty system evaluation to be filled by an `*_into` run; its
+    /// buffers are grown on first use and reused afterwards.
+    pub fn empty() -> Self {
+        Self {
+            values: Vec::new(),
+            jacobian: Vec::new(),
+            timings: KernelTimings::new(),
+        }
+    }
+
     /// Number of equations.
     pub fn num_equations(&self) -> usize {
         self.values.len()
@@ -508,10 +535,13 @@ impl<C: Coeff> SystemEvaluation<C> {
     }
 }
 
-/// Evaluates a whole system through its merged schedule — the shared
-/// internal of [`SystemEvaluator`] and the engine's system
-/// [`Plan`](crate::Plan).  `graph` caches the block-level plan across
-/// evaluations (built on first graph-mode use).
+/// Evaluates a whole system through its merged schedule, writing all values
+/// and the full Jacobian into `out` — the shared internal of the engine's
+/// system [`Plan`](crate::Plan) and of the Newton iteration.  `graph` caches
+/// the block-level plan across evaluations (built on first graph-mode use);
+/// all evaluation memory is borrowed from `ws`, so a warm workspace makes
+/// the run allocation-free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_system<C: Coeff>(
     polys: &[Polynomial<C>],
     schedule: &SystemSchedule,
@@ -519,199 +549,64 @@ pub(crate) fn run_system<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     inputs: &[Series<C>],
     pool: Option<&WorkerPool>,
-) -> SystemEvaluation<C> {
+    ws: &mut Workspace<C>,
+    out: &mut SystemEvaluation<C>,
+) {
     let wall = Stopwatch::start();
     let mut timings = KernelTimings::new();
     let per = schedule.layout.coeffs_per_slot();
-    let mut data = vec![C::zero(); schedule.layout.total_coefficients()];
-    schedule.fill_data_array(polys, inputs, &mut data);
-    let shared = SharedArray::new(data);
-    let kernel = options.kernel;
-    if let (ExecMode::Graph, Some(pool)) = (options.exec_mode, pool) {
-        // Dependency-driven path: the whole system — every equation's
-        // deduplicated products plus all m values and m×n Jacobian sums
-        // — in one graph launch, one pool rendezvous.
-        let plan = graph.get_or_init(|| schedule.graph_plan());
-        let start = Instant::now();
-        pool.launch_graph(&plan.graph, 1, |b| {
-            run_graph_node(plan, b, &shared, per, kernel, |slot| slot);
-        });
-        timings.record_graph(start.elapsed(), plan.conv.len(), plan.add.len());
-        return finish_system(schedule, shared, timings, wall);
+    let participants = pool.map_or(1, WorkerPool::parallelism);
+    let (arena, scratch, graph_scratch) =
+        ws.parts(schedule.layout.total_coefficients(), participants);
+    schedule.fill_data_array(polys, inputs, arena);
+    // The whole system — every equation's deduplicated products plus all m
+    // values and m×n Jacobian sums — runs through the shared executor: one
+    // launch per merged layer, or one graph launch (one pool rendezvous) in
+    // graph mode.
+    let plan = match (options.exec_mode, pool) {
+        (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
+        _ => None,
+    };
+    {
+        let shared = SharedSlice::new(&mut *arena);
+        execute_schedule(
+            &schedule.convolution_layers,
+            &schedule.addition_layers,
+            plan,
+            &shared,
+            per,
+            options.kernel,
+            pool,
+            scratch,
+            graph_scratch,
+            &mut timings,
+            1,
+            |_, slot| slot,
+        );
     }
-    // Stage 1: convolution kernels — one launch per merged layer covers
-    // every equation's (deduplicated) products.
-    for layer in &schedule.convolution_layers {
-        let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid(layer.len(), |b| {
-                run_convolution_job(&shared, &layer[b], per, kernel);
-            }),
-            None => {
-                for job in layer {
-                    run_convolution_job(&shared, job, per, kernel);
-                }
-            }
-        }
-        timings.record(KernelKind::Convolution, start.elapsed(), layer.len());
+    let m = schedule.num_equations();
+    let n = schedule.num_variables();
+    out.values.resize_with(m, || Series::zero(0));
+    for (&loc, v) in schedule.value_locations.iter().zip(out.values.iter_mut()) {
+        schedule.extract_into(arena, loc, v);
     }
-    // Stage 2: addition kernels — one launch per merged layer sums all
-    // m values and all m×n Jacobian entries.
-    for layer in &schedule.addition_layers {
-        let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid(layer.len(), |b| {
-                run_addition_job(&shared, &layer[b], per);
-            }),
-            None => {
-                for job in layer {
-                    run_addition_job(&shared, job, per);
-                }
-            }
-        }
-        timings.record(KernelKind::Addition, start.elapsed(), layer.len());
-    }
-    finish_system(schedule, shared, timings, wall)
-}
-
-/// Extracts every value and Jacobian entry from the arena and closes the
-/// timing record (shared by the layered and graph paths).
-fn finish_system<C: Coeff>(
-    schedule: &SystemSchedule,
-    shared: SharedArray<C>,
-    mut timings: KernelTimings,
-    wall: Stopwatch,
-) -> SystemEvaluation<C> {
-    let data = shared.into_inner();
-    let values = schedule
-        .value_locations
-        .iter()
-        .map(|&loc| schedule.extract(&data, loc))
-        .collect();
-    let jacobian = schedule
+    out.jacobian.resize_with(m, Vec::new);
+    for (row_locs, row) in schedule
         .jacobian_locations
         .iter()
-        .map(|row| {
-            row.iter()
-                .map(|&loc| schedule.extract(&data, loc))
-                .collect()
-        })
-        .collect();
-    timings.wall_clock = wall.elapsed();
-    SystemEvaluation {
-        values,
-        jacobian,
-        timings,
-    }
-}
-
-/// Evaluates a system of polynomials and its full Jacobian at a vector of
-/// power series with one merged schedule and one worker-pool launch per job
-/// layer for the whole system.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Engine::compile` with `PolySource::System` for an owned, shareable \
-            `Plan` (this borrowing shim will be removed after one release)"
-)]
-pub struct SystemEvaluator<'p, C> {
-    polys: &'p [Polynomial<C>],
-    schedule: SystemSchedule,
-    options: EvalOptions,
-    plan: OnceLock<GraphPlan>,
-}
-
-#[allow(deprecated)]
-impl<'p, C: Coeff> SystemEvaluator<'p, C> {
-    /// Builds the merged schedule of a system once; it is reused by every
-    /// evaluation (a Newton iteration evaluates the same system many times).
-    pub fn new(polys: &'p [Polynomial<C>]) -> Self {
-        Self {
-            polys,
-            schedule: SystemSchedule::build(polys),
-            options: EvalOptions::default(),
-            plan: OnceLock::new(),
+        .zip(out.jacobian.iter_mut())
+    {
+        row.resize_with(n, || Series::zero(0));
+        for (&loc, entry) in row_locs.iter().zip(row.iter_mut()) {
+            schedule.extract_into(arena, loc, entry);
         }
     }
-
-    /// Selects the convolution kernel variant (ablation).
-    pub fn with_kernel(mut self, kernel: ConvolutionKernel) -> Self {
-        self.options.kernel = kernel;
-        self
-    }
-
-    /// Selects how [`Self::evaluate_parallel`] executes on the pool:
-    /// layered launches (the reference) or one dependency-driven task-graph
-    /// launch per system evaluation.
-    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.options.exec_mode = mode;
-        self
-    }
-
-    /// Replaces both knobs at once with a shared [`EvalOptions`].
-    pub fn with_options(mut self, options: EvalOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// The configured options.
-    pub fn options(&self) -> EvalOptions {
-        self.options
-    }
-
-    /// The configured execution mode.
-    pub fn exec_mode(&self) -> ExecMode {
-        self.options.exec_mode
-    }
-
-    /// The block-level graph plan of the merged schedule, built once on
-    /// first use.
-    pub fn graph_plan(&self) -> &GraphPlan {
-        self.plan.get_or_init(|| self.schedule.graph_plan())
-    }
-
-    /// The merged schedule.
-    pub fn schedule(&self) -> &SystemSchedule {
-        &self.schedule
-    }
-
-    /// The system the schedule was built for.
-    pub fn system(&self) -> &[Polynomial<C>] {
-        self.polys
-    }
-
-    /// Evaluates the whole system on a single thread (the correctness
-    /// reference for the parallel path).
-    pub fn evaluate_sequential(&self, inputs: &[Series<C>]) -> SystemEvaluation<C> {
-        run_system(
-            self.polys,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            inputs,
-            None,
-        )
-    }
-
-    /// Evaluates the whole system on the worker pool with exactly one grid
-    /// launch per merged layer, independent of the number of equations.
-    pub fn evaluate_parallel(
-        &self,
-        inputs: &[Series<C>],
-        pool: &WorkerPool,
-    ) -> SystemEvaluation<C> {
-        run_system(
-            self.polys,
-            &self.schedule,
-            self.options,
-            &self.plan,
-            inputs,
-            Some(pool),
-        )
-    }
+    timings.wall_clock = wall.elapsed();
+    out.timings = timings;
 }
 
 /// Evaluates a system equation by equation with the naive baseline
-/// ([`evaluate_naive`]): the correctness oracle for [`SystemEvaluator`].
+/// ([`evaluate_naive`]): the correctness oracle for the fused system plan.
 pub fn evaluate_naive_system<C: Coeff>(
     polys: &[Polynomial<C>],
     inputs: &[Series<C>],
@@ -734,16 +629,16 @@ pub fn evaluate_naive_system<C: Coeff>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::evaluate::ScheduledEvaluator;
+    use crate::engine::{Engine, Plan};
     use crate::generators::{random_inputs, random_polynomial};
     use crate::monomial::Monomial;
     use crate::schedule::Schedule;
     use psmd_multidouble::{Dd, Qd};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn coeff(c: f64, d: usize) -> Series<Qd> {
         Series::constant(Qd::from_f64(c), d)
@@ -785,14 +680,27 @@ mod tests {
         random_inputs::<Qd, _>(n, d, &mut rng)
     }
 
+    fn compile_system(system: &[Polynomial<Qd>], threads: usize) -> (Engine, Arc<Plan<Qd>>) {
+        let engine = Engine::builder().threads(threads).build();
+        let plan = engine.compile(system.to_vec());
+        (engine, plan)
+    }
+
     #[test]
     fn system_matches_per_equation_scheduled_bitwise_without_sharing() {
         let d = 5;
         let system = paper_system(d);
         let z = random_z(6, d, 7);
-        let fused = SystemEvaluator::new(&system).evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let fused = engine
+            .compile(system.clone())
+            .evaluate_sequential(&z)
+            .into_system();
         for (i, p) in system.iter().enumerate() {
-            let single = ScheduledEvaluator::new(p).evaluate_sequential(&z);
+            let single = engine
+                .compile(p.clone())
+                .evaluate_sequential(&z)
+                .into_single();
             // No monomial is shared between equations, so the merged schedule
             // reproduces each equation's own schedule job-for-job: results
             // are bitwise identical.
@@ -806,7 +714,8 @@ mod tests {
         let d = 4;
         let system = paper_system(d);
         let z = random_z(6, d, 11);
-        let fused = SystemEvaluator::new(&system).evaluate_sequential(&z);
+        let (_engine, plan) = compile_system(&system, 0);
+        let fused = plan.evaluate_sequential(&z).into_system();
         let naive = evaluate_naive_system(&system, &z);
         let diff = fused.max_difference(&naive);
         assert!(diff < 1e-55, "difference {diff}");
@@ -817,10 +726,9 @@ mod tests {
         let d = 6;
         let system = paper_system(d);
         let z = random_z(6, d, 3);
-        let evaluator = SystemEvaluator::new(&system);
-        let seq = evaluator.evaluate_sequential(&z);
-        let pool = WorkerPool::new(3);
-        let par = evaluator.evaluate_parallel(&z, &pool);
+        let (_engine, plan) = compile_system(&system, 3);
+        let seq = plan.evaluate_sequential(&z).into_system();
+        let par = plan.evaluate(&z).into_system();
         assert_eq!(seq.values, par.values);
         assert_eq!(seq.jacobian, par.jacobian);
     }
@@ -830,10 +738,9 @@ mod tests {
         let d = 3;
         let system = paper_system(d);
         let z = random_z(6, d, 5);
-        let pool = WorkerPool::new(2);
-        let evaluator = SystemEvaluator::new(&system);
-        let result = evaluator.evaluate_parallel(&z, &pool);
-        let schedule = evaluator.schedule();
+        let (_engine, plan) = compile_system(&system, 2);
+        let result = plan.evaluate(&z).into_system();
+        let schedule = plan.system_schedule().expect("system plan");
         // Exactly one pool launch per shared layer — independent of the
         // number of equations.
         assert_eq!(
@@ -864,20 +771,19 @@ mod tests {
         let d = 6;
         let system = paper_system(d);
         let z = random_z(6, d, 3);
-        let layered = SystemEvaluator::new(&system);
-        let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
-        let pool = WorkerPool::new(3);
-        let a = layered.evaluate_parallel(&z, &pool);
-        let before = pool.rendezvous_count();
-        let b = graph.evaluate_parallel(&z, &pool);
-        assert_eq!(pool.rendezvous_count(), before + 1);
+        let engine = Engine::builder().threads(3).build();
+        let layered = engine.compile(system.clone());
+        let graph =
+            engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+        let a = layered.evaluate(&z).into_system();
+        let before = engine.pool().rendezvous_count();
+        let b = graph.evaluate(&z).into_system();
+        assert_eq!(engine.pool().rendezvous_count(), before + 1);
         assert_eq!(a.values, b.values, "graph system must be bitwise identical");
         assert_eq!(a.jacobian, b.jacobian);
         assert_eq!(b.timings.graph_launches, 1);
-        assert_eq!(
-            b.timings.convolution_blocks,
-            layered.schedule().convolution_jobs()
-        );
+        let schedule = layered.system_schedule().expect("system plan");
+        assert_eq!(b.timings.convolution_blocks, schedule.convolution_jobs());
     }
 
     #[test]
@@ -894,12 +800,13 @@ mod tests {
             vec![shared(d), Monomial::new(coeff(5.0, d), vec![1])],
         );
         let system = vec![f1, f2];
-        let layered = SystemEvaluator::new(&system);
-        let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
+        let engine = Engine::builder().threads(2).build();
+        let layered = engine.compile(system.clone());
+        let graph =
+            engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
         let z = random_z(3, d, 61);
-        let pool = WorkerPool::new(2);
-        let a = layered.evaluate_parallel(&z, &pool);
-        let b = graph.evaluate_parallel(&z, &pool);
+        let a = layered.evaluate(&z).into_system();
+        let b = graph.evaluate(&z).into_system();
         assert_eq!(a.values, b.values);
         assert_eq!(a.jacobian, b.jacobian);
     }
@@ -917,8 +824,8 @@ mod tests {
             vec![shared(d), Monomial::new(coeff(5.0, d), vec![1])],
         );
         let system = vec![f1.clone(), f2.clone()];
-        let evaluator = SystemEvaluator::new(&system);
-        let schedule = evaluator.schedule();
+        let (_engine, plan) = compile_system(&system, 0);
+        let schedule = plan.system_schedule().expect("system plan");
         assert_eq!(schedule.total_monomials(), 3);
         assert_eq!(schedule.unique_monomials(), 2);
         assert_eq!(schedule.deduplicated_monomials(), 1);
@@ -927,7 +834,7 @@ mod tests {
         assert_eq!(schedule.convolution_jobs(), 6 + 1);
         // Results still match the naive per-equation oracle.
         let z = random_z(3, d, 23);
-        let fused = evaluator.evaluate_sequential(&z);
+        let fused = plan.evaluate_sequential(&z).into_system();
         let naive = evaluate_naive_system(&system, &z);
         assert!(fused.max_difference(&naive) < 1e-58);
     }
@@ -940,22 +847,34 @@ mod tests {
         let m = || Monomial::new(coeff(2.0, d), vec![0, 1]);
         let f = Polynomial::new(2, coeff(0.0, d), vec![m(), m()]);
         let system = vec![f.clone()];
-        let evaluator = SystemEvaluator::new(&system);
-        assert_eq!(evaluator.schedule().unique_monomials(), 1);
+        let (_engine, plan) = compile_system(&system, 0);
+        assert_eq!(
+            plan.system_schedule()
+                .expect("system plan")
+                .unique_monomials(),
+            1
+        );
         let z = random_z(2, d, 31);
-        let fused = evaluator.evaluate_sequential(&z);
+        let fused = plan.evaluate_sequential(&z).into_system();
         let naive = evaluate_naive_system(&system, &z);
         assert!(fused.max_difference(&naive) < 1e-58);
     }
 
     #[test]
-    fn single_equation_system_matches_scheduled_evaluator_bitwise() {
+    fn single_equation_system_matches_single_plan_bitwise() {
         let d = 4;
         let system = paper_system(d);
         let one = vec![system[0].clone()];
         let z = random_z(6, d, 13);
-        let fused = SystemEvaluator::new(&one).evaluate_sequential(&z);
-        let single = ScheduledEvaluator::new(&one[0]).evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let fused = engine
+            .compile(one.clone())
+            .evaluate_sequential(&z)
+            .into_system();
+        let single = engine
+            .compile(one[0].clone())
+            .evaluate_sequential(&z)
+            .into_single();
         assert_eq!(fused.values[0], single.value);
         assert_eq!(fused.jacobian[0], single.gradient);
     }
@@ -963,14 +882,18 @@ mod tests {
     #[test]
     fn random_systems_validate_and_match_naive() {
         let mut rng = StdRng::seed_from_u64(91);
+        let engine = Engine::builder().threads(0).build();
         for _ in 0..6 {
             let system: Vec<Polynomial<Dd>> = (0..3)
                 .map(|_| random_polynomial(5, 8, 4, 3, &mut rng))
                 .collect();
             let z = random_inputs::<Dd, _>(5, 3, &mut rng);
-            let evaluator = SystemEvaluator::new(&system);
-            evaluator.schedule().validate_layers().unwrap();
-            let fused = evaluator.evaluate_sequential(&z);
+            let plan = engine.compile(system.clone());
+            plan.system_schedule()
+                .expect("system plan")
+                .validate_layers()
+                .unwrap();
+            let fused = plan.evaluate_sequential(&z).into_system();
             let naive = evaluate_naive_system(&system, &z);
             assert!(fused.max_difference(&naive) < 1e-24);
         }
@@ -1010,7 +933,8 @@ mod tests {
         );
         let system = vec![f1, f2];
         let z = random_z(2, d, 41);
-        let fused = SystemEvaluator::new(&system).evaluate_sequential(&z);
+        let (_engine, plan) = compile_system(&system, 0);
+        let fused = plan.evaluate_sequential(&z).into_system();
         assert_eq!(fused.values[0].coeff(0).to_f64(), 7.0);
         assert!(fused.jacobian[0][0].is_zero());
         assert!(fused.jacobian[0][1].is_zero());
@@ -1021,7 +945,8 @@ mod tests {
         let d = 2;
         let system = paper_system(d);
         let z = random_z(6, d, 2);
-        let a = SystemEvaluator::new(&system).evaluate_sequential(&z);
+        let (_engine, plan) = compile_system(&system, 0);
+        let a = plan.evaluate_sequential(&z).into_system();
         let mut b = a.clone();
         b.values.pop();
         b.jacobian.pop();

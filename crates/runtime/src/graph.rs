@@ -90,6 +90,64 @@ impl TaskGraph {
         max
     }
 
+    /// Executes every block of `instances` independent copies of this graph
+    /// on the calling thread, in a dependency-respecting order, without
+    /// waking any pool — the inline counterpart of
+    /// [`WorkerPool::launch_graph`](crate::WorkerPool::launch_graph) for
+    /// zero-worker pools and sequential evaluation.
+    ///
+    /// Block `b` runs node `b % len()` of instance `b / len()`.  The pending
+    /// counters and the ready stack live in the caller-provided
+    /// [`InlineGraphScratch`], so a warm scratch makes repeated runs
+    /// **allocation-free** (the zero-allocation steady-state contract of the
+    /// evaluation workspaces rests on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics (after draining nothing further) when the graph is cyclic —
+    /// impossible for builder-produced graphs, whose edges always point
+    /// forward.
+    pub fn run_inline(
+        &self,
+        instances: usize,
+        scratch: &mut InlineGraphScratch,
+        mut body: impl FnMut(usize),
+    ) {
+        let nodes = self.len();
+        let total = instances * nodes;
+        if total == 0 {
+            return;
+        }
+        scratch.pending.clear();
+        scratch.pending.reserve(total);
+        scratch.ready.clear();
+        for instance in 0..instances {
+            let base = instance * nodes;
+            for n in 0..nodes {
+                let deg = self.in_degree(n);
+                scratch.pending.push(deg);
+                if deg == 0 {
+                    scratch.ready.push(base + n);
+                }
+            }
+        }
+        let mut retired = 0usize;
+        while let Some(block) = scratch.ready.pop() {
+            body(block);
+            retired += 1;
+            let node = block % nodes;
+            let base = block - node;
+            for &s in self.successors(node) {
+                let succ = base + s as usize;
+                scratch.pending[succ] -= 1;
+                if scratch.pending[succ] == 0 {
+                    scratch.ready.push(succ);
+                }
+            }
+        }
+        assert_eq!(retired, total, "dependency graph did not drain (cycle?)");
+    }
+
     /// Checks the structural invariants: every edge points forward (lower id
     /// to higher id, hence acyclic) and the stored in-degrees match the
     /// edges.  Returns a description of the first violation, if any.
@@ -110,6 +168,41 @@ impl TaskGraph {
             return Err("stored in-degrees do not match the edges".to_string());
         }
         Ok(())
+    }
+}
+
+/// Reusable scratch of [`TaskGraph::run_inline`]: the per-block pending
+/// counters and the ready stack.  Owned by long-lived evaluation workspaces
+/// so that steady-state inline graph execution allocates nothing.
+#[derive(Debug, Default)]
+pub struct InlineGraphScratch {
+    /// Remaining-predecessor count per block.
+    pending: Vec<u32>,
+    /// Blocks whose predecessors have all retired.
+    ready: Vec<usize>,
+}
+
+impl InlineGraphScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the buffers for graphs of up to `blocks` total blocks, so
+    /// the first run is allocation-free too.
+    pub fn with_capacity(blocks: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.reserve(blocks);
+        scratch
+    }
+
+    /// Grows the buffers **in place** to hold graphs of up to `blocks`
+    /// total blocks (no-op, and no shrinking, when they are already large
+    /// enough) — the re-warm path of a long-lived workspace.
+    pub fn reserve(&mut self, blocks: usize) {
+        self.pending
+            .reserve(blocks.saturating_sub(self.pending.len()));
+        self.ready.reserve(blocks.saturating_sub(self.ready.len()));
     }
 }
 
@@ -266,6 +359,52 @@ mod tests {
         assert_eq!(g.roots(), Vec::<usize>::new());
         assert_eq!(g.critical_path_len(), 0);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn run_inline_respects_dependency_order_across_instances() {
+        // Diamond 0 -> {1, 2} -> 3, three instances.
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(&[], &[0]);
+        b.add_task(&[0], &[1]);
+        b.add_task(&[0], &[2]);
+        b.add_task(&[1, 2], &[3]);
+        let g = b.build();
+        let instances = 3;
+        let mut scratch = InlineGraphScratch::new();
+        let mut order = vec![usize::MAX; 4 * instances];
+        let mut stamp = 0usize;
+        g.run_inline(instances, &mut scratch, |block| {
+            order[block] = stamp;
+            stamp += 1;
+        });
+        assert_eq!(stamp, 4 * instances);
+        for i in 0..instances {
+            let at = |n: usize| order[i * 4 + n];
+            assert!(at(0) < at(1));
+            assert!(at(0) < at(2));
+            assert!(at(1) < at(3));
+            assert!(at(2) < at(3));
+        }
+        // A warm scratch is reused without shrinking.
+        let cap = scratch.pending.capacity();
+        g.run_inline(instances, &mut scratch, |_| {});
+        assert_eq!(scratch.pending.capacity(), cap);
+    }
+
+    #[test]
+    fn run_inline_handles_empty_graphs_and_zero_instances() {
+        let empty = TaskGraphBuilder::new().build();
+        let mut scratch = InlineGraphScratch::with_capacity(8);
+        let mut hits = 0usize;
+        empty.run_inline(4, &mut scratch, |_| hits += 1);
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(&[], &[0]);
+        let g = b.build();
+        g.run_inline(0, &mut scratch, |_| hits += 1);
+        assert_eq!(hits, 0);
+        g.run_inline(2, &mut scratch, |_| hits += 1);
+        assert_eq!(hits, 2);
     }
 
     #[test]

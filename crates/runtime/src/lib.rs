@@ -24,7 +24,7 @@ pub mod pool;
 pub mod shared;
 pub mod timer;
 
-pub use graph::{TaskGraph, TaskGraphBuilder};
+pub use graph::{InlineGraphScratch, TaskGraph, TaskGraphBuilder};
 pub use pool::{global_pool, WorkerPool};
-pub use shared::SharedArray;
+pub use shared::{SharedArray, SharedSlice};
 pub use timer::{duration_ms, KernelKind, KernelTimings, Stopwatch};

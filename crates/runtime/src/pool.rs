@@ -74,8 +74,10 @@ trait PoolTask: Send + Sync {
 
 /// State shared between the launcher and the workers for one grid launch.
 struct GridLaunchState {
-    /// The per-block body.
-    body: Box<dyn Fn(usize) + Send + Sync>,
+    /// The per-block body, also told which participant lane runs the block
+    /// (workers pass their thread index, the launcher passes `threads`), so
+    /// bodies can borrow per-participant scratch instead of allocating.
+    body: Box<dyn Fn(usize, usize) + Send + Sync>,
     /// Next block index to claim.
     next_block: AtomicUsize,
     /// Total number of blocks in the grid.
@@ -88,13 +90,13 @@ struct GridLaunchState {
 
 impl GridLaunchState {
     /// Claims and runs blocks until the counter is exhausted.
-    fn drain(&self) {
+    fn drain(&self, participant: usize) {
         loop {
             let b = self.next_block.fetch_add(1, Ordering::Relaxed);
             if b >= self.blocks {
                 break;
             }
-            let result = catch_unwind(AssertUnwindSafe(|| (self.body)(b)));
+            let result = catch_unwind(AssertUnwindSafe(|| (self.body)(participant, b)));
             if result.is_err() {
                 self.poisoned.store(true, Ordering::Release);
             }
@@ -103,8 +105,11 @@ impl GridLaunchState {
 }
 
 impl PoolTask for GridLaunchState {
-    fn run_participant(&self, _index: usize) {
-        self.drain();
+    fn run_participant(&self, index: usize) {
+        // A worker may drain more than one message of this launch (the
+        // channel is MPMC, not broadcast), but it does so sequentially on
+        // one thread, so its participant lane is never used concurrently.
+        self.drain(index);
         self.completion.finish_one();
     }
 }
@@ -114,8 +119,9 @@ impl PoolTask for GridLaunchState {
 /// counter per block, and blocks released to the deques as their
 /// predecessors retire.
 struct GraphLaunchState {
-    /// The per-block body.
-    body: Box<dyn Fn(usize) + Send + Sync>,
+    /// The per-block body, also told which participant lane runs the block
+    /// (the claimed deque slot, in `0..participants`).
+    body: Box<dyn Fn(usize, usize) + Send + Sync>,
     /// The dependency graph of one instance (lifetime-erased; the launcher
     /// waits for completion before returning, so the reference stays valid
     /// for the whole launch).
@@ -163,7 +169,7 @@ struct GraphLaunchState {
 
 impl GraphLaunchState {
     fn new(
-        body: Box<dyn Fn(usize) + Send + Sync>,
+        body: Box<dyn Fn(usize, usize) + Send + Sync>,
         graph: &'static TaskGraph,
         instances: usize,
         participants: usize,
@@ -218,8 +224,8 @@ impl GraphLaunchState {
     /// deque traffic at all (the dominant pattern: forward/backward product
     /// chains and tree summations).  Any further released successors are
     /// pushed onto this participant's deque for other workers to steal.
-    fn execute(&self, block: usize, local: &Worker<usize>) -> Option<usize> {
-        let result = catch_unwind(AssertUnwindSafe(|| (self.body)(block)));
+    fn execute(&self, me: usize, block: usize, local: &Worker<usize>) -> Option<usize> {
+        let result = catch_unwind(AssertUnwindSafe(|| (self.body)(me, block)));
         if result.is_err() {
             // Poison the launch but still release the successors below: the
             // graph must drain so the launch terminates, exactly like the
@@ -302,7 +308,7 @@ impl PoolTask for GraphLaunchState {
                     // made ready, so chains run back to back without
                     // touching the deque.
                     let mut current = b;
-                    while let Some(next) = self.execute(current, &local) {
+                    while let Some(next) = self.execute(me, current, &local) {
                         current = next;
                     }
                 }
@@ -448,13 +454,28 @@ impl WorkerPool {
     where
         F: Fn(usize) + Send + Sync,
     {
+        self.launch_grid_indexed(blocks, |_, b| body(b));
+    }
+
+    /// Like [`WorkerPool::launch_grid`], but the body is also told which
+    /// **participant lane** runs the block: lanes are in
+    /// `0..self.parallelism()`, a lane is never used by two threads
+    /// concurrently within one launch, and the inline fast path uses lane 0.
+    /// Evaluation workspaces use the lane to hand each block pre-allocated
+    /// per-worker scratch instead of allocating inside the block.
+    ///
+    /// Panics if any block body panicked.
+    pub fn launch_grid_indexed<F>(&self, blocks: usize, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
         if blocks == 0 {
             return;
         }
         // Small grids are not worth waking the pool for.
         if self.threads == 0 || blocks == 1 {
             for b in 0..blocks {
-                body(b);
+                body(0, b);
             }
             return;
         }
@@ -462,8 +483,8 @@ impl WorkerPool {
         // are joined (via the condition variable) before we return, so it is
         // sound to erase the lifetime.  This mirrors what scoped thread pools
         // do internally.
-        let body_static: Box<dyn Fn(usize) + Send + Sync> = unsafe {
-            std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + '_>, _>(Box::new(body))
+        let body_static: Box<dyn Fn(usize, usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<Box<dyn Fn(usize, usize) + Send + Sync + '_>, _>(Box::new(body))
         };
         let participants = self.threads + 1;
         let state = Arc::new(GridLaunchState {
@@ -497,14 +518,28 @@ impl WorkerPool {
     where
         F: Fn(usize) + Send + Sync,
     {
+        self.launch_graph_indexed(graph, instances, |_, b| body(b));
+    }
+
+    /// Like [`WorkerPool::launch_graph`], but the body is also told which
+    /// **participant lane** runs the block (the claimed deque slot, in
+    /// `0..self.parallelism()`; the inline fast path uses lane 0).  See
+    /// [`WorkerPool::launch_grid_indexed`] for the lane contract.
+    ///
+    /// Panics if any block body panicked (the remaining blocks still run
+    /// first, like the layered path).
+    pub fn launch_graph_indexed<F>(&self, graph: &TaskGraph, instances: usize, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
         let blocks = instances * graph.len();
         if blocks == 0 {
             return;
         }
         // Lifetime erasure is sound for the same reason as in `launch_grid`:
         // the launcher waits for every participant before returning.
-        let body_static: Box<dyn Fn(usize) + Send + Sync> = unsafe {
-            std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + '_>, _>(Box::new(body))
+        let body_static: Box<dyn Fn(usize, usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<Box<dyn Fn(usize, usize) + Send + Sync + '_>, _>(Box::new(body))
         };
         let graph_static: &'static TaskGraph =
             unsafe { std::mem::transmute::<&TaskGraph, &'static TaskGraph>(graph) };
@@ -751,6 +786,40 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(counter.load(Ordering::Relaxed), round + 1);
+        }
+    }
+
+    #[test]
+    fn indexed_launches_hand_out_exclusive_in_bounds_lanes() {
+        // The per-worker scratch contract: every lane is < parallelism() and
+        // no lane is used by two blocks concurrently.
+        for threads in [0usize, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let lanes = pool.parallelism();
+            let in_use: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
+            let overlap = AtomicUsize::new(0);
+            let body = |lane: usize, _b: usize| {
+                assert!(lane < lanes, "lane {lane} out of bounds");
+                if in_use[lane].fetch_add(1, Ordering::SeqCst) != 0 {
+                    overlap.fetch_add(1, Ordering::SeqCst);
+                }
+                // A little work to give overlaps a chance to show.
+                std::hint::black_box((0..50).sum::<usize>());
+                in_use[lane].fetch_sub(1, Ordering::SeqCst);
+            };
+            pool.launch_grid_indexed(64, body);
+            let mut b = TaskGraphBuilder::new();
+            for c in 0..16usize {
+                b.add_task(&[], &[2 * c]);
+                b.add_task(&[2 * c], &[2 * c + 1]);
+            }
+            let g = b.build();
+            pool.launch_graph_indexed(&g, 4, body);
+            assert_eq!(
+                overlap.load(Ordering::SeqCst),
+                0,
+                "threads = {threads}: a lane was used concurrently"
+            );
         }
     }
 

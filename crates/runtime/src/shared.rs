@@ -8,6 +8,70 @@
 //! invariant of the job schedule, which the schedule builder validates.
 
 use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A **borrowed** view of a flat data array with the same disjoint-write
+/// discipline as [`SharedArray`], used by the workspace-reusing evaluation
+/// paths: the arena lives in a long-lived `Workspace` and is lent to the
+/// blocks of one launch instead of being allocated per evaluation.
+///
+/// The borrow ends when the `SharedSlice` goes out of scope, at which point
+/// the caller reads the results straight out of its own buffer — no
+/// `into_inner`, no copy.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: concurrent access is coordinated by the job schedule (disjoint
+// output ranges per layer); the type itself only hands out raw slices.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for shared access by the blocks of a launch.
+    pub fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of a range.
+    ///
+    /// # Safety
+    ///
+    /// No concurrently executing job may write to the same range.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[T] {
+        debug_assert!(offset + len <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(offset), len)
+    }
+
+    /// Mutable view of a range.
+    ///
+    /// # Safety
+    ///
+    /// No concurrently executing job may read or write the same range (the
+    /// job schedule guarantees this for jobs within one layer; a job may
+    /// read and write its own range).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [T] {
+        debug_assert!(offset + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(offset), len)
+    }
+}
 
 /// A heap-allocated array that can be read and written concurrently by the
 /// blocks of a grid launch, provided the written ranges are disjoint.
@@ -123,6 +187,32 @@ mod tests {
         assert_eq!(data[0], 45);
         // Block 9 wrote 90+91+...+99 = 945 into element 90.
         assert_eq!(data[90], 945);
+    }
+
+    #[test]
+    fn shared_slice_lends_a_workspace_buffer_to_parallel_blocks() {
+        let n = 32usize;
+        let chunk = 8usize;
+        // The long-lived buffer a workspace would own.
+        let mut arena = vec![0u64; n * chunk];
+        let pool = WorkerPool::new(2);
+        {
+            let shared = SharedSlice::new(&mut arena);
+            assert_eq!(shared.len(), n * chunk);
+            assert!(!shared.is_empty());
+            pool.launch_grid(n, |b| {
+                let out = unsafe { shared.slice_mut(b * chunk, chunk) };
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = (b * 100 + i) as u64;
+                }
+            });
+        }
+        // The borrow ended; results are read straight out of the buffer.
+        for b in 0..n {
+            for i in 0..chunk {
+                assert_eq!(arena[b * chunk + i], (b * 100 + i) as u64);
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub fn convolve_accumulate<C: Coeff>(x: &[C], y: &[C], z: &mut [C]) {
     }
 }
 
+/// Number of scratch coefficients [`convolve_zero_insertion`] needs for
+/// series of `n = d + 1` coefficients (the `X`, double-length `Y` and `Z`
+/// staging vectors of the paper's kernel).  Callers that pre-size reusable
+/// scratch — the per-worker convolution scratch of the evaluation
+/// workspaces — use this instead of hard-coding the factor.
+pub const fn zero_insertion_scratch_len(n: usize) -> usize {
+    4 * n
+}
+
 /// Number of coefficient multiplications performed by one convolution job at
 /// degree `d` (the paper counts `(d+1)^2` with zero insertion).
 pub fn convolution_mults(degree: usize) -> usize {

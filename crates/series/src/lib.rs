@@ -17,6 +17,6 @@ pub mod series;
 
 pub use convolution::{
     add_assign_slices, addition_adds, convolution_adds, convolution_mults, convolve_accumulate,
-    convolve_seq, convolve_zero_insertion,
+    convolve_seq, convolve_zero_insertion, zero_insertion_scratch_len,
 };
 pub use series::Series;

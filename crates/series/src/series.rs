@@ -83,6 +83,36 @@ impl<C: Coeff> Series<C> {
         self.coeffs[k] = value;
     }
 
+    /// Reinitializes this series in place from a coefficient slice,
+    /// reusing the existing buffer.  Allocation-free whenever the current
+    /// capacity covers `coeffs.len()` — this is the `*_into` counterpart of
+    /// [`Series::from_coeffs`] used by the workspace-reusing evaluation
+    /// paths.
+    pub fn copy_from_coeffs(&mut self, coeffs: &[C]) {
+        assert!(
+            !coeffs.is_empty(),
+            "a series needs at least one coefficient"
+        );
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(coeffs);
+    }
+
+    /// Resets this series in place to the zero series of `degree`, reusing
+    /// the existing buffer (allocation-free when capacity suffices).
+    pub fn fill_zero(&mut self, degree: usize) {
+        self.coeffs.clear();
+        self.coeffs.resize(degree + 1, C::zero());
+    }
+
+    /// Writes `self * other` into `out`, reusing `out`'s buffer — the
+    /// `*_into` counterpart of [`Series::mul`] for callers that manage
+    /// reuse explicitly.
+    pub fn mul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        out.fill_zero(self.degree());
+        convolve_seq(&self.coeffs, &other.coeffs, &mut out.coeffs);
+    }
+
     /// True when every coefficient is zero.
     pub fn is_zero(&self) -> bool {
         self.coeffs.iter().all(|c| c.is_zero())
@@ -126,6 +156,13 @@ impl<C: Coeff> Series<C> {
         Self {
             coeffs: self.coeffs.iter().map(|c| c.neg()).collect(),
         }
+    }
+
+    /// Writes `-self` into `out`, reusing `out`'s buffer (allocation-free
+    /// when capacity suffices).
+    pub fn neg_into(&self, out: &mut Self) {
+        out.coeffs.clear();
+        out.coeffs.extend(self.coeffs.iter().map(|c| c.neg()));
     }
 
     /// Product of two series truncated at the common degree (a convolution).

@@ -1,21 +1,18 @@
-//! Engine-vs-direct-evaluator identity: the Engine/Plan API is a re-plumbed
-//! front-end over the exact same kernels, so its results must be **bitwise**
-//! identical to the three historical evaluators — across every precision,
-//! real and complex coefficients, single/batch/system sources, and both
-//! execution modes.  This is the contract that let the evaluators become
-//! deprecated shims without a behavioral release note.
-
-// The borrowing evaluators are deprecated shims of the engine; this suite
-// exists precisely to pin them against the engine until they are removed.
-#![allow(deprecated)]
+//! Evaluation-path identity: `Plan::evaluate` (pooled workspace, fresh
+//! output), `Plan::evaluate_with` (caller workspace), `Plan::evaluate_into`
+//! (pooled workspace, reused output), `Plan::evaluate_into_with` (fully
+//! explicit reuse) and `Plan::evaluate_sequential` all run the exact same
+//! kernels over the exact same schedule, so their results must be
+//! **bitwise** identical — across every precision, real and complex
+//! coefficients, single/batch/system sources, and both execution modes.
+//! This is the contract that makes the zero-allocation reuse paths a pure
+//! memory optimization with no numerical footprint.
 
 use proptest::prelude::*;
 use psmd_core::{
-    random_inputs, random_polynomial, BatchEvaluator, Engine, EvalOptions, ExecMode, Inputs,
-    Polynomial, ScheduledEvaluator, SystemEvaluator,
+    random_inputs, random_polynomial, Engine, EvalOptions, EvalOutput, ExecMode, Inputs, Polynomial,
 };
 use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,8 +24,33 @@ fn engine_with(exec_mode: ExecMode) -> Engine {
         .build()
 }
 
-/// Single-polynomial identity: sequential and parallel engine evaluations
-/// are bitwise equal to the `ScheduledEvaluator` under the same options.
+/// Runs one input shape through every evaluation path of a plan and asserts
+/// they are all bitwise identical to the plain `evaluate` result.
+fn check_all_paths<C: Coeff>(engine: &Engine, plan: &psmd_core::Plan<C>, inputs: Inputs<'_, C>) {
+    let _ = engine;
+    let reference = plan.evaluate(inputs);
+    // Caller-managed workspace (twice through the same workspace: stale
+    // state from the first run must not leak into the second).
+    let mut ws = plan.create_workspace();
+    let a = plan.evaluate_with(inputs, &mut ws);
+    assert!(reference.bitwise_eq(&a), "evaluate_with differs");
+    let b = plan.evaluate_with(inputs, &mut ws);
+    assert!(reference.bitwise_eq(&b), "evaluate_with (warm ws) differs");
+    // Reused output, pooled workspace — warm it with a first call, then
+    // overwrite in place.
+    let mut out = plan.evaluate(inputs);
+    plan.evaluate_into(inputs, &mut out);
+    assert!(reference.bitwise_eq(&out), "evaluate_into differs");
+    // Fully explicit reuse.
+    plan.evaluate_into_with(inputs, &mut ws, &mut out);
+    assert!(reference.bitwise_eq(&out), "evaluate_into_with differs");
+    // The sequential reference agrees (parallel layered/graph execution is
+    // bitwise identical by the executor's ordering guarantee).
+    let seq = plan.evaluate_sequential(inputs);
+    assert!(reference.bitwise_eq(&seq), "sequential differs");
+}
+
+/// Single-polynomial identity across all paths.
 fn check_single_identity<C: Coeff + RandomCoeff>(
     seed: u64,
     n: usize,
@@ -39,25 +61,12 @@ fn check_single_identity<C: Coeff + RandomCoeff>(
     let mut rng = StdRng::seed_from_u64(seed);
     let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
     let z = random_inputs::<C, _>(n, degree, &mut rng);
-    let direct = ScheduledEvaluator::new(&p).with_exec_mode(exec_mode);
     let engine = engine_with(exec_mode);
-    let plan = engine.compile(p.clone());
-    let seq_direct = direct.evaluate_sequential(&z);
-    let seq_engine = plan.evaluate_sequential(Inputs::Single(&z)).into_single();
-    assert_eq!(
-        seq_engine.value, seq_direct.value,
-        "sequential, seed {seed}"
-    );
-    assert_eq!(seq_engine.gradient, seq_direct.gradient);
-    let pool = WorkerPool::new(3);
-    let par_direct = direct.evaluate_parallel(&z, &pool);
-    let par_engine = plan.evaluate(&z).into_single();
-    assert_eq!(par_engine.value, par_direct.value, "parallel, seed {seed}");
-    assert_eq!(par_engine.gradient, par_direct.gradient);
+    let plan = engine.compile(p);
+    check_all_paths(&engine, &plan, Inputs::Single(&z));
 }
 
-/// Batch identity: every instance of the engine's `Inputs::Batch` result is
-/// bitwise equal to the `BatchEvaluator`'s.
+/// Batch identity across all paths.
 fn check_batch_identity<C: Coeff + RandomCoeff>(
     seed: u64,
     n: usize,
@@ -71,32 +80,20 @@ fn check_batch_identity<C: Coeff + RandomCoeff>(
     let batch: Vec<Vec<Series<C>>> = (0..batch_size)
         .map(|_| random_inputs::<C, _>(n, degree, &mut rng))
         .collect();
-    let direct = BatchEvaluator::new(&p).with_exec_mode(exec_mode);
     let engine = engine_with(exec_mode);
-    let plan = engine.compile(p.clone());
-    let pool = WorkerPool::new(3);
-    for (a, b) in direct.evaluate_sequential(&batch).instances.iter().zip(
-        plan.evaluate_sequential(&batch)
-            .into_batch()
-            .instances
-            .iter(),
-    ) {
-        assert_eq!(a.value, b.value, "sequential batch, seed {seed}");
-        assert_eq!(a.gradient, b.gradient);
-    }
-    for (a, b) in direct
-        .evaluate_parallel(&batch, &pool)
-        .instances
-        .iter()
-        .zip(plan.evaluate(&batch).into_batch().instances.iter())
-    {
-        assert_eq!(a.value, b.value, "parallel batch, seed {seed}");
-        assert_eq!(a.gradient, b.gradient);
+    let plan = engine.compile(p);
+    check_all_paths(&engine, &plan, Inputs::Batch(&batch));
+    // A batch result must also agree instance-by-instance with single
+    // evaluations of the same plan.
+    let batched = plan.evaluate(&batch).into_batch();
+    for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
+        let want = plan.evaluate(inputs).into_single();
+        assert_eq!(got.value, want.value, "batch vs single, seed {seed}");
+        assert_eq!(got.gradient, want.gradient);
     }
 }
 
-/// System identity: the engine's `PolySource::System` plan reproduces the
-/// `SystemEvaluator` bitwise, values and full Jacobian.
+/// System identity across all paths.
 fn check_system_identity<C: Coeff + RandomCoeff>(
     seed: u64,
     n: usize,
@@ -110,24 +107,9 @@ fn check_system_identity<C: Coeff + RandomCoeff>(
         .map(|_| random_polynomial(n, monomials, n.min(5), degree, &mut rng))
         .collect();
     let z = random_inputs::<C, _>(n, degree, &mut rng);
-    let direct = SystemEvaluator::new(&system).with_exec_mode(exec_mode);
     let engine = engine_with(exec_mode);
-    let plan = engine.compile(system.clone());
-    let seq_direct = direct.evaluate_sequential(&z);
-    let seq_engine = plan.evaluate_sequential(&z).into_system();
-    assert_eq!(
-        seq_engine.values, seq_direct.values,
-        "sequential, seed {seed}"
-    );
-    assert_eq!(seq_engine.jacobian, seq_direct.jacobian);
-    let pool = WorkerPool::new(3);
-    let par_direct = direct.evaluate_parallel(&z, &pool);
-    let par_engine = plan.evaluate(&z).into_system();
-    assert_eq!(
-        par_engine.values, par_direct.values,
-        "parallel, seed {seed}"
-    );
-    assert_eq!(par_engine.jacobian, par_direct.jacobian);
+    let plan = engine.compile(system);
+    check_all_paths(&engine, &plan, Inputs::Single(&z));
 }
 
 fn both_modes(check: impl Fn(ExecMode)) {
@@ -195,13 +177,38 @@ fn system_identity_for_complex_coefficients() {
     });
 }
 
+/// One plan, alternating input shapes through one reused output and one
+/// workspace: every reshape must produce exactly the same results as fresh
+/// evaluations (stale buffers from the other shape must never leak).
+#[test]
+fn shape_changes_through_one_workspace_and_output_stay_identical() {
+    let mut rng = StdRng::seed_from_u64(991);
+    let p: Polynomial<Dd> = random_polynomial(5, 8, 4, 4, &mut rng);
+    let engine = engine_with(ExecMode::Layered);
+    let plan = engine.compile(p);
+    let z = random_inputs::<Dd, _>(5, 4, &mut rng);
+    let batch: Vec<Vec<Series<Dd>>> = (0..4)
+        .map(|_| random_inputs::<Dd, _>(5, 4, &mut rng))
+        .collect();
+    let mut ws = plan.create_workspace();
+    let mut out = EvalOutput::Single(psmd_core::Evaluation::empty());
+    for round in 0..3 {
+        plan.evaluate_into_with(&z, &mut ws, &mut out);
+        let fresh = plan.evaluate(&z);
+        assert!(fresh.bitwise_eq(&out), "single round {round}");
+        plan.evaluate_into_with(&batch, &mut ws, &mut out);
+        let fresh = plan.evaluate(&batch);
+        assert!(fresh.bitwise_eq(&out), "batch round {round}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Random structures, double-double, both exec modes: the engine and the
-    /// direct evaluators are bitwise interchangeable.
+    /// Random structures, double-double, both exec modes: every evaluation
+    /// path is bitwise interchangeable.
     #[test]
-    fn random_single_plans_match_the_evaluator(
+    fn random_single_plans_agree_across_paths(
         seed in 0u64..10_000,
         n in 2usize..8,
         monomials in 1usize..16,
@@ -213,7 +220,7 @@ proptest! {
 
     /// Random batches through the unified inputs (quad-double and complex).
     #[test]
-    fn random_batch_plans_match_the_evaluator(
+    fn random_batch_plans_agree_across_paths(
         seed in 0u64..10_000,
         n in 2usize..6,
         monomials in 1usize..10,
@@ -227,7 +234,7 @@ proptest! {
     /// Random systems (shared monomials arise naturally from small variable
     /// counts) through the unified source.
     #[test]
-    fn random_system_plans_match_the_evaluator(
+    fn random_system_plans_agree_across_paths(
         seed in 0u64..10_000,
         n in 2usize..6,
         equations in 1usize..5,

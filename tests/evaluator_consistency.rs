@@ -1,21 +1,13 @@
-//! Cross-evaluator consistency: the naive baseline, the scheduled sequential
-//! evaluator and the block-parallel evaluator must agree on random
-//! polynomials, random inputs, every precision and both real and complex
-//! coefficients.  This is the end-to-end correctness argument for the
-//! reproduction: the accelerated algorithm computes the same values and
-//! gradients as the direct definition.
-
-// The borrowing evaluators under test are deprecated shims of the engine;
-// these suites keep asserting they stay bitwise identical until removal.
-#![allow(deprecated)]
+//! Cross-evaluator consistency: the naive baseline, the engine's sequential
+//! path and its block-parallel path must agree on random polynomials, random
+//! inputs, every precision and both real and complex coefficients.  This is
+//! the end-to-end correctness argument for the reproduction: the accelerated
+//! algorithm computes the same values and gradients as the direct
+//! definition.
 
 use proptest::prelude::*;
-use psmd_core::{
-    evaluate_naive, random_inputs, random_polynomial, BatchEvaluator, Polynomial,
-    ScheduledEvaluator,
-};
+use psmd_core::{evaluate_naive, random_inputs, random_polynomial, Engine, Polynomial};
 use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,16 +25,16 @@ fn check_consistency<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usi
     let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
     let z = random_inputs::<C, _>(n, degree, &mut rng);
     let naive = evaluate_naive(&p, &z);
-    let evaluator = ScheduledEvaluator::new(&p);
-    let seq = evaluator.evaluate_sequential(&z);
+    let engine = Engine::builder().threads(3).build();
+    let plan = engine.compile(p);
+    let seq = plan.evaluate_sequential(&z).into_single();
     let diff = naive.max_difference(&seq);
     let tol = tolerance::<C>(degree, monomials);
     assert!(
         diff <= tol,
         "naive vs scheduled differ by {diff:e} (tolerance {tol:e}) for seed {seed}"
     );
-    let pool = WorkerPool::new(3);
-    let par = evaluator.evaluate_parallel(&z, &pool);
+    let par = plan.evaluate(&z).into_single();
     assert_eq!(seq.value, par.value, "parallel must be bitwise identical");
     assert_eq!(seq.gradient, par.gradient);
 }
@@ -73,7 +65,8 @@ fn consistency_for_large_supports() {
     let p: Polynomial<Dd> = psmd_core::polynomial_with_supports(supports, 20, 6, &mut rng);
     let z = random_inputs::<Dd, _>(20, 6, &mut rng);
     let naive = evaluate_naive(&p, &z);
-    let scheduled = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+    let engine = Engine::builder().threads(0).build();
+    let scheduled = engine.compile(p).evaluate_sequential(&z).into_single();
     let diff = naive.max_difference(&scheduled);
     assert!(diff < 1e-22, "difference {diff}");
 }
@@ -93,13 +86,13 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
     let batch: Vec<Vec<Series<C>>> = (0..batch_size)
         .map(|_| random_inputs::<C, _>(n, degree, &mut rng))
         .collect();
-    let single = ScheduledEvaluator::new(&p);
-    let evaluator = BatchEvaluator::new(&p);
+    let engine = Engine::builder().threads(3).build();
+    let plan = engine.compile(p);
     let tol = tolerance::<C>(degree, monomials);
-    let batched = evaluator.evaluate_sequential(&batch);
+    let batched = plan.evaluate_sequential(&batch).into_batch();
     assert_eq!(batched.len(), batch_size);
     for (i, (inputs, got)) in batch.iter().zip(batched.instances.iter()).enumerate() {
-        let want = single.evaluate_sequential(inputs);
+        let want = plan.evaluate_sequential(inputs).into_single();
         let diff = got.max_difference(&want);
         assert!(
             diff <= tol,
@@ -108,8 +101,7 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
         );
     }
     // The pool-parallel batch must match the sequential batch bitwise.
-    let pool = WorkerPool::new(3);
-    let parallel = evaluator.evaluate_parallel(&batch, &pool);
+    let parallel = plan.evaluate(&batch).into_batch();
     for (seq, par) in batched.instances.iter().zip(parallel.instances.iter()) {
         assert_eq!(
             seq.value, par.value,
@@ -118,13 +110,14 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
         assert_eq!(seq.gradient, par.gradient);
     }
     // One launch per layer for the whole batch, never per instance.
+    let schedule = plan.schedule().expect("single plan");
     assert_eq!(
         parallel.timings.convolution_launches,
-        evaluator.schedule().convolution_layers.len()
+        schedule.convolution_layers.len()
     );
     assert_eq!(
         parallel.timings.convolution_blocks,
-        batch_size * evaluator.schedule().convolution_jobs()
+        batch_size * schedule.convolution_jobs()
     );
 }
 
@@ -150,11 +143,15 @@ fn batch_consistency_for_complex_coefficients() {
 fn batch_handles_empty_and_singleton_batches() {
     let mut rng = StdRng::seed_from_u64(121);
     let p: Polynomial<Dd> = random_polynomial(5, 8, 4, 3, &mut rng);
-    let evaluator = BatchEvaluator::new(&p);
-    assert!(evaluator.evaluate_sequential(&[]).is_empty());
+    let engine = Engine::builder().threads(0).build();
+    let plan = engine.compile(p);
+    let empty: Vec<Vec<Series<Dd>>> = Vec::new();
+    assert!(plan.evaluate_sequential(&empty).into_batch().is_empty());
     let z = random_inputs::<Dd, _>(5, 3, &mut rng);
-    let one = evaluator.evaluate_sequential(std::slice::from_ref(&z));
-    let single = ScheduledEvaluator::new(&p).evaluate_sequential(&z);
+    let one = plan
+        .evaluate_sequential(std::slice::from_ref(&z))
+        .into_batch();
+    let single = plan.evaluate_sequential(&z).into_single();
     assert_eq!(one.instances[0].value, single.value);
     assert_eq!(one.instances[0].gradient, single.gradient);
 }
@@ -219,9 +216,10 @@ proptest! {
             p1.constant().add(p2.constant()),
             monomials,
         );
-        let e1 = ScheduledEvaluator::new(&p1).evaluate_sequential(&z);
-        let e2 = ScheduledEvaluator::new(&p2).evaluate_sequential(&z);
-        let es = ScheduledEvaluator::new(&sum_poly).evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let e1 = engine.compile(p1).evaluate_sequential(&z).into_single();
+        let e2 = engine.compile(p2).evaluate_sequential(&z).into_single();
+        let es = engine.compile(sum_poly).evaluate_sequential(&z).into_single();
         let tol = 1e-24;
         prop_assert!(es.value.distance(&e1.value.add(&e2.value)) < tol);
         for v in 0..n {

@@ -8,29 +8,35 @@
 //! respecting the edges performs the same floating-point operations in the
 //! same per-slot order — the results cannot differ by even one ulp.
 
-// The borrowing evaluators under test are deprecated shims of the engine;
-// these suites keep asserting they stay bitwise identical until removal.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use psmd_core::{
-    random_inputs, random_polynomial, BatchEvaluator, ExecMode, Polynomial, ScheduledEvaluator,
-    SystemEvaluator,
+    random_inputs, random_polynomial, Engine, EvalOptions, ExecMode, Plan, PolySource, Polynomial,
 };
 use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
-/// A test pool honoring `PSMD_THREADS` (the CI thread-count matrix runs the
-/// suite at 0, 1 and 4 workers; claim/steal/retire races only show up with
-/// real contention).
-fn test_pool() -> WorkerPool {
-    match WorkerPool::threads_from_env() {
-        Some(threads) => WorkerPool::new(threads),
-        None => WorkerPool::new(3),
-    }
+/// A test engine honoring `PSMD_THREADS` (the CI thread-count matrix runs
+/// the suite at 0, 1 and 4 workers; claim/steal/retire races only show up
+/// with real contention).
+fn test_engine() -> Engine {
+    let threads = WorkerPool::threads_from_env().unwrap_or(3);
+    Engine::builder().threads(threads).build()
+}
+
+/// Compiles the same source in layered and graph mode on one engine.
+fn layered_and_graph<C: Coeff>(
+    engine: &Engine,
+    source: impl Into<PolySource<C>>,
+) -> (Arc<Plan<C>>, Arc<Plan<C>>) {
+    let source = source.into();
+    let layered = engine.compile_with_options(source.clone(), EvalOptions::new());
+    let graph =
+        engine.compile_with_options(source, EvalOptions::new().with_exec_mode(ExecMode::Graph));
+    (layered, graph)
 }
 
 /// Graph mode must match layered mode bitwise on a single evaluation.
@@ -38,16 +44,15 @@ fn check_single<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usize, d
     let mut rng = StdRng::seed_from_u64(seed);
     let p: Polynomial<C> = random_polynomial(n, monomials, n.min(6), degree, &mut rng);
     let z = random_inputs::<C, _>(n, degree, &mut rng);
-    let layered = ScheduledEvaluator::new(&p);
-    let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-    let pool = test_pool();
-    let a = layered.evaluate_parallel(&z, &pool);
-    let b = graph.evaluate_parallel(&z, &pool);
+    let engine = test_engine();
+    let (layered, graph) = layered_and_graph(&engine, p);
+    let a = layered.evaluate(&z).into_single();
+    let b = graph.evaluate(&z).into_single();
     assert_eq!(a.value, b.value, "value differs for seed {seed}");
     assert_eq!(a.gradient, b.gradient, "gradient differs for seed {seed}");
     // The sequential reference agrees too (layered parallel is itself
     // bitwise identical to sequential, so this is transitive insurance).
-    let seq = layered.evaluate_sequential(&z);
+    let seq = layered.evaluate_sequential(&z).into_single();
     assert_eq!(seq.value, b.value);
     assert_eq!(seq.gradient, b.gradient);
 }
@@ -65,11 +70,10 @@ fn check_batch<C: Coeff + RandomCoeff>(
     let batch: Vec<Vec<Series<C>>> = (0..batch_size)
         .map(|_| random_inputs::<C, _>(n, degree, &mut rng))
         .collect();
-    let layered = BatchEvaluator::new(&p);
-    let graph = BatchEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-    let pool = test_pool();
-    let a = layered.evaluate_parallel(&batch, &pool);
-    let b = graph.evaluate_parallel(&batch, &pool);
+    let engine = test_engine();
+    let (layered, graph) = layered_and_graph(&engine, p);
+    let a = layered.evaluate(&batch).into_batch();
+    let b = graph.evaluate(&batch).into_batch();
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.instances.iter().zip(b.instances.iter()).enumerate() {
         assert_eq!(x.value, y.value, "batch value {i} differs for seed {seed}");
@@ -106,12 +110,11 @@ fn check_system<C: Coeff + RandomCoeff>(
             })
             .collect();
     }
-    let layered = SystemEvaluator::new(&system);
-    let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
-    let pool = test_pool();
+    let engine = test_engine();
     let z = random_inputs::<C, _>(n, degree, &mut rng);
-    let a = layered.evaluate_parallel(&z, &pool);
-    let b = graph.evaluate_parallel(&z, &pool);
+    let (layered, graph) = layered_and_graph(&engine, system);
+    let a = layered.evaluate(&z).into_system();
+    let b = graph.evaluate(&z).into_system();
     assert_eq!(a.values, b.values, "system values differ for seed {seed}");
     assert_eq!(a.jacobian, b.jacobian, "jacobian differs for seed {seed}");
 }
@@ -167,39 +170,53 @@ fn system_graph_consistency_for_complex_coefficients() {
 #[test]
 fn graph_mode_pays_exactly_one_rendezvous_per_evaluation() {
     // The acceptance criterion of the executor: one pool rendezvous per
-    // evaluation, for all three evaluators, on a dedicated threaded pool.
+    // evaluation, for all three plan kinds, on a dedicated threaded pool.
     let mut rng = StdRng::seed_from_u64(77);
     let p: Polynomial<Dd> = random_polynomial(6, 12, 5, 4, &mut rng);
     let z = random_inputs::<Dd, _>(6, 4, &mut rng);
-    let pool = WorkerPool::new(3);
+    let engine = Engine::builder()
+        .threads(3)
+        .exec_mode(ExecMode::Graph)
+        .build();
 
-    let single = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-    let before = pool.rendezvous_count();
-    let _ = single.evaluate_parallel(&z, &pool);
-    assert_eq!(pool.rendezvous_count(), before + 1, "single evaluation");
+    let single = engine.compile(p.clone());
+    let before = engine.pool().rendezvous_count();
+    let _ = single.evaluate(&z);
+    assert_eq!(
+        engine.pool().rendezvous_count(),
+        before + 1,
+        "single evaluation"
+    );
 
     let batch: Vec<Vec<Series<Dd>>> = (0..6)
         .map(|_| random_inputs::<Dd, _>(6, 4, &mut rng))
         .collect();
-    let batched = BatchEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-    let before = pool.rendezvous_count();
-    let _ = batched.evaluate_parallel(&batch, &pool);
-    assert_eq!(pool.rendezvous_count(), before + 1, "batched evaluation");
+    let before = engine.pool().rendezvous_count();
+    let _ = single.evaluate(&batch);
+    assert_eq!(
+        engine.pool().rendezvous_count(),
+        before + 1,
+        "batched evaluation"
+    );
 
     let system: Vec<Polynomial<Dd>> = (0..3)
         .map(|_| random_polynomial(6, 8, 4, 4, &mut rng))
         .collect();
-    let fused = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
-    let before = pool.rendezvous_count();
-    let _ = fused.evaluate_parallel(&z, &pool);
-    assert_eq!(pool.rendezvous_count(), before + 1, "system evaluation");
+    let fused = engine.compile(system);
+    let before = engine.pool().rendezvous_count();
+    let _ = fused.evaluate(&z);
+    assert_eq!(
+        engine.pool().rendezvous_count(),
+        before + 1,
+        "system evaluation"
+    );
 
     // The layered reference pays one per multi-block layer.
-    let layered = ScheduledEvaluator::new(&p);
-    let before = pool.rendezvous_count();
-    let _ = layered.evaluate_parallel(&z, &pool);
+    let layered = engine.compile_with_options(p, EvalOptions::new());
+    let before = engine.pool().rendezvous_count();
+    let _ = layered.evaluate(&z);
     assert!(
-        pool.rendezvous_count() > before + 1,
+        engine.pool().rendezvous_count() > before + 1,
         "layered pays per layer"
     );
 }
@@ -212,7 +229,7 @@ fn graph_mode_handles_degenerate_structures() {
     use psmd_core::Monomial;
     let d = 3;
     let c = |x: f64| Series::constant(Dd::from_f64(x), d);
-    let pool = test_pool();
+    let engine = test_engine();
     let cases: Vec<Polynomial<Dd>> = vec![
         Polynomial::new(2, c(7.0), vec![]),
         Polynomial::new(
@@ -235,10 +252,9 @@ fn graph_mode_handles_degenerate_structures() {
     let mut rng = StdRng::seed_from_u64(55);
     for p in &cases {
         let z = random_inputs::<Dd, _>(p.num_variables(), d, &mut rng);
-        let layered = ScheduledEvaluator::new(p);
-        let graph = ScheduledEvaluator::new(p).with_exec_mode(ExecMode::Graph);
-        let a = layered.evaluate_parallel(&z, &pool);
-        let b = graph.evaluate_parallel(&z, &pool);
+        let (layered, graph) = layered_and_graph(&engine, p.clone());
+        let a = layered.evaluate(&z).into_single();
+        let b = graph.evaluate(&z).into_single();
         assert_eq!(a.value, b.value);
         assert_eq!(a.gradient, b.gradient);
     }

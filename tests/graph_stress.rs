@@ -3,18 +3,13 @@
 //! Races in the work-stealing release path (a block released twice, a missed
 //! release, a stale dependency count) are probabilistic: they need many
 //! evaluations under real contention to surface.  This loop runs randomized
-//! graph-vs-layered comparisons back to back on one shared pool; CI runs it
-//! as a dedicated step with `PSMD_STRESS_ITERS=200` under the thread-count
-//! matrix, while the default (25) keeps `cargo test` affordable.
+//! graph-vs-layered comparisons back to back on one shared engine (whose
+//! workspace pool is also recycled across iterations, stressing the
+//! checkout/checkin path); CI runs it as a dedicated step with
+//! `PSMD_STRESS_ITERS=200` under the thread-count matrix, while the default
+//! (25) keeps `cargo test` affordable.
 
-// The borrowing evaluators under test are deprecated shims of the engine;
-// these suites keep asserting they stay bitwise identical until removal.
-#![allow(deprecated)]
-
-use psmd_core::{
-    random_inputs, random_polynomial, BatchEvaluator, ExecMode, Polynomial, ScheduledEvaluator,
-    SystemEvaluator,
-};
+use psmd_core::{random_inputs, random_polynomial, Engine, EvalOptions, ExecMode, Polynomial};
 use psmd_multidouble::Dd;
 use psmd_runtime::WorkerPool;
 use psmd_series::Series;
@@ -28,17 +23,16 @@ fn iterations() -> usize {
         .unwrap_or(25)
 }
 
-fn stress_pool() -> WorkerPool {
-    match WorkerPool::threads_from_env() {
-        Some(threads) => WorkerPool::new(threads),
-        None => WorkerPool::new(4),
-    }
+fn stress_engine() -> Engine {
+    let threads = WorkerPool::threads_from_env().unwrap_or(4);
+    Engine::builder().threads(threads).build()
 }
 
 #[test]
 fn graph_vs_layered_stress_loop() {
     let iters = iterations();
-    let pool = stress_pool();
+    let engine = stress_engine();
+    let graph_opts = EvalOptions::new().with_exec_mode(ExecMode::Graph);
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     for iter in 0..iters {
         let n = rng.gen_range(2..8);
@@ -49,10 +43,10 @@ fn graph_vs_layered_stress_loop() {
             // Single evaluation.
             0 => {
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
-                let layered = ScheduledEvaluator::new(&p);
-                let graph = ScheduledEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-                let a = layered.evaluate_parallel(&z, &pool);
-                let b = graph.evaluate_parallel(&z, &pool);
+                let layered = engine.compile(p.clone());
+                let graph = engine.compile_with_options(p, graph_opts);
+                let a = layered.evaluate(&z).into_single();
+                let b = graph.evaluate(&z).into_single();
                 assert_eq!(a.value, b.value, "iteration {iter}: value");
                 assert_eq!(a.gradient, b.gradient, "iteration {iter}: gradient");
             }
@@ -61,10 +55,10 @@ fn graph_vs_layered_stress_loop() {
                 let batch: Vec<Vec<Series<Dd>>> = (0..rng.gen_range(1..7))
                     .map(|_| random_inputs::<Dd, _>(n, degree, &mut rng))
                     .collect();
-                let layered = BatchEvaluator::new(&p);
-                let graph = BatchEvaluator::new(&p).with_exec_mode(ExecMode::Graph);
-                let a = layered.evaluate_parallel(&batch, &pool);
-                let b = graph.evaluate_parallel(&batch, &pool);
+                let layered = engine.compile(p.clone());
+                let graph = engine.compile_with_options(p, graph_opts);
+                let a = layered.evaluate(&batch).into_batch();
+                let b = graph.evaluate(&batch).into_batch();
                 for (i, (x, y)) in a.instances.iter().zip(b.instances.iter()).enumerate() {
                     assert_eq!(x.value, y.value, "iteration {iter}: batch value {i}");
                     assert_eq!(x.gradient, y.gradient, "iteration {iter}: batch grad {i}");
@@ -79,10 +73,10 @@ fn graph_vs_layered_stress_loop() {
                     )
                     .collect();
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
-                let layered = SystemEvaluator::new(&system);
-                let graph = SystemEvaluator::new(&system).with_exec_mode(ExecMode::Graph);
-                let a = layered.evaluate_parallel(&z, &pool);
-                let b = graph.evaluate_parallel(&z, &pool);
+                let layered = engine.compile(system.clone());
+                let graph = engine.compile_with_options(system, graph_opts);
+                let a = layered.evaluate(&z).into_system();
+                let b = graph.evaluate(&z).into_system();
                 assert_eq!(a.values, b.values, "iteration {iter}: system values");
                 assert_eq!(a.jacobian, b.jacobian, "iteration {iter}: jacobian");
             }

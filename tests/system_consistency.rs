@@ -1,4 +1,4 @@
-//! System-vs-naive consistency: the fused [`SystemEvaluator`] must produce
+//! System-vs-naive consistency: the engine's fused system plan must produce
 //! the same values and the same `m × n` Jacobian as evaluating every
 //! equation independently with the naive baseline, across random systems,
 //! every precision, and both real and complex coefficients.  This is the
@@ -6,17 +6,12 @@
 //! and deduplicating the equations' monomial sets changes the work sharing,
 //! not the results.
 
-// The borrowing evaluators under test are deprecated shims of the engine;
-// these suites keep asserting they stay bitwise identical until removal.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use psmd_core::{
-    evaluate_naive, evaluate_naive_system, random_inputs, random_polynomial, Monomial, Polynomial,
-    ScheduledEvaluator, SystemEvaluator,
+    evaluate_naive, evaluate_naive_system, random_inputs, random_polynomial, Engine, Monomial,
+    Polynomial,
 };
 use psmd_multidouble::{Coeff, Complex, Dd, Deca, Md, Qd, RandomCoeff};
-use psmd_runtime::WorkerPool;
 use psmd_series::Series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,9 +35,11 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
         .map(|_| random_polynomial(n, monomials, n.min(6), degree, &mut rng))
         .collect();
     let z = random_inputs::<C, _>(n, degree, &mut rng);
-    let evaluator = SystemEvaluator::new(&system);
-    evaluator.schedule().validate_layers().unwrap();
-    let fused = evaluator.evaluate_sequential(&z);
+    let engine = Engine::builder().threads(3).build();
+    let plan = engine.compile(system.clone());
+    let schedule = plan.system_schedule().expect("system plan");
+    schedule.validate_layers().unwrap();
+    let fused = plan.evaluate_sequential(&z).into_system();
     let tol = tolerance::<C>(degree, equations * monomials);
     // Every equation's value and Jacobian row match the naive per-equation
     // oracle within the precision-scaled tolerance.
@@ -61,8 +58,7 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
     assert!(fused.max_difference(&naive_sys) <= tol);
     // The pool-parallel run must match the sequential run bitwise, with
     // exactly one launch per merged layer for the whole system.
-    let pool = WorkerPool::new(3);
-    let parallel = evaluator.evaluate_parallel(&z, &pool);
+    let parallel = plan.evaluate(&z).into_system();
     assert_eq!(
         fused.values, parallel.values,
         "parallel must be bitwise identical"
@@ -70,15 +66,15 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
     assert_eq!(fused.jacobian, parallel.jacobian);
     assert_eq!(
         parallel.timings.convolution_launches,
-        evaluator.schedule().convolution_layers.len()
+        schedule.convolution_layers.len()
     );
     assert_eq!(
         parallel.timings.addition_launches,
-        evaluator.schedule().addition_layers.len()
+        schedule.addition_layers.len()
     );
     assert_eq!(
         parallel.timings.convolution_blocks,
-        evaluator.schedule().convolution_jobs()
+        schedule.convolution_jobs()
     );
 }
 
@@ -102,7 +98,7 @@ fn system_consistency_for_complex_coefficients() {
 
 /// Equations that share no monomials reproduce their own single-polynomial
 /// schedules inside the merged one: results are bitwise identical to the
-/// per-equation [`ScheduledEvaluator`].
+/// per-equation single-polynomial plan.
 #[test]
 fn fused_system_is_bitwise_identical_without_sharing() {
     let mut rng = StdRng::seed_from_u64(227);
@@ -110,15 +106,24 @@ fn fused_system_is_bitwise_identical_without_sharing() {
         .map(|_| random_polynomial(6, 9, 4, 4, &mut rng))
         .collect();
     let z = random_inputs::<Qd, _>(6, 4, &mut rng);
-    let evaluator = SystemEvaluator::new(&system);
-    if evaluator.schedule().deduplicated_monomials() != 0 {
+    let engine = Engine::builder().threads(0).build();
+    let plan = engine.compile(system.clone());
+    if plan
+        .system_schedule()
+        .expect("system plan")
+        .deduplicated_monomials()
+        != 0
+    {
         // Random coefficients virtually never collide; if they do, the
         // bitwise guarantee does not apply.
         return;
     }
-    let fused = evaluator.evaluate_sequential(&z);
+    let fused = plan.evaluate_sequential(&z).into_system();
     for (i, p) in system.iter().enumerate() {
-        let single = ScheduledEvaluator::new(p).evaluate_sequential(&z);
+        let single = engine
+            .compile(p.clone())
+            .evaluate_sequential(&z)
+            .into_single();
         assert_eq!(fused.values[i], single.value, "value of equation {i}");
         assert_eq!(fused.jacobian[i], single.gradient, "Jacobian row {i}");
     }
@@ -135,13 +140,15 @@ fn shared_monomials_across_equations_dedup_and_stay_correct() {
     let f2 = Polynomial::new(4, c(-1.0), vec![shared(), Monomial::new(c(3.0), vec![0])]);
     let f3 = Polynomial::new(4, c(0.0), vec![shared()]);
     let system = vec![f1, f2, f3];
-    let evaluator = SystemEvaluator::new(&system);
-    assert_eq!(evaluator.schedule().total_monomials(), 5);
-    assert_eq!(evaluator.schedule().unique_monomials(), 3);
-    assert_eq!(evaluator.schedule().deduplicated_monomials(), 2);
+    let engine = Engine::builder().threads(0).build();
+    let plan = engine.compile(system.clone());
+    let schedule = plan.system_schedule().expect("system plan");
+    assert_eq!(schedule.total_monomials(), 5);
+    assert_eq!(schedule.unique_monomials(), 3);
+    assert_eq!(schedule.deduplicated_monomials(), 2);
     let mut rng = StdRng::seed_from_u64(229);
     let z = random_inputs::<Dd, _>(4, d, &mut rng);
-    let fused = evaluator.evaluate_sequential(&z);
+    let fused = plan.evaluate_sequential(&z).into_system();
     let naive = evaluate_naive_system(&system, &z);
     let diff = fused.max_difference(&naive);
     assert!(diff < 1e-26, "difference {diff}");
@@ -196,10 +203,12 @@ proptest! {
         let f2_shared = Polynomial::new(n, f2.constant().clone(), monos);
         let system = vec![f1, f2_shared];
         let z = random_inputs::<Dd, _>(n, degree, &mut rng);
-        let evaluator = SystemEvaluator::new(&system);
-        prop_assert_eq!(evaluator.schedule().deduplicated_monomials(), 1);
-        evaluator.schedule().validate_layers().unwrap();
-        let fused = evaluator.evaluate_sequential(&z);
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile(system.clone());
+        let schedule = plan.system_schedule().expect("system plan");
+        prop_assert_eq!(schedule.deduplicated_monomials(), 1);
+        schedule.validate_layers().unwrap();
+        let fused = plan.evaluate_sequential(&z).into_system();
         let naive = evaluate_naive_system(&system, &z);
         let tol = tolerance::<Dd>(degree, 2 * monomials + 1);
         let diff = fused.max_difference(&naive);
