@@ -18,6 +18,9 @@
 //!                  zero-allocation evaluate_into) plus the steady-state
 //!                  allocation count from a counting global allocator (the
 //!                  deterministic zero-alloc gate)
+//!   kernels        measured convolution kernel ladder (zero-insertion vs
+//!                  Karatsuba vs digit-FFT) per precision and degree, with
+//!                  the Auto crossover resolution of each row
 //!   compare        compare a current JSON report against a baseline and
 //!                  exit non-zero on perf regressions (the CI gate)
 //!   all            run every command above (except batch, system, graph,
@@ -238,6 +241,89 @@ fn main() {
     }
     if opts.command == "workspace" {
         workspace_report(&opts);
+    }
+    if opts.command == "kernels" {
+        kernels_report(&opts);
+    }
+}
+
+/// The convolution kernel ladder: zero-insertion schoolbook vs Karatsuba
+/// short product vs compensated digit-FFT, measured per (precision, degree)
+/// on the same seeded operands, with the `Auto` crossover resolution of
+/// each row.  This report produces `bench/baselines/BENCH_kernels.json`
+/// and is the measurement behind `psmd_core::crossover`.
+fn kernels_report(opts: &Options) {
+    emit_banner(
+        opts,
+        &banner(
+            "Convolution kernel ladder: schoolbook vs Karatsuba vs digit-FFT \
+             (mean ms per convolution, measured on one core)",
+        ),
+    );
+    let mut t = TextTable::new(vec![
+        "precision",
+        "degree",
+        "schoolbook (ms)",
+        "karatsuba (ms)",
+        "fft (ms)",
+        "auto (ms)",
+        "auto kernel",
+        "auto speedup",
+    ]);
+    let mut json = JsonReport::new("kernels");
+    for prec in Precision::ALL {
+        for d in psmd_bench::KERNEL_LADDER_DEGREES {
+            eprintln!("kernels: measuring {} at degree {d}...", prec.label());
+            let row = psmd_bench::kernel_ladder_row(prec, d, opts.seed);
+            if opts.json {
+                json.add_row(vec![
+                    ("precision", JsonValue::Text(row.precision.to_string())),
+                    ("limbs", JsonValue::Integer(row.limbs as i64)),
+                    ("degree", JsonValue::Integer(row.degree as i64)),
+                    ("schoolbook_ms", JsonValue::Number(row.schoolbook_ms)),
+                    ("karatsuba_ms", JsonValue::Number(row.karatsuba_ms)),
+                    ("fft_ms", JsonValue::Number(row.fft_ms)),
+                    ("auto_ms", JsonValue::Number(row.auto_ms)),
+                    ("auto_kernel", JsonValue::Text(row.auto_label().to_string())),
+                    ("auto_speedup", JsonValue::Number(row.auto_speedup())),
+                    (
+                        "schoolbook_mults",
+                        JsonValue::Integer(row.schoolbook_mults as i64),
+                    ),
+                    (
+                        "karatsuba_mults",
+                        JsonValue::Integer(row.karatsuba_mults as i64),
+                    ),
+                    ("fft_points", JsonValue::Integer(row.fft_points as i64)),
+                    ("fft_planes", JsonValue::Integer(row.fft_planes as i64)),
+                    (
+                        "fft_digit_bits",
+                        JsonValue::Integer(row.fft_digit_bits as i64),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    row.precision.to_string(),
+                    d.to_string(),
+                    ms(row.schoolbook_ms),
+                    ms(row.karatsuba_ms),
+                    ms(row.fft_ms),
+                    ms(row.auto_ms),
+                    row.auto_label().to_string(),
+                    format!("{:.2}x", row.auto_speedup()),
+                ]);
+            }
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(each cell is the mean wall clock of one raw convolution on seeded random\n\
+             operands; the auto column re-reports the kernel the measured crossover\n\
+             table of psmd_core::crossover selects for that precision and degree)"
+        );
     }
 }
 

@@ -17,12 +17,14 @@
 
 pub mod alloc_counter;
 pub mod compare;
+pub mod kernels;
 pub mod polynomials;
 pub mod report;
 pub mod sweep;
 
 pub use alloc_counter::{measure_allocs, AllocCounts, CountingAllocator};
 pub use compare::{compare_reports, parse_json, CompareSummary, Json, Regression};
+pub use kernels::{kernel_label, kernel_ladder_row, KernelLadderRow, KERNEL_LADDER_DEGREES};
 pub use polynomials::{Scale, TestPolynomial, PAPER_DEGREES, REDUCED_DEGREES};
 pub use report::{banner, log2, ms, pct, JsonReport, JsonValue, TextTable};
 pub use sweep::{

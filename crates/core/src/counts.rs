@@ -11,7 +11,7 @@
 use crate::schedule::Schedule;
 use psmd_device::WorkloadShape;
 use psmd_multidouble::{CostModel, Precision};
-use psmd_series::{addition_adds, convolution_adds, convolution_mults};
+use psmd_series::{addition_adds, convolution_adds, convolution_mults, ConvAlgo};
 
 /// Coefficient-level operation counts of one evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,14 +31,25 @@ impl CoefficientOps {
     }
 }
 
-/// Counts the coefficient operations of a schedule at its truncation degree.
+/// Counts the coefficient operations of a schedule at its truncation degree
+/// in the paper's cost model (the zero-insertion kernel of Section 6.2).
+///
+/// This is the count the throughput reports and the device model divide by,
+/// regardless of which CPU kernel actually ran; use [`coefficient_ops_for`]
+/// for the honest counts of a specific convolution algorithm.
 pub fn coefficient_ops(schedule: &Schedule) -> CoefficientOps {
+    coefficient_ops_for(schedule, ConvAlgo::ZeroInsertion)
+}
+
+/// Counts the coefficient operations of a schedule under a specific
+/// convolution algorithm (schoolbook variants or Karatsuba).
+pub fn coefficient_ops_for(schedule: &Schedule, algo: ConvAlgo) -> CoefficientOps {
     let d = schedule.layout.degree;
     let n_conv = schedule.convolution_jobs();
     let n_add = schedule.addition_jobs();
     CoefficientOps {
-        multiplications: n_conv * convolution_mults(d),
-        additions: n_conv * convolution_adds(d) + n_add * addition_adds(d),
+        multiplications: n_conv * convolution_mults(algo, d),
+        additions: n_conv * convolution_adds(algo, d) + n_add * addition_adds(d),
     }
 }
 

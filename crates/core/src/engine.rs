@@ -488,7 +488,7 @@ pub struct Plan<C: Coeff> {
 impl<C: Coeff> Plan<C> {
     fn build(
         source: PolySource<C>,
-        options: EvalOptions,
+        mut options: EvalOptions,
         pool: Arc<WorkerPool>,
         workspaces: Arc<WorkspacePool<C>>,
     ) -> Self {
@@ -496,6 +496,14 @@ impl<C: Coeff> Plan<C> {
             PolySource::Single(p) => PlanKind::Single(Schedule::build(p)),
             PolySource::System(ps) => PlanKind::System(SystemSchedule::build(ps)),
         };
+        // Resolve `Auto` once, at compile time, against the measured
+        // crossover table for this (precision, degree) pair; evaluation
+        // never re-decides per job.  The plan cache keys on the *requested*
+        // options plus the structural hash (which covers the degree), so
+        // Auto plans of different degrees never collide.
+        if options.kernel == crate::ConvolutionKernel::Auto {
+            options.kernel = crate::crossover::auto_kernel(C::component_limbs(), source.degree());
+        }
         Self {
             source,
             kind,
@@ -620,7 +628,7 @@ impl<C: Coeff> Plan<C> {
             }
         }
         let mut ws = Workspace::new(self.pool.parallelism());
-        ws.warm(arena, per, blocks);
+        ws.warm_for(arena, per, blocks, self.options.kernel);
         ws
     }
 

@@ -29,7 +29,10 @@ use psmd_multidouble::Coeff;
 use psmd_runtime::{
     InlineGraphScratch, KernelKind, KernelTimings, SharedSlice, Stopwatch, WorkerPool,
 };
-use psmd_series::{add_assign_slices, convolve_seq, convolve_zero_insertion, Series};
+use psmd_series::{
+    add_assign_slices, convolve_fft, convolve_karatsuba, convolve_seq, convolve_zero_insertion,
+    Series,
+};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -42,6 +45,21 @@ pub enum ConvolutionKernel {
     /// The direct formula with thread divergence, kept for the ablation
     /// benchmark.
     Direct,
+    /// The Karatsuba short product: `O(n^1.58)` coefficient
+    /// multiplications, bitwise identical to the schoolbook kernels below
+    /// [`psmd_series::KARATSUBA_THRESHOLD`] and bounded by
+    /// [`psmd_series::karatsuba_ulp_budget`] above it.
+    Karatsuba,
+    /// The compensated digit-FFT kernel: `O(n log n)` double operations,
+    /// exact digit convolution recombined through a certified
+    /// renormalization, bounded by [`psmd_series::fft_ulp_budget`].
+    Fft,
+    /// Pick the fastest kernel for the plan's (precision, degree) pair from
+    /// the measured crossover table at compile time.  [`Plan`](crate::Plan)
+    /// resolves this to a concrete kernel during
+    /// [`Engine::compile`](crate::Engine::compile); the resolved choice is
+    /// visible in the plan's options.
+    Auto,
 }
 
 /// How the evaluators execute the job schedule on the worker pool.
@@ -104,6 +122,30 @@ impl<C: Coeff> Evaluation<C> {
                 return f64::INFINITY;
             }
             worst = worst.max(a.distance(b));
+        }
+        worst
+    }
+
+    /// Largest coefficient-wise difference between two evaluations in units
+    /// in the last place of the working precision (see
+    /// [`psmd_multidouble::ulp_distance`]).  The natural yardstick for the
+    /// approximate kernels of the ladder, where an absolute difference says
+    /// nothing without the coefficient scale.
+    ///
+    /// Returns [`f64::INFINITY`] on a shape mismatch, like
+    /// [`Evaluation::max_difference`].
+    pub fn max_ulp_difference(&self, other: &Evaluation<C>) -> f64 {
+        if self.gradient.len() != other.gradient.len()
+            || self.value.degree() != other.value.degree()
+        {
+            return f64::INFINITY;
+        }
+        let mut worst = self.value.ulp_distance(&other.value);
+        for (a, b) in self.gradient.iter().zip(other.gradient.iter()) {
+            if a.degree() != b.degree() {
+                return f64::INFINITY;
+            }
+            worst = worst.max(a.ulp_distance(b));
         }
         worst
     }
@@ -360,7 +402,14 @@ pub(crate) fn run_convolution_job<C: Coeff>(
     kernel: ConvolutionKernel,
     scratch: &mut ConvScratch<C>,
 ) {
-    let buf = scratch.ensure(per);
+    // `Auto` is resolved when the plan compiles; resolving again here keeps
+    // the dispatch total for callers that bypass the plan (it is a table
+    // lookup, not a measurement).
+    let kernel = match kernel {
+        ConvolutionKernel::Auto => crate::crossover::auto_kernel(C::component_limbs(), per - 1),
+        k => k,
+    };
+    let (buf, fft_scratch) = scratch.ensure_for(per, kernel);
     let (stage_x, rest) = buf.split_at_mut(per);
     let (stage_y, kernel_scratch) = rest.split_at_mut(per);
     let x_aliases_out = job.in1 == job.out;
@@ -391,6 +440,9 @@ pub(crate) fn run_convolution_job<C: Coeff>(
     match kernel {
         ConvolutionKernel::ZeroInsertion => convolve_zero_insertion(x, y, out, kernel_scratch),
         ConvolutionKernel::Direct => convolve_seq(x, y, out),
+        ConvolutionKernel::Karatsuba => convolve_karatsuba(x, y, out, kernel_scratch),
+        ConvolutionKernel::Fft => convolve_fft(x, y, out, fft_scratch),
+        ConvolutionKernel::Auto => unreachable!("Auto was resolved above"),
     }
 }
 

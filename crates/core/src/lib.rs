@@ -56,6 +56,7 @@
 
 pub mod batch;
 pub mod counts;
+pub mod crossover;
 pub mod engine;
 pub mod evaluate;
 pub mod generators;
@@ -68,7 +69,10 @@ pub mod system;
 pub mod workspace;
 
 pub use batch::BatchEvaluation;
-pub use counts::{achieved_gflops, coefficient_ops, workload_shape, CoefficientOps};
+pub use counts::{
+    achieved_gflops, coefficient_ops, coefficient_ops_for, workload_shape, CoefficientOps,
+};
+pub use crossover::{auto_kernel, crossover_for, Crossover, CROSSOVER_TABLE};
 pub use engine::{
     AnyEvalOutput, AnyInputs, AnyPlan, AnyPolySource, Engine, EngineBuilder, EvalOutput,
     GraphPlanStats, Inputs, OwnedInputs, Plan, PlanCacheStats, PlanStats, PolySource,

@@ -27,45 +27,81 @@
 //! with [`crate::Plan::create_workspace`] and pass it to
 //! [`crate::Plan::evaluate_with`].
 
+use crate::evaluate::ConvolutionKernel;
 use psmd_multidouble::Coeff;
 use psmd_runtime::InlineGraphScratch;
-use psmd_series::zero_insertion_scratch_len;
+use psmd_series::{fft_scratch_f64_len, karatsuba_scratch_len, zero_insertion_scratch_len};
 use std::ops::{Deref, DerefMut};
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-/// Per-participant convolution scratch: operand staging plus the
-/// zero-insertion kernel's shared-memory stand-in, grown on demand and
-/// reused across jobs, layers and evaluations.
+/// Per-participant convolution scratch: operand staging plus the selected
+/// kernel's working memory (the zero-insertion shared-memory stand-in, the
+/// Karatsuba recursion buffers, or the FFT digit planes), grown on demand
+/// and reused across jobs, layers and evaluations.
 #[derive(Debug, Default)]
 pub struct ConvScratch<C> {
     buf: Vec<C>,
+    fft: Vec<f64>,
 }
 
 /// Coefficients of one per-participant convolution-scratch lane at `per`
-/// coefficients per slot: two operand staging slots (for the in-place
-/// `b := b * a` update) plus the zero-insertion kernel scratch of the
-/// paper's shared-memory staging.  Exposed for capacity planning and the
-/// bench reports.
+/// coefficients per slot under the default (zero-insertion) kernel: two
+/// operand staging slots (for the in-place `b := b * a` update) plus the
+/// zero-insertion kernel scratch of the paper's shared-memory staging.
+/// Exposed for capacity planning and the bench reports; see
+/// [`conv_scratch_coeffs_for`] for the other kernels of the ladder.
 pub const fn conv_scratch_coeffs(per: usize) -> usize {
     2 * per + zero_insertion_scratch_len(per)
+}
+
+/// Coefficients of one convolution-scratch lane at `per` coefficients per
+/// slot under a specific kernel: two operand staging slots plus that
+/// kernel's own coefficient scratch (the FFT kernel keeps its digit planes
+/// in a separate `f64` buffer instead, sized by `ConvScratch::ensure_for`).
+/// `Auto` must be resolved by the caller before sizing.
+pub fn conv_scratch_coeffs_for(kernel: ConvolutionKernel, per: usize) -> usize {
+    match kernel {
+        ConvolutionKernel::ZeroInsertion => conv_scratch_coeffs(per),
+        ConvolutionKernel::Direct | ConvolutionKernel::Fft => 2 * per,
+        ConvolutionKernel::Karatsuba => 2 * per + karatsuba_scratch_len(per),
+        ConvolutionKernel::Auto => conv_scratch_coeffs_for(ConvolutionKernel::ZeroInsertion, per)
+            .max(conv_scratch_coeffs_for(ConvolutionKernel::Karatsuba, per)),
+    }
 }
 
 impl<C: Coeff> ConvScratch<C> {
     /// An empty scratch (grows on first use).
     pub fn new() -> Self {
-        Self { buf: Vec::new() }
+        Self {
+            buf: Vec::new(),
+            fft: Vec::new(),
+        }
     }
 
-    /// The scratch buffer for jobs of `per` coefficients per slot, growing
-    /// it if needed (allocation-free once warm).
-    pub(crate) fn ensure(&mut self, per: usize) -> &mut [C] {
-        let need = conv_scratch_coeffs(per);
+    /// The scratch buffers for jobs of `per` coefficients per slot under
+    /// `kernel`, growing them if needed (allocation-free once warm): the
+    /// coefficient buffer (operand staging + kernel scratch) and the `f64`
+    /// digit-plane buffer of the FFT kernel (empty for the other kernels).
+    pub(crate) fn ensure_for(
+        &mut self,
+        per: usize,
+        kernel: ConvolutionKernel,
+    ) -> (&mut [C], &mut [f64]) {
+        let need = conv_scratch_coeffs_for(kernel, per);
         if self.buf.len() < need {
             self.buf.resize(need, C::zero());
         }
-        &mut self.buf[..need]
+        let fft_need = if kernel == ConvolutionKernel::Fft {
+            fft_scratch_f64_len::<C>(per)
+        } else {
+            0
+        };
+        if self.fft.len() < fft_need {
+            self.fft.resize(fft_need, 0.0);
+        }
+        (&mut self.buf[..need], &mut self.fft[..fft_need])
     }
 }
 
@@ -114,10 +150,29 @@ impl<C: Coeff> Workspace<C> {
     /// graph blocks.  Growth happens in place and nothing ever shrinks, so
     /// re-warming an already-warm workspace is free.
     pub fn warm(&mut self, arena_coeffs: usize, per: usize, graph_blocks: usize) {
+        self.warm_for(
+            arena_coeffs,
+            per,
+            graph_blocks,
+            ConvolutionKernel::ZeroInsertion,
+        );
+    }
+
+    /// Like [`Workspace::warm`] but sizes the convolution-scratch lanes for
+    /// a specific kernel of the ladder, so the first evaluation under that
+    /// kernel is already allocation-free.  `Auto` warms for the largest
+    /// coefficient footprint of the ladder.
+    pub fn warm_for(
+        &mut self,
+        arena_coeffs: usize,
+        per: usize,
+        graph_blocks: usize,
+        kernel: ConvolutionKernel,
+    ) {
         self.arena
             .reserve(arena_coeffs.saturating_sub(self.arena.len()));
         for lane in &self.scratch {
-            lane.lock().ensure(per);
+            lane.lock().ensure_for(per, kernel);
         }
         self.graph_scratch.reserve(graph_blocks);
     }
@@ -298,13 +353,46 @@ mod tests {
     #[test]
     fn conv_scratch_grows_once_and_is_stable() {
         let mut s: ConvScratch<Qd> = ConvScratch::new();
-        let len = s.ensure(9).len();
+        let zi = ConvolutionKernel::ZeroInsertion;
+        let len = s.ensure_for(9, zi).0.len();
         assert_eq!(len, conv_scratch_coeffs(9));
         let cap = s.buf.capacity();
         // Smaller and equal requests reuse the buffer.
-        s.ensure(4);
-        s.ensure(9);
+        s.ensure_for(4, zi);
+        s.ensure_for(9, zi);
         assert_eq!(s.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn kernel_scratch_footprints_cover_the_ladder() {
+        // Every kernel stages two operand slots; the kernel scratch on top
+        // of that is kernel-specific, and the FFT digit planes live in a
+        // separate f64 buffer.
+        let per = 33;
+        assert_eq!(
+            conv_scratch_coeffs_for(ConvolutionKernel::ZeroInsertion, per),
+            conv_scratch_coeffs(per)
+        );
+        assert_eq!(
+            conv_scratch_coeffs_for(ConvolutionKernel::Direct, per),
+            2 * per
+        );
+        assert!(conv_scratch_coeffs_for(ConvolutionKernel::Karatsuba, per) > 2 * per);
+        assert_eq!(
+            conv_scratch_coeffs_for(ConvolutionKernel::Fft, per),
+            2 * per
+        );
+        let auto = conv_scratch_coeffs_for(ConvolutionKernel::Auto, per);
+        assert!(auto >= conv_scratch_coeffs(per));
+        assert!(auto >= conv_scratch_coeffs_for(ConvolutionKernel::Karatsuba, per));
+
+        let mut s: ConvScratch<Qd> = ConvScratch::new();
+        let (buf, fft) = s.ensure_for(per, ConvolutionKernel::Fft);
+        assert_eq!(buf.len(), 2 * per);
+        assert_eq!(fft.len(), psmd_series::fft_scratch_f64_len::<Qd>(per));
+        // Re-ensuring under another kernel keeps the fft buffer parked.
+        let (_, fft) = s.ensure_for(per, ConvolutionKernel::Karatsuba);
+        assert!(fft.is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::registry::GpuSpec;
 use psmd_multidouble::{CostModel, Precision};
-use psmd_series::{addition_adds, convolution_adds, convolution_mults};
+use psmd_series::{addition_adds, convolution_adds, convolution_mults, ConvAlgo};
 
 /// The per-launch structure of one evaluation: how many blocks each kernel
 /// launch of each stage contains.
@@ -50,10 +50,14 @@ impl WorkloadShape {
     }
 
     /// Double operations of one convolution block at the given precision.
+    ///
+    /// The device model counts the paper's zero-insertion kernel — the
+    /// divergence-free data-parallel algorithm the real accelerator runs —
+    /// regardless of which CPU kernel the engine selected.
     pub fn convolution_block_ops(&self, precision: Precision, cost: CostModel) -> f64 {
         let d = self.degree;
-        convolution_mults(d) as f64 * precision.mul_ops(cost) as f64
-            + convolution_adds(d) as f64 * precision.add_ops(cost) as f64
+        convolution_mults(ConvAlgo::ZeroInsertion, d) as f64 * precision.mul_ops(cost) as f64
+            + convolution_adds(ConvAlgo::ZeroInsertion, d) as f64 * precision.add_ops(cost) as f64
     }
 
     /// Double operations of one addition block at the given precision.

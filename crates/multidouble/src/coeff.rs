@@ -47,6 +47,27 @@ pub trait Coeff: Copy + Clone + PartialEq + core::fmt::Debug + Send + Sync + 'st
     /// two coefficients hash equally exactly when they are bitwise equal, so
     /// a hash hit can be confirmed with `PartialEq` afterwards.
     fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H);
+    /// Number of `f64` limbs per *real component* of the value: `N` for
+    /// `Md<N>` (and for each of the two components of `Complex<Md<N>>`),
+    /// `1` for plain `f64`.  The compensated FFT convolution kernel uses
+    /// this to choose its digit depth per precision.
+    fn component_limbs() -> usize;
+    /// Number of real components: `1` for real coefficients, `2` (real
+    /// part, then imaginary part) for complex ones.
+    #[inline]
+    fn components() -> usize {
+        Self::doubles_per_value() / Self::component_limbs()
+    }
+    /// Writes the raw limb representation into `out`, component-major (the
+    /// real part's limbs, then — for complex values — the imaginary part's),
+    /// each component's limbs in decreasing-magnitude expansion order.
+    /// `out.len()` must equal [`Coeff::doubles_per_value`].
+    fn write_limbs(&self, out: &mut [f64]);
+    /// Rebuilds a value from the layout produced by [`Coeff::write_limbs`].
+    /// Each component's limbs must already form a renormalized expansion
+    /// (the FFT kernel guarantees this by recombining its digit planes
+    /// through the renormalization pipeline before calling this).
+    fn from_limbs(src: &[f64]) -> Self;
 }
 
 /// Additional operations available on real (totally ordered) coefficients.
@@ -113,6 +134,18 @@ impl Coeff for f64 {
     #[inline]
     fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H) {
         state.write_u64(self.to_bits());
+    }
+    #[inline]
+    fn component_limbs() -> usize {
+        1
+    }
+    #[inline]
+    fn write_limbs(&self, out: &mut [f64]) {
+        out[0] = *self;
+    }
+    #[inline]
+    fn from_limbs(src: &[f64]) -> Self {
+        src[0]
     }
 }
 
@@ -186,6 +219,20 @@ impl<const N: usize> Coeff for Md<N> {
             state.write_u64(limb.to_bits());
         }
     }
+    #[inline]
+    fn component_limbs() -> usize {
+        N
+    }
+    #[inline]
+    fn write_limbs(&self, out: &mut [f64]) {
+        out[..N].copy_from_slice(self.limbs());
+    }
+    #[inline]
+    fn from_limbs(src: &[f64]) -> Self {
+        let mut limbs = [0.0; N];
+        limbs.copy_from_slice(&src[..N]);
+        Md::from_limbs_raw(limbs)
+    }
 }
 
 impl<const N: usize> RealCoeff for Md<N> {
@@ -258,6 +305,24 @@ impl<T: RealCoeff> Coeff for Complex<T> {
     fn hash_bits<H: core::hash::Hasher>(&self, state: &mut H) {
         self.re.hash_bits(state);
         self.im.hash_bits(state);
+    }
+    #[inline]
+    fn component_limbs() -> usize {
+        T::component_limbs()
+    }
+    #[inline]
+    fn write_limbs(&self, out: &mut [f64]) {
+        let half = T::doubles_per_value();
+        self.re.write_limbs(&mut out[..half]);
+        self.im.write_limbs(&mut out[half..2 * half]);
+    }
+    #[inline]
+    fn from_limbs(src: &[f64]) -> Self {
+        let half = T::doubles_per_value();
+        Complex::new(
+            T::from_limbs(&src[..half]),
+            T::from_limbs(&src[half..2 * half]),
+        )
     }
 }
 
@@ -343,6 +408,26 @@ mod tests {
         let c = Complex::new(Dd::from_f64(1.0), Dd::from_f64(2.0));
         let d = Complex::new(Dd::from_f64(2.0), Dd::from_f64(1.0));
         assert_ne!(digest(&c), digest(&d));
+    }
+
+    #[test]
+    fn limb_roundtrip_is_bitwise_exact() {
+        fn roundtrip<C: Coeff>(v: C) {
+            let mut buf = vec![0.0f64; C::doubles_per_value()];
+            v.write_limbs(&mut buf);
+            assert_eq!(C::from_limbs(&buf), v);
+        }
+        roundtrip(-1.5f64);
+        roundtrip(Qd::one().div(&Qd::from_f64(3.0)));
+        roundtrip(Dd::from_f64(0.1).mul(&Dd::from_f64(2f64.powi(300))));
+        roundtrip(Complex::new(
+            Qd::from_f64(1.0).add_f64(2f64.powi(-200)),
+            Qd::from_f64(-7.0),
+        ));
+        assert_eq!(<f64 as Coeff>::components(), 1);
+        assert_eq!(<Qd as Coeff>::components(), 1);
+        assert_eq!(<Complex<Dd> as Coeff>::components(), 2);
+        assert_eq!(<Complex<Dd> as Coeff>::component_limbs(), 2);
     }
 
     #[test]

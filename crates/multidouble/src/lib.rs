@@ -42,6 +42,7 @@ pub mod precision;
 #[cfg(feature = "rand")]
 pub mod random;
 pub mod renorm;
+pub mod ulp;
 
 pub use coeff::{Coeff, RealCoeff};
 pub use complex::{Complex, ComplexDd, ComplexDeca, ComplexQd};
@@ -51,3 +52,4 @@ pub use md::{Dd, Deca, Md, Md1, Od, Pd, Qd, Td, MAX_LIMBS};
 pub use precision::Precision;
 #[cfg(feature = "rand")]
 pub use random::RandomCoeff;
+pub use ulp::{max_scaled_error, max_ulp_error, ulp_distance};

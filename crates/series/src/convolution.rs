@@ -106,16 +106,46 @@ pub const fn zero_insertion_scratch_len(n: usize) -> usize {
     4 * n
 }
 
+/// The convolution algorithm whose operation counts are being asked for.
+///
+/// The paper's Section 6.2 cost model counts the zero-insertion kernel; the
+/// sub-quadratic ladder reports its own honest counts, so the counting
+/// functions take the algorithm as a parameter instead of silently assuming
+/// schoolbook.  The FFT kernel is deliberately absent: its cost is not a
+/// coefficient-multiplication count (it runs on `f64` digit planes), so the
+/// bench harness reports its transform length and plane count instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvAlgo {
+    /// The paper's data-parallel zero-insertion kernel: every thread
+    /// performs `d + 1` products, divergence-free.
+    ZeroInsertion,
+    /// The truncated schoolbook loop of [`convolve_seq`]: only the products
+    /// that contribute below the truncation degree.
+    Direct,
+    /// The Karatsuba short product of
+    /// [`convolve_karatsuba`](crate::karatsuba::convolve_karatsuba).
+    Karatsuba,
+}
+
 /// Number of coefficient multiplications performed by one convolution job at
-/// degree `d` (the paper counts `(d+1)^2` with zero insertion).
-pub fn convolution_mults(degree: usize) -> usize {
-    (degree + 1) * (degree + 1)
+/// degree `d` under `algo` (the paper counts `(d+1)^2` with zero insertion).
+pub fn convolution_mults(algo: ConvAlgo, degree: usize) -> usize {
+    match algo {
+        ConvAlgo::ZeroInsertion => (degree + 1) * (degree + 1),
+        ConvAlgo::Direct => (degree + 1) * (degree + 2) / 2,
+        ConvAlgo::Karatsuba => crate::karatsuba::karatsuba_mults(degree),
+    }
 }
 
 /// Number of coefficient additions performed by one convolution job at
-/// degree `d` (the paper counts `d (d+1)`).
-pub fn convolution_adds(degree: usize) -> usize {
-    degree * (degree + 1)
+/// degree `d` under `algo` (the paper counts `d (d+1)`; accumulating into a
+/// fresh accumulator skips the first addition of every output).
+pub fn convolution_adds(algo: ConvAlgo, degree: usize) -> usize {
+    match algo {
+        ConvAlgo::ZeroInsertion => degree * (degree + 1),
+        ConvAlgo::Direct => degree * (degree + 1) / 2,
+        ConvAlgo::Karatsuba => crate::karatsuba::karatsuba_adds(degree),
+    }
 }
 
 /// Number of coefficient additions performed by one addition job at degree
@@ -215,11 +245,33 @@ mod tests {
     fn operation_counts_match_paper_formulas() {
         // Degree 152: the paper's Section 6.2 counts (d+1)^2 = 23409
         // multiplications and d(d+1) = 23256 additions per convolution.
-        assert_eq!(convolution_mults(152), 23_409);
-        assert_eq!(convolution_adds(152), 23_256);
+        assert_eq!(convolution_mults(ConvAlgo::ZeroInsertion, 152), 23_409);
+        assert_eq!(convolution_adds(ConvAlgo::ZeroInsertion, 152), 23_256);
         assert_eq!(addition_adds(152), 153);
-        assert_eq!(convolution_mults(0), 1);
-        assert_eq!(convolution_adds(0), 0);
+        assert_eq!(convolution_mults(ConvAlgo::ZeroInsertion, 0), 1);
+        assert_eq!(convolution_adds(ConvAlgo::ZeroInsertion, 0), 0);
+    }
+
+    #[test]
+    fn direct_counts_are_the_triangular_numbers() {
+        // convolve_seq computes only the products below the truncation:
+        // (d+1)(d+2)/2 multiplications, d(d+1)/2 additions.
+        assert_eq!(convolution_mults(ConvAlgo::Direct, 0), 1);
+        assert_eq!(convolution_adds(ConvAlgo::Direct, 0), 0);
+        assert_eq!(convolution_mults(ConvAlgo::Direct, 152), 11_781);
+        assert_eq!(convolution_adds(ConvAlgo::Direct, 152), 11_628);
+        // Karatsuba degenerates to the Direct counts at or below the
+        // recursion threshold (it *is* the schoolbook loop there).
+        for d in 0..crate::karatsuba::KARATSUBA_THRESHOLD {
+            assert_eq!(
+                convolution_mults(ConvAlgo::Karatsuba, d),
+                convolution_mults(ConvAlgo::Direct, d),
+            );
+            assert_eq!(
+                convolution_adds(ConvAlgo::Karatsuba, d),
+                convolution_adds(ConvAlgo::Direct, d),
+            );
+        }
     }
 
     #[test]

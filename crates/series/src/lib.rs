@@ -13,10 +13,19 @@
 #![warn(missing_docs)]
 
 pub mod convolution;
+pub mod fft;
+pub mod karatsuba;
 pub mod series;
 
 pub use convolution::{
     add_assign_slices, addition_adds, convolution_adds, convolution_mults, convolve_accumulate,
-    convolve_seq, convolve_zero_insertion, zero_insertion_scratch_len,
+    convolve_seq, convolve_zero_insertion, zero_insertion_scratch_len, ConvAlgo,
+};
+pub use fft::{
+    convolve_fft, fft_digit_bits, fft_digit_planes, fft_points, fft_scratch_f64_len, fft_ulp_budget,
+};
+pub use karatsuba::{
+    convolve_karatsuba, karatsuba_adds, karatsuba_depth, karatsuba_mults, karatsuba_scratch_len,
+    karatsuba_ulp_budget, KARATSUBA_THRESHOLD,
 };
 pub use series::Series;

@@ -218,6 +218,14 @@ impl<C: Coeff> Series<C> {
             .map(|(a, b)| a.sub(b).magnitude())
             .fold(0.0, f64::max)
     }
+
+    /// Largest coefficientwise distance to another series in units in the
+    /// last place of the working precision (see
+    /// [`psmd_multidouble::max_ulp_error`]); [`f64::INFINITY`] on a degree
+    /// mismatch.
+    pub fn ulp_distance(&self, other: &Self) -> f64 {
+        psmd_multidouble::max_ulp_error(&self.coeffs, &other.coeffs)
+    }
 }
 
 impl<C: RealCoeff> Series<C> {

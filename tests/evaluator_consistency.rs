@@ -29,10 +29,12 @@ fn check_consistency<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usi
     let plan = engine.compile(p);
     let seq = plan.evaluate_sequential(&z).into_single();
     let diff = naive.max_difference(&seq);
+    let ulps = naive.max_ulp_difference(&seq);
     let tol = tolerance::<C>(degree, monomials);
     assert!(
         diff <= tol,
-        "naive vs scheduled differ by {diff:e} (tolerance {tol:e}) for seed {seed}"
+        "naive vs scheduled differ by {diff:e} ({ulps:.1} ulps; tolerance {tol:e}) \
+         for seed {seed}"
     );
     let par = plan.evaluate(&z).into_single();
     assert_eq!(seq.value, par.value, "parallel must be bitwise identical");
@@ -94,10 +96,11 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
     for (i, (inputs, got)) in batch.iter().zip(batched.instances.iter()).enumerate() {
         let want = plan.evaluate_sequential(inputs).into_single();
         let diff = got.max_difference(&want);
+        let ulps = got.max_ulp_difference(&want);
         assert!(
             diff <= tol,
-            "batched vs sequential differ by {diff:e} (tolerance {tol:e}) \
-             for seed {seed}, instance {i}"
+            "batched vs sequential differ by {diff:e} ({ulps:.1} ulps; \
+             tolerance {tol:e}) for seed {seed}, instance {i}"
         );
     }
     // The pool-parallel batch must match the sequential batch bitwise.

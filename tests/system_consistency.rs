@@ -47,9 +47,10 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
         let naive = evaluate_naive(p, &z);
         let got = fused.equation(i);
         let diff = got.max_difference(&naive);
+        let ulps = got.max_ulp_difference(&naive);
         assert!(
             diff <= tol,
-            "system vs naive differ by {diff:e} (tolerance {tol:e}) \
+            "system vs naive differ by {diff:e} ({ulps:.1} ulps; tolerance {tol:e}) \
              for seed {seed}, equation {i}"
         );
     }
