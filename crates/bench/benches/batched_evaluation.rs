@@ -35,7 +35,8 @@ fn batched_vs_looped(c: &mut Criterion) {
     // One launch per layer for the whole batch — not one per polynomial:
     // launches stay at layer-count while blocks scale with the batch.
     let probe = plan
-        .evaluate(&batch_inputs(TestPolynomial::P1, degree, 4))
+        .request(&batch_inputs(TestPolynomial::P1, degree, 4))
+        .run()
         .into_batch();
     assert_eq!(probe.timings.convolution_launches, layers);
     assert_eq!(probe.timings.convolution_blocks, 4 * jobs);
@@ -49,7 +50,7 @@ fn batched_vs_looped(c: &mut Criterion) {
             BenchmarkId::new("batched_one_launch_per_layer", size),
             |b| {
                 b.iter(|| {
-                    let r = plan.evaluate(black_box(&batch)).into_batch();
+                    let r = plan.request(black_box(&batch)).run().into_batch();
                     black_box(r.instances.len())
                 })
             },
@@ -60,7 +61,7 @@ fn batched_vs_looped(c: &mut Criterion) {
                 b.iter(|| {
                     let mut n = 0usize;
                     for inputs in &batch {
-                        let r = plan.evaluate(black_box(inputs)).into_single();
+                        let r = plan.request(black_box(inputs)).run().into_single();
                         n += r.gradient.len();
                     }
                     black_box(n)
@@ -71,7 +72,11 @@ fn batched_vs_looped(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for inputs in &batch {
-                    let r = plan.evaluate_sequential(black_box(inputs)).into_single();
+                    let r = plan
+                        .request(black_box(inputs))
+                        .sequential()
+                        .run()
+                        .into_single();
                     n += r.gradient.len();
                 }
                 black_box(n)
@@ -101,7 +106,9 @@ fn schedule_amortization(c: &mut Criterion) {
             for inputs in &batch {
                 let plan = cold.compile(black_box(p.clone()));
                 acc += plan
-                    .evaluate_sequential(inputs)
+                    .request(inputs)
+                    .sequential()
+                    .run()
                     .into_single()
                     .gradient
                     .len();
@@ -110,7 +117,7 @@ fn schedule_amortization(c: &mut Criterion) {
         })
     });
     group.bench_function("compile_once_batched", |b| {
-        b.iter(|| black_box(shared.evaluate_sequential(&batch).into_batch().len()))
+        b.iter(|| black_box(shared.request(&batch).sequential().run().into_batch().len()))
     });
     group.finish();
 }

@@ -27,13 +27,32 @@ fn evaluator_comparison(c: &mut Criterion) {
         b.iter(|| black_box(evaluate_naive(&p, &z).value.coeff(0)))
     });
     group.bench_function("scheduled_sequential", |b| {
-        b.iter(|| black_box(plan.evaluate_sequential(&z).into_single().value.coeff(0)))
+        b.iter(|| {
+            black_box(
+                plan.request(&z)
+                    .sequential()
+                    .run()
+                    .into_single()
+                    .value
+                    .coeff(0),
+            )
+        })
     });
     group.bench_function("scheduled_sequential_direct_kernel", |b| {
-        b.iter(|| black_box(direct.evaluate_sequential(&z).into_single().value.coeff(0)))
+        b.iter(|| {
+            black_box(
+                direct
+                    .request(&z)
+                    .sequential()
+                    .run()
+                    .into_single()
+                    .value
+                    .coeff(0),
+            )
+        })
     });
     group.bench_function("scheduled_parallel", |b| {
-        b.iter(|| black_box(plan.evaluate(&z).into_single().value.coeff(0)))
+        b.iter(|| black_box(plan.request(&z).run().into_single().value.coeff(0)))
     });
     group.finish();
 }

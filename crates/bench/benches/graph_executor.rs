@@ -32,11 +32,12 @@ fn layered_vs_graph(c: &mut Criterion) {
             engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
         // Same schedule, same jobs: results are bitwise identical.
         assert!(layered
-            .evaluate(&inputs)
-            .bitwise_eq(&graph.evaluate(&inputs)));
+            .request(&inputs)
+            .run()
+            .bitwise_eq(&graph.request(&inputs).run()));
         group.bench_function(BenchmarkId::new("layered_barriers", poly.label()), |bch| {
             bch.iter(|| {
-                let r = layered.evaluate(black_box(&inputs)).into_single();
+                let r = layered.request(black_box(&inputs)).run().into_single();
                 black_box(r.value.degree())
             })
         });
@@ -44,7 +45,7 @@ fn layered_vs_graph(c: &mut Criterion) {
             BenchmarkId::new("graph_work_stealing", poly.label()),
             |bch| {
                 bch.iter(|| {
-                    let r = graph.evaluate(black_box(&inputs)).into_single();
+                    let r = graph.request(black_box(&inputs)).run().into_single();
                     black_box(r.value.degree())
                 })
             },
@@ -65,21 +66,22 @@ fn system_layered_vs_graph(c: &mut Criterion) {
     let graph =
         engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
     assert!(layered
-        .evaluate(&inputs)
-        .bitwise_eq(&graph.evaluate(&inputs)));
+        .request(&inputs)
+        .run()
+        .bitwise_eq(&graph.request(&inputs).run()));
     let mut group = c.benchmark_group("graph_executor_system_reduced_p1_d6_2d");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     group.bench_function(BenchmarkId::new("layered_barriers", m), |bch| {
         bch.iter(|| {
-            let r = layered.evaluate(black_box(&inputs)).into_system();
+            let r = layered.request(black_box(&inputs)).run().into_system();
             black_box(r.values.len())
         })
     });
     group.bench_function(BenchmarkId::new("graph_work_stealing", m), |bch| {
         bch.iter(|| {
-            let r = graph.evaluate(black_box(&inputs)).into_system();
+            let r = graph.request(black_box(&inputs)).run().into_system();
             black_box(r.values.len())
         })
     });

@@ -20,7 +20,7 @@ use std::time::Duration;
 fn run_reduced(engine: &Engine, poly: TestPolynomial, precision: Precision, degree: usize) -> f64 {
     let plan = engine.compile_any(poly.any_polynomial(precision, degree, Scale::Reduced, 1));
     let inputs = poly.any_inputs(precision, degree, Scale::Reduced, 1);
-    plan.evaluate(&inputs).timings().wall_clock_ms()
+    plan.request(&inputs).run().timings().wall_clock_ms()
 }
 
 /// The three test polynomials at a common degree/precision (Tables 3 and 4).

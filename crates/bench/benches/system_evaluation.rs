@@ -30,7 +30,7 @@ fn fused_vs_looped(c: &mut Criterion) {
         let system: Vec<Polynomial<Dd>> = TestPolynomial::P1.build_reduced_system(m, degree, 1);
         let fused = engine.compile(system.clone());
         // One launch per merged layer for the whole system, not per equation.
-        let probe = fused.evaluate(&inputs).into_system();
+        let probe = fused.request(&inputs).run().into_system();
         assert_eq!(
             probe.timings.convolution_launches,
             fused.system_schedule().unwrap().convolution_layers.len()
@@ -38,7 +38,7 @@ fn fused_vs_looped(c: &mut Criterion) {
         let singles: Vec<_> = system.iter().map(|p| engine.compile(p.clone())).collect();
         group.bench_function(BenchmarkId::new("fused_one_launch_per_layer", m), |b| {
             b.iter(|| {
-                let r = fused.evaluate(black_box(&inputs)).into_system();
+                let r = fused.request(black_box(&inputs)).run().into_system();
                 black_box(r.values.len())
             })
         });
@@ -46,7 +46,7 @@ fn fused_vs_looped(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for single in &singles {
-                    let r = single.evaluate(black_box(&inputs)).into_single();
+                    let r = single.request(black_box(&inputs)).run().into_single();
                     n += r.gradient.len();
                 }
                 black_box(n)
@@ -77,7 +77,9 @@ fn schedule_reuse(c: &mut Criterion) {
             for p in &system {
                 let plan = cold.compile(black_box(p.clone()));
                 acc += plan
-                    .evaluate_sequential(&inputs)
+                    .request(&inputs)
+                    .sequential()
+                    .run()
                     .into_single()
                     .gradient
                     .len();
@@ -89,7 +91,9 @@ fn schedule_reuse(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 merged
-                    .evaluate_sequential(&inputs)
+                    .request(&inputs)
+                    .sequential()
+                    .run()
                     .into_system()
                     .values
                     .len(),

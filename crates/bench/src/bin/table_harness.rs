@@ -15,12 +15,15 @@
 //!   engine         measured compile-once/evaluate-many amortization of the
 //!                  Engine/Plan API (plan-cache hits, per-eval cost)
 //!   workspace      measured workspace-reuse comparison (pooled evaluate vs
-//!                  zero-allocation evaluate_into) plus the steady-state
+//!                  zero-allocation reused-output path) plus the steady-state
 //!                  allocation count from a counting global allocator (the
 //!                  deterministic zero-alloc gate)
 //!   kernels        measured convolution kernel ladder (zero-insertion vs
 //!                  Karatsuba vs digit-FFT) per precision and degree, with
 //!                  the Auto crossover resolution of each row
+//!   serve          serving-layer load generator: deterministic staged
+//!                  coalescing windows plus threaded closed-loop clients
+//!                  against a psmd-serve Service
 //!   compare        compare a current JSON report against a baseline and
 //!                  exit non-zero on perf regressions (the CI gate)
 //!   all            run every command above (except batch, system, graph,
@@ -35,7 +38,8 @@
 //!                  this option also runs the batch report after any command
 //!   --equations <m> system size for the system command (default 4)
 //!   --json         emit a machine-readable JSON report instead of text
-//!                  (supported by table2, batch, system, graph and engine;
+//!                  (supported by table2, batch, system, graph, engine,
+//!                  workspace, kernels and serve;
 //!                  used by the CI perf-snapshot job).  stdout carries only
 //!                  the JSON document; progress and notes go to stderr.
 //!   --baseline <file>       baseline report for the compare command
@@ -245,6 +249,145 @@ fn main() {
     if opts.command == "kernels" {
         kernels_report(&opts);
     }
+    if opts.command == "serve" {
+        serve_report(&opts);
+    }
+}
+
+/// The serving-layer load report: deterministic staged coalescing runs
+/// (parked tickets drained in exact FIFO windows — every counter a pure
+/// function of `(requests, max_batch)`) and threaded closed-loop load
+/// generation (concurrent clients recycling their response buffers).  This
+/// report produces `bench/baselines/BENCH_serve.json`: the staged counters
+/// and the closed-loop identities are exact-gated, the timings
+/// tolerance-gated, and the measured coalescing ratio rides along as an
+/// ungated `*_speedup` field.
+fn serve_report(opts: &Options) {
+    emit_banner(
+        opts,
+        &banner(
+            "Serving layer: staged coalescing windows (deterministic) and \
+             closed-loop concurrent load (measured CPU)",
+        ),
+    );
+    let mut t = TextTable::new(vec![
+        "kind",
+        "poly",
+        "degree",
+        "requests",
+        "window/clients",
+        "launches",
+        "saved",
+        "coalesce",
+        "time (ms)",
+        "p99 (ms)",
+    ]);
+    let mut json = JsonReport::new("serve");
+    let degree = 8;
+
+    // Staged runs: the window packing is exact — ceil(requests/max_batch)
+    // launches, FIFO slices, reproducible histograms.
+    for (requests, max_batch) in [(16usize, 4usize), (32, 8), (10, 4)] {
+        eprintln!("serve: staged {requests} requests, window {max_batch}...");
+        let row =
+            psmd_bench::staged_run(TestPolynomial::P1, degree, requests, max_batch, opts.seed);
+        if opts.json {
+            let mut fields = vec![
+                ("kind", JsonValue::Text("staged".to_string())),
+                ("poly", JsonValue::Text(row.poly.label().to_string())),
+                ("degree", JsonValue::Integer(row.degree as i64)),
+                ("requests", JsonValue::Integer(row.requests as i64)),
+                ("max_batch", JsonValue::Integer(row.max_batch as i64)),
+                ("launches", JsonValue::Integer(row.launches as i64)),
+                (
+                    "launches_saved",
+                    JsonValue::Integer(row.launches_saved as i64),
+                ),
+                ("completed", JsonValue::Integer(row.completed as i64)),
+                ("drain_ms", JsonValue::Number(row.drain_ms)),
+            ];
+            let bucket_names = [
+                "hist_0", "hist_1", "hist_2", "hist_3", "hist_4", "hist_5", "hist_6",
+            ];
+            for (name, count) in bucket_names.iter().zip(row.batch_histogram.iter()) {
+                fields.push((name, JsonValue::Integer(*count as i64)));
+            }
+            json.add_row(fields);
+        } else {
+            t.add_row(vec![
+                "staged".to_string(),
+                row.poly.label().to_string(),
+                row.degree.to_string(),
+                row.requests.to_string(),
+                row.max_batch.to_string(),
+                row.launches.to_string(),
+                row.launches_saved.to_string(),
+                format!("{:.2}x", row.completed as f64 / row.launches.max(1) as f64),
+                ms(row.drain_ms),
+                "-".to_string(),
+            ]);
+        }
+    }
+
+    // Closed-loop runs: real concurrency, so the launch count is timing
+    // dependent; the request count and the admission counters stay exact.
+    for clients in [4usize, 8] {
+        let per_client = 16;
+        eprintln!("serve: closed loop, {clients} clients x {per_client}...");
+        let row =
+            psmd_bench::closed_loop_run(TestPolynomial::P1, degree, clients, per_client, opts.seed);
+        assert_eq!(
+            row.launches + row.launches_saved + row.busy_rejected,
+            row.requests,
+            "serve accounting identity violated"
+        );
+        if opts.json {
+            json.add_row(vec![
+                ("kind", JsonValue::Text("closed_loop".to_string())),
+                ("poly", JsonValue::Text(row.poly.label().to_string())),
+                ("degree", JsonValue::Integer(row.degree as i64)),
+                ("clients", JsonValue::Integer(row.clients as i64)),
+                ("per_client", JsonValue::Integer(row.per_client as i64)),
+                ("requests", JsonValue::Integer(row.requests as i64)),
+                (
+                    "busy_rejected",
+                    JsonValue::Integer(row.busy_rejected as i64),
+                ),
+                (
+                    "coalesce_speedup",
+                    JsonValue::Number(row.mean_batch.max(1.0)),
+                ),
+                ("total_ms", JsonValue::Number(row.total_ms)),
+                ("p50_ms", JsonValue::Number(row.p50_ms)),
+                ("p99_ms", JsonValue::Number(row.p99_ms)),
+            ]);
+        } else {
+            t.add_row(vec![
+                "closed-loop".to_string(),
+                row.poly.label().to_string(),
+                row.degree.to_string(),
+                row.requests.to_string(),
+                clients.to_string(),
+                row.launches.to_string(),
+                row.launches_saved.to_string(),
+                format!("{:.2}x", row.mean_batch.max(1.0)),
+                ms(row.total_ms),
+                ms(row.p99_ms),
+            ]);
+        }
+    }
+
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(staged rows park N tickets and drain them on one thread: exactly\n\
+             ceil(N / window) launches, bit-reproducible; closed-loop rows run real\n\
+             concurrent clients, so their launch count varies — the identity\n\
+             launches + saved + busy == requests always holds)"
+        );
+    }
 }
 
 /// The convolution kernel ladder: zero-insertion schoolbook vs Karatsuba
@@ -327,8 +470,8 @@ fn kernels_report(opts: &Options) {
     }
 }
 
-/// Workspace reuse: the pooled `Plan::evaluate` and the zero-allocation
-/// `Plan::evaluate_into` steady states against the cold first evaluation,
+/// Workspace reuse: the pooled and the zero-allocation reused-output
+/// steady states against the cold first evaluation,
 /// plus the counting-allocator measurement of the steady state.
 ///
 /// The allocation count runs on a dedicated **zero-worker** engine (every
@@ -347,7 +490,7 @@ fn workspace_report(opts: &Options) {
     emit_banner(
         opts,
         &banner(&format!(
-            "Workspace reuse: pooled evaluate vs zero-allocation evaluate_into \
+            "Workspace reuse: pooled evaluation vs zero-allocation output reuse \
              ({evals} steady evaluations per mode; {label} polynomials, double-double, \
              measured CPU)"
         )),
@@ -376,16 +519,16 @@ fn workspace_report(opts: &Options) {
                 opts.seed,
             );
             // The deterministic zero-allocation gate: steady-state
-            // evaluate_into on the inline engine must not touch the
+            // the reused-output path on the inline engine must not touch the
             // allocator at all.
             let plan =
                 alloc_engine.compile_any(poly.any_polynomial(Precision::D2, d, scale, opts.seed));
             let inputs = poly.any_inputs(Precision::D2, d, scale, opts.seed);
-            let mut out = plan.evaluate(&inputs);
-            plan.evaluate_into(&inputs, &mut out);
+            let mut out = plan.request(&inputs).run();
+            plan.request(&inputs).into(&mut out).run();
             let steady_allocs = count_allocs(|| {
                 for _ in 0..4 {
-                    plan.evaluate_into(&inputs, &mut out);
+                    plan.request(&inputs).into(&mut out).run();
                 }
             });
             if opts.json {
@@ -427,7 +570,7 @@ fn workspace_report(opts: &Options) {
         print!("{t}");
         println!(
             "(arena and per-worker scratch live in pooled workspaces; the steady-allocs\n\
-             column counts allocator calls over 4 steady-state evaluate_into calls on a\n\
+             column counts allocator calls over 4 steady-state reused-output calls on a\n\
              zero-worker engine — the committed baseline pins it at exactly 0)"
         );
     }

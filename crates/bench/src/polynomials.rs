@@ -426,7 +426,7 @@ mod tests {
             let plan = engine.compile_any(source);
             assert_eq!(plan.precision(), precision);
             let inputs = TestPolynomial::P1.any_inputs(precision, 2, Scale::Reduced, 7);
-            let out = plan.evaluate(&inputs);
+            let out = plan.request(&inputs).run();
             assert_eq!(out.precision(), precision);
         }
         // The split system equations reproduce the fused system's

@@ -1,0 +1,219 @@
+//! Load generation against the serving layer (`psmd-serve`): deterministic
+//! staged coalescing runs — the exact-gated CI baseline — and a threaded
+//! closed-loop load harness whose timings feed the tolerance gate.
+//!
+//! The staged runs park a known number of tickets in a plan's queue and
+//! then drain, so the window packing is a pure function of `(requests,
+//! max_batch)`: `ceil(K / B)` launches, every counter reproducible to the
+//! bit.  The closed-loop runs drive real concurrent clients; there the
+//! *identities* (`requests == completed`, `launches + launches_saved ==
+//! completed`) stay deterministic while the actual launch count depends on
+//! thread timing, so only the identities and the timings are reported for
+//! gating — the measured coalescing ratio rides along as an ungated
+//! `*_speedup` field.
+
+use crate::polynomials::TestPolynomial;
+use psmd_core::Engine;
+use psmd_multidouble::Dd;
+use psmd_series::Series;
+use psmd_serve::{MetricsSnapshot, Request, ServeConfig, ServeError, Service, BATCH_BUCKETS};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// One deterministic staged coalescing measurement: `requests` tickets
+/// parked, then drained in FIFO windows of `max_batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedRow {
+    /// The paper polynomial served.
+    pub poly: TestPolynomial,
+    /// Truncation degree of the inputs.
+    pub degree: usize,
+    /// Tickets parked before the drain.
+    pub requests: usize,
+    /// The coalescing window.
+    pub max_batch: usize,
+    /// Launches performed: exactly `ceil(requests / max_batch)`.
+    pub launches: u64,
+    /// Launches avoided versus one-launch-per-request.
+    pub launches_saved: u64,
+    /// Requests completed (all of them).
+    pub completed: u64,
+    /// The batch-size histogram after the drain.
+    pub batch_histogram: [u64; BATCH_BUCKETS],
+    /// Wall time of the drain.
+    pub drain_ms: f64,
+}
+
+/// Parks `requests` single-point tickets in a fresh service and drains
+/// them; the returned counters are deterministic.
+pub fn staged_run(
+    poly: TestPolynomial,
+    degree: usize,
+    requests: usize,
+    max_batch: usize,
+    seed: u64,
+) -> StagedRow {
+    let engine = Engine::builder().threads(0).build();
+    let service = Service::new(
+        engine,
+        ServeConfig {
+            max_batch,
+            max_inflight: requests.max(1),
+            ..ServeConfig::default()
+        },
+    );
+    let p = poly.build_reduced::<Dd>(degree, seed);
+    service.register("staged", p).expect("register");
+    let points: Vec<Vec<Series<Dd>>> = (0..requests)
+        .map(|i| poly.reduced_inputs::<Dd>(degree, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+
+    let tickets: Vec<_> = points
+        .into_iter()
+        .map(|z| {
+            service
+                .submit_async::<Dd>("staged", Request::new(z))
+                .expect("staged submit")
+        })
+        .collect();
+    let start = Instant::now();
+    for ticket in tickets {
+        ticket.wait().expect("staged wait");
+    }
+    let drain_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let m = service.metrics("staged").expect("metrics");
+    StagedRow {
+        poly,
+        degree,
+        requests,
+        max_batch,
+        launches: m.launches,
+        launches_saved: m.launches_saved,
+        completed: m.completed,
+        batch_histogram: m.batch_histogram,
+        drain_ms,
+    }
+}
+
+/// One closed-loop load measurement: `clients` threads each submitting
+/// `per_client` blocking requests back to back, recycling their response
+/// buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRow {
+    /// The paper polynomial served.
+    pub poly: TestPolynomial,
+    /// Truncation degree of the inputs.
+    pub degree: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Blocking requests per client.
+    pub per_client: usize,
+    /// Total requests: `clients * per_client`, all completed.
+    pub requests: u64,
+    /// Requests rejected at admission (zero for a closed loop within the
+    /// derived admission limit).
+    pub busy_rejected: u64,
+    /// Mean requests per launch (>= 1; > 1 proves coalescing happened).
+    pub mean_batch: f64,
+    /// Launches performed (nondeterministic under concurrency; reported
+    /// for the text table, gated only through the identities).
+    pub launches: u64,
+    /// Launches avoided by coalescing.
+    pub launches_saved: u64,
+    /// Wall time of the whole run.
+    pub total_ms: f64,
+    /// Median request latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Runs `clients` concurrent closed-loop clients against one served plan
+/// and reports the counters and latency percentiles.
+pub fn closed_loop_run(
+    poly: TestPolynomial,
+    degree: usize,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> LoadRow {
+    let engine = Engine::new();
+    let service = Service::new(engine, ServeConfig::default());
+    let p = poly.build_reduced::<Dd>(degree, seed);
+    service.register("load", p).expect("register");
+
+    let barrier = Barrier::new(clients);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let service = &service;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let z = poly.reduced_inputs::<Dd>(degree, seed.wrapping_add(c as u64 + 1));
+                let mut request = Request::new(z.clone());
+                barrier.wait();
+                for _ in 0..per_client {
+                    match service.submit::<Dd>("load", request) {
+                        Ok(response) => {
+                            let mut next = response.into_request();
+                            next.inputs.clone_from_slice(&z);
+                            request = next;
+                        }
+                        Err(ServeError::Busy { .. }) => {
+                            // Counted by the service; resubmit the same
+                            // point with fresh buffers.
+                            request = Request::new(z.clone());
+                        }
+                        Err(e) => panic!("closed-loop submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let m: MetricsSnapshot = service.metrics("load").expect("metrics");
+    LoadRow {
+        poly,
+        degree,
+        clients,
+        per_client,
+        requests: (clients * per_client) as u64,
+        busy_rejected: m.busy_rejected,
+        mean_batch: m.mean_batch(),
+        launches: m.launches,
+        launches_saved: m.launches_saved,
+        total_ms,
+        p50_ms: m.p50_us as f64 / 1e3,
+        p99_ms: m.p99_us as f64 / 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_runs_pack_exact_windows() {
+        let row = staged_run(TestPolynomial::P1, 4, 10, 4, 7);
+        assert_eq!(row.launches, 3);
+        assert_eq!(row.launches_saved, 7);
+        assert_eq!(row.completed, 10);
+        assert_eq!(row.batch_histogram[2], 2);
+        assert_eq!(row.batch_histogram[1], 1);
+
+        let row = staged_run(TestPolynomial::P1, 4, 8, 8, 7);
+        assert_eq!(row.launches, 1);
+        assert_eq!(row.launches_saved, 7);
+        assert_eq!(row.batch_histogram[3], 1);
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let row = closed_loop_run(TestPolynomial::P1, 4, 4, 6, 11);
+        assert_eq!(row.requests, 24);
+        assert_eq!(row.launches + row.launches_saved, 24 - row.busy_rejected);
+        assert!(row.mean_batch >= 1.0 || row.launches == 0);
+    }
+}

@@ -133,7 +133,7 @@ pub fn measured_run(
 ) -> TimingRow {
     let plan = engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
     let inputs = poly.any_inputs(precision, degree, scale, seed);
-    TimingRow::from(plan.evaluate(&inputs).timings())
+    TimingRow::from(plan.request(&inputs).run().timings())
 }
 
 /// One measured comparison of the batched engine against per-polynomial
@@ -168,7 +168,7 @@ pub fn batched_comparison(
     let plan = engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
     let seeds: Vec<u64> = (0..batch).map(|i| seed.wrapping_add(i as u64)).collect();
     let batch_inputs = poly.any_batch_inputs(precision, degree, scale, &seeds);
-    let batched_eval = plan.evaluate(&batch_inputs);
+    let batched_eval = plan.request(&batch_inputs).run();
     let batched = TimingRow::from(batched_eval.timings());
     let batched_launches =
         batched_eval.timings().convolution_launches + batched_eval.timings().addition_launches;
@@ -178,13 +178,13 @@ pub fn batched_comparison(
         .collect();
     let mut looped = KernelTimings::new();
     for z in &per_instance {
-        looped.merge(plan.evaluate(z).timings());
+        looped.merge(plan.request(z).run().timings());
     }
     let looped_launches = looped.convolution_launches + looped.addition_launches;
     let looped_parallel = TimingRow::from(&looped);
     let mut sequential = KernelTimings::new();
     for z in &per_instance {
-        sequential.merge(plan.evaluate_sequential(z).timings());
+        sequential.merge(plan.request(z).sequential().run().timings());
     }
     let looped_sequential = TimingRow::from(&sequential);
     BatchComparison {
@@ -245,8 +245,8 @@ pub fn graph_comparison(
     let z = poly.any_inputs(precision, degree, scale, seed);
     // Warmup run per mode (builds the graph plan, wakes the pool) doubling
     // as the rendezvous measurement and the bitwise-identity check.
-    let layered_eval = layered.evaluate(&z);
-    let graph_eval = graph.evaluate(&z);
+    let layered_eval = layered.request(&z).run();
+    let graph_eval = graph.request(&z).run();
     assert!(
         layered_eval.bitwise_eq(&graph_eval),
         "graph mode must be bitwise identical to layered mode"
@@ -258,11 +258,11 @@ pub fn graph_comparison(
     let mut layered_t = *layered_eval.timings();
     let mut graph_t = *graph_eval.timings();
     for _ in 0..3 {
-        let t = *layered.evaluate(&z).timings();
+        let t = *layered.request(&z).run().timings();
         if t.wall_clock < layered_t.wall_clock {
             layered_t = t;
         }
-        let t = *graph.evaluate(&z).timings();
+        let t = *graph.request(&z).run().timings();
         if t.wall_clock < graph_t.wall_clock {
             graph_t = t;
         }
@@ -319,7 +319,7 @@ pub fn system_comparison(
 ) -> SystemComparison {
     let fused_plan = engine.compile_any(poly.any_system(precision, equations, degree, scale, seed));
     let inputs = poly.any_inputs(precision, degree, scale, seed);
-    let fused_eval = fused_plan.evaluate(&inputs);
+    let fused_eval = fused_plan.request(&inputs).run();
     let fused = TimingRow::from(fused_eval.timings());
     let fused_launches =
         fused_eval.timings().convolution_launches + fused_eval.timings().addition_launches;
@@ -327,8 +327,8 @@ pub fn system_comparison(
     let mut sequential = KernelTimings::new();
     for source in poly.any_system_equations(precision, equations, degree, scale, seed) {
         let plan = engine.compile_any(source);
-        looped.merge(plan.evaluate(&inputs).timings());
-        sequential.merge(plan.evaluate_sequential(&inputs).timings());
+        looped.merge(plan.request(&inputs).run().timings());
+        sequential.merge(plan.request(&inputs).sequential().run().timings());
     }
     let looped_launches = looped.convolution_launches + looped.addition_launches;
     // Read the monomial counts off the merged schedule directly: stats()
@@ -395,7 +395,7 @@ pub fn engine_amortization(
     let mut total_ms = 0.0;
     let mut rendezvous_per_eval = 0;
     for i in 0..evals {
-        let out = plan.evaluate(&inputs);
+        let out = plan.request(&inputs).run();
         let wall = out.timings().wall_clock_ms();
         if i == 0 {
             first_eval_ms = wall;
@@ -415,8 +415,8 @@ pub fn engine_amortization(
 }
 
 /// One measured record of workspace reuse: the cold first evaluation (pool
-/// empty, graph plan unbuilt), steady-state `Plan::evaluate` (pooled
-/// arena/scratch, fresh outputs) and steady-state `Plan::evaluate_into`
+/// empty, graph plan unbuilt), steady-state pooled evaluation (pooled
+/// arena/scratch, fresh outputs) and the steady-state reused-output path
 /// (everything reused — the zero-allocation path), plus the deterministic
 /// buffer sizes the workspace holds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -426,10 +426,10 @@ pub struct WorkspaceComparison {
     /// Wall time of the first evaluation through a fresh plan (workspace
     /// warm-up, graph-plan construction).
     pub cold_ms: f64,
-    /// Mean steady-state wall time of `Plan::evaluate` (pooled workspace,
+    /// Mean steady-state wall time of pooled evaluation (pooled workspace,
     /// freshly allocated outputs).
     pub pooled_ms: f64,
-    /// Mean steady-state wall time of `Plan::evaluate_into` (pooled
+    /// Mean steady-state wall time of the reused-output path (pooled
     /// workspace, reused outputs — zero heap allocations).
     pub reused_ms: f64,
     /// Arena size of one evaluation, in coefficients (deterministic:
@@ -453,18 +453,18 @@ pub fn workspace_comparison(
     let plan = engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
     let inputs = poly.any_inputs(precision, degree, scale, seed);
     let start = Instant::now();
-    let mut out = plan.evaluate(&inputs);
+    let mut out = plan.request(&inputs).run();
     let cold_ms = start.elapsed().as_secs_f64() * 1e3;
     let start = Instant::now();
     for _ in 0..evals {
-        let _ = plan.evaluate(&inputs);
+        let _ = plan.request(&inputs).run();
     }
     let pooled_ms = start.elapsed().as_secs_f64() * 1e3 / evals as f64;
     // Warm the reused output, then time the zero-allocation path.
-    plan.evaluate_into(&inputs, &mut out);
+    plan.request(&inputs).into(&mut out).run();
     let start = Instant::now();
     for _ in 0..evals {
-        plan.evaluate_into(&inputs, &mut out);
+        plan.request(&inputs).into(&mut out).run();
     }
     let reused_ms = start.elapsed().as_secs_f64() * 1e3 / evals as f64;
     let arena_coeffs = plan

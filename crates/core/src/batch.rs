@@ -43,7 +43,7 @@
 //! ];
 //! let engine = Engine::builder().threads(0).build();
 //! let plan = engine.compile(p);
-//! let result = plan.evaluate(&batch).into_batch();
+//! let result = plan.request(&batch).run().into_batch();
 //! assert_eq!(result.len(), 2);
 //! assert_eq!(result.instances[0].value.coeff(0).to_f64(), 4.0); // 1 + 3
 //! assert_eq!(result.instances[1].value.coeff(0).to_f64(), 7.0); // 1 + 3*2
@@ -234,10 +234,10 @@ mod tests {
         let p = paper_example(d);
         let batch = random_batch(6, d, 7, 17);
         let (_engine, plan) = compile(&p, 0);
-        let batched = plan.evaluate_sequential(&batch).into_batch();
+        let batched = plan.request(&batch).sequential().run().into_batch();
         assert_eq!(batched.len(), batch.len());
         for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-            let want = plan.evaluate_sequential(inputs).into_single();
+            let want = plan.request(inputs).sequential().run().into_single();
             // Same schedule, same arithmetic, same order: bitwise identical.
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
@@ -250,8 +250,8 @@ mod tests {
         let p = paper_example(d);
         let batch = random_batch(6, d, 9, 3);
         let (_engine, plan) = compile(&p, 3);
-        let seq = plan.evaluate_sequential(&batch).into_batch();
-        let par = plan.evaluate(&batch).into_batch();
+        let seq = plan.request(&batch).sequential().run().into_batch();
+        let par = plan.request(&batch).run().into_batch();
         for (a, b) in seq.instances.iter().zip(par.instances.iter()) {
             assert_eq!(a.value, b.value);
             assert_eq!(a.gradient, b.gradient);
@@ -264,7 +264,7 @@ mod tests {
         let p = paper_example(d);
         let batch = random_batch(6, d, 11, 5);
         let (_engine, plan) = compile(&p, 2);
-        let result = plan.evaluate(&batch).into_batch();
+        let result = plan.request(&batch).run().into_batch();
         let schedule = plan.schedule().expect("single plan");
         // Launch counts equal the layer counts — independent of batch size.
         assert_eq!(
@@ -295,9 +295,9 @@ mod tests {
         let layered = engine.compile(p.clone());
         let graph =
             engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
-        let a = layered.evaluate(&batch).into_batch();
+        let a = layered.request(&batch).run().into_batch();
         let before = engine.pool().rendezvous_count();
-        let b = graph.evaluate(&batch).into_batch();
+        let b = graph.request(&batch).run().into_batch();
         assert_eq!(engine.pool().rendezvous_count(), before + 1);
         for (x, y) in a.instances.iter().zip(b.instances.iter()) {
             assert_eq!(x.value, y.value, "graph batch must be bitwise identical");
@@ -325,8 +325,8 @@ mod tests {
             .exec_mode(ExecMode::Graph)
             .build();
         let plan = engine.compile(p);
-        let seq = plan.evaluate_sequential(&batch).into_batch();
-        let par = plan.evaluate(&batch).into_batch();
+        let seq = plan.request(&batch).sequential().run().into_batch();
+        let par = plan.request(&batch).run().into_batch();
         for (a, b) in seq.instances.iter().zip(par.instances.iter()) {
             assert_eq!(a.value, b.value);
             assert_eq!(a.gradient, b.gradient);
@@ -340,7 +340,9 @@ mod tests {
         let p = paper_example(2);
         let (_engine, plan) = compile(&p, 0);
         let result = plan
-            .evaluate_sequential(&Vec::<Vec<Series<Qd>>>::new())
+            .request(&Vec::<Vec<Series<Qd>>>::new())
+            .sequential()
+            .run()
             .into_batch();
         assert!(result.is_empty());
         assert_eq!(result.timings.convolution_launches, 0);
@@ -353,8 +355,8 @@ mod tests {
         let p = paper_example(d);
         let batch = random_batch(6, d, 1, 9);
         let (_engine, plan) = compile(&p, 0);
-        let batched = plan.evaluate_sequential(&batch).into_batch();
-        let single = plan.evaluate_sequential(&batch[0]).into_single();
+        let batched = plan.request(&batch).sequential().run().into_batch();
+        let single = plan.request(&batch[0]).sequential().run().into_single();
         assert_eq!(batched.instances[0].value, single.value);
         assert_eq!(batched.instances[0].gradient, single.gradient);
     }
@@ -367,11 +369,15 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let zi = engine
             .compile(p.clone())
-            .evaluate_sequential(&batch)
+            .request(&batch)
+            .sequential()
+            .run()
             .into_batch();
         let direct = engine
             .compile_with_options(p, EvalOptions::new().with_kernel(ConvolutionKernel::Direct))
-            .evaluate_sequential(&batch)
+            .request(&batch)
+            .sequential()
+            .run()
             .into_batch();
         for (a, b) in zi.instances.iter().zip(direct.instances.iter()) {
             assert!(a.max_difference(b) < 1e-55);
@@ -397,9 +403,9 @@ mod tests {
             .collect();
         let engine = Engine::builder().threads(0).build();
         let plan = engine.compile(p);
-        let batched = plan.evaluate_sequential(&batch).into_batch();
+        let batched = plan.request(&batch).sequential().run().into_batch();
         for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-            let want = plan.evaluate_sequential(inputs).into_single();
+            let want = plan.request(inputs).sequential().run().into_single();
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
         }
@@ -422,7 +428,7 @@ mod tests {
         let batch: Vec<Vec<Series<Qd>>> =
             (0..6).map(|_| vec![Series::random(&mut rng, d)]).collect();
         let (_engine, plan) = compile(&p, 0);
-        let batched = plan.evaluate_sequential(&batch).into_batch();
+        let batched = plan.request(&batch).sequential().run().into_batch();
         for got in &batched.instances {
             assert_eq!(got.gradient[0].coeff(0).to_f64(), 7.0);
         }
@@ -434,7 +440,7 @@ mod tests {
         let p = paper_example(2);
         let bad = vec![random_batch(5, 2, 1, 1)[0].clone()];
         let (_engine, plan) = compile(&p, 0);
-        let _ = plan.evaluate_sequential(&bad);
+        let _ = plan.request(&bad).sequential().run();
     }
 
     #[test]
@@ -447,9 +453,9 @@ mod tests {
                 .map(|_| random_inputs::<Dd, _>(6, 4, &mut rng))
                 .collect();
             let plan = engine.compile(p);
-            let batched = plan.evaluate_sequential(&batch).into_batch();
+            let batched = plan.request(&batch).sequential().run().into_batch();
             for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-                let want = plan.evaluate_sequential(inputs).into_single();
+                let want = plan.request(inputs).sequential().run().into_single();
                 assert_eq!(got.value, want.value);
                 assert_eq!(got.gradient, want.gradient);
             }
@@ -465,12 +471,12 @@ mod tests {
         let (_engine, plan) = compile(&p, 0);
         let big = random_batch(6, d, 6, 51);
         let small = random_batch(6, d, 2, 52);
-        let mut out = plan.evaluate(&big);
-        plan.evaluate_into(&small, &mut out);
+        let mut out = plan.request(&big).run();
+        plan.request(&small).into(&mut out).run();
         let batched = out.into_batch();
         assert_eq!(batched.len(), 2);
         for (inputs, got) in small.iter().zip(batched.instances.iter()) {
-            let want = plan.evaluate_sequential(inputs).into_single();
+            let want = plan.request(inputs).sequential().run().into_single();
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
         }

@@ -14,20 +14,26 @@
 //!   schedule with no borrowed polynomials, shareable across threads and
 //!   cacheable behind a long-lived handle.  Compiling the same source twice
 //!   hits an internal plan cache keyed by a structural hash of the
-//!   polynomial, so repeat compiles are free.
-//! * [`Plan::evaluate`] accepts unified [`Inputs`] (one input vector or a
-//!   whole batch) and returns a unified [`EvalOutput`] (single, batched or
-//!   system evaluation) with full kernel timings, including the pool
-//!   rendezvous paid by the run.
+//!   polynomial, so repeat compiles are free.  The `try_*` twins
+//!   ([`EngineBuilder::try_build`], [`Engine::try_compile`]) return a
+//!   [`crate::Error`] instead of panicking, for services that must degrade
+//!   gracefully on untrusted configuration or sources.
+//! * [`Plan::request`] is the single evaluation entry point: it accepts
+//!   unified [`Inputs`] (one input vector or a whole batch) and returns an
+//!   [`EvalRequest`] builder whose [`run`](EvalRequest::run) produces a
+//!   unified [`EvalOutput`] (single, batched or system evaluation) with
+//!   full kernel timings, including the pool rendezvous paid by the run.
+//!   The historical `evaluate*` method family remains as deprecated
+//!   wrappers around the builder.
 //! * [`AnyPlan`] erases the coefficient type behind a [`Precision`] tag, so
 //!   non-generic callers — the bench harness, servers — pick the precision
 //!   with a *value* instead of monomorphizing through a macro.
 //! * Evaluation memory lives in pooled [`Workspace`]s (see
-//!   [`crate::workspace`]): `Plan::evaluate` transparently checks one out of
-//!   the engine's lock-free pool, and the `*_with` / `*_into` variants
-//!   ([`Plan::evaluate_with`], [`Plan::evaluate_into`]) let callers manage
-//!   workspace and output reuse explicitly — steady-state evaluation then
-//!   performs **zero heap allocations**.
+//!   [`crate::workspace`]): a bare `plan.request(&z).run()` transparently
+//!   checks one out of the engine's lock-free pool, and the builder's
+//!   [`workspace`](EvalRequest::workspace) / [`into`](EvalRequest::into)
+//!   stages let callers manage workspace and output reuse explicitly —
+//!   steady-state evaluation then performs **zero heap allocations**.
 //!
 //! ```
 //! use psmd_core::{Engine, Inputs, Monomial, Polynomial};
@@ -49,12 +55,21 @@
 //! let again = engine.compile(p);                 // ...the second compile is a cache hit
 //! assert!(Arc::ptr_eq(&plan, &again));
 //!
-//! let eval = plan.evaluate(Inputs::Single(&z)).into_single();
+//! let eval = plan.request(Inputs::Single(&z)).run().into_single();
 //! assert_eq!(eval.value.coeff(0).to_f64(), 4.0); // 1 + 3
 //! assert_eq!(eval.value.coeff(2).to_f64(), -3.0);
+//!
+//! // The builder's stages compose: reuse a workspace and an output buffer,
+//! // or run on the calling thread only.
+//! let mut ws = plan.create_workspace();
+//! let mut out = plan.request(&z).run();
+//! plan.request(&z).workspace(&mut ws).into(&mut out).run();
+//! let seq = plan.request(&z).sequential().run();
+//! assert!(out.bitwise_eq(&seq));
 //! ```
 
 use crate::batch::{run_batch, BatchEvaluation};
+use crate::error::Error;
 use crate::evaluate::{run_single, Evaluation};
 use crate::monomial::Monomial;
 use crate::options::EvalOptions;
@@ -632,77 +647,93 @@ impl<C: Coeff> Plan<C> {
         ws
     }
 
-    /// Evaluates on the engine's worker pool (layered launches or one graph
-    /// launch, per the plan's [`EvalOptions`]).  The evaluation memory —
-    /// arena, per-worker convolution scratch — is checked out of the
-    /// engine's workspace pool and returned afterwards, so repeated
-    /// evaluations do not churn the allocator; only the returned output is
-    /// freshly allocated (use [`Plan::evaluate_into`] to reuse that too).
+    /// Starts an evaluation request — **the** evaluation entry point.
     ///
-    /// The returned output's timings carry the pool-rendezvous delta of this
-    /// run; the counter is shared per pool, so when several threads evaluate
-    /// on one engine concurrently a run may be charged with rendezvous its
+    /// The returned [`EvalRequest`] runs on the engine's worker pool with a
+    /// pooled workspace and a fresh output by default; its stages opt into
+    /// reuse and sequential execution:
+    ///
+    /// * [`EvalRequest::workspace`] — evaluate through a caller-managed
+    ///   [`Workspace`] (see [`Plan::create_workspace`]) instead of checking
+    ///   one out of the engine's pool;
+    /// * [`EvalRequest::into`] — write into an existing [`EvalOutput`],
+    ///   reusing its buffers (the zero-allocation steady state);
+    /// * [`EvalRequest::sequential`] — run on the calling thread only,
+    ///   bitwise identical to the pooled run;
+    /// * [`EvalRequest::run`] — execute.
+    ///
+    /// ```
+    /// # use psmd_core::{Engine, Monomial, Polynomial};
+    /// # use psmd_multidouble::Dd;
+    /// # use psmd_series::Series;
+    /// # let d = 2;
+    /// # let c = |x: f64| Series::constant(Dd::from_f64(x), d);
+    /// # let p = Polynomial::new(2, c(1.0), vec![Monomial::new(c(3.0), vec![0, 1])]);
+    /// # let z = vec![
+    /// #     Series::<Dd>::from_f64_coeffs(&[1.0, 1.0, 0.0]),
+    /// #     Series::<Dd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
+    /// # ];
+    /// # let engine = Engine::builder().threads(0).build();
+    /// # let plan = engine.compile(p);
+    /// let mut ws = plan.create_workspace();
+    /// let mut out = plan.request(&z).run();                         // simple form
+    /// plan.request(&z).workspace(&mut ws).into(&mut out).run();     // full reuse
+    /// ```
+    ///
+    /// The output's timings carry the pool-rendezvous delta of this run;
+    /// the counter is shared per pool, so when several threads evaluate on
+    /// one engine concurrently a run may be charged with rendezvous its
     /// neighbors paid (see [`KernelTimings::pool_rendezvous`]).
     ///
-    /// # Panics
-    ///
-    /// Panics when a system plan is given batched inputs, or when the input
-    /// shape does not match the source (wrong variable count or degree).
+    /// Running the request panics when a system plan is given batched
+    /// inputs, or when the input shape does not match the source (wrong
+    /// variable count or degree).
+    pub fn request<'r>(&'r self, inputs: impl Into<Inputs<'r, C>>) -> EvalRequest<'r, C> {
+        EvalRequest {
+            plan: self,
+            inputs: inputs.into(),
+            workspace: None,
+            parallel: true,
+        }
+    }
+
+    /// Evaluates on the engine's worker pool.
+    #[deprecated(note = "use `plan.request(inputs).run()`")]
     pub fn evaluate<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        let inputs = inputs.into();
-        let mut out = self.empty_output(&inputs);
-        let mut ws = self.workspaces.checkout();
-        self.run_into(inputs, true, &mut ws, &mut out);
-        out
+        self.request(inputs.into()).run()
     }
 
-    /// Evaluates on the calling thread only — the correctness reference for
-    /// the parallel path, bitwise identical to [`Plan::evaluate`].
+    /// Evaluates on the calling thread only.
+    #[deprecated(note = "use `plan.request(inputs).sequential().run()`")]
     pub fn evaluate_sequential<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        let inputs = inputs.into();
-        let mut out = self.empty_output(&inputs);
-        let mut ws = self.workspaces.checkout();
-        self.run_into(inputs, false, &mut ws, &mut out);
-        out
+        self.request(inputs.into()).sequential().run()
     }
 
-    /// Like [`Plan::evaluate`], but with a caller-managed [`Workspace`]
-    /// (see [`Plan::create_workspace`]) instead of the engine's pool.
+    /// Evaluates with a caller-managed workspace.
+    #[deprecated(note = "use `plan.request(inputs).workspace(&mut ws).run()`")]
     pub fn evaluate_with<'a>(
         &self,
         inputs: impl Into<Inputs<'a, C>>,
         ws: &mut Workspace<C>,
     ) -> EvalOutput<C> {
-        let inputs = inputs.into();
-        let mut out = self.empty_output(&inputs);
-        self.run_into(inputs, true, ws, &mut out);
-        out
+        self.request(inputs.into()).workspace(ws).run()
     }
 
-    /// Like [`Plan::evaluate`], but writes into an existing [`EvalOutput`],
-    /// reusing its buffers.  With a warm output of the same shape (the
-    /// usual steady-state: same plan, same input shape) the whole call —
-    /// staging, kernels, extraction — performs **zero heap allocations**;
-    /// `tests/workspace_alloc.rs` enforces this with a counting allocator.
-    /// An output of a different shape (or variant) is reshaped in place.
+    /// Evaluates into an existing output, reusing its buffers.
+    #[deprecated(note = "use `plan.request(inputs).into(&mut out).run()`")]
     pub fn evaluate_into<'a>(&self, inputs: impl Into<Inputs<'a, C>>, out: &mut EvalOutput<C>) {
-        let inputs = inputs.into();
-        self.reshape_output(&inputs, out);
-        let mut ws = self.workspaces.checkout();
-        self.run_into(inputs, true, &mut ws, out);
+        self.request(inputs.into()).into(out).run();
     }
 
-    /// Like [`Plan::evaluate_into`], with a caller-managed [`Workspace`] —
-    /// the fully explicit zero-allocation entry point.
+    /// Evaluates with a caller-managed workspace into an existing output.
+    #[deprecated(note = "use `plan.request(inputs).workspace(&mut ws).into(&mut out).run()`")]
     pub fn evaluate_into_with<'a>(
         &self,
         inputs: impl Into<Inputs<'a, C>>,
         ws: &mut Workspace<C>,
         out: &mut EvalOutput<C>,
     ) {
-        let inputs = inputs.into();
-        self.reshape_output(&inputs, out);
-        self.run_into(inputs, true, ws, out);
+        self.request(inputs.into()).workspace(ws).into(out).run();
     }
 
     /// An empty output of the variant the inputs will produce.
@@ -804,6 +835,108 @@ impl<C: Coeff> Plan<C> {
             Some(before) => self.pool.rendezvous_count().saturating_sub(before),
             None => 0,
         };
+    }
+}
+
+/// A configured evaluation: what [`Plan::request`] returns.
+///
+/// The builder starts from the defaults — pooled workspace, fresh output,
+/// parallel execution on the engine's pool — and each stage opts into reuse
+/// or sequential execution.  [`EvalRequest::run`] executes and returns the
+/// output; binding an output buffer first with [`EvalRequest::into`] yields
+/// a [`BoundEvalRequest`] whose `run` writes in place instead.
+#[must_use = "an evaluation request does nothing until `run()`"]
+pub struct EvalRequest<'r, C: Coeff> {
+    plan: &'r Plan<C>,
+    inputs: Inputs<'r, C>,
+    workspace: Option<&'r mut Workspace<C>>,
+    parallel: bool,
+}
+
+impl<'r, C: Coeff> EvalRequest<'r, C> {
+    /// Evaluates through a caller-managed [`Workspace`] (see
+    /// [`Plan::create_workspace`]) instead of checking one out of the
+    /// engine's pool.
+    pub fn workspace(mut self, ws: &'r mut Workspace<C>) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
+
+    /// Runs on the calling thread only — the correctness reference for the
+    /// parallel path, bitwise identical to it.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Binds an existing [`EvalOutput`] for the result, reusing its
+    /// buffers.  With a warm output of the same shape (the usual steady
+    /// state: same plan, same input shape) the whole run — staging,
+    /// kernels, extraction — performs **zero heap allocations**;
+    /// `tests/workspace_alloc.rs` enforces this with a counting allocator.
+    /// An output of a different shape (or variant) is reshaped in place.
+    pub fn into(self, out: &'r mut EvalOutput<C>) -> BoundEvalRequest<'r, C> {
+        BoundEvalRequest { request: self, out }
+    }
+
+    /// Executes the request and returns a freshly built output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a system plan is given batched inputs, or when the
+    /// input shape does not match the source (wrong variable count or
+    /// degree).
+    pub fn run(self) -> EvalOutput<C> {
+        let mut out = self.plan.empty_output(&self.inputs);
+        self.dispatch(&mut out);
+        out
+    }
+
+    /// Runs with either the bound workspace or a pooled checkout.
+    fn dispatch(self, out: &mut EvalOutput<C>) {
+        match self.workspace {
+            Some(ws) => self.plan.run_into(self.inputs, self.parallel, ws, out),
+            None => {
+                let mut ws = self.plan.workspaces.checkout();
+                self.plan.run_into(self.inputs, self.parallel, &mut ws, out);
+            }
+        }
+    }
+}
+
+/// An [`EvalRequest`] bound to a caller-owned output buffer (see
+/// [`EvalRequest::into`]); its [`run`](BoundEvalRequest::run) writes in
+/// place instead of returning a fresh output.
+#[must_use = "an evaluation request does nothing until `run()`"]
+pub struct BoundEvalRequest<'r, C: Coeff> {
+    request: EvalRequest<'r, C>,
+    out: &'r mut EvalOutput<C>,
+}
+
+impl<'r, C: Coeff> BoundEvalRequest<'r, C> {
+    /// Evaluates through a caller-managed [`Workspace`] (see
+    /// [`EvalRequest::workspace`]).
+    pub fn workspace(mut self, ws: &'r mut Workspace<C>) -> Self {
+        self.request.workspace = Some(ws);
+        self
+    }
+
+    /// Runs on the calling thread only (see [`EvalRequest::sequential`]).
+    pub fn sequential(mut self) -> Self {
+        self.request.parallel = false;
+        self
+    }
+
+    /// Executes the request into the bound output.
+    ///
+    /// # Panics
+    ///
+    /// Panics in the same cases as [`EvalRequest::run`].
+    pub fn run(self) {
+        self.request
+            .plan
+            .reshape_output(&self.request.inputs, self.out);
+        self.request.dispatch(self.out);
     }
 }
 
@@ -923,18 +1056,56 @@ impl EngineBuilder {
     }
 
     /// Builds the engine, spawning its worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration — see
+    /// [`EngineBuilder::try_build`] for the fallible form services should
+    /// use.
     pub fn build(self) -> Engine {
-        let threads = self
-            .threads
-            .unwrap_or_else(WorkerPool::default_worker_threads);
-        Engine {
+        match self.try_build() {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the engine, returning a [`crate::Error`] instead of panicking
+    /// on an invalid configuration: a non-integer `PSMD_THREADS` override,
+    /// or a thread count beyond [`EngineBuilder::MAX_WORKER_THREADS`]
+    /// (spawning an absurd number of OS threads is always a configuration
+    /// bug, and a long-lived service should refuse it instead of dying
+    /// mid-spawn).
+    pub fn try_build(self) -> Result<Engine, Error> {
+        let threads = match self.threads {
+            Some(threads) => threads,
+            None => match WorkerPool::try_threads_from_env() {
+                Ok(Some(threads)) => threads,
+                Ok(None) => WorkerPool::default_worker_threads(),
+                Err(message) => return Err(Error::config(message)),
+            },
+        };
+        if threads > Self::MAX_WORKER_THREADS {
+            return Err(Error::config(format!(
+                "{threads} worker threads requested; the supported maximum is {}",
+                Self::MAX_WORKER_THREADS
+            )));
+        }
+        Ok(Engine {
             pool: Arc::new(WorkerPool::new(threads)),
             options: self.options,
             precision: self.precision,
             cache: Mutex::new(PlanCache::new(self.plan_cache_capacity)),
             workspaces: Mutex::new(HashMap::new()),
-        }
+        })
     }
+}
+
+impl EngineBuilder {
+    /// The largest worker-thread count [`EngineBuilder::try_build`]
+    /// accepts.  Far beyond any real machine; a request above it is treated
+    /// as a configuration error rather than an instruction to spawn
+    /// thousands of OS threads.
+    pub const MAX_WORKER_THREADS: usize = 4096;
 }
 
 impl Default for EngineBuilder {
@@ -976,6 +1147,15 @@ impl Engine {
         &self.pool
     }
 
+    /// Total pool rendezvous performed by this engine's worker pool so far
+    /// — the launch counter the serving layer's coalescing proof is stated
+    /// in terms of: fewer rendezvous (and fewer service-level launches)
+    /// than requests means requests shared launches.  See
+    /// [`WorkerPool::rendezvous_count`] for what counts as a rendezvous.
+    pub fn rendezvous_count(&self) -> usize {
+        self.pool.rendezvous_count()
+    }
+
     /// The default evaluation options of compiled plans.
     pub fn options(&self) -> EvalOptions {
         self.options
@@ -990,6 +1170,11 @@ impl Engine {
     /// engine's default options.  Repeat compiles of a structurally
     /// identical source return the cached `Arc` without rebuilding the
     /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid source — see
+    /// [`Engine::try_compile`] for the fallible form services should use.
     pub fn compile<C: Coeff>(&self, source: impl Into<PolySource<C>>) -> Arc<Plan<C>> {
         self.compile_with_options(source, self.options)
     }
@@ -997,12 +1182,42 @@ impl Engine {
     /// Like [`Engine::compile`], but with per-plan option overrides; plans
     /// compiled from the same source with different options coexist in the
     /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid source — see
+    /// [`Engine::try_compile_with_options`].
     pub fn compile_with_options<C: Coeff>(
         &self,
         source: impl Into<PolySource<C>>,
         options: EvalOptions,
     ) -> Arc<Plan<C>> {
+        match self.try_compile_with_options(source, options) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Compiles a polynomial source with the engine's default options,
+    /// returning a [`crate::Error`] instead of panicking when the source is
+    /// structurally invalid (empty system, mismatched variable counts or
+    /// degrees across equations, out-of-range variable indices) — the
+    /// compile path for services accepting sources over a wire.
+    pub fn try_compile<C: Coeff>(
+        &self,
+        source: impl Into<PolySource<C>>,
+    ) -> Result<Arc<Plan<C>>, Error> {
+        self.try_compile_with_options(source, self.options)
+    }
+
+    /// Like [`Engine::try_compile`], but with per-plan option overrides.
+    pub fn try_compile_with_options<C: Coeff>(
+        &self,
+        source: impl Into<PolySource<C>>,
+        options: EvalOptions,
+    ) -> Result<Arc<Plan<C>>, Error> {
         let source = source.into();
+        validate_source(&source)?;
         let key = PlanKey {
             type_id: TypeId::of::<C>(),
             structural_hash: source.structural_hash(),
@@ -1021,7 +1236,7 @@ impl Engine {
                     if plan.source().bitwise_eq(&source) {
                         entry.last_used = tick;
                         cache.hits += 1;
-                        return plan;
+                        return Ok(plan);
                     }
                 }
             }
@@ -1069,7 +1284,7 @@ impl Engine {
                 cache.evictions += 1;
             }
         }
-        plan
+        Ok(plan)
     }
 
     /// The engine's workspace pool for coefficient type `C`, created on
@@ -1134,6 +1349,49 @@ impl Engine {
 impl Default for Engine {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Structural validation behind [`Engine::try_compile`]: rejects sources
+/// the schedule builder would either panic on or silently mis-compile.
+fn validate_source<C: Coeff>(source: &PolySource<C>) -> Result<(), Error> {
+    fn validate_poly<C: Coeff>(p: &Polynomial<C>, equation: Option<usize>) -> Result<(), Error> {
+        let context = |msg: String| match equation {
+            Some(i) => Error::source(format!("equation {i}: {msg}")),
+            None => Error::source(msg),
+        };
+        for (i, m) in p.monomials().iter().enumerate() {
+            if let Some(&v) = m.variables.iter().find(|&&v| v >= p.num_variables()) {
+                return Err(context(format!(
+                    "monomial {i} references variable {v} but the polynomial has {} variables",
+                    p.num_variables()
+                )));
+            }
+        }
+        Ok(())
+    }
+    match source {
+        PolySource::Single(p) => validate_poly(p, None),
+        PolySource::System(ps) => {
+            let Some(first) = ps.first() else {
+                return Err(Error::source(
+                    "a system source needs at least one polynomial",
+                ));
+            };
+            let (nv, d) = (first.num_variables(), first.degree());
+            for (i, p) in ps.iter().enumerate() {
+                if p.num_variables() != nv || p.degree() != d {
+                    return Err(Error::source(format!(
+                        "equation {i} has {} variables at degree {} but equation 0 has {nv} \
+                         variables at degree {d}; a system shares one variable set and degree",
+                        p.num_variables(),
+                        p.degree()
+                    )));
+                }
+                validate_poly(p, Some(i))?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -1323,48 +1581,83 @@ macro_rules! define_any_api {
                 }
             }
 
+            /// Starts a precision-erased evaluation request — the
+            /// [`AnyPlan`] mirror of [`Plan::request`].  The returned
+            /// [`AnyEvalRequest`] supports the same stages minus the typed
+            /// workspace binding (workspaces carry the coefficient type;
+            /// erased callers rely on the engine's pooled workspaces).
+            pub fn request<'r>(&'r self, inputs: &'r AnyInputs) -> AnyEvalRequest<'r> {
+                AnyEvalRequest {
+                    plan: self,
+                    inputs,
+                    parallel: true,
+                }
+            }
+
             /// Evaluates on the engine's worker pool.
-            ///
-            /// # Panics
-            ///
-            /// Panics when the inputs carry a different precision tag than
-            /// the plan, and in the same cases as [`Plan::evaluate`].
+            #[deprecated(note = "use `plan.request(&inputs).run()`")]
             pub fn evaluate(&self, inputs: &AnyInputs) -> AnyEvalOutput {
-                match (self, inputs) {
-                    $(
-                        (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
-                            AnyEvalOutput::$variant(plan.evaluate(inputs.as_inputs()))
-                        }
-                    )+
-                    (plan, inputs) => panic!(
-                        "precision mismatch: the plan is {} but the inputs are {}",
-                        plan.precision(),
-                        inputs.precision()
-                    ),
-                }
+                self.request(inputs).run()
             }
 
-            /// Evaluates into an existing output, reusing its buffers —
-            /// the precision-erased counterpart of [`Plan::evaluate_into`]:
-            /// with a warm output of the matching precision and shape, the
-            /// call performs zero heap allocations.  An output of another
-            /// precision (or shape) is replaced.
-            ///
-            /// # Panics
-            ///
-            /// Panics when the inputs carry a different precision tag than
-            /// the plan, and in the same cases as [`Plan::evaluate`].
+            /// Evaluates into an existing output, reusing its buffers.
+            #[deprecated(note = "use `plan.request(&inputs).into(&mut out).run()`")]
             pub fn evaluate_into(&self, inputs: &AnyInputs, out: &mut AnyEvalOutput) {
-                match (self, inputs) {
+                self.request(inputs).into(out).run();
+            }
+
+            /// Evaluates on the calling thread only.
+            #[deprecated(note = "use `plan.request(&inputs).sequential().run()`")]
+            pub fn evaluate_sequential(&self, inputs: &AnyInputs) -> AnyEvalOutput {
+                self.request(inputs).sequential().run()
+            }
+        }
+
+        /// A configured precision-erased evaluation: what
+        /// [`AnyPlan::request`] returns.  Runs parallel with pooled
+        /// memory by default; [`AnyEvalRequest::sequential`] pins the run
+        /// to the calling thread and [`AnyEvalRequest::into`] binds an
+        /// output buffer for reuse.
+        #[must_use = "an evaluation request does nothing until `run()`"]
+        pub struct AnyEvalRequest<'r> {
+            plan: &'r AnyPlan,
+            inputs: &'r AnyInputs,
+            parallel: bool,
+        }
+
+        impl<'r> AnyEvalRequest<'r> {
+            /// Runs on the calling thread only — bitwise identical to the
+            /// pooled run.
+            pub fn sequential(mut self) -> Self {
+                self.parallel = false;
+                self
+            }
+
+            /// Binds an existing [`AnyEvalOutput`] for the result, reusing
+            /// its buffers: with a warm output of the matching precision
+            /// and shape, the run performs zero heap allocations.  An
+            /// output of another precision (or shape) is replaced.
+            pub fn into(self, out: &'r mut AnyEvalOutput) -> BoundAnyEvalRequest<'r> {
+                BoundAnyEvalRequest { request: self, out }
+            }
+
+            /// Executes the request and returns a freshly built output.
+            ///
+            /// # Panics
+            ///
+            /// Panics when the inputs carry a different precision tag than
+            /// the plan, and in the same cases as [`EvalRequest::run`].
+            pub fn run(self) -> AnyEvalOutput {
+                match (self.plan, self.inputs) {
                     $(
                         (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
-                            if let AnyEvalOutput::$variant(out) = out {
-                                plan.evaluate_into(inputs.as_inputs(), out);
+                            let request = plan.request(inputs.as_inputs());
+                            let request = if self.parallel {
+                                request
                             } else {
-                                *out = AnyEvalOutput::$variant(
-                                    plan.evaluate(inputs.as_inputs()),
-                                );
-                            }
+                                request.sequential()
+                            };
+                            AnyEvalOutput::$variant(request.run())
                         }
                     )+
                     (plan, inputs) => panic!(
@@ -1374,19 +1667,50 @@ macro_rules! define_any_api {
                     ),
                 }
             }
+        }
 
-            /// Evaluates on the calling thread only (bitwise identical to
-            /// [`AnyPlan::evaluate`]).
+        /// An [`AnyEvalRequest`] bound to a caller-owned output buffer
+        /// (see [`AnyEvalRequest::into`]).
+        #[must_use = "an evaluation request does nothing until `run()`"]
+        pub struct BoundAnyEvalRequest<'r> {
+            request: AnyEvalRequest<'r>,
+            out: &'r mut AnyEvalOutput,
+        }
+
+        impl<'r> BoundAnyEvalRequest<'r> {
+            /// Runs on the calling thread only (see
+            /// [`AnyEvalRequest::sequential`]).
+            pub fn sequential(mut self) -> Self {
+                self.request.parallel = false;
+                self
+            }
+
+            /// Executes the request into the bound output.
             ///
             /// # Panics
             ///
-            /// Panics when the inputs carry a different precision tag than
-            /// the plan.
-            pub fn evaluate_sequential(&self, inputs: &AnyInputs) -> AnyEvalOutput {
-                match (self, inputs) {
+            /// Panics in the same cases as [`AnyEvalRequest::run`].
+            pub fn run(self) {
+                match (self.request.plan, self.request.inputs) {
                     $(
                         (AnyPlan::$variant(plan), AnyInputs::$variant(inputs)) => {
-                            AnyEvalOutput::$variant(plan.evaluate_sequential(inputs.as_inputs()))
+                            if let AnyEvalOutput::$variant(out) = self.out {
+                                let request = plan.request(inputs.as_inputs()).into(out);
+                                let request = if self.request.parallel {
+                                    request
+                                } else {
+                                    request.sequential()
+                                };
+                                request.run();
+                            } else {
+                                let request = plan.request(inputs.as_inputs());
+                                let request = if self.request.parallel {
+                                    request
+                                } else {
+                                    request.sequential()
+                                };
+                                *self.out = AnyEvalOutput::$variant(request.run());
+                            }
                         }
                     )+
                     (plan, inputs) => panic!(
@@ -1442,20 +1766,50 @@ macro_rules! define_any_api {
             /// options; the returned [`AnyPlan`] carries the source's
             /// precision tag.  Shares the same plan cache as the typed
             /// [`Engine::compile`].
+            ///
+            /// # Panics
+            ///
+            /// Panics on a structurally invalid source — see
+            /// [`Engine::try_compile_any`].
             pub fn compile_any(&self, source: AnyPolySource) -> AnyPlan {
                 self.compile_any_with_options(source, self.options)
             }
 
             /// Like [`Engine::compile_any`] with per-plan option overrides.
+            ///
+            /// # Panics
+            ///
+            /// Panics on a structurally invalid source — see
+            /// [`Engine::try_compile_any_with_options`].
             pub fn compile_any_with_options(
                 &self,
                 source: AnyPolySource,
                 options: EvalOptions,
             ) -> AnyPlan {
+                match self.try_compile_any_with_options(source, options) {
+                    Ok(plan) => plan,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+
+            /// The fallible form of [`Engine::compile_any`]: a
+            /// structurally invalid source becomes a [`crate::Error`]
+            /// instead of a panic.
+            pub fn try_compile_any(&self, source: AnyPolySource) -> Result<AnyPlan, Error> {
+                self.try_compile_any_with_options(source, self.options)
+            }
+
+            /// Like [`Engine::try_compile_any`] with per-plan option
+            /// overrides.
+            pub fn try_compile_any_with_options(
+                &self,
+                source: AnyPolySource,
+                options: EvalOptions,
+            ) -> Result<AnyPlan, Error> {
                 match source {
                     $(
                         AnyPolySource::$variant(source) => {
-                            AnyPlan::$variant(self.compile_with_options(source, options))
+                            Ok(AnyPlan::$variant(self.try_compile_with_options(source, options)?))
                         }
                     )+
                 }
@@ -1559,15 +1913,15 @@ mod tests {
         let engine = Engine::builder().threads(2).build();
         let plan = engine.compile(p);
         let z = random_z(6, d, 3);
-        let single = plan.evaluate(Inputs::Single(&z)).into_single();
-        let sequential = plan.evaluate_sequential(&z).into_single();
+        let single = plan.request(Inputs::Single(&z)).run().into_single();
+        let sequential = plan.request(&z).sequential().run().into_single();
         assert_eq!(single.value, sequential.value);
         assert_eq!(single.gradient, sequential.gradient);
         let batch: Vec<Vec<Series<Qd>>> = (0..3).map(|i| random_z(6, d, 10 + i)).collect();
-        let batched = plan.evaluate(&batch).into_batch();
+        let batched = plan.request(&batch).run().into_batch();
         assert_eq!(batched.len(), 3);
         for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-            let want = plan.evaluate_sequential(inputs).into_single();
+            let want = plan.request(inputs).sequential().run().into_single();
             assert_eq!(got.value, want.value);
             assert_eq!(got.gradient, want.gradient);
         }
@@ -1582,11 +1936,11 @@ mod tests {
         let engine = Engine::builder().threads(2).build();
         let plan = engine.compile(vec![f1, f2]);
         let z = random_z(6, d, 9);
-        let out = plan.evaluate(&z).into_system();
+        let out = plan.request(&z).run().into_system();
         assert_eq!(out.values.len(), 2);
         assert_eq!(out.jacobian.len(), 2);
         assert_eq!(out.jacobian[0].len(), 6);
-        let seq = plan.evaluate_sequential(&z).into_system();
+        let seq = plan.request(&z).sequential().run().into_system();
         assert_eq!(out.values, seq.values);
         assert_eq!(out.jacobian, seq.jacobian);
     }
@@ -1598,7 +1952,7 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let plan = engine.compile(vec![paper_example(d)]);
         let batch: Vec<Vec<Series<Qd>>> = vec![random_z(6, d, 1)];
-        let _ = plan.evaluate(&batch);
+        let _ = plan.request(&batch).run();
     }
 
     #[test]
@@ -1683,8 +2037,8 @@ mod tests {
         assert_eq!(stats.entries, 1);
         // bitwise_eq on outputs likewise treats equal-bit NaNs as equal.
         let z = vec![Series::<Qd>::one(d), Series::<Qd>::one(d)];
-        let x = a.evaluate_sequential(&z);
-        let y = b.evaluate_sequential(&z);
+        let x = a.request(&z).sequential().run();
+        let y = b.request(&z).sequential().run();
         assert!(x.bitwise_eq(&y));
     }
 
@@ -1706,10 +2060,10 @@ mod tests {
             .build();
         let plan = engine.compile(paper_example(d));
         let z = random_z(6, d, 11);
-        let out = plan.evaluate(&z);
+        let out = plan.request(&z).run();
         assert_eq!(out.timings().pool_rendezvous, 1);
         assert_eq!(out.timings().graph_launches, 1);
-        let seq = plan.evaluate_sequential(&z);
+        let seq = plan.request(&z).sequential().run();
         assert_eq!(seq.timings().pool_rendezvous, 0);
         assert!(out.bitwise_eq(&seq));
     }
@@ -1745,7 +2099,7 @@ mod tests {
         assert_eq!(plan.precision(), Precision::D4);
         let inputs =
             AnyInputs::single_from_f64(Precision::D4, &[vec![1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0]]);
-        let out = plan.evaluate(&inputs);
+        let out = plan.request(&inputs).run();
         assert_eq!(out.precision(), Precision::D4);
         let value = out.single_value_f64().unwrap();
         assert_eq!(value, vec![4.0, 0.0, -3.0]); // 1 + 3 (1+t)(1-t)
@@ -1761,7 +2115,116 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let plan = engine.compile_single_f64(1, 1, 0.0, &[(1.0, vec![0])]);
         let wrong = AnyInputs::single_from_f64(Precision::D10, &[vec![1.0, 0.0]]);
-        let _ = plan.evaluate(&wrong);
+        let _ = plan.request(&wrong).run();
+    }
+
+    #[test]
+    fn request_builder_matches_every_legacy_entry_point() {
+        let d = 3;
+        let engine = Engine::builder().threads(2).build();
+        let plan = engine.compile(paper_example(d));
+        let z = random_z(6, d, 31);
+        let reference = plan.request(&z).run();
+        // Workspace-bound, output-bound and sequential stages all agree
+        // bitwise with the bare request.
+        let mut ws = plan.create_workspace();
+        assert!(plan
+            .request(&z)
+            .workspace(&mut ws)
+            .run()
+            .bitwise_eq(&reference));
+        let mut out = EvalOutput::Single(Evaluation::empty());
+        plan.request(&z).into(&mut out).run();
+        assert!(out.bitwise_eq(&reference));
+        plan.request(&z).workspace(&mut ws).into(&mut out).run();
+        assert!(out.bitwise_eq(&reference));
+        assert!(plan.request(&z).sequential().run().bitwise_eq(&reference));
+        plan.request(&z).into(&mut out).sequential().run();
+        assert!(out.bitwise_eq(&reference));
+        // The deprecated wrappers delegate to the builder.
+        #[allow(deprecated)]
+        {
+            assert!(plan.evaluate(&z).bitwise_eq(&reference));
+            assert!(plan.evaluate_sequential(&z).bitwise_eq(&reference));
+            assert!(plan.evaluate_with(&z, &mut ws).bitwise_eq(&reference));
+            plan.evaluate_into(&z, &mut out);
+            assert!(out.bitwise_eq(&reference));
+            plan.evaluate_into_with(&z, &mut ws, &mut out);
+            assert!(out.bitwise_eq(&reference));
+        }
+    }
+
+    #[test]
+    fn any_request_builder_matches_typed_requests() {
+        let engine = Engine::builder().threads(0).build();
+        let plan = engine.compile_single_f64(2, 2, 1.0, &[(3.0, vec![0, 1])]);
+        let inputs =
+            AnyInputs::single_from_f64(Precision::D2, &[vec![1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0]]);
+        let out = plan.request(&inputs).run();
+        let seq = plan.request(&inputs).sequential().run();
+        assert!(out.bitwise_eq(&seq));
+        let mut bound = plan.request(&inputs).run();
+        plan.request(&inputs).into(&mut bound).run();
+        assert!(bound.bitwise_eq(&out));
+        // A bound output of the wrong precision is replaced, not corrupted.
+        let mut wrong = AnyEvalOutput::D10(EvalOutput::Single(Evaluation::empty()));
+        plan.request(&inputs).into(&mut wrong).run();
+        assert_eq!(wrong.precision(), Precision::D2);
+        assert!(wrong.bitwise_eq(&out));
+    }
+
+    #[test]
+    fn try_build_rejects_absurd_thread_counts() {
+        let err = Engine::builder()
+            .threads(EngineBuilder::MAX_WORKER_THREADS + 1)
+            .try_build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, Error::Config(_)));
+        assert!(err.to_string().contains("worker threads"));
+        // The panicking wrapper forwards the same message.
+        assert!(Engine::builder().threads(2).try_build().is_ok());
+    }
+
+    #[test]
+    fn try_compile_rejects_structurally_invalid_sources() {
+        let engine = Engine::builder().threads(0).build();
+        // Empty system.
+        let err = engine
+            .try_compile(Vec::<Polynomial<Qd>>::new())
+            .err()
+            .unwrap();
+        assert!(matches!(err, Error::Source(_)));
+        // Mismatched degrees across equations.
+        let err = engine
+            .try_compile(vec![paper_example(2), paper_example(3)])
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("degree"));
+        // Out-of-range variable index: `Monomial`'s fields are public, so a
+        // literal with unsorted indices (last in range) slips past the
+        // constructors' checks — the compile-time validation still rejects
+        // it.
+        let d = 2;
+        let bad = Polynomial::new(
+            2,
+            coeff(1.0, d),
+            vec![Monomial {
+                coefficient: coeff(1.0, d),
+                variables: vec![7, 0],
+            }],
+        );
+        let err = engine.try_compile(bad).err().unwrap();
+        assert!(err.to_string().contains("variable 7"));
+        // A valid source still compiles (and hits the cache on repeat).
+        assert!(engine.try_compile(paper_example(d)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid polynomial source")]
+    fn compile_panics_on_invalid_source_with_the_error_message() {
+        let engine = Engine::builder().threads(0).build();
+        let _ = engine.compile(Vec::<Polynomial<Qd>>::new());
     }
 
     #[test]
@@ -1775,8 +2238,8 @@ mod tests {
         );
         assert_eq!(direct.options().kernel, ConvolutionKernel::Direct);
         let z = random_z(6, d, 21);
-        let a = zero.evaluate(&z).into_single();
-        let b = direct.evaluate(&z).into_single();
+        let a = zero.request(&z).run().into_single();
+        let b = direct.request(&z).run().into_single();
         // Different kernels round differently but agree to precision.
         assert!(a.max_difference(&b) < 1e-55);
     }

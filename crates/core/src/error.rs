@@ -1,0 +1,68 @@
+//! Fallible configuration and compilation: the error type behind
+//! [`EngineBuilder::try_build`](crate::EngineBuilder::try_build) and
+//! [`Engine::try_compile`](crate::Engine::try_compile).
+//!
+//! The panicking entry points ([`EngineBuilder::build`](crate::EngineBuilder::build),
+//! [`Engine::compile`](crate::Engine::compile)) stay the ergonomic default
+//! for programs whose polynomials are compiled from trusted code; long-lived
+//! services that accept sources over a wire route through the `try_*`
+//! variants so a malformed request degrades into an error reply instead of
+//! aborting the process.
+
+use std::fmt;
+
+/// Why an engine could not be built or a source could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The engine configuration is invalid (thread-count misuse, a broken
+    /// `PSMD_THREADS` override, ...).
+    Config(String),
+    /// The polynomial source is structurally invalid (empty system,
+    /// mismatched variable counts or degrees, out-of-range variable
+    /// indices, ...) and cannot be compiled into a plan.
+    Source(String),
+}
+
+impl Error {
+    /// A configuration error with the given message.
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::Config(message.into())
+    }
+
+    /// A source-validation error with the given message.
+    pub fn source(message: impl Into<String>) -> Self {
+        Error::Source(message.into())
+    }
+
+    /// The human-readable message, whichever variant it is.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Config(m) | Error::Source(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "invalid engine configuration: {m}"),
+            Error::Source(m) => write!(f, "invalid polynomial source: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_the_variant() {
+        let c = Error::config("threads");
+        assert_eq!(c.message(), "threads");
+        assert!(c.to_string().contains("configuration"));
+        let s = Error::source("empty system");
+        assert!(s.to_string().contains("source"));
+    }
+}

@@ -518,7 +518,7 @@ mod tests {
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
         let (_engine, plan) = compile(&p, 0);
-        let scheduled = plan.evaluate_sequential(&z).into_single();
+        let scheduled = plan.request(&z).sequential().run().into_single();
         assert!(
             naive.max_difference(&scheduled) < 1e-55,
             "difference {}",
@@ -533,8 +533,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let z: Vec<Series<Qd>> = (0..6).map(|_| Series::random(&mut rng, d)).collect();
         let (_engine, plan) = compile(&p, 3);
-        let seq = plan.evaluate_sequential(&z).into_single();
-        let par = plan.evaluate(&z).into_single();
+        let seq = plan.request(&z).sequential().run().into_single();
+        let par = plan.request(&z).run().into_single();
         // Same schedule, same arithmetic, same order within each job: results
         // must be bitwise identical.
         assert_eq!(seq.value, par.value);
@@ -564,9 +564,9 @@ mod tests {
         let graph =
             engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
         assert_eq!(graph.options().exec_mode, ExecMode::Graph);
-        let a = layered.evaluate(&z).into_single();
+        let a = layered.request(&z).run().into_single();
         let before = engine.pool().rendezvous_count();
-        let b = graph.evaluate(&z).into_single();
+        let b = graph.request(&z).run().into_single();
         // The whole evaluation costs exactly one pool rendezvous, against
         // one per layer (with >= 2 blocks) on the layered path.
         assert_eq!(engine.pool().rendezvous_count(), before + 1);
@@ -593,8 +593,8 @@ mod tests {
             .exec_mode(ExecMode::Graph)
             .build();
         let plan = engine.compile(p);
-        let seq = plan.evaluate_sequential(&z).into_single();
-        let par = plan.evaluate(&z).into_single();
+        let seq = plan.request(&z).sequential().run().into_single();
+        let par = plan.request(&z).run().into_single();
         assert_eq!(seq.value, par.value);
         assert_eq!(seq.gradient, par.gradient);
         // The inline path never wakes a pool.
@@ -612,11 +612,15 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let zero_insertion = engine
             .compile(p.clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_single();
         let direct = engine
             .compile_with_options(p, EvalOptions::new().with_kernel(ConvolutionKernel::Direct))
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_single();
         assert!(zero_insertion.max_difference(&direct) < 1e-55);
     }
@@ -637,7 +641,7 @@ mod tests {
         let z: Vec<Series<Qd>> = (0..3).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
         let (_engine, plan) = compile(&p, 0);
-        let scheduled = plan.evaluate_sequential(&z).into_single();
+        let scheduled = plan.request(&z).sequential().run().into_single();
         assert!(naive.max_difference(&scheduled) < 1e-58);
         // Gradient with respect to the absent variable is zero.
         assert!(scheduled.gradient[1].is_zero());
@@ -659,7 +663,7 @@ mod tests {
         let z: Vec<Series<Qd>> = vec![Series::random(&mut rng, d)];
         let naive = evaluate_naive(&p, &z);
         let (_engine, plan) = compile(&p, 0);
-        let scheduled = plan.evaluate_sequential(&z).into_single();
+        let scheduled = plan.request(&z).sequential().run().into_single();
         assert!(naive.max_difference(&scheduled) < 1e-60);
         assert_eq!(scheduled.gradient[0].coeff(0).to_f64(), 7.0);
     }
@@ -683,9 +687,9 @@ mod tests {
         let naive = evaluate_naive(&p, &z);
         let engine = Engine::builder().threads(2).build();
         let plan = engine.compile(p);
-        let scheduled = plan.evaluate_sequential(&z).into_single();
+        let scheduled = plan.request(&z).sequential().run().into_single();
         assert!(naive.max_difference(&scheduled) < 1e-28);
-        let par = plan.evaluate(&z).into_single();
+        let par = plan.request(&z).run().into_single();
         assert_eq!(par.value, scheduled.value);
     }
 
@@ -698,7 +702,12 @@ mod tests {
         let z: Vec<Series<Md<1>>> = (0..2).map(|_| Series::random(&mut rng, d)).collect();
         let naive = evaluate_naive(&p, &z);
         let engine = Engine::builder().threads(0).build();
-        let scheduled = engine.compile(p).evaluate_sequential(&z).into_single();
+        let scheduled = engine
+            .compile(p)
+            .request(&z)
+            .sequential()
+            .run()
+            .into_single();
         assert!(naive.max_difference(&scheduled) < 1e-13);
     }
 
@@ -755,7 +764,7 @@ mod tests {
             Series::<Qd>::from_f64_coeffs(&[1.0, -1.0, 0.0]),
         ];
         let (_engine, plan) = compile(&p, 0);
-        let e = plan.evaluate_sequential(&z).into_single();
+        let e = plan.request(&z).sequential().run().into_single();
         assert_eq!(e.value.coeff(0).to_f64(), 1.0);
         assert_eq!(e.value.coeff(1).to_f64(), 0.0);
         assert_eq!(e.value.coeff(2).to_f64(), -1.0);

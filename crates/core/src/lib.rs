@@ -14,13 +14,14 @@
 //! 3. compile it once into an owned, shareable plan with the [`Engine`]
 //!    ([`Engine::compile`] returns an `Arc<`[`Plan`]`>`; repeat compiles hit
 //!    a structural plan cache) and evaluate at any input series — one
-//!    vector, a whole batch, or a system — with [`Plan::evaluate`], layered
-//!    (one kernel launch per layer) or dependency-driven
+//!    vector, a whole batch, or a system — with the [`Plan::request`]
+//!    builder, layered (one kernel launch per layer) or dependency-driven
 //!    ([`ExecMode::Graph`]: one task-graph launch, hence one pool
 //!    rendezvous, per evaluation), collecting per-kernel timings.  All
 //!    evaluation memory is borrowed from pooled [`Workspace`]s, so
-//!    steady-state evaluation allocates nothing ([`Plan::evaluate_into`]
-//!    for callers that also reuse the output);
+//!    steady-state evaluation allocates nothing
+//!    (`request(..).into(&mut out)` for callers that also reuse the
+//!    output);
 //! 4. compare against the naive baseline ([`evaluate_naive`]) and convert the
 //!    schedule into the [`psmd_device::WorkloadShape`] of the analytic GPU
 //!    performance model ([`counts::workload_shape`]).
@@ -41,7 +42,7 @@
 //! ];
 //! let engine = Engine::builder().build();
 //! let plan = engine.compile(p.clone());
-//! let eval = plan.evaluate(&z).into_single();
+//! let eval = plan.request(&z).run().into_single();
 //! assert_eq!(eval.value.coeff(0).to_f64(), 4.0);      // 1 + 3
 //! assert_eq!(eval.value.coeff(2).to_f64(), -3.0);     // -3 t^2
 //! assert_eq!(eval.gradient[0].coeff(1).to_f64(), -3.0);
@@ -50,7 +51,9 @@
 //!
 //! The historical borrowing front-ends (`ScheduledEvaluator`,
 //! `BatchEvaluator`, `SystemEvaluator`), deprecated in 0.2, have been
-//! removed; [`Engine::compile`] + [`Plan::evaluate`] is the one entry point.
+//! removed, and the five-method `evaluate*` family is deprecated in favor
+//! of the request builder; [`Engine::compile`] + [`Plan::request`] is the
+//! one entry point.
 
 #![warn(missing_docs)]
 
@@ -58,6 +61,7 @@ pub mod batch;
 pub mod counts;
 pub mod crossover;
 pub mod engine;
+pub mod error;
 pub mod evaluate;
 pub mod generators;
 pub mod monomial;
@@ -74,9 +78,11 @@ pub use counts::{
 };
 pub use crossover::{auto_kernel, crossover_for, Crossover, CROSSOVER_TABLE};
 pub use engine::{
-    AnyEvalOutput, AnyInputs, AnyPlan, AnyPolySource, Engine, EngineBuilder, EvalOutput,
-    GraphPlanStats, Inputs, OwnedInputs, Plan, PlanCacheStats, PlanStats, PolySource,
+    AnyEvalOutput, AnyEvalRequest, AnyInputs, AnyPlan, AnyPolySource, BoundAnyEvalRequest,
+    BoundEvalRequest, Engine, EngineBuilder, EvalOutput, EvalRequest, GraphPlanStats, Inputs,
+    OwnedInputs, Plan, PlanCacheStats, PlanStats, PolySource,
 };
+pub use error::Error;
 pub use evaluate::{evaluate_naive, ConvolutionKernel, Evaluation, ExecMode};
 pub use generators::{
     banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,

@@ -47,7 +47,7 @@
 //! ];
 //! let engine = Engine::builder().threads(0).build();
 //! let plan = engine.compile(vec![f1, f2]);
-//! let eval = plan.evaluate_sequential(&z).into_system();
+//! let eval = plan.request(&z).sequential().run().into_system();
 //! assert_eq!(eval.values[0].coeff(0).to_f64(), 4.0);       // 1 + 3
 //! assert_eq!(eval.values[0].coeff(2).to_f64(), -3.0);      // -3 t^2
 //! assert_eq!(eval.values[1].coeff(0).to_f64(), 2.0);       // (1+t) + (1-t)
@@ -694,12 +694,16 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let fused = engine
             .compile(system.clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_system();
         for (i, p) in system.iter().enumerate() {
             let single = engine
                 .compile(p.clone())
-                .evaluate_sequential(&z)
+                .request(&z)
+                .sequential()
+                .run()
                 .into_single();
             // No monomial is shared between equations, so the merged schedule
             // reproduces each equation's own schedule job-for-job: results
@@ -715,7 +719,7 @@ mod tests {
         let system = paper_system(d);
         let z = random_z(6, d, 11);
         let (_engine, plan) = compile_system(&system, 0);
-        let fused = plan.evaluate_sequential(&z).into_system();
+        let fused = plan.request(&z).sequential().run().into_system();
         let naive = evaluate_naive_system(&system, &z);
         let diff = fused.max_difference(&naive);
         assert!(diff < 1e-55, "difference {diff}");
@@ -727,8 +731,8 @@ mod tests {
         let system = paper_system(d);
         let z = random_z(6, d, 3);
         let (_engine, plan) = compile_system(&system, 3);
-        let seq = plan.evaluate_sequential(&z).into_system();
-        let par = plan.evaluate(&z).into_system();
+        let seq = plan.request(&z).sequential().run().into_system();
+        let par = plan.request(&z).run().into_system();
         assert_eq!(seq.values, par.values);
         assert_eq!(seq.jacobian, par.jacobian);
     }
@@ -739,7 +743,7 @@ mod tests {
         let system = paper_system(d);
         let z = random_z(6, d, 5);
         let (_engine, plan) = compile_system(&system, 2);
-        let result = plan.evaluate(&z).into_system();
+        let result = plan.request(&z).run().into_system();
         let schedule = plan.system_schedule().expect("system plan");
         // Exactly one pool launch per shared layer — independent of the
         // number of equations.
@@ -775,9 +779,9 @@ mod tests {
         let layered = engine.compile(system.clone());
         let graph =
             engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
-        let a = layered.evaluate(&z).into_system();
+        let a = layered.request(&z).run().into_system();
         let before = engine.pool().rendezvous_count();
-        let b = graph.evaluate(&z).into_system();
+        let b = graph.request(&z).run().into_system();
         assert_eq!(engine.pool().rendezvous_count(), before + 1);
         assert_eq!(a.values, b.values, "graph system must be bitwise identical");
         assert_eq!(a.jacobian, b.jacobian);
@@ -805,8 +809,8 @@ mod tests {
         let graph =
             engine.compile_with_options(system, EvalOptions::new().with_exec_mode(ExecMode::Graph));
         let z = random_z(3, d, 61);
-        let a = layered.evaluate(&z).into_system();
-        let b = graph.evaluate(&z).into_system();
+        let a = layered.request(&z).run().into_system();
+        let b = graph.request(&z).run().into_system();
         assert_eq!(a.values, b.values);
         assert_eq!(a.jacobian, b.jacobian);
     }
@@ -834,7 +838,7 @@ mod tests {
         assert_eq!(schedule.convolution_jobs(), 6 + 1);
         // Results still match the naive per-equation oracle.
         let z = random_z(3, d, 23);
-        let fused = plan.evaluate_sequential(&z).into_system();
+        let fused = plan.request(&z).sequential().run().into_system();
         let naive = evaluate_naive_system(&system, &z);
         assert!(fused.max_difference(&naive) < 1e-58);
     }
@@ -855,7 +859,7 @@ mod tests {
             1
         );
         let z = random_z(2, d, 31);
-        let fused = plan.evaluate_sequential(&z).into_system();
+        let fused = plan.request(&z).sequential().run().into_system();
         let naive = evaluate_naive_system(&system, &z);
         assert!(fused.max_difference(&naive) < 1e-58);
     }
@@ -869,11 +873,15 @@ mod tests {
         let engine = Engine::builder().threads(0).build();
         let fused = engine
             .compile(one.clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_system();
         let single = engine
             .compile(one[0].clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_single();
         assert_eq!(fused.values[0], single.value);
         assert_eq!(fused.jacobian[0], single.gradient);
@@ -893,7 +901,7 @@ mod tests {
                 .expect("system plan")
                 .validate_layers()
                 .unwrap();
-            let fused = plan.evaluate_sequential(&z).into_system();
+            let fused = plan.request(&z).sequential().run().into_system();
             let naive = evaluate_naive_system(&system, &z);
             assert!(fused.max_difference(&naive) < 1e-24);
         }
@@ -934,7 +942,7 @@ mod tests {
         let system = vec![f1, f2];
         let z = random_z(2, d, 41);
         let (_engine, plan) = compile_system(&system, 0);
-        let fused = plan.evaluate_sequential(&z).into_system();
+        let fused = plan.request(&z).sequential().run().into_system();
         assert_eq!(fused.values[0].coeff(0).to_f64(), 7.0);
         assert!(fused.jacobian[0][0].is_zero());
         assert!(fused.jacobian[0][1].is_zero());
@@ -946,7 +954,7 @@ mod tests {
         let system = paper_system(d);
         let z = random_z(6, d, 2);
         let (_engine, plan) = compile_system(&system, 0);
-        let a = plan.evaluate_sequential(&z).into_system();
+        let a = plan.request(&z).sequential().run().into_system();
         let mut b = a.clone();
         b.values.pop();
         b.jacobian.pop();

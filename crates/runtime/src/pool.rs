@@ -405,12 +405,28 @@ impl WorkerPool {
     /// Panics when the variable is set but not an integer: the CI thread
     /// matrix exists to pin specific worker counts, and a typo that
     /// silently fell back to hardware sizing would green-light CI while
-    /// never testing the configurations it claims to.
+    /// never testing the configurations it claims to.  Long-lived callers
+    /// that must degrade instead of aborting (the serve path) use
+    /// [`WorkerPool::try_threads_from_env`].
     pub fn threads_from_env() -> Option<usize> {
-        let value = std::env::var("PSMD_THREADS").ok()?;
+        match Self::try_threads_from_env() {
+            Ok(threads) => threads,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// The fallible form of [`WorkerPool::threads_from_env`]: a set but
+    /// non-integer `PSMD_THREADS` becomes an `Err` describing the problem
+    /// instead of a panic, so services can surface a configuration error.
+    pub fn try_threads_from_env() -> Result<Option<usize>, String> {
+        let Ok(value) = std::env::var("PSMD_THREADS") else {
+            return Ok(None);
+        };
         match value.trim().parse() {
-            Ok(threads) => Some(threads),
-            Err(_) => panic!("PSMD_THREADS must be an integer worker-thread count, got '{value}'"),
+            Ok(threads) => Ok(Some(threads)),
+            Err(_) => Err(format!(
+                "PSMD_THREADS must be an integer worker-thread count, got '{value}'"
+            )),
         }
     }
 

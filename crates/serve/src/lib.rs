@@ -1,0 +1,46 @@
+//! # psmd-serve
+//!
+//! A long-lived evaluation service over the [`psmd_core::Engine`]: named
+//! plans, **request coalescing**, admission control and per-plan metrics,
+//! with an optional line-delimited JSON wire protocol on a TCP listener.
+//!
+//! The paper's central economics are that one wide launch beats many
+//! narrow ones: a single polynomial's job layers rarely fill the machine,
+//! so independent evaluation points should share launches (Section 5 —
+//! the schedule "depends only on the structure of the monomials").  The
+//! engine's batched path exploits that for callers who *have* a batch in
+//! hand; this crate extends it to callers who do not know about each
+//! other: concurrent single-point requests against the same plan are
+//! merged into one batched launch by a flat-combining queue
+//! ([`PlanQueue`]), and every caller gets back exactly the bits a private
+//! launch would have produced.
+//!
+//! * [`Service`] — the registry: compile-and-register named plans
+//!   (through the engine's fallible `try_compile` path), submit typed or
+//!   value-level (`f64`) requests, read [`MetricsSnapshot`]s.
+//! * [`PlanQueue`] — the per-plan coalescer: blocking [`PlanQueue::submit`],
+//!   asynchronous [`PlanQueue::submit_async`] returning a [`Ticket`],
+//!   backpressure via [`ServeError::Busy`], deadlines enforced before
+//!   launch.
+//! * [`WireServer`] — the NDJSON-over-TCP front end
+//!   (`ping` / `compile` / `eval` / `metrics`).
+//!
+//! Evaluation always runs on requester threads (there is no collector
+//! thread), so a service on a zero-worker engine is a correct, fully
+//! sequential configuration — and the closed-loop steady state inherits
+//! the engine's zero-allocation guarantee: responses hand the input and
+//! result buffers back ([`Response::into_request`]), and the leader's
+//! staging batch, outputs and workspaces are all pooled.
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod json;
+pub mod metrics;
+pub mod service;
+pub mod wire;
+
+pub use coalesce::{PlanQueue, Ticket};
+pub use metrics::{batch_bucket, Metrics, MetricsSnapshot, BATCH_BUCKETS, BATCH_BUCKET_LABELS};
+pub use service::{F64Evaluation, Request, Response, ServeConfig, ServeError, Service};
+pub use wire::WireServer;

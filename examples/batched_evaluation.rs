@@ -45,7 +45,7 @@ fn main() {
 
     // Batched: one launch per layer for the whole batch (`Inputs::Batch`).
     let start = Instant::now();
-    let batched = plan.evaluate(&inputs).into_batch();
+    let batched = plan.request(&inputs).run().into_batch();
     let batched_ms = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "batched:             {batched_ms:8.2} ms  ({} launches, {} blocks)",
@@ -59,7 +59,7 @@ fn main() {
     let mut looped_launches = 0usize;
     let mut looped = Vec::with_capacity(batch);
     for z in &inputs {
-        let e = plan.evaluate(z).into_single();
+        let e = plan.request(z).run().into_single();
         looped_launches += e.timings.convolution_launches + e.timings.addition_launches;
         looped.push(e);
     }

@@ -43,7 +43,7 @@ fn main() {
         Precision::D8,
         &[vec![1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0]], // z0 = 1 + t, z1 = 1 - t
     );
-    let out = plan.evaluate(&inputs);
+    let out = plan.request(&inputs).run();
     println!(
         "p(z) = {:?} (graph mode: {} pool rendezvous)\n",
         out.single_value_f64().unwrap(),
@@ -65,7 +65,7 @@ fn main() {
     let p: Polynomial<Dd> = TestPolynomial::P1.build_reduced(6, 1);
     let z: Vec<Series<Dd>> = TestPolynomial::P1.reduced_inputs(6, 1);
     let shared: Arc<_> = shared_engine.compile(p);
-    let reference = shared.evaluate_sequential(&z).into_single();
+    let reference = shared.request(&z).sequential().run().into_single();
     let threads = 4;
     let evals_per_thread = 25;
     std::thread::scope(|scope| {
@@ -75,7 +75,7 @@ fn main() {
             let reference = &reference;
             scope.spawn(move || {
                 for _ in 0..evals_per_thread {
-                    let e = plan.evaluate(&z).into_single();
+                    let e = plan.request(&z).run().into_single();
                     assert_eq!(e.value, reference.value, "plans are deterministic");
                 }
             });
@@ -97,13 +97,13 @@ fn main() {
     let cold = Engine::builder().plan_cache_capacity(0).build();
     let t0 = Instant::now();
     for _ in 0..requests {
-        let _ = cold.compile(p0.clone()).evaluate(&z0);
+        let _ = cold.compile(p0.clone()).request(&z0).run();
     }
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3 / requests as f64;
     let warm = shared_engine.compile(p0.clone());
     let t0 = Instant::now();
     for _ in 0..requests {
-        let _ = warm.evaluate(&z0);
+        let _ = warm.request(&z0).run();
     }
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3 / requests as f64;
     println!(

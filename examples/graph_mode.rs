@@ -52,22 +52,22 @@ fn main() {
     );
 
     // Same schedule, same jobs, same per-slot order: bitwise identical.
-    let a = layered.evaluate(&z);
-    let b = graph.evaluate(&z);
+    let a = layered.request(&z).run();
+    let b = graph.request(&z).run();
     assert!(a.bitwise_eq(&b));
     println!("graph result is bitwise identical to the layered reference");
 
     let start = Instant::now();
     let mut layered_rdv = 0usize;
     for _ in 0..repeats {
-        layered_rdv = layered.evaluate(&z).timings().pool_rendezvous;
+        layered_rdv = layered.request(&z).run().timings().pool_rendezvous;
     }
     let layered_ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
 
     let start = Instant::now();
     let mut graph_rdv = 0usize;
     for _ in 0..repeats {
-        graph_rdv = graph.evaluate(&z).timings().pool_rendezvous;
+        graph_rdv = graph.request(&z).run().timings().pool_rendezvous;
     }
     let graph_ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
 

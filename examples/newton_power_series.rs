@@ -87,10 +87,17 @@ fn main() {
                 Monomial::from_exponents(Series::one(degree), &[0, 2], &z),
             ],
         );
-        let e1 = engine.compile(f1).evaluate_sequential(&z).into_single();
+        let e1 = engine
+            .compile(f1)
+            .request(&z)
+            .sequential()
+            .run()
+            .into_single();
         let e2 = engine
             .compile(f2.clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_single();
         // Jacobian (as series): note d(x^2)/dx = coefficient * 1 from the
         // folded monomial, which equals x, so multiply by 2 explicitly.

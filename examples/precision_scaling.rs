@@ -17,7 +17,7 @@ fn measure(engine: &Engine, precision: Precision, degree: usize) -> f64 {
     let plan =
         engine.compile_any(TestPolynomial::P1.any_polynomial(precision, degree, Scale::Reduced, 1));
     let inputs = TestPolynomial::P1.any_inputs(precision, degree, Scale::Reduced, 1);
-    plan.evaluate(&inputs).timings().wall_clock_ms()
+    plan.request(&inputs).run().timings().wall_clock_ms()
 }
 
 fn main() {

@@ -50,7 +50,7 @@ fn main() {
     );
 
     // Sequential evaluation (the single-thread reference).
-    let eval = plan.evaluate_sequential(&z).into_single();
+    let eval = plan.request(&z).sequential().run().into_single();
     println!("\np(z)       = {:.30}", eval.value.coeff(0));
     println!("p(z), t^1  = {:.30}", eval.value.coeff(1));
     for (i, g) in eval.gradient.iter().enumerate() {
@@ -63,7 +63,7 @@ fn main() {
 
     // Block-parallel evaluation on the engine's pool gives bitwise identical
     // results and reports per-kernel timings like the paper does.
-    let parallel = plan.evaluate(&z).into_single();
+    let parallel = plan.request(&z).run().into_single();
     assert_eq!(parallel.value, eval.value);
     println!(
         "\nparallel run on {} lanes: convolution kernels {:.3} ms, addition kernels {:.3} ms, wall {:.3} ms",

@@ -33,12 +33,12 @@ fn main() {
     let engine = Engine::builder().build();
     let plan = engine.compile(p.clone());
     let t0 = Instant::now();
-    let seq = plan.evaluate_sequential(&z).into_single();
+    let seq = plan.request(&z).sequential().run().into_single();
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Scheduled, block-parallel on the engine's pool.
     let t0 = Instant::now();
-    let par = plan.evaluate(&z).into_single();
+    let par = plan.request(&z).run().into_single();
     let par_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     assert!(naive.max_difference(&seq) < 1e-25);

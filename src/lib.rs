@@ -4,3 +4,4 @@ pub use psmd_device as device;
 pub use psmd_multidouble as multidouble;
 pub use psmd_runtime as runtime;
 pub use psmd_series as series;
+pub use psmd_serve as serve;

@@ -33,7 +33,7 @@ fn one_plan_hammered_from_many_threads() {
             .options(EvalOptions::new().with_exec_mode(exec_mode))
             .build();
         let plan = engine.compile(p.clone());
-        let reference = plan.evaluate_sequential(&z).into_single();
+        let reference = plan.request(&z).sequential().run().into_single();
         std::thread::scope(|scope| {
             for t in 0..6 {
                 let plan: &Arc<_> = &plan;
@@ -41,7 +41,7 @@ fn one_plan_hammered_from_many_threads() {
                 let reference = &reference;
                 scope.spawn(move || {
                     for i in 0..20 {
-                        let e = plan.evaluate(z).into_single();
+                        let e = plan.request(z).run().into_single();
                         assert_eq!(
                             e.value, reference.value,
                             "thread {t}, eval {i}, mode {exec_mode:?}"
@@ -69,9 +69,9 @@ fn mixed_workloads_share_one_engine() {
     let engine = Engine::builder().threads(2).build();
     let single_plan = engine.compile(p);
     let system_plan = engine.compile(system);
-    let single_ref = single_plan.evaluate_sequential(&z).into_single();
-    let batch_ref = single_plan.evaluate_sequential(&batch).into_batch();
-    let system_ref = system_plan.evaluate_sequential(&z).into_system();
+    let single_ref = single_plan.request(&z).sequential().run().into_single();
+    let batch_ref = single_plan.request(&batch).sequential().run().into_batch();
+    let system_ref = system_plan.request(&z).sequential().run().into_system();
     std::thread::scope(|scope| {
         for _ in 0..3 {
             let (sp, yp) = (&single_plan, &system_plan);
@@ -79,12 +79,12 @@ fn mixed_workloads_share_one_engine() {
             let (sr, br, yr) = (&single_ref, &batch_ref, &system_ref);
             scope.spawn(move || {
                 for _ in 0..10 {
-                    assert_eq!(sp.evaluate(z).into_single().value, sr.value);
-                    let got = sp.evaluate(batch).into_batch();
+                    assert_eq!(sp.request(z).run().into_single().value, sr.value);
+                    let got = sp.request(batch).run().into_batch();
                     for (a, b) in got.instances.iter().zip(br.instances.iter()) {
                         assert_eq!(a.value, b.value);
                     }
-                    assert_eq!(yp.evaluate(z).into_system().values, yr.values);
+                    assert_eq!(yp.request(z).run().into_system().values, yr.values);
                 }
             });
         }
@@ -99,7 +99,9 @@ fn concurrent_compiles_share_the_cache() {
     let engine = Engine::builder().threads(2).build();
     let reference = engine
         .compile(p.clone())
-        .evaluate_sequential(&z)
+        .request(&z)
+        .sequential()
+        .run()
         .into_single();
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -109,7 +111,7 @@ fn concurrent_compiles_share_the_cache() {
             let reference = &reference;
             scope.spawn(move || {
                 let plan = engine.compile(p);
-                assert_eq!(plan.evaluate(z).into_single().value, reference.value);
+                assert_eq!(plan.request(z).run().into_single().value, reference.value);
             });
         }
     });
@@ -129,11 +131,11 @@ fn plans_outlive_their_engine() {
     let (plan, reference) = {
         let engine = Engine::builder().threads(2).build();
         let plan = engine.compile(p);
-        let reference = plan.evaluate_sequential(&z).into_single();
+        let reference = plan.request(&z).sequential().run().into_single();
         (plan, reference)
         // engine (and its cache) dropped here; the plan holds the pool alive.
     };
-    let e = plan.evaluate(&z).into_single();
+    let e = plan.request(&z).run().into_single();
     assert_eq!(e.value, reference.value);
     assert_eq!(e.gradient, reference.gradient);
 }
@@ -148,17 +150,25 @@ fn rendezvous_counts_surface_through_eval_output() {
     let graph = engine.compile_with_options(p, EvalOptions::new().with_exec_mode(ExecMode::Graph));
     // Graph mode: exactly one rendezvous per evaluation, every evaluation.
     for _ in 0..3 {
-        assert_eq!(graph.evaluate(&z).timings().pool_rendezvous, 1);
+        assert_eq!(graph.request(&z).run().timings().pool_rendezvous, 1);
     }
     // Layered mode: one per multi-block layer — strictly more than one on
     // this schedule, and at most the layer count.
     let stats = layered.stats();
     let layers = stats.convolution_layers + stats.addition_layers;
-    let rendezvous = layered.evaluate(&z).timings().pool_rendezvous;
+    let rendezvous = layered.request(&z).run().timings().pool_rendezvous;
     assert!(rendezvous > 1, "deep schedule pays per-layer barriers");
     assert!(rendezvous <= layers);
     // Sequential evaluation never wakes the pool.
-    assert_eq!(graph.evaluate_sequential(&z).timings().pool_rendezvous, 0);
+    assert_eq!(
+        graph
+            .request(&z)
+            .sequential()
+            .run()
+            .timings()
+            .pool_rendezvous,
+        0
+    );
 }
 
 /// Cache eviction under a capacity bound, observed through the public
@@ -169,14 +179,14 @@ fn evicted_plans_stay_usable() {
     let (p1, z1) = random_case(77, 4, 6, 3);
     let (p2, z2) = random_case(78, 4, 6, 3);
     let plan1 = engine.compile(p1);
-    let ref1 = plan1.evaluate_sequential(&z1).into_single();
+    let ref1 = plan1.request(&z1).sequential().run().into_single();
     let plan2 = engine.compile(p2); // evicts plan1 from the cache
     let stats = engine.cache_stats();
     assert_eq!(stats.entries, 1);
     assert_eq!(stats.evictions, 1);
     // The caller's Arc keeps the evicted plan fully functional.
-    assert_eq!(plan1.evaluate(&z1).into_single().value, ref1.value);
-    let _ = plan2.evaluate(&z2);
+    assert_eq!(plan1.request(&z1).run().into_single().value, ref1.value);
+    let _ = plan2.request(&z2).run();
 }
 
 /// The typed cache keys include the coefficient type: structurally similar

@@ -1,7 +1,7 @@
-//! Evaluation-path identity: `Plan::evaluate` (pooled workspace, fresh
-//! output), `Plan::evaluate_with` (caller workspace), `Plan::evaluate_into`
-//! (pooled workspace, reused output), `Plan::evaluate_into_with` (fully
-//! explicit reuse) and `Plan::evaluate_sequential` all run the exact same
+//! Evaluation-path identity: every configuration of the `Plan::request`
+//! builder — pooled workspace with fresh output, caller workspace
+//! (`.workspace`), reused output (`.into`), fully explicit reuse, and the
+//! sequential reference (`.sequential`) — runs the exact same
 //! kernels over the exact same schedule, so their results must be
 //! **bitwise** identical — across every precision, real and complex
 //! coefficients, single/batch/system sources, and both execution modes.
@@ -28,25 +28,25 @@ fn engine_with(exec_mode: ExecMode) -> Engine {
 /// they are all bitwise identical to the plain `evaluate` result.
 fn check_all_paths<C: Coeff>(engine: &Engine, plan: &psmd_core::Plan<C>, inputs: Inputs<'_, C>) {
     let _ = engine;
-    let reference = plan.evaluate(inputs);
+    let reference = plan.request(inputs).run();
     // Caller-managed workspace (twice through the same workspace: stale
     // state from the first run must not leak into the second).
     let mut ws = plan.create_workspace();
-    let a = plan.evaluate_with(inputs, &mut ws);
-    assert!(reference.bitwise_eq(&a), "evaluate_with differs");
-    let b = plan.evaluate_with(inputs, &mut ws);
-    assert!(reference.bitwise_eq(&b), "evaluate_with (warm ws) differs");
+    let a = plan.request(inputs).workspace(&mut ws).run();
+    assert!(reference.bitwise_eq(&a), "workspace path differs");
+    let b = plan.request(inputs).workspace(&mut ws).run();
+    assert!(reference.bitwise_eq(&b), "workspace path (warm ws) differs");
     // Reused output, pooled workspace — warm it with a first call, then
     // overwrite in place.
-    let mut out = plan.evaluate(inputs);
-    plan.evaluate_into(inputs, &mut out);
-    assert!(reference.bitwise_eq(&out), "evaluate_into differs");
+    let mut out = plan.request(inputs).run();
+    plan.request(inputs).into(&mut out).run();
+    assert!(reference.bitwise_eq(&out), "reused-output path differs");
     // Fully explicit reuse.
-    plan.evaluate_into_with(inputs, &mut ws, &mut out);
-    assert!(reference.bitwise_eq(&out), "evaluate_into_with differs");
+    plan.request(inputs).workspace(&mut ws).into(&mut out).run();
+    assert!(reference.bitwise_eq(&out), "explicit-reuse path differs");
     // The sequential reference agrees (parallel layered/graph execution is
     // bitwise identical by the executor's ordering guarantee).
-    let seq = plan.evaluate_sequential(inputs);
+    let seq = plan.request(inputs).sequential().run();
     assert!(reference.bitwise_eq(&seq), "sequential differs");
 }
 
@@ -85,9 +85,9 @@ fn check_batch_identity<C: Coeff + RandomCoeff>(
     check_all_paths(&engine, &plan, Inputs::Batch(&batch));
     // A batch result must also agree instance-by-instance with single
     // evaluations of the same plan.
-    let batched = plan.evaluate(&batch).into_batch();
+    let batched = plan.request(&batch).run().into_batch();
     for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-        let want = plan.evaluate(inputs).into_single();
+        let want = plan.request(inputs).run().into_single();
         assert_eq!(got.value, want.value, "batch vs single, seed {seed}");
         assert_eq!(got.gradient, want.gradient);
     }
@@ -193,11 +193,11 @@ fn shape_changes_through_one_workspace_and_output_stay_identical() {
     let mut ws = plan.create_workspace();
     let mut out = EvalOutput::Single(psmd_core::Evaluation::empty());
     for round in 0..3 {
-        plan.evaluate_into_with(&z, &mut ws, &mut out);
-        let fresh = plan.evaluate(&z);
+        plan.request(&z).workspace(&mut ws).into(&mut out).run();
+        let fresh = plan.request(&z).run();
         assert!(fresh.bitwise_eq(&out), "single round {round}");
-        plan.evaluate_into_with(&batch, &mut ws, &mut out);
-        let fresh = plan.evaluate(&batch);
+        plan.request(&batch).workspace(&mut ws).into(&mut out).run();
+        let fresh = plan.request(&batch).run();
         assert!(fresh.bitwise_eq(&out), "batch round {round}");
     }
 }

@@ -27,7 +27,7 @@ fn check_consistency<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usi
     let naive = evaluate_naive(&p, &z);
     let engine = Engine::builder().threads(3).build();
     let plan = engine.compile(p);
-    let seq = plan.evaluate_sequential(&z).into_single();
+    let seq = plan.request(&z).sequential().run().into_single();
     let diff = naive.max_difference(&seq);
     let ulps = naive.max_ulp_difference(&seq);
     let tol = tolerance::<C>(degree, monomials);
@@ -36,7 +36,7 @@ fn check_consistency<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usi
         "naive vs scheduled differ by {diff:e} ({ulps:.1} ulps; tolerance {tol:e}) \
          for seed {seed}"
     );
-    let par = plan.evaluate(&z).into_single();
+    let par = plan.request(&z).run().into_single();
     assert_eq!(seq.value, par.value, "parallel must be bitwise identical");
     assert_eq!(seq.gradient, par.gradient);
 }
@@ -68,7 +68,12 @@ fn consistency_for_large_supports() {
     let z = random_inputs::<Dd, _>(20, 6, &mut rng);
     let naive = evaluate_naive(&p, &z);
     let engine = Engine::builder().threads(0).build();
-    let scheduled = engine.compile(p).evaluate_sequential(&z).into_single();
+    let scheduled = engine
+        .compile(p)
+        .request(&z)
+        .sequential()
+        .run()
+        .into_single();
     let diff = naive.max_difference(&scheduled);
     assert!(diff < 1e-22, "difference {diff}");
 }
@@ -91,10 +96,10 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
     let engine = Engine::builder().threads(3).build();
     let plan = engine.compile(p);
     let tol = tolerance::<C>(degree, monomials);
-    let batched = plan.evaluate_sequential(&batch).into_batch();
+    let batched = plan.request(&batch).sequential().run().into_batch();
     assert_eq!(batched.len(), batch_size);
     for (i, (inputs, got)) in batch.iter().zip(batched.instances.iter()).enumerate() {
-        let want = plan.evaluate_sequential(inputs).into_single();
+        let want = plan.request(inputs).sequential().run().into_single();
         let diff = got.max_difference(&want);
         let ulps = got.max_ulp_difference(&want);
         assert!(
@@ -104,7 +109,7 @@ fn check_batch_consistency<C: Coeff + RandomCoeff>(
         );
     }
     // The pool-parallel batch must match the sequential batch bitwise.
-    let parallel = plan.evaluate(&batch).into_batch();
+    let parallel = plan.request(&batch).run().into_batch();
     for (seq, par) in batched.instances.iter().zip(parallel.instances.iter()) {
         assert_eq!(
             seq.value, par.value,
@@ -149,12 +154,19 @@ fn batch_handles_empty_and_singleton_batches() {
     let engine = Engine::builder().threads(0).build();
     let plan = engine.compile(p);
     let empty: Vec<Vec<Series<Dd>>> = Vec::new();
-    assert!(plan.evaluate_sequential(&empty).into_batch().is_empty());
+    assert!(plan
+        .request(&empty)
+        .sequential()
+        .run()
+        .into_batch()
+        .is_empty());
     let z = random_inputs::<Dd, _>(5, 3, &mut rng);
     let one = plan
-        .evaluate_sequential(std::slice::from_ref(&z))
+        .request(std::slice::from_ref(&z))
+        .sequential()
+        .run()
         .into_batch();
-    let single = plan.evaluate_sequential(&z).into_single();
+    let single = plan.request(&z).sequential().run().into_single();
     assert_eq!(one.instances[0].value, single.value);
     assert_eq!(one.instances[0].gradient, single.gradient);
 }
@@ -220,9 +232,9 @@ proptest! {
             monomials,
         );
         let engine = Engine::builder().threads(0).build();
-        let e1 = engine.compile(p1).evaluate_sequential(&z).into_single();
-        let e2 = engine.compile(p2).evaluate_sequential(&z).into_single();
-        let es = engine.compile(sum_poly).evaluate_sequential(&z).into_single();
+        let e1 = engine.compile(p1).request(&z).sequential().run().into_single();
+        let e2 = engine.compile(p2).request(&z).sequential().run().into_single();
+        let es = engine.compile(sum_poly).request(&z).sequential().run().into_single();
         let tol = 1e-24;
         prop_assert!(es.value.distance(&e1.value.add(&e2.value)) < tol);
         for v in 0..n {

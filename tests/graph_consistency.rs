@@ -46,13 +46,13 @@ fn check_single<C: Coeff + RandomCoeff>(seed: u64, n: usize, monomials: usize, d
     let z = random_inputs::<C, _>(n, degree, &mut rng);
     let engine = test_engine();
     let (layered, graph) = layered_and_graph(&engine, p);
-    let a = layered.evaluate(&z).into_single();
-    let b = graph.evaluate(&z).into_single();
+    let a = layered.request(&z).run().into_single();
+    let b = graph.request(&z).run().into_single();
     assert_eq!(a.value, b.value, "value differs for seed {seed}");
     assert_eq!(a.gradient, b.gradient, "gradient differs for seed {seed}");
     // The sequential reference agrees too (layered parallel is itself
     // bitwise identical to sequential, so this is transitive insurance).
-    let seq = layered.evaluate_sequential(&z).into_single();
+    let seq = layered.request(&z).sequential().run().into_single();
     assert_eq!(seq.value, b.value);
     assert_eq!(seq.gradient, b.gradient);
 }
@@ -72,8 +72,8 @@ fn check_batch<C: Coeff + RandomCoeff>(
         .collect();
     let engine = test_engine();
     let (layered, graph) = layered_and_graph(&engine, p);
-    let a = layered.evaluate(&batch).into_batch();
-    let b = graph.evaluate(&batch).into_batch();
+    let a = layered.request(&batch).run().into_batch();
+    let b = graph.request(&batch).run().into_batch();
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.instances.iter().zip(b.instances.iter()).enumerate() {
         assert_eq!(x.value, y.value, "batch value {i} differs for seed {seed}");
@@ -113,8 +113,8 @@ fn check_system<C: Coeff + RandomCoeff>(
     let engine = test_engine();
     let z = random_inputs::<C, _>(n, degree, &mut rng);
     let (layered, graph) = layered_and_graph(&engine, system);
-    let a = layered.evaluate(&z).into_system();
-    let b = graph.evaluate(&z).into_system();
+    let a = layered.request(&z).run().into_system();
+    let b = graph.request(&z).run().into_system();
     assert_eq!(a.values, b.values, "system values differ for seed {seed}");
     assert_eq!(a.jacobian, b.jacobian, "jacobian differs for seed {seed}");
 }
@@ -181,7 +181,7 @@ fn graph_mode_pays_exactly_one_rendezvous_per_evaluation() {
 
     let single = engine.compile(p.clone());
     let before = engine.pool().rendezvous_count();
-    let _ = single.evaluate(&z);
+    let _ = single.request(&z).run();
     assert_eq!(
         engine.pool().rendezvous_count(),
         before + 1,
@@ -192,7 +192,7 @@ fn graph_mode_pays_exactly_one_rendezvous_per_evaluation() {
         .map(|_| random_inputs::<Dd, _>(6, 4, &mut rng))
         .collect();
     let before = engine.pool().rendezvous_count();
-    let _ = single.evaluate(&batch);
+    let _ = single.request(&batch).run();
     assert_eq!(
         engine.pool().rendezvous_count(),
         before + 1,
@@ -204,7 +204,7 @@ fn graph_mode_pays_exactly_one_rendezvous_per_evaluation() {
         .collect();
     let fused = engine.compile(system);
     let before = engine.pool().rendezvous_count();
-    let _ = fused.evaluate(&z);
+    let _ = fused.request(&z).run();
     assert_eq!(
         engine.pool().rendezvous_count(),
         before + 1,
@@ -214,7 +214,7 @@ fn graph_mode_pays_exactly_one_rendezvous_per_evaluation() {
     // The layered reference pays one per multi-block layer.
     let layered = engine.compile_with_options(p, EvalOptions::new());
     let before = engine.pool().rendezvous_count();
-    let _ = layered.evaluate(&z);
+    let _ = layered.request(&z).run();
     assert!(
         engine.pool().rendezvous_count() > before + 1,
         "layered pays per layer"
@@ -253,8 +253,8 @@ fn graph_mode_handles_degenerate_structures() {
     for p in &cases {
         let z = random_inputs::<Dd, _>(p.num_variables(), d, &mut rng);
         let (layered, graph) = layered_and_graph(&engine, p.clone());
-        let a = layered.evaluate(&z).into_single();
-        let b = graph.evaluate(&z).into_single();
+        let a = layered.request(&z).run().into_single();
+        let b = graph.request(&z).run().into_single();
         assert_eq!(a.value, b.value);
         assert_eq!(a.gradient, b.gradient);
     }

@@ -45,8 +45,8 @@ fn graph_vs_layered_stress_loop() {
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
                 let layered = engine.compile(p.clone());
                 let graph = engine.compile_with_options(p, graph_opts);
-                let a = layered.evaluate(&z).into_single();
-                let b = graph.evaluate(&z).into_single();
+                let a = layered.request(&z).run().into_single();
+                let b = graph.request(&z).run().into_single();
                 assert_eq!(a.value, b.value, "iteration {iter}: value");
                 assert_eq!(a.gradient, b.gradient, "iteration {iter}: gradient");
             }
@@ -57,8 +57,8 @@ fn graph_vs_layered_stress_loop() {
                     .collect();
                 let layered = engine.compile(p.clone());
                 let graph = engine.compile_with_options(p, graph_opts);
-                let a = layered.evaluate(&batch).into_batch();
-                let b = graph.evaluate(&batch).into_batch();
+                let a = layered.request(&batch).run().into_batch();
+                let b = graph.request(&batch).run().into_batch();
                 for (i, (x, y)) in a.instances.iter().zip(b.instances.iter()).enumerate() {
                     assert_eq!(x.value, y.value, "iteration {iter}: batch value {i}");
                     assert_eq!(x.gradient, y.gradient, "iteration {iter}: batch grad {i}");
@@ -75,8 +75,8 @@ fn graph_vs_layered_stress_loop() {
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
                 let layered = engine.compile(system.clone());
                 let graph = engine.compile_with_options(system, graph_opts);
-                let a = layered.evaluate(&z).into_system();
-                let b = graph.evaluate(&z).into_system();
+                let a = layered.request(&z).run().into_system();
+                let b = graph.request(&z).run().into_system();
                 assert_eq!(a.values, b.values, "iteration {iter}: system values");
                 assert_eq!(a.jacobian, b.jacobian, "iteration {iter}: jacobian");
             }

@@ -61,8 +61,8 @@ fn check_kernel<C: Coeff + RandomCoeff>(
     let reference = engine.compile(p.clone());
     let plan = engine.compile_with_options(p, options(kernel));
     assert_eq!(plan.options().kernel, kernel);
-    let want = reference.evaluate(&z).into_single();
-    let got = plan.evaluate(&z).into_single();
+    let want = reference.request(&z).run().into_single();
+    let got = plan.request(&z).run().into_single();
     let tol = kernel_tolerance::<C>(kernel, degree, monomials);
     let diff = got.max_difference(&want);
     let ulps = got.max_ulp_difference(&want);
@@ -73,7 +73,7 @@ fn check_kernel<C: Coeff + RandomCoeff>(
     );
     // The parallel run of the same plan stays bitwise identical to its own
     // sequential run — kernel choice never breaks determinism.
-    let seq = plan.evaluate_sequential(&z).into_single();
+    let seq = plan.request(&z).sequential().run().into_single();
     assert_eq!(seq.value, got.value, "parallel must be bitwise identical");
     assert_eq!(seq.gradient, got.gradient);
 }
@@ -126,8 +126,8 @@ fn auto_matches_its_resolved_kernel_bitwise() {
         assert_ne!(resolved, ConvolutionKernel::Auto, "Auto must resolve");
         assert_eq!(resolved, psmd_core::auto_kernel(2, degree));
         let explicit = engine.compile_with_options(p, options(resolved));
-        let a = auto.evaluate(&z).into_single();
-        let b = explicit.evaluate(&z).into_single();
+        let a = auto.request(&z).run().into_single();
+        let b = explicit.request(&z).run().into_single();
         assert_eq!(a.value, b.value);
         assert_eq!(a.gradient, b.gradient);
     }
@@ -145,8 +145,8 @@ fn karatsuba_is_bitwise_direct_below_threshold() {
         let engine = Engine::builder().threads(0).build();
         let kara = engine.compile_with_options(p.clone(), options(ConvolutionKernel::Karatsuba));
         let direct = engine.compile_with_options(p, options(ConvolutionKernel::Direct));
-        let a = kara.evaluate(&z).into_single();
-        let b = direct.evaluate(&z).into_single();
+        let a = kara.request(&z).run().into_single();
+        let b = direct.request(&z).run().into_single();
         assert_eq!(a.value, b.value, "degree {degree}: value must be bitwise");
         assert_eq!(a.gradient, b.gradient, "degree {degree}: gradient");
     }
@@ -169,9 +169,9 @@ fn kernels_agree_across_batch_system_and_exec_modes() {
                 .map(|_| random_inputs::<Dd, _>(5, degree, &mut rng))
                 .collect();
             let plan = engine.compile_with_options(p, opts);
-            let batched = plan.evaluate(&batch).into_batch();
+            let batched = plan.request(&batch).run().into_batch();
             for (inputs, got) in batch.iter().zip(batched.instances.iter()) {
-                let want = plan.evaluate(inputs).into_single();
+                let want = plan.request(inputs).run().into_single();
                 assert_eq!(got.value, want.value, "{kernel:?}/{exec:?} batch value");
                 assert_eq!(got.gradient, want.gradient);
             }
@@ -182,7 +182,7 @@ fn kernels_agree_across_batch_system_and_exec_modes() {
                 .collect();
             let z = random_inputs::<Dd, _>(5, degree, &mut rng);
             let sys_plan = engine.compile_with_options(system.clone(), opts);
-            let fused = sys_plan.evaluate(&z).into_system();
+            let fused = sys_plan.request(&z).run().into_system();
             let tol = kernel_tolerance::<Dd>(kernel, degree, 3 * 6);
             for (i, p) in system.iter().enumerate() {
                 let naive = evaluate_naive(p, &z);
@@ -232,7 +232,7 @@ fn kernels_survive_adversarial_inputs() {
             .map(|v| adversarial_series(degree, 362 + v as u64, spread))
             .collect();
         let engine = Engine::builder().threads(0).build();
-        let reference = engine.compile(p.clone()).evaluate(&z).into_single();
+        let reference = engine.compile(p.clone()).request(&z).run().into_single();
         let scale = reference
             .value
             .max_magnitude()
@@ -247,7 +247,8 @@ fn kernels_survive_adversarial_inputs() {
         for kernel in [ConvolutionKernel::Karatsuba, ConvolutionKernel::Fft] {
             let got = engine
                 .compile_with_options(p.clone(), options(kernel))
-                .evaluate(&z)
+                .request(&z)
+                .run()
                 .into_single();
             let diff = got.max_difference(&reference);
             let tol = Dd::unit_roundoff() * scale * ((degree + 1) as f64) * 4096.0;
@@ -282,7 +283,7 @@ fn kernels_are_exact_on_zero_and_single_term_inputs() {
         let plan = engine.compile_with_options(p.clone(), options(kernel));
         // All-zero inputs: p(0) = 1/2, gradient identically zero.
         let zero = vec![Series::<Qd>::zero(degree); 3];
-        let eval = plan.evaluate(&zero).into_single();
+        let eval = plan.request(&zero).run().into_single();
         assert_eq!(eval.value.coeff(0).to_f64(), 0.5, "{kernel:?}");
         assert!(eval.value.coeffs()[1..].iter().all(|c| c.is_zero()));
         for g in &eval.gradient {
@@ -296,7 +297,7 @@ fn kernels_are_exact_on_zero_and_single_term_inputs() {
                 s
             })
             .collect();
-        let eval = plan.evaluate(&t).into_single();
+        let eval = plan.request(&t).run().into_single();
         assert_eq!(eval.value.coeff(0).to_f64(), 0.5, "{kernel:?}");
         assert_eq!(eval.value.coeff(3).to_f64(), 2.0, "{kernel:?}");
         for (k, c) in eval.value.coeffs().iter().enumerate() {

@@ -43,7 +43,8 @@ fn check_all_kernels_at(seed: u64, n: usize, monomials: usize, degree: usize) {
     for kernel in LADDER {
         let got = engine
             .compile_with_options(p.clone(), options(kernel))
-            .evaluate(&z)
+            .request(&z)
+            .run()
             .into_single();
         let diff = got.max_difference(&naive);
         assert!(
@@ -108,7 +109,8 @@ fn aliased_inplace_staging_survives_every_kernel() {
         for kernel in LADDER {
             let got = engine
                 .compile_with_options(p.clone(), options(kernel))
-                .evaluate(&z)
+                .request(&z)
+                .run()
                 .into_single();
             let diff = got.max_difference(&naive);
             assert!(diff <= tol, "{kernel:?}/{exec:?}: {diff:e} > {tol:e}");
@@ -159,7 +161,7 @@ fn auto_resolution_is_part_of_the_plan_cache_key() {
 }
 
 /// The sub-quadratic kernels keep the zero-allocation steady state: after
-/// one warm-up call, `evaluate_into` performs zero heap traffic on a
+/// one warm-up call, the reused-output request path performs zero heap traffic on a
 /// zero-worker engine — the kernel-aware scratch (including the FFT's
 /// separate `f64` buffer) is sized once at warm-up.
 #[test]
@@ -189,12 +191,12 @@ fn subquadratic_kernels_keep_the_zero_alloc_steady_state() {
         for (exec, mode) in [(ExecMode::Layered, "layered"), (ExecMode::Graph, "graph")] {
             let engine = Engine::builder().threads(0).exec_mode(exec).build();
             let plan = engine.compile_with_options(p.clone(), options(kernel).with_exec_mode(exec));
-            let mut out = plan.evaluate(&z);
-            plan.evaluate_into(&z, &mut out);
-            let reference = plan.evaluate(&z);
+            let mut out = plan.request(&z).run();
+            plan.request(&z).into(&mut out).run();
+            let reference = plan.request(&z).run();
             let counts = psmd_bench::measure_allocs(|| {
                 for _ in 0..10 {
-                    plan.evaluate_into(&z, &mut out);
+                    plan.request(&z).into(&mut out).run();
                 }
             });
             assert_eq!(
@@ -224,9 +226,9 @@ fn explicit_workspace_is_prewarmed_for_every_kernel() {
     for kernel in [ConvolutionKernel::Karatsuba, ConvolutionKernel::Fft] {
         let plan = engine.compile_with_options(p.clone(), options(kernel));
         let mut ws = plan.create_workspace();
-        let mut out = plan.evaluate(&z);
+        let mut out = plan.request(&z).run();
         let counts = psmd_bench::measure_allocs(|| {
-            plan.evaluate_into_with(&z, &mut ws, &mut out);
+            plan.request(&z).workspace(&mut ws).into(&mut out).run();
         });
         assert_eq!(counts.allocs, 0, "{kernel:?}: first-call allocations");
         assert_eq!(counts.deallocs, 0, "{kernel:?}: first-call deallocations");

@@ -62,11 +62,11 @@ fn kernel_ladder_stress_loop() {
             // tolerance; layered vs graph bitwise for the same kernel.
             0 => {
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
-                let reference = engine.compile(p.clone()).evaluate(&z).into_single();
+                let reference = engine.compile(p.clone()).request(&z).run().into_single();
                 let layered = engine.compile_with_options(p.clone(), opts);
                 let graph = engine.compile_with_options(p, graph_opts);
-                let a = layered.evaluate(&z).into_single();
-                let b = graph.evaluate(&z).into_single();
+                let a = layered.request(&z).run().into_single();
+                let b = graph.request(&z).run().into_single();
                 assert_eq!(a.value, b.value, "iteration {iter}: {kernel:?} value");
                 assert_eq!(a.gradient, b.gradient, "iteration {iter}: gradient");
                 let diff = a.max_difference(&reference);
@@ -84,11 +84,15 @@ fn kernel_ladder_stress_loop() {
                     )
                     .collect();
                 let z = random_inputs::<Dd, _>(n, degree, &mut rng);
-                let reference = engine.compile(system.clone()).evaluate(&z).into_system();
+                let reference = engine
+                    .compile(system.clone())
+                    .request(&z)
+                    .run()
+                    .into_system();
                 let layered = engine.compile_with_options(system.clone(), opts);
                 let graph = engine.compile_with_options(system, graph_opts);
-                let a = layered.evaluate(&z).into_system();
-                let b = graph.evaluate(&z).into_system();
+                let a = layered.request(&z).run().into_system();
+                let b = graph.request(&z).run().into_system();
                 assert_eq!(a.values, b.values, "iteration {iter}: system values");
                 assert_eq!(a.jacobian, b.jacobian, "iteration {iter}: jacobian");
                 let diff = a.max_difference(&reference);
@@ -109,9 +113,9 @@ fn kernel_ladder_stress_loop() {
                 .map(|_| random_inputs::<Dd, _>(bn, bdeg, &mut rng))
                 .collect();
             let plan = engine.compile_with_options(bp, opts);
-            let batched = plan.evaluate(&batch).into_batch();
+            let batched = plan.request(&batch).run().into_batch();
             for (i, (inputs, got)) in batch.iter().zip(batched.instances.iter()).enumerate() {
-                let want = plan.evaluate(inputs).into_single();
+                let want = plan.request(inputs).run().into_single();
                 assert_eq!(got.value, want.value, "iteration {iter}: batch value {i}");
                 assert_eq!(got.gradient, want.gradient, "iteration {iter}: batch {i}");
             }

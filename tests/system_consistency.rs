@@ -39,7 +39,7 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
     let plan = engine.compile(system.clone());
     let schedule = plan.system_schedule().expect("system plan");
     schedule.validate_layers().unwrap();
-    let fused = plan.evaluate_sequential(&z).into_system();
+    let fused = plan.request(&z).sequential().run().into_system();
     let tol = tolerance::<C>(degree, equations * monomials);
     // Every equation's value and Jacobian row match the naive per-equation
     // oracle within the precision-scaled tolerance.
@@ -59,7 +59,7 @@ fn check_system_consistency<C: Coeff + RandomCoeff>(
     assert!(fused.max_difference(&naive_sys) <= tol);
     // The pool-parallel run must match the sequential run bitwise, with
     // exactly one launch per merged layer for the whole system.
-    let parallel = plan.evaluate(&z).into_system();
+    let parallel = plan.request(&z).run().into_system();
     assert_eq!(
         fused.values, parallel.values,
         "parallel must be bitwise identical"
@@ -119,11 +119,13 @@ fn fused_system_is_bitwise_identical_without_sharing() {
         // bitwise guarantee does not apply.
         return;
     }
-    let fused = plan.evaluate_sequential(&z).into_system();
+    let fused = plan.request(&z).sequential().run().into_system();
     for (i, p) in system.iter().enumerate() {
         let single = engine
             .compile(p.clone())
-            .evaluate_sequential(&z)
+            .request(&z)
+            .sequential()
+            .run()
             .into_single();
         assert_eq!(fused.values[i], single.value, "value of equation {i}");
         assert_eq!(fused.jacobian[i], single.gradient, "Jacobian row {i}");
@@ -149,7 +151,7 @@ fn shared_monomials_across_equations_dedup_and_stay_correct() {
     assert_eq!(schedule.deduplicated_monomials(), 2);
     let mut rng = StdRng::seed_from_u64(229);
     let z = random_inputs::<Dd, _>(4, d, &mut rng);
-    let fused = plan.evaluate_sequential(&z).into_system();
+    let fused = plan.request(&z).sequential().run().into_system();
     let naive = evaluate_naive_system(&system, &z);
     let diff = fused.max_difference(&naive);
     assert!(diff < 1e-26, "difference {diff}");
@@ -209,7 +211,7 @@ proptest! {
         let schedule = plan.system_schedule().expect("system plan");
         prop_assert_eq!(schedule.deduplicated_monomials(), 1);
         schedule.validate_layers().unwrap();
-        let fused = plan.evaluate_sequential(&z).into_system();
+        let fused = plan.request(&z).sequential().run().into_system();
         let naive = evaluate_naive_system(&system, &z);
         let tol = tolerance::<Dd>(degree, 2 * monomials + 1);
         let diff = fused.max_difference(&naive);

@@ -1,9 +1,12 @@
 //! The zero-allocation steady-state contract, enforced by a counting global
-//! allocator: after one warm-up call, `Plan::evaluate_into` performs **zero
-//! heap allocations** (and zero deallocations) across single/batch/system
-//! evaluation in both layered and graph execution — the CPU analogue of the
-//! paper's kernels, which stage everything in pre-sized shared memory and
-//! never allocate mid-kernel.
+//! allocator: after one warm-up call, the request builder's
+//! `.into(&mut out)` path performs **zero heap allocations** (and zero
+//! deallocations) across single/batch/system evaluation in both layered
+//! and graph execution — the CPU analogue of the paper's kernels, which
+//! stage everything in pre-sized shared memory and never allocate
+//! mid-kernel.  The serving layer inherits the contract: a closed-loop
+//! client recycling its response buffers drives the whole
+//! submit/coalesce/launch/reply cycle without touching the allocator.
 //!
 //! The zero-allocation matrix runs on a zero-worker engine (the launching
 //! thread executes every kernel inline, so the per-thread measurement
@@ -66,20 +69,21 @@ fn paper_system(d: usize) -> Vec<Polynomial<Qd>> {
     vec![paper_example(d), f2]
 }
 
-/// Asserts that steady-state `evaluate_into` performs zero heap traffic on a
-/// zero-worker engine for the given plan/inputs, after warm-up.
+/// Asserts that the steady-state reused-output path performs zero heap
+/// traffic on a zero-worker engine for the given plan/inputs, after
+/// warm-up.
 fn assert_zero_alloc_single(mode: ExecMode, label: &str) {
     let d = 8;
     let engine = Engine::builder().threads(0).exec_mode(mode).build();
     let plan = engine.compile(paper_example(d));
     let mut rng = StdRng::seed_from_u64(11);
     let z = random_inputs::<Qd, _>(6, d, &mut rng);
-    let mut out = plan.evaluate(&z);
-    plan.evaluate_into(&z, &mut out);
-    let reference = plan.evaluate(&z);
+    let mut out = plan.request(&z).run();
+    plan.request(&z).into(&mut out).run();
+    let reference = plan.request(&z).run();
     let (allocs, deallocs, bytes) = measure(|| {
         for _ in 0..10 {
-            plan.evaluate_into(&z, &mut out);
+            plan.request(&z).into(&mut out).run();
         }
     });
     assert_eq!(allocs, 0, "{label}: steady-state allocations ({bytes} B)");
@@ -95,12 +99,12 @@ fn assert_zero_alloc_batch(mode: ExecMode, label: &str) {
     let batch: Vec<Vec<Series<Qd>>> = (0..5)
         .map(|_| random_inputs::<Qd, _>(6, d, &mut rng))
         .collect();
-    let mut out = plan.evaluate(&batch);
-    plan.evaluate_into(&batch, &mut out);
-    let reference = plan.evaluate(&batch);
+    let mut out = plan.request(&batch).run();
+    plan.request(&batch).into(&mut out).run();
+    let reference = plan.request(&batch).run();
     let (allocs, deallocs, bytes) = measure(|| {
         for _ in 0..10 {
-            plan.evaluate_into(&batch, &mut out);
+            plan.request(&batch).into(&mut out).run();
         }
     });
     assert_eq!(allocs, 0, "{label}: steady-state allocations ({bytes} B)");
@@ -114,12 +118,12 @@ fn assert_zero_alloc_system(mode: ExecMode, label: &str) {
     let plan = engine.compile(paper_system(d));
     let mut rng = StdRng::seed_from_u64(17);
     let z = random_inputs::<Qd, _>(6, d, &mut rng);
-    let mut out = plan.evaluate(&z);
-    plan.evaluate_into(&z, &mut out);
-    let reference = plan.evaluate(&z);
+    let mut out = plan.request(&z).run();
+    plan.request(&z).into(&mut out).run();
+    let reference = plan.request(&z).run();
     let (allocs, deallocs, bytes) = measure(|| {
         for _ in 0..10 {
-            plan.evaluate_into(&z, &mut out);
+            plan.request(&z).into(&mut out).run();
         }
     });
     assert_eq!(allocs, 0, "{label}: steady-state allocations ({bytes} B)");
@@ -127,7 +131,7 @@ fn assert_zero_alloc_system(mode: ExecMode, label: &str) {
     assert!(reference.bitwise_eq(&out), "{label}: results drifted");
 }
 
-/// Steady-state launcher-side allocation count of `evaluate_into` on a
+/// Steady-state launcher-side allocation count of the reused-output path on a
 /// 2-worker engine at one degree (per-launch control overhead only; the
 /// counters are thread-local, so this sees exactly what the evaluating
 /// thread allocates).  Minimum over several measurements: the pool's
@@ -138,12 +142,12 @@ fn threaded_steady_allocs(d: usize) -> u64 {
     let plan = engine.compile(paper_example(d));
     let mut rng = StdRng::seed_from_u64(23);
     let z = random_inputs::<Qd, _>(6, d, &mut rng);
-    let mut out = plan.evaluate(&z);
-    plan.evaluate_into(&z, &mut out);
-    plan.evaluate_into(&z, &mut out);
+    let mut out = plan.request(&z).run();
+    plan.request(&z).into(&mut out).run();
+    plan.request(&z).into(&mut out).run();
     (0..5)
         .map(|_| {
-            let (allocs, _, _) = measure(|| plan.evaluate_into(&z, &mut out));
+            let (allocs, _, _) = measure(|| plan.request(&z).into(&mut out).run());
             allocs
         })
         .min()
@@ -169,9 +173,9 @@ fn steady_state_evaluation_is_allocation_free() {
     let mut rng = StdRng::seed_from_u64(29);
     let z = random_inputs::<Qd, _>(6, d, &mut rng);
     let mut ws = plan.create_workspace();
-    let mut out = plan.evaluate(&z);
+    let mut out = plan.request(&z).run();
     let (allocs, deallocs, _) = measure(|| {
-        plan.evaluate_into_with(&z, &mut ws, &mut out);
+        plan.request(&z).workspace(&mut ws).into(&mut out).run();
     });
     assert_eq!(allocs, 0, "explicit workspace: first-call allocations");
     assert_eq!(deallocs, 0, "explicit workspace: first-call deallocations");
@@ -181,9 +185,9 @@ fn steady_state_evaluation_is_allocation_free() {
         paper_example(d),
         EvalOptions::new().with_kernel(psmd_core::ConvolutionKernel::Direct),
     );
-    let mut out = direct.evaluate(&z);
-    direct.evaluate_into(&z, &mut out);
-    let (allocs, deallocs, _) = measure(|| direct.evaluate_into(&z, &mut out));
+    let mut out = direct.request(&z).run();
+    direct.request(&z).into(&mut out).run();
+    let (allocs, deallocs, _) = measure(|| direct.request(&z).into(&mut out).run());
     assert_eq!(allocs, 0, "direct kernel: steady-state allocations");
     assert_eq!(deallocs, 0, "direct kernel: steady-state deallocations");
 
@@ -247,4 +251,53 @@ fn steady_state_evaluation_is_allocation_free() {
         four_steps <= one_step + 8,
         "newton steps re-allocate: 1 step = {one_step} allocs, 4 steps = {four_steps}"
     );
+}
+
+/// The serving layer's closed loop is allocation-free in the steady state:
+/// a client that hands each response's buffers back as the next request
+/// ([`Response::into_request`]) drives submit → admit → coalesce → launch
+/// → reply without a single heap allocation on the evaluation side.  The
+/// zero-worker engine runs every kernel inline on the submitting thread,
+/// so the per-thread counter sees the complete request lifecycle —
+/// including the leader's staging, the pooled workspace checkout and the
+/// metrics recording.
+#[test]
+fn serve_closed_loop_is_allocation_free() {
+    use psmd_serve::{Request, ServeConfig, Service};
+
+    let d = 8;
+    let engine = Engine::builder().threads(0).build();
+    let service = Service::new(engine, ServeConfig::default());
+    service
+        .register("paper", paper_example(d))
+        .expect("register");
+    let mut rng = StdRng::seed_from_u64(31);
+    let z = random_inputs::<Qd, _>(6, d, &mut rng);
+
+    // Warm up: grow the queue's staging buffers, the pooled workspace and
+    // the client's own request/response buffers.
+    let mut request = Request::new(z.clone());
+    for _ in 0..3 {
+        let response = service.submit::<Qd>("paper", request).expect("warm-up");
+        assert_eq!(response.coalesced, 1);
+        request = response.into_request();
+    }
+
+    let mut slot = Some(request);
+    let (allocs, deallocs, bytes) = measure(|| {
+        for _ in 0..10 {
+            let response = service
+                .submit::<Qd>("paper", slot.take().unwrap())
+                .expect("steady-state submit");
+            slot = Some(response.into_request());
+        }
+    });
+    assert_eq!(allocs, 0, "serve steady state: allocations ({bytes} B)");
+    assert_eq!(deallocs, 0, "serve steady state: deallocations");
+
+    // The loop really did serve requests, one launch each.
+    let m = service.metrics("paper").expect("metrics");
+    assert_eq!(m.completed, 13);
+    assert_eq!(m.launches, 13);
+    assert_eq!(m.launches_saved, 0);
 }
