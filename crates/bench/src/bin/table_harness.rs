@@ -286,17 +286,34 @@ fn serve_report(opts: &Options) {
     let degree = 8;
 
     // Staged runs: the window packing is exact — ceil(requests/max_batch)
-    // launches, FIFO slices, reproducible histograms.
-    for (requests, max_batch) in [(16usize, 4usize), (32, 8), (10, 4)] {
-        eprintln!("serve: staged {requests} requests, window {max_batch}...");
-        let row =
-            psmd_bench::staged_run(TestPolynomial::P1, degree, requests, max_batch, opts.seed);
+    // launches, FIFO slices, reproducible histograms.  The last scenario
+    // parks dead-on-arrival tickets too, so the JSON rows demonstrate that
+    // an expired deadline is reported as `deadline_expired`, distinct from
+    // the admission-control `busy_rejected` counter.
+    for (requests, expired, max_batch) in
+        [(16usize, 0usize, 4usize), (32, 0, 8), (10, 0, 4), (9, 3, 4)]
+    {
+        eprintln!("serve: staged {requests} requests (+{expired} expired), window {max_batch}...");
+        let row = psmd_bench::staged_run(
+            TestPolynomial::P1,
+            degree,
+            requests,
+            expired,
+            max_batch,
+            opts.seed,
+        );
+        assert_eq!(
+            row.completed + row.deadline_expired + row.busy_rejected,
+            (row.requests + row.expired) as u64,
+            "staged accounting identity violated"
+        );
         if opts.json {
             let mut fields = vec![
                 ("kind", JsonValue::Text("staged".to_string())),
                 ("poly", JsonValue::Text(row.poly.label().to_string())),
                 ("degree", JsonValue::Integer(row.degree as i64)),
                 ("requests", JsonValue::Integer(row.requests as i64)),
+                ("expired", JsonValue::Integer(row.expired as i64)),
                 ("max_batch", JsonValue::Integer(row.max_batch as i64)),
                 ("launches", JsonValue::Integer(row.launches as i64)),
                 (
@@ -304,6 +321,22 @@ fn serve_report(opts: &Options) {
                     JsonValue::Integer(row.launches_saved as i64),
                 ),
                 ("completed", JsonValue::Integer(row.completed as i64)),
+                (
+                    "busy_rejected",
+                    JsonValue::Integer(row.busy_rejected as i64),
+                ),
+                (
+                    "deadline_expired",
+                    JsonValue::Integer(row.deadline_expired as i64),
+                ),
+                (
+                    "cancelled_launches",
+                    JsonValue::Integer(row.cancelled_launches as i64),
+                ),
+                (
+                    "detached_slots",
+                    JsonValue::Integer(row.detached_slots as i64),
+                ),
                 ("drain_ms", JsonValue::Number(row.drain_ms)),
             ];
             let bucket_names = [
@@ -318,7 +351,11 @@ fn serve_report(opts: &Options) {
                 "staged".to_string(),
                 row.poly.label().to_string(),
                 row.degree.to_string(),
-                row.requests.to_string(),
+                if row.expired > 0 {
+                    format!("{}+{}exp", row.requests, row.expired)
+                } else {
+                    row.requests.to_string()
+                },
                 row.max_batch.to_string(),
                 row.launches.to_string(),
                 row.launches_saved.to_string(),

@@ -4,12 +4,16 @@
 //!
 //! The staged runs park a known number of tickets in a plan's queue and
 //! then drain, so the window packing is a pure function of `(requests,
-//! max_batch)`: `ceil(K / B)` launches, every counter reproducible to the
-//! bit.  The closed-loop runs drive real concurrent clients; there the
-//! *identities* (`requests == completed`, `launches + launches_saved ==
-//! completed`) stay deterministic while the actual launch count depends on
-//! thread timing, so only the identities and the timings are reported for
-//! gating — the measured coalescing ratio rides along as an ungated
+//! max_batch)`: `ceil(live / B)` launches, every counter reproducible to
+//! the bit.  A staged run may also park `expired` tickets whose deadline
+//! has already passed at submit time; the leader rejects those during
+//! staging, so `deadline_expired` is exact too and the accounting identity
+//! `completed + deadline_expired + busy_rejected == submitted` is gated on
+//! every row.  The closed-loop runs drive real concurrent clients; there
+//! the *identities* (`requests == completed`, `launches + launches_saved
+//! == completed`) stay deterministic while the actual launch count depends
+//! on thread timing, so only the identities and the timings are reported
+//! for gating — the measured coalescing ratio rides along as an ungated
 //! `*_speedup` field.
 
 use crate::polynomials::TestPolynomial;
@@ -20,36 +24,54 @@ use psmd_serve::{MetricsSnapshot, Request, ServeConfig, ServeError, Service, BAT
 use std::sync::Barrier;
 use std::time::Instant;
 
-/// One deterministic staged coalescing measurement: `requests` tickets
-/// parked, then drained in FIFO windows of `max_batch`.
+/// One deterministic staged coalescing measurement: `requests` live
+/// tickets (plus optionally `expired` already-dead ones) parked, then
+/// drained in FIFO windows of `max_batch`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StagedRow {
     /// The paper polynomial served.
     pub poly: TestPolynomial,
     /// Truncation degree of the inputs.
     pub degree: usize,
-    /// Tickets parked before the drain.
+    /// Live tickets parked before the drain.
     pub requests: usize,
+    /// Tickets parked with an already-passed deadline; the leader rejects
+    /// each of these during staging with
+    /// [`ServeError::DeadlineExceeded`], distinct from `Busy`.
+    pub expired: usize,
     /// The coalescing window.
     pub max_batch: usize,
-    /// Launches performed: exactly `ceil(requests / max_batch)`.
+    /// Launches performed: exactly `ceil(requests / max_batch)` — expired
+    /// tickets never occupy a window slot.
     pub launches: u64,
-    /// Launches avoided versus one-launch-per-request.
+    /// Launches avoided versus one-launch-per-live-request.
     pub launches_saved: u64,
-    /// Requests completed (all of them).
+    /// Requests completed (all the live ones).
     pub completed: u64,
+    /// Requests rejected at admission (zero for a staged run: the
+    /// admission limit covers every parked ticket).
+    pub busy_rejected: u64,
+    /// Requests rejected with an expired deadline: exactly `expired`.
+    pub deadline_expired: u64,
+    /// Launches abandoned mid-flight by window cancellation (zero here:
+    /// staged deadlines are decided before launch).
+    pub cancelled_launches: u64,
+    /// Waiters that detached from an in-flight window (zero here).
+    pub detached_slots: u64,
     /// The batch-size histogram after the drain.
     pub batch_histogram: [u64; BATCH_BUCKETS],
     /// Wall time of the drain.
     pub drain_ms: f64,
 }
 
-/// Parks `requests` single-point tickets in a fresh service and drains
-/// them; the returned counters are deterministic.
+/// Parks `requests` live single-point tickets — plus `expired` tickets
+/// whose deadline has already passed — in a fresh service and drains them;
+/// the returned counters are deterministic.
 pub fn staged_run(
     poly: TestPolynomial,
     degree: usize,
     requests: usize,
+    expired: usize,
     max_batch: usize,
     seed: u64,
 ) -> StagedRow {
@@ -58,39 +80,63 @@ pub fn staged_run(
         engine,
         ServeConfig {
             max_batch,
-            max_inflight: requests.max(1),
+            max_inflight: (requests + expired).max(1),
             ..ServeConfig::default()
         },
     );
     let p = poly.build_reduced::<Dd>(degree, seed);
     service.register("staged", p).expect("register");
-    let points: Vec<Vec<Series<Dd>>> = (0..requests)
+    let points: Vec<Vec<Series<Dd>>> = (0..requests + expired)
         .map(|i| poly.reduced_inputs::<Dd>(degree, seed.wrapping_add(i as u64 + 1)))
         .collect();
 
+    // A deadline of "now" is already unmeetable by the time the leader
+    // stages the window, so these tickets are rejected deterministically.
+    let dead_on_arrival = Instant::now();
     let tickets: Vec<_> = points
         .into_iter()
-        .map(|z| {
+        .enumerate()
+        .map(|(i, z)| {
+            let mut request = Request::new(z);
+            if i >= requests {
+                request = request.deadline(dead_on_arrival);
+            }
             service
-                .submit_async::<Dd>("staged", Request::new(z))
+                .submit_async::<Dd>("staged", request)
                 .expect("staged submit")
         })
         .collect();
     let start = Instant::now();
-    for ticket in tickets {
-        ticket.wait().expect("staged wait");
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(_) => assert!(i < requests, "expired ticket completed"),
+            Err(ServeError::DeadlineExceeded) => {
+                assert!(i >= requests, "live ticket expired")
+            }
+            Err(e) => panic!("staged wait failed: {e}"),
+        }
     }
     let drain_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let m = service.metrics("staged").expect("metrics");
+    assert_eq!(
+        m.completed + m.deadline_expired + m.busy_rejected,
+        m.submitted,
+        "staged accounting identity violated"
+    );
     StagedRow {
         poly,
         degree,
         requests,
+        expired,
         max_batch,
         launches: m.launches,
         launches_saved: m.launches_saved,
         completed: m.completed,
+        busy_rejected: m.busy_rejected,
+        deadline_expired: m.deadline_expired,
+        cancelled_launches: m.cancelled_launches,
+        detached_slots: m.detached_slots,
         batch_histogram: m.batch_histogram,
         drain_ms,
     }
@@ -196,17 +242,31 @@ mod tests {
 
     #[test]
     fn staged_runs_pack_exact_windows() {
-        let row = staged_run(TestPolynomial::P1, 4, 10, 4, 7);
+        let row = staged_run(TestPolynomial::P1, 4, 10, 0, 4, 7);
         assert_eq!(row.launches, 3);
         assert_eq!(row.launches_saved, 7);
         assert_eq!(row.completed, 10);
+        assert_eq!(row.deadline_expired, 0);
         assert_eq!(row.batch_histogram[2], 2);
         assert_eq!(row.batch_histogram[1], 1);
 
-        let row = staged_run(TestPolynomial::P1, 4, 8, 8, 7);
+        let row = staged_run(TestPolynomial::P1, 4, 8, 0, 8, 7);
         assert_eq!(row.launches, 1);
         assert_eq!(row.launches_saved, 7);
         assert_eq!(row.batch_histogram[3], 1);
+    }
+
+    #[test]
+    fn staged_expired_tickets_are_rejected_not_busy() {
+        let row = staged_run(TestPolynomial::P1, 4, 9, 3, 4, 7);
+        // Dead-on-arrival tickets never occupy a window slot: the nine
+        // live requests still pack into ceil(9/4) = 3 launches.
+        assert_eq!(row.launches, 3);
+        assert_eq!(row.completed, 9);
+        assert_eq!(row.deadline_expired, 3);
+        assert_eq!(row.busy_rejected, 0);
+        assert_eq!(row.cancelled_launches, 0);
+        assert_eq!(row.detached_slots, 0);
     }
 
     #[test]

@@ -56,7 +56,7 @@ use crate::schedule::{GraphPlan, Schedule};
 use crate::workspace::Workspace;
 use crate::ExecMode;
 use psmd_multidouble::Coeff;
-use psmd_runtime::{KernelTimings, SharedSlice, Stopwatch, WorkerPool};
+use psmd_runtime::{CancelToken, KernelTimings, SharedSlice, Stopwatch, WorkerPool};
 use psmd_series::Series;
 use std::sync::OnceLock;
 
@@ -118,6 +118,7 @@ pub(crate) fn run_batch<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     batch: &[Vec<Series<C>>],
     pool: Option<&WorkerPool>,
+    cancel: Option<&CancelToken>,
     ws: &mut Workspace<C>,
     out: &mut BatchEvaluation<C>,
 ) {
@@ -148,7 +149,7 @@ pub(crate) fn run_batch<C: Coeff>(
         (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
         _ => None,
     };
-    {
+    let completed = {
         let shared = SharedSlice::new(&mut *arena);
         execute_schedule(
             &schedule.convolution_layers,
@@ -162,8 +163,17 @@ pub(crate) fn run_batch<C: Coeff>(
             graph_scratch,
             &mut timings,
             batch.len(),
+            cancel,
             |instance, slot| layout.batch_slot(instance, slot),
-        );
+        )
+    };
+    if !completed {
+        // Abandoned mid-schedule: every instance region holds partial
+        // results, so skip extraction and flag the whole batch instead.
+        timings.cancelled = true;
+        timings.wall_clock = wall.elapsed();
+        out.timings = timings;
+        return;
     }
     // Extract every instance's value and gradient from the arena.
     out.instances.resize_with(batch.len(), Evaluation::empty);

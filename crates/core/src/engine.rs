@@ -79,7 +79,7 @@ use crate::system::{run_system, SystemEvaluation, SystemSchedule};
 use crate::workspace::{Workspace, WorkspacePool};
 use parking_lot::Mutex;
 use psmd_multidouble::{Coeff, Md, Precision};
-use psmd_runtime::{KernelTimings, WorkerPool};
+use psmd_runtime::{CancelToken, KernelTimings, WorkerPool};
 use psmd_series::Series;
 use std::any::{Any, TypeId};
 use std::collections::hash_map::DefaultHasher;
@@ -694,6 +694,7 @@ impl<C: Coeff> Plan<C> {
             inputs: inputs.into(),
             workspace: None,
             parallel: true,
+            cancel: None,
         }
     }
 
@@ -771,6 +772,7 @@ impl<C: Coeff> Plan<C> {
         &self,
         inputs: Inputs<'_, C>,
         parallel: bool,
+        cancel: Option<&CancelToken>,
         ws: &mut Workspace<C>,
         out: &mut EvalOutput<C>,
     ) {
@@ -791,6 +793,7 @@ impl<C: Coeff> Plan<C> {
                     &self.graph,
                     z,
                     pool,
+                    cancel,
                     ws,
                     single,
                 );
@@ -806,6 +809,7 @@ impl<C: Coeff> Plan<C> {
                     &self.graph,
                     batch,
                     pool,
+                    cancel,
                     ws,
                     batched,
                 );
@@ -821,6 +825,7 @@ impl<C: Coeff> Plan<C> {
                     &self.graph,
                     z,
                     pool,
+                    cancel,
                     ws,
                     system,
                 );
@@ -851,6 +856,7 @@ pub struct EvalRequest<'r, C: Coeff> {
     inputs: Inputs<'r, C>,
     workspace: Option<&'r mut Workspace<C>>,
     parallel: bool,
+    cancel: Option<&'r CancelToken>,
 }
 
 impl<'r, C: Coeff> EvalRequest<'r, C> {
@@ -866,6 +872,35 @@ impl<'r, C: Coeff> EvalRequest<'r, C> {
     /// parallel path, bitwise identical to it.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Arms the run with a cooperative [`CancelToken`]: if the token trips
+    /// mid-run, the schedule is abandoned at the next block boundary, the
+    /// output's [`KernelTimings::cancelled`] flag is set and its value
+    /// buffers are left unspecified (discard them).  The token is polled
+    /// **between** block claims — one relaxed atomic load — so arming an
+    /// uncancelled run costs nothing measurable and stays bitwise identical
+    /// to an unarmed run.  The workspace comes back clean either way; the
+    /// next evaluation through it is correct and allocation-free.
+    ///
+    /// ```
+    /// # use psmd_core::{CancelToken, Engine, Monomial, Polynomial};
+    /// # use psmd_multidouble::Dd;
+    /// # use psmd_series::Series;
+    /// # let d = 2;
+    /// # let c = |x: f64| Series::constant(Dd::from_f64(x), d);
+    /// # let p = Polynomial::new(2, c(1.0), vec![Monomial::new(c(3.0), vec![0, 1])]);
+    /// # let z: Vec<Series<Dd>> = vec![Series::zero(d); 2];
+    /// # let engine = Engine::builder().threads(0).build();
+    /// # let plan = engine.compile(p);
+    /// let token = CancelToken::new();
+    /// token.cancel(); // trip before the run: every block is skipped
+    /// let out = plan.request(&z).cancel(&token).run();
+    /// assert!(out.timings().cancelled);
+    /// ```
+    pub fn cancel(mut self, token: &'r CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -895,10 +930,13 @@ impl<'r, C: Coeff> EvalRequest<'r, C> {
     /// Runs with either the bound workspace or a pooled checkout.
     fn dispatch(self, out: &mut EvalOutput<C>) {
         match self.workspace {
-            Some(ws) => self.plan.run_into(self.inputs, self.parallel, ws, out),
+            Some(ws) => self
+                .plan
+                .run_into(self.inputs, self.parallel, self.cancel, ws, out),
             None => {
                 let mut ws = self.plan.workspaces.checkout();
-                self.plan.run_into(self.inputs, self.parallel, &mut ws, out);
+                self.plan
+                    .run_into(self.inputs, self.parallel, self.cancel, &mut ws, out);
             }
         }
     }
@@ -924,6 +962,13 @@ impl<'r, C: Coeff> BoundEvalRequest<'r, C> {
     /// Runs on the calling thread only (see [`EvalRequest::sequential`]).
     pub fn sequential(mut self) -> Self {
         self.request.parallel = false;
+        self
+    }
+
+    /// Arms the run with a cooperative [`CancelToken`] (see
+    /// [`EvalRequest::cancel`]).
+    pub fn cancel(mut self, token: &'r CancelToken) -> Self {
+        self.request.cancel = Some(token);
         self
     }
 

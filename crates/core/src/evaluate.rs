@@ -27,7 +27,7 @@ use crate::workspace::{ConvScratch, Workspace};
 use parking_lot::Mutex;
 use psmd_multidouble::Coeff;
 use psmd_runtime::{
-    InlineGraphScratch, KernelKind, KernelTimings, SharedSlice, Stopwatch, WorkerPool,
+    CancelToken, InlineGraphScratch, KernelKind, KernelTimings, SharedSlice, Stopwatch, WorkerPool,
 };
 use psmd_series::{
     add_assign_slices, convolve_fft, convolve_karatsuba, convolve_seq, convolve_zero_insertion,
@@ -201,6 +201,11 @@ pub fn evaluate_naive<C: Coeff>(poly: &Polynomial<C>, inputs: &[Series<C>]) -> E
 /// for the whole schedule.  All job staging is borrowed from the
 /// per-participant `scratch` lanes; zero-worker pools run the graph inline
 /// through the reusable `graph_scratch`.
+///
+/// When `cancel` is armed and trips mid-run, the remaining blocks (and
+/// layers) are abandoned at the next claim boundary and `false` is returned;
+/// the arena contents are then unspecified and the caller must skip
+/// extraction.  Returns `true` when every block executed.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_schedule<C: Coeff>(
     convolution_layers: &[Vec<ConvJob>],
@@ -214,10 +219,11 @@ pub(crate) fn execute_schedule<C: Coeff>(
     graph_scratch: &mut InlineGraphScratch,
     timings: &mut KernelTimings,
     instances: usize,
+    cancel: Option<&CancelToken>,
     map_slot: impl Fn(usize, usize) -> usize + Sync,
-) {
+) -> bool {
     if instances == 0 {
-        return;
+        return true;
     }
     if let (Some(plan), Some(pool)) = (graph, pool) {
         // Dependency-driven path: every convolution and addition of every
@@ -236,18 +242,18 @@ pub(crate) fn execute_schedule<C: Coeff>(
                 map_slot(instance, slot)
             });
         };
-        if pool.worker_threads() > 0 {
-            pool.launch_graph_indexed(&plan.graph, instances, body);
+        let completed = if pool.worker_threads() > 0 {
+            pool.launch_graph_indexed_cancellable(&plan.graph, instances, cancel, body)
         } else {
             plan.graph
-                .run_inline(instances, graph_scratch, |b| body(0, b));
-        }
+                .run_inline_cancellable(instances, graph_scratch, cancel, |b| body(0, b))
+        };
         timings.record_graph(
             start.elapsed(),
             instances * plan.conv.len(),
             instances * plan.add.len(),
         );
-        return;
+        return completed;
     }
     // Layered reference path.  Block b runs job b % jobs of instance
     // b / jobs; disjointness within a layer carries over to the rebased
@@ -268,11 +274,14 @@ pub(crate) fn execute_schedule<C: Coeff>(
             run_convolution_job(shared, &mapped, per, kernel, &mut s);
         };
         let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid_indexed(blocks, body),
-            None => (0..blocks).for_each(|b| body(0, b)),
-        }
+        let completed = match pool {
+            Some(pool) => pool.launch_grid_indexed_cancellable(blocks, cancel, body),
+            None => run_blocks_inline(blocks, cancel, |b| body(0, b)),
+        };
         timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+        if !completed {
+            return false;
+        }
     }
     // Stage 2: addition kernels, launched the same way.
     for layer in addition_layers {
@@ -288,12 +297,33 @@ pub(crate) fn execute_schedule<C: Coeff>(
             run_addition_job(shared, &mapped, per);
         };
         let start = Instant::now();
-        match pool {
-            Some(pool) => pool.launch_grid(blocks, body),
-            None => (0..blocks).for_each(body),
-        }
+        let completed = match pool {
+            Some(pool) => pool.launch_grid_indexed_cancellable(blocks, cancel, |_, b| body(b)),
+            None => run_blocks_inline(blocks, cancel, body),
+        };
         timings.record(KernelKind::Addition, start.elapsed(), blocks);
+        if !completed {
+            return false;
+        }
     }
+    true
+}
+
+/// Runs `blocks` block bodies on the calling thread, polling the token
+/// between blocks — the pool-less analogue of a cancellable grid launch.
+/// Returns `true` when every block ran.
+fn run_blocks_inline(
+    blocks: usize,
+    cancel: Option<&CancelToken>,
+    mut body: impl FnMut(usize),
+) -> bool {
+    for b in 0..blocks {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return false;
+        }
+        body(b);
+    }
+    true
 }
 
 /// Runs the two-stage algorithm of one polynomial's schedule at one input
@@ -302,6 +332,11 @@ pub(crate) fn execute_schedule<C: Coeff>(
 /// block-level plan across evaluations (built on first graph-mode use); all
 /// evaluation memory is borrowed from `ws`, so a warm workspace makes the
 /// run allocation-free.
+///
+/// When `cancel` trips mid-run the schedule is abandoned at the next block
+/// boundary: extraction is skipped (the arena holds partial results),
+/// `out.timings.cancelled` is set, and `ws` is still returned clean — the
+/// next evaluation re-zeros the arena as always.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_single<C: Coeff>(
     poly: &Polynomial<C>,
@@ -310,6 +345,7 @@ pub(crate) fn run_single<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     inputs: &[Series<C>],
     pool: Option<&WorkerPool>,
+    cancel: Option<&CancelToken>,
     ws: &mut Workspace<C>,
     out: &mut Evaluation<C>,
 ) {
@@ -324,7 +360,7 @@ pub(crate) fn run_single<C: Coeff>(
         (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
         _ => None,
     };
-    {
+    let completed = {
         let shared = SharedSlice::new(&mut *arena);
         execute_schedule(
             &schedule.convolution_layers,
@@ -338,8 +374,17 @@ pub(crate) fn run_single<C: Coeff>(
             graph_scratch,
             &mut timings,
             1,
+            cancel,
             |_, slot| slot,
-        );
+        )
+    };
+    if !completed {
+        // Abandoned mid-schedule: the arena holds partial results, so leave
+        // `out`'s buffers untouched and flag the run instead.
+        timings.cancelled = true;
+        timings.wall_clock = wall.elapsed();
+        out.timings = timings;
+        return;
     }
     schedule.extract_into(arena, schedule.value_location, &mut out.value);
     out.gradient

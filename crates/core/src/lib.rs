@@ -95,6 +95,7 @@ pub use newton::{
 };
 pub use options::EvalOptions;
 pub use polynomial::Polynomial;
+pub use psmd_runtime::CancelToken;
 pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};
 pub use system::{evaluate_naive_system, SystemEvaluation, SystemLayout, SystemSchedule};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

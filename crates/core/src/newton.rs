@@ -148,6 +148,7 @@ fn newton_system_impl<C: RealCoeff>(
             &graph,
             &z,
             pool,
+            None,
             &mut ws,
             &mut eval,
         );
@@ -176,6 +177,7 @@ fn newton_system_impl<C: RealCoeff>(
             &graph,
             &z,
             pool,
+            None,
             &mut ws,
             &mut eval,
         );

@@ -65,7 +65,7 @@ use crate::schedule::{
 };
 use crate::workspace::Workspace;
 use psmd_multidouble::Coeff;
-use psmd_runtime::{KernelTimings, SharedSlice, Stopwatch, WorkerPool};
+use psmd_runtime::{CancelToken, KernelTimings, SharedSlice, Stopwatch, WorkerPool};
 use psmd_series::Series;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -549,6 +549,7 @@ pub(crate) fn run_system<C: Coeff>(
     graph: &OnceLock<GraphPlan>,
     inputs: &[Series<C>],
     pool: Option<&WorkerPool>,
+    cancel: Option<&CancelToken>,
     ws: &mut Workspace<C>,
     out: &mut SystemEvaluation<C>,
 ) {
@@ -567,7 +568,7 @@ pub(crate) fn run_system<C: Coeff>(
         (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
         _ => None,
     };
-    {
+    let completed = {
         let shared = SharedSlice::new(&mut *arena);
         execute_schedule(
             &schedule.convolution_layers,
@@ -581,8 +582,17 @@ pub(crate) fn run_system<C: Coeff>(
             graph_scratch,
             &mut timings,
             1,
+            cancel,
             |_, slot| slot,
-        );
+        )
+    };
+    if !completed {
+        // Abandoned mid-schedule: the arena holds partial results, so skip
+        // extraction of values and Jacobian and flag the run instead.
+        timings.cancelled = true;
+        timings.wall_clock = wall.elapsed();
+        out.timings = timings;
+        return;
     }
     let m = schedule.num_equations();
     let n = schedule.num_variables();

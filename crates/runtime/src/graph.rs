@@ -111,12 +111,33 @@ impl TaskGraph {
         &self,
         instances: usize,
         scratch: &mut InlineGraphScratch,
-        mut body: impl FnMut(usize),
+        body: impl FnMut(usize),
     ) {
+        self.run_inline_cancellable(instances, scratch, None, body);
+    }
+
+    /// Like [`TaskGraph::run_inline`], but polls `cancel` before each block
+    /// body: once the token trips, remaining blocks are skipped — they still
+    /// release their successors and retire, so the drain completes (the
+    /// cycle assertion holds) at pointer speed with no further evaluation
+    /// work.  Returns `true` when every block ran, `false` when at least one
+    /// was skipped and the output is partial.  Passing `None` is exactly
+    /// [`TaskGraph::run_inline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph is cyclic, as in [`TaskGraph::run_inline`].
+    pub fn run_inline_cancellable(
+        &self,
+        instances: usize,
+        scratch: &mut InlineGraphScratch,
+        cancel: Option<&crate::CancelToken>,
+        mut body: impl FnMut(usize),
+    ) -> bool {
         let nodes = self.len();
         let total = instances * nodes;
         if total == 0 {
-            return;
+            return true;
         }
         scratch.pending.clear();
         scratch.pending.reserve(total);
@@ -132,8 +153,14 @@ impl TaskGraph {
             }
         }
         let mut retired = 0usize;
+        let mut abandoned = false;
         while let Some(block) = scratch.ready.pop() {
-            body(block);
+            if !abandoned && cancel.is_some_and(crate::CancelToken::is_cancelled) {
+                abandoned = true;
+            }
+            if !abandoned {
+                body(block);
+            }
             retired += 1;
             let node = block % nodes;
             let base = block - node;
@@ -146,6 +173,7 @@ impl TaskGraph {
             }
         }
         assert_eq!(retired, total, "dependency graph did not drain (cycle?)");
+        !abandoned
     }
 
     /// Checks the structural invariants: every edge points forward (lower id

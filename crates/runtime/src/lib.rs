@@ -16,14 +16,22 @@
 //! released to per-worker work-stealing deques as their predecessors retire,
 //! replacing the per-layer barrier with a single pool rendezvous per
 //! evaluation.
+//!
+//! Both launch shapes support **cooperative cancellation** through a shared
+//! [`CancelToken`] epoch, polled between block claims (never inside kernel
+//! arithmetic): a cancelled launch abandons its remaining blocks while still
+//! draining its bookkeeping, so the rendezvous completes and the pool stays
+//! usable — the substrate of the serving layer's deadline abandonment.
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod graph;
 pub mod pool;
 pub mod shared;
 pub mod timer;
 
+pub use cancel::CancelToken;
 pub use graph::{InlineGraphScratch, TaskGraph, TaskGraphBuilder};
 pub use pool::{global_pool, WorkerPool};
 pub use shared::{SharedArray, SharedSlice};

@@ -19,6 +19,7 @@
 //! provides `T + 1`-way parallelism and a launch never deadlocks even if the
 //! pool has zero worker threads.
 
+use crate::cancel::CancelToken;
 use crate::graph::TaskGraph;
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::deque::{Steal, Stealer, Worker};
@@ -82,6 +83,12 @@ struct GridLaunchState {
     next_block: AtomicUsize,
     /// Total number of blocks in the grid.
     blocks: usize,
+    /// Cooperative cancellation: checked between block claims, never inside
+    /// a block body.  `None` for uncancellable launches.
+    cancel: Option<CancelToken>,
+    /// Set when a participant observed the cancelled token and skipped at
+    /// least one unclaimed block.
+    abandoned: AtomicBool,
     /// Set when any block body panicked.
     poisoned: AtomicBool,
     /// Completion signalling.
@@ -89,11 +96,18 @@ struct GridLaunchState {
 }
 
 impl GridLaunchState {
-    /// Claims and runs blocks until the counter is exhausted.
+    /// Claims and runs blocks until the counter is exhausted or the launch
+    /// is cancelled.  The cancellation check sits between the claim and the
+    /// body, so no new block body starts after the token trips; blocks
+    /// already running in other participants finish normally.
     fn drain(&self, participant: usize) {
         loop {
             let b = self.next_block.fetch_add(1, Ordering::Relaxed);
             if b >= self.blocks {
+                break;
+            }
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.abandoned.store(true, Ordering::Release);
                 break;
             }
             let result = catch_unwind(AssertUnwindSafe(|| (self.body)(participant, b)));
@@ -161,6 +175,12 @@ struct GraphLaunchState {
     idle_cv: Condvar,
     /// Number of retired blocks (termination condition).
     retired: AtomicUsize,
+    /// Cooperative cancellation: checked before each block body, never
+    /// inside one.  `None` for uncancellable launches.
+    cancel: Option<CancelToken>,
+    /// Set when at least one block body was skipped because the token
+    /// tripped (the launch result is partial).
+    abandoned: AtomicBool,
     /// Set when any block body panicked.
     poisoned: AtomicBool,
     /// Completion signalling.
@@ -173,6 +193,7 @@ impl GraphLaunchState {
         graph: &'static TaskGraph,
         instances: usize,
         participants: usize,
+        cancel: Option<CancelToken>,
     ) -> Self {
         let nodes = graph.len();
         let total_blocks = instances * nodes;
@@ -201,6 +222,8 @@ impl GraphLaunchState {
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             retired: AtomicUsize::new(0),
+            cancel,
+            abandoned: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             completion: Completion::new(participants),
         }
@@ -225,13 +248,23 @@ impl GraphLaunchState {
     /// chains and tree summations).  Any further released successors are
     /// pushed onto this participant's deque for other workers to steal.
     fn execute(&self, me: usize, block: usize, local: &Worker<usize>) -> Option<usize> {
-        let result = catch_unwind(AssertUnwindSafe(|| (self.body)(me, block)));
-        if result.is_err() {
-            // Poison the launch but still release the successors below: the
-            // graph must drain so the launch terminates, exactly like the
-            // layered path runs the remaining blocks after a panic.  The
-            // launcher re-raises the panic once every block has retired.
-            self.poisoned.store(true, Ordering::Release);
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            // Cancelled: skip the body but still release the successors and
+            // retire the block below, exactly like the panic-poisoning path
+            // — the graph must drain so the launch terminates and the pool
+            // stays usable.  The remaining blocks race through this skip arm
+            // at pointer speed.
+            self.abandoned.store(true, Ordering::Release);
+        } else {
+            let result = catch_unwind(AssertUnwindSafe(|| (self.body)(me, block)));
+            if result.is_err() {
+                // Poison the launch but still release the successors below:
+                // the graph must drain so the launch terminates, exactly
+                // like the layered path runs the remaining blocks after a
+                // panic.  The launcher re-raises the panic once every block
+                // has retired.
+                self.poisoned.store(true, Ordering::Release);
+            }
         }
         let node = block % self.nodes;
         let instance_base = block - node;
@@ -485,15 +518,41 @@ impl WorkerPool {
     where
         F: Fn(usize, usize) + Send + Sync,
     {
+        self.launch_grid_indexed_cancellable(blocks, None, body);
+    }
+
+    /// Like [`WorkerPool::launch_grid_indexed`], but the launch polls
+    /// `cancel` between block claims: once the token trips, no further
+    /// block body starts (blocks already running finish).  Returns `true`
+    /// when every block ran, `false` when the launch was abandoned with
+    /// blocks skipped — the caller must treat the grid's output as partial.
+    ///
+    /// Passing `None` is exactly [`WorkerPool::launch_grid_indexed`].  The
+    /// poll is one relaxed atomic load per block claim; uncancelled launches
+    /// are unaffected (bitwise-identical results, no extra synchronization).
+    ///
+    /// Panics if any block body panicked.
+    pub fn launch_grid_indexed_cancellable<F>(
+        &self,
+        blocks: usize,
+        cancel: Option<&CancelToken>,
+        body: F,
+    ) -> bool
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
         if blocks == 0 {
-            return;
+            return true;
         }
         // Small grids are not worth waking the pool for.
         if self.threads == 0 || blocks == 1 {
             for b in 0..blocks {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return false;
+                }
                 body(0, b);
             }
-            return;
+            return true;
         }
         // The body only needs to live for the duration of this call: workers
         // are joined (via the condition variable) before we return, so it is
@@ -507,6 +566,8 @@ impl WorkerPool {
             body: body_static,
             next_block: AtomicUsize::new(0),
             blocks,
+            cancel: cancel.cloned(),
+            abandoned: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             completion: Completion::new(participants),
         });
@@ -517,6 +578,7 @@ impl WorkerPool {
         if state.poisoned.load(Ordering::Acquire) {
             panic!("a block of the grid launch panicked");
         }
+        !state.abandoned.load(Ordering::Acquire)
     }
 
     /// Executes `body` once for every block of `instances` independent
@@ -548,9 +610,35 @@ impl WorkerPool {
     where
         F: Fn(usize, usize) + Send + Sync,
     {
+        self.launch_graph_indexed_cancellable(graph, instances, None, body);
+    }
+
+    /// Like [`WorkerPool::launch_graph_indexed`], but the launch polls
+    /// `cancel` before each block body: once the token trips, remaining
+    /// blocks are *skipped* instead of run — they still release their
+    /// successors and retire (exactly like the panic-poisoning path), so
+    /// the graph drains, the single rendezvous completes and the pool stays
+    /// usable.  Returns `true` when every block ran, `false` when at least
+    /// one was skipped — the caller must treat the output as partial.
+    ///
+    /// Passing `None` is exactly [`WorkerPool::launch_graph_indexed`]; the
+    /// poll is one relaxed atomic load per block, outside the block body.
+    ///
+    /// Panics if any block body panicked (the remaining blocks still run
+    /// first, like the layered path).
+    pub fn launch_graph_indexed_cancellable<F>(
+        &self,
+        graph: &TaskGraph,
+        instances: usize,
+        cancel: Option<&CancelToken>,
+        body: F,
+    ) -> bool
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
         let blocks = instances * graph.len();
         if blocks == 0 {
-            return;
+            return true;
         }
         // Lifetime erasure is sound for the same reason as in `launch_grid`:
         // the launcher waits for every participant before returning.
@@ -562,12 +650,13 @@ impl WorkerPool {
         if self.threads == 0 || blocks == 1 {
             // Inline fast path: one participant drains the whole graph in
             // dependency order without waking the pool.
-            let state = GraphLaunchState::new(body_static, graph_static, instances, 1);
+            let state =
+                GraphLaunchState::new(body_static, graph_static, instances, 1, cancel.cloned());
             state.run_participant(0);
             if state.poisoned.load(Ordering::Acquire) {
                 panic!("a block of the graph launch panicked");
             }
-            return;
+            return !state.abandoned.load(Ordering::Acquire);
         }
         let participants = self.threads + 1;
         let state = Arc::new(GraphLaunchState::new(
@@ -575,12 +664,14 @@ impl WorkerPool {
             graph_static,
             instances,
             participants,
+            cancel.cloned(),
         ));
         self.rendezvous(Arc::clone(&state) as Arc<dyn PoolTask>);
         state.completion.wait();
         if state.poisoned.load(Ordering::Acquire) {
             panic!("a block of the graph launch panicked");
         }
+        !state.abandoned.load(Ordering::Acquire)
     }
 }
 
@@ -974,6 +1065,136 @@ mod tests {
             want = want.wrapping_mul(3).wrapping_add(i);
         }
         assert_eq!(acc.load(Ordering::Relaxed), want);
+    }
+
+    #[test]
+    fn pre_cancelled_grid_launch_runs_no_blocks() {
+        for threads in [0usize, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let token = CancelToken::new();
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let completed = pool.launch_grid_indexed_cancellable(64, Some(&token), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(!completed, "threads = {threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "threads = {threads}");
+            // The pool stays usable and uncancelled launches run everything.
+            let completed = pool.launch_grid_indexed_cancellable(8, None, |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(completed, "threads = {threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 8, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn grid_cancel_mid_flight_stops_claiming_blocks() {
+        // Inline path (threads = 0): cancelling from block 0 deterministically
+        // abandons blocks 1..; on threaded pools the stop is best-effort, so
+        // only consistency is asserted there (see the test below).
+        let pool = WorkerPool::new(0);
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let completed = pool.launch_grid_indexed_cancellable(100, Some(&token), |_, b| {
+            if b == 0 {
+                token.cancel();
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!completed);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn threaded_grid_cancel_reports_abandonment_consistently() {
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let blocks = 512;
+        let completed = pool.launch_grid_indexed_cancellable(blocks, Some(&token), |_, b| {
+            if b == 0 {
+                token.cancel();
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        let ran = ran.load(Ordering::Relaxed);
+        // `completed == false` iff blocks were skipped; either way the count
+        // matches the report and the pool survives.
+        assert_eq!(completed, ran == blocks, "ran {ran} of {blocks}");
+        let again = AtomicUsize::new(0);
+        pool.launch_grid(16, |_| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pre_cancelled_graph_launch_drains_without_running_bodies() {
+        for threads in [0usize, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let g = diamond();
+            let token = CancelToken::new();
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let completed = pool.launch_graph_indexed_cancellable(&g, 8, Some(&token), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(!completed, "threads = {threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "threads = {threads}");
+            // The skipped blocks still drained: the pool is immediately
+            // reusable for an uncancelled launch of the same graph.
+            let completed = pool.launch_graph_indexed_cancellable(&g, 2, None, |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(completed, "threads = {threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 8, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn graph_cancel_mid_flight_skips_the_dependents() {
+        // A long chain run inline: cancel at block 3, blocks 4.. must skip.
+        let mut b = TaskGraphBuilder::new();
+        let n = 50usize;
+        for i in 0..n {
+            if i == 0 {
+                b.add_task(&[], &[0]);
+            } else {
+                b.add_task(&[i - 1], &[i]);
+            }
+        }
+        let g = b.build();
+        let pool = WorkerPool::new(0);
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let completed = pool.launch_graph_indexed_cancellable(&g, 1, Some(&token), |_, blk| {
+            if blk == 3 {
+                token.cancel();
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!completed);
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn armed_but_untripped_token_changes_nothing() {
+        let pool = WorkerPool::new(3);
+        let g = diamond();
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        assert!(
+            pool.launch_grid_indexed_cancellable(64, Some(&token), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        );
+        assert!(
+            pool.launch_graph_indexed_cancellable(&g, 4, Some(&token), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 64 + 16);
     }
 
     #[test]

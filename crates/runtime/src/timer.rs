@@ -58,6 +58,11 @@ pub struct KernelTimings {
     pub pool_rendezvous: usize,
     /// Wall clock time of the whole evaluation.
     pub wall_clock: Duration,
+    /// Whether the run was abandoned by a cooperative
+    /// [`CancelToken`](crate::CancelToken) before every block executed.  A
+    /// cancelled run's outputs are unspecified and must be discarded; the
+    /// workspace it borrowed is still returned clean.
+    pub cancelled: bool,
 }
 
 impl KernelTimings {
@@ -148,6 +153,7 @@ impl KernelTimings {
         self.graph += other.graph;
         self.pool_rendezvous += other.pool_rendezvous;
         self.wall_clock += other.wall_clock;
+        self.cancelled |= other.cancelled;
     }
 }
 

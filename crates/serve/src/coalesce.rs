@@ -30,13 +30,27 @@
 //! `psmd-core`), so callers cannot observe whether their request shared a
 //! launch — except through [`Response::coalesced`] and the metrics.
 //!
-//! Deadlines are enforced *before* launch: the leader rejects overdue slots
-//! while staging, so an expired request never pays for an evaluation.
+//! Deadlines are enforced *before* launch — the leader rejects overdue
+//! slots while staging — **and during it**:
+//!
+//! * a follower whose own deadline passes while its window is in flight
+//!   **detaches**: its slot flips to `Detached`, it resolves to
+//!   [`ServeError::DeadlineExceeded`] and its result is discarded on
+//!   scatter, without poisoning the batch for surviving waiters;
+//! * when every waiter of a window has detached, or the *latest* deadline
+//!   of an all-deadline window passes, the detaching follower trips the
+//!   queue's [`CancelToken`] and the leader's in-flight launch is
+//!   **abandoned** at the next block boundary (partial results discarded,
+//!   workspace returned to the pool clean).
+//!
+//! Both paths are visible in the metrics as
+//! [`detached_slots`](crate::MetricsSnapshot::detached_slots) and
+//! [`cancelled_launches`](crate::MetricsSnapshot::cancelled_launches).
 
 use crate::metrics::Metrics;
 use crate::service::{Request, Response, ServeError};
 use parking_lot::{Condvar, Mutex};
-use psmd_core::{BatchEvaluation, EvalOutput, Evaluation, Plan};
+use psmd_core::{BatchEvaluation, CancelToken, EvalOutput, Evaluation, Plan};
 use psmd_multidouble::Coeff;
 use psmd_series::Series;
 use std::collections::VecDeque;
@@ -57,19 +71,52 @@ const FOLLOWER_PARK: Duration = Duration::from_millis(1);
 struct Slot<C: Coeff> {
     state: Mutex<SlotState<C>>,
     cv: Condvar,
+    /// The request's deadline, copied out at submit time so the waiter can
+    /// still see it after a leader moved the payload away.
+    deadline: Option<Instant>,
 }
 
 enum SlotState<C: Coeff> {
     /// Waiting in the queue; the leader takes the payload from here.
     Queued(Request<C>, Instant),
     /// A leader moved the payload into its staging batch; the result is
-    /// coming.
-    Taken,
+    /// coming.  The epoch names the window, so a detach can be attributed
+    /// to the right launch.
+    Taken { window_epoch: u64 },
+    /// The waiter's own deadline passed mid-window and it gave up on the
+    /// result; the leader discards this slot's instance on scatter.  The
+    /// waiter keeps waiting for the terminal `Done` — the pointer contract
+    /// below needs the leader's write to land before the slot can die.
+    Detached,
     /// The result (or rejection) is ready for the submitter to take.
     Done(Result<Response<C>, ServeError>),
     /// The submitter took the result (terminal; tickets use it to make
     /// `wait` idempotent-safe against their own drop glue).
     Finished,
+}
+
+/// Bookkeeping of the leader's current window, shared with detaching
+/// followers.  One leader runs at a time, so one meta per queue suffices —
+/// opening a window bumps the epoch, which makes stale detach notes from
+/// earlier windows miss.
+#[derive(Default)]
+struct WindowMeta {
+    /// The current window's identity; `SlotState::Taken` carries it.
+    epoch: u64,
+    /// True once staging is complete and `total`/`max_deadline` are final;
+    /// only then may a detach trip the whole-window cancel.
+    finalized: bool,
+    /// Slots staged into the window.
+    total: usize,
+    /// Staged slots whose waiters have detached.
+    detached: usize,
+    /// Latest deadline across the window when **every** member has one;
+    /// `None` when some waiter is willing to wait forever (the window is
+    /// then never whole-window cancelled while that waiter survives).
+    max_deadline: Option<Instant>,
+    /// When the whole-window cancellation tripped (abandon latency is
+    /// measured from here).
+    cancelled_at: Option<Instant>,
 }
 
 /// A queue entry: a raw pointer to a slot owned by a submitting thread's
@@ -129,6 +176,11 @@ pub struct PlanQueue<C: Coeff> {
     queue: Mutex<VecDeque<SlotPtr<C>>>,
     leader: AtomicBool,
     scratch: Mutex<LeaderScratch<C>>,
+    /// The current window's bookkeeping (see [`WindowMeta`]).
+    window: Mutex<WindowMeta>,
+    /// One reusable cancellation token, re-armed per window, so arming a
+    /// launch allocates nothing in the steady state.
+    cancel: CancelToken,
     metrics: Metrics,
 }
 
@@ -151,6 +203,8 @@ impl<C: Coeff> PlanQueue<C> {
             queue: Mutex::new(VecDeque::new()),
             leader: AtomicBool::new(false),
             scratch: Mutex::new(LeaderScratch::new()),
+            window: Mutex::new(WindowMeta::default()),
+            cancel: CancelToken::new(),
             metrics: Metrics::new(),
         }
     }
@@ -212,9 +266,11 @@ impl<C: Coeff> PlanQueue<C> {
                 limit: self.max_inflight,
             });
         }
+        let deadline = request.deadline;
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::Queued(request, Instant::now())),
             cv: Condvar::new(),
+            deadline,
         });
         self.enqueue(NonNull::from(&*slot));
         Ok(Ticket {
@@ -247,9 +303,11 @@ impl<C: Coeff> PlanQueue<C> {
                 limit: self.max_inflight,
             });
         }
+        let deadline = request.deadline;
         Ok(Slot {
             state: Mutex::new(SlotState::Queued(request, Instant::now())),
             cv: Condvar::new(),
+            deadline,
         })
     }
 
@@ -287,10 +345,43 @@ impl<C: Coeff> PlanQueue<C> {
             let mut state = slot.state.lock();
             match &*state {
                 SlotState::Done(_) => continue, // re-checked (and taken) at loop head
+                SlotState::Taken { window_epoch }
+                    if slot.deadline.is_some_and(|d| Instant::now() >= d) =>
+                {
+                    // Our deadline passed while our window is in flight:
+                    // detach.  We still loop for the leader's terminal
+                    // `Done` write — the slot pointer must stay valid until
+                    // the leader is done with it.
+                    let epoch = *window_epoch;
+                    *state = SlotState::Detached;
+                    drop(state);
+                    self.metrics.record_detached();
+                    self.note_detached(epoch);
+                }
                 _ => {
                     let _ = slot.cv.wait_for(&mut state, FOLLOWER_PARK);
                 }
             }
+        }
+    }
+
+    /// A follower detached from window `window_epoch`: count it and, when
+    /// the whole window is now dead — every waiter detached, or the
+    /// window's latest deadline passed — trip the cancellation token so the
+    /// leader's in-flight launch abandons its remaining blocks.
+    fn note_detached(&self, window_epoch: u64) {
+        let now = Instant::now();
+        let mut meta = self.window.lock();
+        if meta.epoch != window_epoch {
+            return; // stale: that window is already over
+        }
+        meta.detached += 1;
+        if meta.finalized
+            && meta.cancelled_at.is_none()
+            && (meta.detached >= meta.total || meta.max_deadline.is_some_and(|d| now >= d))
+        {
+            meta.cancelled_at = Some(now);
+            self.cancel.cancel();
         }
     }
 
@@ -335,6 +426,20 @@ impl<C: Coeff> PlanQueue<C> {
         let scratch: &mut LeaderScratch<C> = &mut scratch;
         loop {
             debug_assert!(scratch.staged.is_empty() && scratch.batch.is_empty());
+            // Open a new window: bumping the epoch invalidates detach notes
+            // from earlier windows, and the token can be re-armed because
+            // the previous window's launch (the only poller) is over.
+            let epoch = {
+                let mut meta = self.window.lock();
+                meta.epoch += 1;
+                meta.finalized = false;
+                meta.total = 0;
+                meta.detached = 0;
+                meta.max_deadline = None;
+                meta.cancelled_at = None;
+                meta.epoch
+            };
+            self.cancel.reset();
             // Stage up to `max_batch` queued slots.  Payloads move out
             // under each slot's lock; overdue requests are rejected here,
             // before any launch.
@@ -349,9 +454,12 @@ impl<C: Coeff> PlanQueue<C> {
                     // is still waiting on it (see `SlotPtr`).
                     let slot = unsafe { ptr.as_ref() };
                     let mut state = slot.state.lock();
-                    let SlotState::Queued(request, start) =
-                        std::mem::replace(&mut *state, SlotState::Taken)
-                    else {
+                    let SlotState::Queued(request, start) = std::mem::replace(
+                        &mut *state,
+                        SlotState::Taken {
+                            window_epoch: epoch,
+                        },
+                    ) else {
                         unreachable!("queued pointers always hold Queued slots")
                     };
                     if request.deadline.is_some_and(|deadline| now >= deadline) {
@@ -372,7 +480,10 @@ impl<C: Coeff> PlanQueue<C> {
         }
     }
 
-    /// One coalesced launch: evaluate the staged window, scatter results.
+    /// One coalesced launch: finalize the window, evaluate it with the
+    /// queue's cancellation token armed, scatter results — discarding the
+    /// instances of detached slots, and every instance when the launch was
+    /// abandoned mid-flight.
     fn launch_window(&self, scratch: &mut LeaderScratch<C>) {
         let LeaderScratch {
             staged,
@@ -381,15 +492,45 @@ impl<C: Coeff> PlanQueue<C> {
             single_out,
         } = scratch;
         let k = staged.len();
+        // Finalize the window before launching: the window becomes
+        // whole-window cancellable only when every member carries a
+        // deadline (the latest of them bounds the window's useful life).
+        let mut latest = None;
+        let mut all_deadlined = true;
+        for (_, request, _) in staged.iter() {
+            match request.deadline {
+                Some(d) => latest = Some(latest.map_or(d, |m: Instant| std::cmp::max(m, d))),
+                None => all_deadlined = false,
+            }
+        }
+        {
+            let mut meta = self.window.lock();
+            meta.finalized = true;
+            meta.total = k;
+            meta.max_deadline = if all_deadlined { latest } else { None };
+            // Followers that detached during staging could not trip yet.
+            if meta.detached >= meta.total && meta.cancelled_at.is_none() {
+                meta.cancelled_at = Some(Instant::now());
+                self.cancel.cancel();
+            }
+        }
         for (_, request, _) in staged.iter_mut() {
             batch.push(std::mem::take(&mut request.inputs));
         }
         self.metrics.record_launch(k);
         let run = catch_unwind(AssertUnwindSafe(|| {
             if k == 1 {
-                self.plan.request(&batch[0]).into(single_out).run();
+                self.plan
+                    .request(&batch[0])
+                    .cancel(&self.cancel)
+                    .into(single_out)
+                    .run();
             } else {
-                self.plan.request(&*batch).into(batch_out).run();
+                self.plan
+                    .request(&*batch)
+                    .cancel(&self.cancel)
+                    .into(batch_out)
+                    .run();
             }
         }));
         let failure = run.err().map(|payload| {
@@ -400,36 +541,60 @@ impl<C: Coeff> PlanQueue<C> {
                 .unwrap_or_else(|| "evaluation panicked".to_string());
             ServeError::Rejected(message)
         });
-        for (i, (ptr, mut request, start)) in staged.drain(..).enumerate() {
-            let result = match &failure {
-                Some(error) => Err(error.clone()),
-                None => {
-                    // Swap the result into the caller's reuse buffers and
-                    // hand the input vectors back, so a closed-loop client
-                    // recycles every allocation.
-                    match (&mut *single_out, &mut *batch_out) {
-                        (EvalOutput::Single(single), _) if k == 1 => {
-                            std::mem::swap(single, &mut request.reuse);
-                        }
-                        (_, EvalOutput::Batch(batched)) if k > 1 => {
-                            std::mem::swap(&mut batched.instances[i], &mut request.reuse);
-                        }
-                        _ => unreachable!("scratch outputs keep their variants"),
-                    }
-                    self.metrics
-                        .record_completed(start.elapsed().as_micros() as u64);
-                    Ok(Response {
-                        evaluation: request.reuse,
-                        inputs: std::mem::take(&mut batch[i]),
-                        coalesced: k,
-                    })
-                }
+        let abandoned = failure.is_none()
+            && if k == 1 {
+                single_out.timings().cancelled
+            } else {
+                batch_out.timings().cancelled
             };
+        if abandoned {
+            let abandon_micros = {
+                let meta = self.window.lock();
+                meta.cancelled_at
+                    .map_or(0, |at| at.elapsed().as_micros() as u64)
+            };
+            self.metrics.record_cancelled_launch(abandon_micros);
+        }
+        for (i, (ptr, mut request, start)) in staged.drain(..).enumerate() {
             // Safety: as in `drain_as_leader` — the submitter waits until
             // `Done` lands, so the pointer is valid; after the notify under
             // the lock we never touch it again.
             let slot = unsafe { ptr.as_ref() };
             let mut state = slot.state.lock();
+            // The detach check and the terminal write must share one lock
+            // hold, or a follower could detach in between and miss its
+            // rejection.
+            let detached = matches!(&*state, SlotState::Detached);
+            let result = if let Some(error) = &failure {
+                Err(error.clone())
+            } else if abandoned || detached {
+                // The whole launch was abandoned, or this waiter gave up:
+                // its instance (partial or complete) is discarded.  Counted
+                // under `deadline_expired` like a pre-launch rejection, so
+                // the submitted = completed + expired + busy identity holds.
+                self.metrics.record_expired();
+                Err(ServeError::DeadlineExceeded)
+            } else {
+                // Swap the result into the caller's reuse buffers and
+                // hand the input vectors back, so a closed-loop client
+                // recycles every allocation.
+                match (&mut *single_out, &mut *batch_out) {
+                    (EvalOutput::Single(single), _) if k == 1 => {
+                        std::mem::swap(single, &mut request.reuse);
+                    }
+                    (_, EvalOutput::Batch(batched)) if k > 1 => {
+                        std::mem::swap(&mut batched.instances[i], &mut request.reuse);
+                    }
+                    _ => unreachable!("scratch outputs keep their variants"),
+                }
+                self.metrics
+                    .record_completed(start.elapsed().as_micros() as u64);
+                Ok(Response {
+                    evaluation: request.reuse,
+                    inputs: std::mem::take(&mut batch[i]),
+                    coalesced: k,
+                })
+            };
             *state = SlotState::Done(result);
             slot.cv.notify_one();
         }

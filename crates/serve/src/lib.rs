@@ -20,8 +20,13 @@
 //!   value-level (`f64`) requests, read [`MetricsSnapshot`]s.
 //! * [`PlanQueue`] — the per-plan coalescer: blocking [`PlanQueue::submit`],
 //!   asynchronous [`PlanQueue::submit_async`] returning a [`Ticket`],
-//!   backpressure via [`ServeError::Busy`], deadlines enforced before
-//!   launch.
+//!   backpressure via [`ServeError::Busy`], deadlines enforced both before
+//!   launch (overdue requests are rejected at staging) and *in flight*: a
+//!   waiter whose deadline passes mid-window detaches, and when a whole
+//!   window's deadlines have passed the leader abandons the launch through
+//!   a cooperative [`psmd_core::CancelToken`] — observable as
+//!   [`MetricsSnapshot::detached_slots`] and
+//!   [`MetricsSnapshot::cancelled_launches`].
 //! * [`WireServer`] — the NDJSON-over-TCP front end
 //!   (`ping` / `compile` / `eval` / `metrics`).
 //!
@@ -41,6 +46,9 @@ pub mod service;
 pub mod wire;
 
 pub use coalesce::{PlanQueue, Ticket};
-pub use metrics::{batch_bucket, Metrics, MetricsSnapshot, BATCH_BUCKETS, BATCH_BUCKET_LABELS};
+pub use metrics::{
+    abandon_bucket, batch_bucket, Metrics, MetricsSnapshot, ABANDON_BUCKETS, ABANDON_BUCKET_LABELS,
+    BATCH_BUCKETS, BATCH_BUCKET_LABELS,
+};
 pub use service::{F64Evaluation, Request, Response, ServeConfig, ServeError, Service};
 pub use wire::WireServer;

@@ -31,6 +31,27 @@ pub fn batch_bucket(k: usize) -> usize {
     }
 }
 
+/// Number of buckets of the abandon-latency histogram (time from the
+/// whole-window cancellation trip to the launch actually abandoning).
+pub const ABANDON_BUCKETS: usize = 6;
+
+/// Human-readable upper bounds of the abandon-latency buckets, in order.
+pub const ABANDON_BUCKET_LABELS: [&str; ABANDON_BUCKETS] =
+    ["<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"];
+
+/// The histogram bucket an abandon latency of `micros` microseconds falls
+/// into.
+pub fn abandon_bucket(micros: u64) -> usize {
+    match micros {
+        0..=99 => 0,
+        100..=999 => 1,
+        1_000..=9_999 => 2,
+        10_000..=99_999 => 3,
+        100_000..=999_999 => 4,
+        _ => 5,
+    }
+}
+
 /// Capacity of the latency ring: the snapshot percentiles are computed over
 /// the most recent this-many completed requests.
 const LATENCY_RING: usize = 1024;
@@ -81,7 +102,10 @@ pub struct Metrics {
     launches: AtomicU64,
     launches_saved: AtomicU64,
     coalesced_total: AtomicU64,
+    cancelled_launches: AtomicU64,
+    detached_slots: AtomicU64,
     batch_histogram: [AtomicU64; BATCH_BUCKETS],
+    abandon_histogram: [AtomicU64; ABANDON_BUCKETS],
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     inflight: AtomicUsize,
@@ -98,7 +122,10 @@ impl Metrics {
             launches: AtomicU64::new(0),
             launches_saved: AtomicU64::new(0),
             coalesced_total: AtomicU64::new(0),
+            cancelled_launches: AtomicU64::new(0),
+            detached_slots: AtomicU64::new(0),
             batch_histogram: [const { AtomicU64::new(0) }; BATCH_BUCKETS],
+            abandon_histogram: [const { AtomicU64::new(0) }; ABANDON_BUCKETS],
             queue_depth: AtomicUsize::new(0),
             max_queue_depth: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
@@ -125,6 +152,19 @@ impl Metrics {
             .fetch_add(k.saturating_sub(1) as u64, Ordering::Relaxed);
         self.coalesced_total.fetch_add(k as u64, Ordering::Relaxed);
         self.batch_histogram[batch_bucket(k)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A follower detached from its coalesced window after its own deadline
+    /// passed; its slot result will be discarded on scatter.
+    pub(crate) fn record_detached(&self) {
+        self.detached_slots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A launch whose entire window expired was abandoned mid-flight,
+    /// `abandon_micros` microseconds after the cancellation tripped.
+    pub(crate) fn record_cancelled_launch(&self, abandon_micros: u64) {
+        self.cancelled_launches.fetch_add(1, Ordering::Relaxed);
+        self.abandon_histogram[abandon_bucket(abandon_micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_completed(&self, latency_micros: u64) {
@@ -156,6 +196,13 @@ impl Metrics {
         for (out, bucket) in batch_histogram.iter_mut().zip(self.batch_histogram.iter()) {
             *out = bucket.load(Ordering::Relaxed);
         }
+        let mut abandon_histogram = [0u64; ABANDON_BUCKETS];
+        for (out, bucket) in abandon_histogram
+            .iter_mut()
+            .zip(self.abandon_histogram.iter())
+        {
+            *out = bucket.load(Ordering::Relaxed);
+        }
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -164,7 +211,10 @@ impl Metrics {
             launches: self.launches.load(Ordering::Relaxed),
             launches_saved: self.launches_saved.load(Ordering::Relaxed),
             coalesced_total: self.coalesced_total.load(Ordering::Relaxed),
+            cancelled_launches: self.cancelled_launches.load(Ordering::Relaxed),
+            detached_slots: self.detached_slots.load(Ordering::Relaxed),
             batch_histogram,
+            abandon_histogram,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed),
@@ -202,9 +252,18 @@ pub struct MetricsSnapshot {
     /// through exactly one launch, so in a quiet moment
     /// `coalesced_total == completed`).
     pub coalesced_total: u64,
+    /// Launches abandoned mid-flight because every waiter of their window
+    /// had detached or the whole window's latest deadline passed.
+    pub cancelled_launches: u64,
+    /// Followers that detached from a coalesced window after their own
+    /// deadline passed (their slot result was discarded on scatter).
+    pub detached_slots: u64,
     /// Histogram of coalesced batch sizes; bucket boundaries are
     /// [`BATCH_BUCKET_LABELS`].
     pub batch_histogram: [u64; BATCH_BUCKETS],
+    /// Histogram of abandon latencies (cancellation trip to launch
+    /// abandonment); bucket boundaries are [`ABANDON_BUCKET_LABELS`].
+    pub abandon_histogram: [u64; ABANDON_BUCKETS],
     /// Queue depth after the most recent drain.
     pub queue_depth: usize,
     /// Largest queue depth observed at enqueue time.
@@ -270,6 +329,31 @@ mod tests {
         assert_eq!(s.batch_histogram[2], 1);
         assert_eq!(s.batch_histogram[3], 1);
         assert!((s.mean_batch() - 13.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abandon_buckets_partition_the_latencies() {
+        assert_eq!(abandon_bucket(0), 0);
+        assert_eq!(abandon_bucket(99), 0);
+        assert_eq!(abandon_bucket(100), 1);
+        assert_eq!(abandon_bucket(999), 1);
+        assert_eq!(abandon_bucket(1_000), 2);
+        assert_eq!(abandon_bucket(99_999), 3);
+        assert_eq!(abandon_bucket(100_000), 4);
+        assert_eq!(abandon_bucket(1_000_000), 5);
+    }
+
+    #[test]
+    fn cancellation_counters_reach_the_snapshot() {
+        let m = Metrics::new();
+        m.record_detached();
+        m.record_detached();
+        m.record_cancelled_launch(250);
+        let s = m.snapshot();
+        assert_eq!(s.detached_slots, 2);
+        assert_eq!(s.cancelled_launches, 1);
+        assert_eq!(s.abandon_histogram[abandon_bucket(250)], 1);
+        assert_eq!(s.abandon_histogram.iter().sum::<u64>(), 1);
     }
 
     #[test]

@@ -29,8 +29,11 @@ pub enum ServeError {
         /// The plan's admission limit.
         limit: usize,
     },
-    /// The request's deadline expired while it was queued; it was rejected
-    /// without an evaluation launch.
+    /// The request's deadline expired before its result could be
+    /// delivered: either it was still queued at staging time (rejected
+    /// without a launch), or its coalesced window was already in flight —
+    /// the waiter detached and the launch's result for this slot was
+    /// discarded (see the protocol notes on [`crate::PlanQueue`]).
     DeadlineExceeded,
     /// No plan is registered under the given id.
     UnknownPlan(String),
@@ -47,7 +50,7 @@ impl fmt::Display for ServeError {
             ServeError::Busy { inflight, limit } => {
                 write!(f, "busy: {inflight} requests in flight (limit {limit})")
             }
-            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before launch"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::UnknownPlan(id) => write!(f, "unknown plan '{id}'"),
             ServeError::Rejected(m) => write!(f, "rejected: {m}"),
             ServeError::Invalid(m) => write!(f, "invalid: {m}"),

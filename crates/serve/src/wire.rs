@@ -237,6 +237,11 @@ fn op_metrics(service: &Service, request: &Json) -> Result<Json, String> {
         .iter()
         .map(|&n| Json::Num(n as f64))
         .collect();
+    let abandon_histogram = snapshot
+        .abandon_histogram
+        .iter()
+        .map(|&n| Json::Num(n as f64))
+        .collect();
     Ok(obj(vec![
         ("ok", Json::Bool(true)),
         ("submitted", Json::Num(snapshot.submitted as f64)),
@@ -248,8 +253,14 @@ fn op_metrics(service: &Service, request: &Json) -> Result<Json, String> {
         ),
         ("launches", Json::Num(snapshot.launches as f64)),
         ("launches_saved", Json::Num(snapshot.launches_saved as f64)),
+        (
+            "cancelled_launches",
+            Json::Num(snapshot.cancelled_launches as f64),
+        ),
+        ("detached_slots", Json::Num(snapshot.detached_slots as f64)),
         ("mean_batch", Json::Num(snapshot.mean_batch())),
         ("batch_histogram", Json::Arr(histogram)),
+        ("abandon_histogram", Json::Arr(abandon_histogram)),
         ("queue_depth", Json::Num(snapshot.queue_depth as f64)),
         ("p50_us", Json::Num(snapshot.p50_us as f64)),
         ("p99_us", Json::Num(snapshot.p99_us as f64)),
