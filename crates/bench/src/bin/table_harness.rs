@@ -24,6 +24,11 @@
 //!   serve          serving-layer load generator: deterministic staged
 //!                  coalescing windows plus threaded closed-loop clients
 //!                  against a psmd-serve Service
+//!   track          adaptive-precision homotopy path tracking: a seeded
+//!                  16-path family tracked batched (one coalesced launch
+//!                  per corrector sweep) and one path at a time; all path
+//!                  and escalation counts are deterministic and
+//!                  exact-gated, the timings tolerance-gated
 //!   compare        compare a current JSON report against a baseline and
 //!                  exit non-zero on perf regressions (the CI gate)
 //!   all            run every command above (except batch, system, graph,
@@ -39,7 +44,7 @@
 //!   --equations <m> system size for the system command (default 4)
 //!   --json         emit a machine-readable JSON report instead of text
 //!                  (supported by table2, batch, system, graph, engine,
-//!                  workspace, kernels and serve;
+//!                  workspace, kernels, serve and track;
 //!                  used by the CI perf-snapshot job).  stdout carries only
 //!                  the JSON document; progress and notes go to stderr.
 //!   --baseline <file>       baseline report for the compare command
@@ -251,6 +256,221 @@ fn main() {
     }
     if opts.command == "serve" {
         serve_report(&opts);
+    }
+    if opts.command == "track" {
+        track_report(&opts);
+    }
+}
+
+/// The path-tracking report: a seeded 16-path multilinear family (four
+/// independent `{x + y − s, x·y − p}` blocks, `p < 0`) tracked to an
+/// endpoint tolerance of 1e-40, which forces every path up the precision
+/// ladder past double-double.  One row tracks all paths batched (one
+/// coalesced launch per corrector sweep), one row tracks them one at a
+/// time; every count — paths, convergences, escalations per precision,
+/// corrector launches, steps, Newton iterations — is deterministic and
+/// exact-gated by `bench/baselines/BENCH_track.json`, while the wall-clock
+/// timings are tolerance-gated and the batched-vs-serial ratios ride along
+/// ungated as `*_speedup`.
+fn track_report(opts: &Options) {
+    use psmd_track::{HomotopySpec, MonomialSpec, PolySpec, TrackOptions, TrackOutcome, Tracker};
+
+    emit_banner(
+        opts,
+        &banner(
+            "Path tracking: batched adaptive-precision continuation vs \
+             one-path-at-a-time (measured CPU)",
+        ),
+    );
+
+    // Seeded xorshift target constants, as in examples/path_tracking.rs.
+    let mut state = opts.seed ^ 0x005e_ed0f_da7a_2026;
+    let mut next_unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let blocks = 4usize;
+    let block = |x: usize, s: f64, p: f64| {
+        vec![
+            PolySpec {
+                constant: vec![-s],
+                monomials: vec![
+                    MonomialSpec::constant_coeff(1.0, vec![x]),
+                    MonomialSpec::constant_coeff(1.0, vec![x + 1]),
+                ],
+            },
+            PolySpec {
+                constant: vec![-p],
+                monomials: vec![MonomialSpec::constant_coeff(1.0, vec![x, x + 1])],
+            },
+        ]
+    };
+    let mut start = Vec::new();
+    let mut target = Vec::new();
+    for k in 0..blocks {
+        let s = 0.1 + 0.8 * next_unit();
+        let p = -1.2 - 1.3 * next_unit();
+        start.extend(block(2 * k, 0.0, -1.0));
+        target.extend(block(2 * k, s, p));
+    }
+    let spec = HomotopySpec::new(2 * blocks, 0, start, target);
+    let starts: Vec<Vec<f64>> = (0..1usize << blocks)
+        .map(|bits| {
+            (0..blocks)
+                .flat_map(|k| {
+                    if bits >> k & 1 == 0 {
+                        [1.0, -1.0]
+                    } else {
+                        [-1.0, 1.0]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let options = TrackOptions {
+        final_tolerance: 1e-40,
+        ..TrackOptions::default()
+    };
+    let tracker = Tracker::new(spec, options).expect("a valid seeded family");
+    let engine = Engine::new();
+
+    eprintln!("track: {} paths batched...", starts.len());
+    let t0 = std::time::Instant::now();
+    let batched = tracker.track(&engine, &starts).expect("tracking runs");
+    let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("track: {} paths one at a time...", starts.len());
+    let t0 = std::time::Instant::now();
+    let serial: Vec<TrackOutcome> = starts
+        .iter()
+        .map(|s| {
+            tracker
+                .track(&engine, std::slice::from_ref(s))
+                .expect("tracking runs")
+        })
+        .collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serial_launches: usize = serial.iter().map(|o| o.stats.corrector_launches).sum();
+    let serial_converged: usize = serial.iter().map(|o| o.stats.converged).sum();
+    let serial_steps: usize = serial.iter().map(|o| o.stats.steps).sum();
+    let serial_iterations: usize = serial.iter().map(|o| o.stats.newton_iterations).sum();
+    for (i, lone) in serial.iter().enumerate() {
+        assert_eq!(
+            lone.reports[0].solution_limbs, batched.reports[i].solution_limbs,
+            "path {i}: batched and serial endpoints must be bitwise equal"
+        );
+    }
+    assert!(
+        batched.stats.corrector_launches < serial_launches,
+        "batched tracking must issue fewer corrector launches than serial"
+    );
+
+    let esc_count = |outcome: &TrackOutcome, p: Precision| -> usize {
+        outcome
+            .stats
+            .escalations_by_precision
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map_or(0, |(_, c)| *c)
+    };
+    let serial_esc = |p: Precision| -> usize { serial.iter().map(|o| esc_count(o, p)).sum() };
+
+    let mut t = TextTable::new(vec![
+        "kind",
+        "paths",
+        "converged",
+        "escalated",
+        "launches",
+        "steps",
+        "iters",
+        "time (ms)",
+    ]);
+    let mut json = JsonReport::new("track");
+    let mut emit = |kind: &str,
+                    converged: usize,
+                    escalated: usize,
+                    esc: [usize; 7],
+                    launches: usize,
+                    steps: usize,
+                    iterations: usize,
+                    wall_ms: f64,
+                    speedup: f64| {
+        if opts.json {
+            let mut fields = vec![
+                ("kind", JsonValue::Text(kind.to_string())),
+                ("paths", JsonValue::Integer(starts.len() as i64)),
+                ("converged", JsonValue::Integer(converged as i64)),
+                ("escalated_paths", JsonValue::Integer(escalated as i64)),
+            ];
+            let names = [
+                "esc_1d", "esc_2d", "esc_3d", "esc_4d", "esc_5d", "esc_8d", "esc_10d",
+            ];
+            for (name, count) in names.iter().zip(esc.iter()) {
+                fields.push((name, JsonValue::Integer(*count as i64)));
+            }
+            fields.push(("corrector_launches", JsonValue::Integer(launches as i64)));
+            fields.push(("steps", JsonValue::Integer(steps as i64)));
+            fields.push(("newton_iterations", JsonValue::Integer(iterations as i64)));
+            fields.push(("track_ms", JsonValue::Number(wall_ms)));
+            fields.push(("launch_speedup", JsonValue::Number(speedup)));
+            json.add_row(fields);
+        } else {
+            t.add_row(vec![
+                kind.to_string(),
+                starts.len().to_string(),
+                converged.to_string(),
+                escalated.to_string(),
+                launches.to_string(),
+                steps.to_string(),
+                iterations.to_string(),
+                ms(wall_ms),
+            ]);
+        }
+    };
+
+    let batched_esc: Vec<usize> = Precision::ALL
+        .iter()
+        .map(|&p| esc_count(&batched, p))
+        .collect();
+    emit(
+        "batched",
+        batched.stats.converged,
+        batched.stats.escalated_paths,
+        batched_esc.clone().try_into().unwrap(),
+        batched.stats.corrector_launches,
+        batched.stats.steps,
+        batched.stats.newton_iterations,
+        batched_ms,
+        serial_launches as f64 / batched.stats.corrector_launches.max(1) as f64,
+    );
+    let serial_escalated: usize = serial.iter().map(|o| o.stats.escalated_paths).sum();
+    let serial_escs: Vec<usize> = Precision::ALL.iter().map(|&p| serial_esc(p)).collect();
+    emit(
+        "serial",
+        serial_converged,
+        serial_escalated,
+        serial_escs.try_into().unwrap(),
+        serial_launches,
+        serial_steps,
+        serial_iterations,
+        serial_ms,
+        1.0,
+    );
+
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "\nbatched tracking: {} launches for {} paths vs {} serial \
+             ({:.1}x fewer); every escalation and endpoint bitwise equal.",
+            batched.stats.corrector_launches,
+            starts.len(),
+            serial_launches,
+            serial_launches as f64 / batched.stats.corrector_launches.max(1) as f64,
+        );
     }
 }
 

@@ -75,7 +75,9 @@ use crate::monomial::Monomial;
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{GraphPlan, Schedule};
-use crate::system::{run_system, SystemEvaluation, SystemSchedule};
+use crate::system::{
+    run_system, run_system_batch, SystemBatchEvaluation, SystemEvaluation, SystemSchedule,
+};
 use crate::workspace::{Workspace, WorkspacePool};
 use parking_lot::Mutex;
 use psmd_multidouble::{Coeff, Md, Precision};
@@ -286,7 +288,8 @@ pub enum Inputs<'a, C> {
     /// One vector of input series (one series per variable).
     Single(&'a [Series<C>]),
     /// Many independent input vectors evaluated in one arena with shared
-    /// launches (only supported by single-polynomial plans).
+    /// launches (single-polynomial plans produce a [`BatchEvaluation`],
+    /// system plans a [`SystemBatchEvaluation`]).
     Batch(&'a [Vec<Series<C>>]),
 }
 
@@ -316,7 +319,8 @@ impl<'a, C> From<&'a Vec<Vec<Series<C>>>> for Inputs<'a, C> {
 
 /// Unified evaluation result: the variant matches the plan kind and the
 /// input shape (`Single` plan × `Single` inputs → `Single`, `Single` plan ×
-/// `Batch` inputs → `Batch`, `System` plan × `Single` inputs → `System`).
+/// `Batch` inputs → `Batch`, `System` plan × `Single` inputs → `System`,
+/// `System` plan × `Batch` inputs → `SystemBatch`).
 #[derive(Debug, Clone)]
 pub enum EvalOutput<C> {
     /// Value and gradient of one polynomial at one input vector.
@@ -325,6 +329,8 @@ pub enum EvalOutput<C> {
     Batch(BatchEvaluation<C>),
     /// All equation values and the full Jacobian of a system.
     System(SystemEvaluation<C>),
+    /// All values and Jacobians of a system at every batch instance.
+    SystemBatch(SystemBatchEvaluation<C>),
 }
 
 impl<C: Coeff> EvalOutput<C> {
@@ -337,6 +343,7 @@ impl<C: Coeff> EvalOutput<C> {
             EvalOutput::Single(e) => &e.timings,
             EvalOutput::Batch(e) => &e.timings,
             EvalOutput::System(e) => &e.timings,
+            EvalOutput::SystemBatch(e) => &e.timings,
         }
     }
 
@@ -345,6 +352,7 @@ impl<C: Coeff> EvalOutput<C> {
             EvalOutput::Single(e) => &mut e.timings,
             EvalOutput::Batch(e) => &mut e.timings,
             EvalOutput::System(e) => &mut e.timings,
+            EvalOutput::SystemBatch(e) => &mut e.timings,
         }
     }
 
@@ -368,6 +376,14 @@ impl<C: Coeff> EvalOutput<C> {
     pub fn as_system(&self) -> Option<&SystemEvaluation<C>> {
         match self {
             EvalOutput::System(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The batched system evaluation, if this is the `SystemBatch` variant.
+    pub fn as_system_batch(&self) -> Option<&SystemBatchEvaluation<C>> {
+        match self {
+            EvalOutput::SystemBatch(e) => Some(e),
             _ => None,
         }
     }
@@ -408,6 +424,18 @@ impl<C: Coeff> EvalOutput<C> {
         }
     }
 
+    /// Unwraps the `SystemBatch` variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is not a batched system evaluation.
+    pub fn into_system_batch(self) -> SystemBatchEvaluation<C> {
+        match self {
+            EvalOutput::SystemBatch(e) => e,
+            _ => panic!("expected a batched system evaluation output"),
+        }
+    }
+
     /// True when both outputs are the same variant and every series — value,
     /// gradient, Jacobian — is **bit-for-bit** identical (timings are
     /// ignored).  Unlike float `PartialEq`, equal-bit NaNs compare equal and
@@ -416,6 +444,14 @@ impl<C: Coeff> EvalOutput<C> {
     pub fn bitwise_eq(&self, other: &EvalOutput<C>) -> bool {
         let eval_eq = |a: &Evaluation<C>, b: &Evaluation<C>| {
             series_bits_eq(&a.value, &b.value) && series_slice_bits_eq(&a.gradient, &b.gradient)
+        };
+        let system_eq = |a: &SystemEvaluation<C>, b: &SystemEvaluation<C>| {
+            series_slice_bits_eq(&a.values, &b.values)
+                && a.jacobian.len() == b.jacobian.len()
+                && a.jacobian
+                    .iter()
+                    .zip(b.jacobian.iter())
+                    .all(|(x, y)| series_slice_bits_eq(x, y))
         };
         match (self, other) {
             (EvalOutput::Single(a), EvalOutput::Single(b)) => eval_eq(a, b),
@@ -426,13 +462,13 @@ impl<C: Coeff> EvalOutput<C> {
                         .zip(b.instances.iter())
                         .all(|(x, y)| eval_eq(x, y))
             }
-            (EvalOutput::System(a), EvalOutput::System(b)) => {
-                series_slice_bits_eq(&a.values, &b.values)
-                    && a.jacobian.len() == b.jacobian.len()
-                    && a.jacobian
+            (EvalOutput::System(a), EvalOutput::System(b)) => system_eq(a, b),
+            (EvalOutput::SystemBatch(a), EvalOutput::SystemBatch(b)) => {
+                a.instances.len() == b.instances.len()
+                    && a.instances
                         .iter()
-                        .zip(b.jacobian.iter())
-                        .all(|(x, y)| series_slice_bits_eq(x, y))
+                        .zip(b.instances.iter())
+                        .all(|(x, y)| system_eq(x, y))
             }
             _ => false,
         }
@@ -742,7 +778,12 @@ impl<C: Coeff> Plan<C> {
         match (&self.kind, inputs) {
             (PlanKind::Single(_), Inputs::Single(_)) => EvalOutput::Single(Evaluation::empty()),
             (PlanKind::Single(_), Inputs::Batch(_)) => EvalOutput::Batch(BatchEvaluation::empty()),
-            (PlanKind::System(_), _) => EvalOutput::System(SystemEvaluation::empty()),
+            (PlanKind::System(_), Inputs::Single(_)) => {
+                EvalOutput::System(SystemEvaluation::empty())
+            }
+            (PlanKind::System(_), Inputs::Batch(_)) => {
+                EvalOutput::SystemBatch(SystemBatchEvaluation::empty())
+            }
         }
     }
 
@@ -761,6 +802,11 @@ impl<C: Coeff> Plan<C> {
                     PlanKind::System(_),
                     Inputs::Single(_),
                     EvalOutput::System(_)
+                )
+                | (
+                    PlanKind::System(_),
+                    Inputs::Batch(_),
+                    EvalOutput::SystemBatch(_)
                 )
         );
         if !matches {
@@ -830,10 +876,26 @@ impl<C: Coeff> Plan<C> {
                     system,
                 );
             }
-            (PlanKind::System(_), Inputs::Batch(_), _) => panic!(
-                "batched system evaluation is not supported: evaluate each input vector of \
-                 the batch separately"
-            ),
+            (
+                PlanKind::System(schedule),
+                Inputs::Batch(batch),
+                EvalOutput::SystemBatch(batched),
+            ) => {
+                let PolySource::System(polys) = &self.source else {
+                    unreachable!("system plan with single source")
+                };
+                run_system_batch(
+                    polys,
+                    schedule,
+                    self.options,
+                    &self.graph,
+                    batch,
+                    pool,
+                    cancel,
+                    ws,
+                    batched,
+                );
+            }
             _ => unreachable!("output variant reshaped before the run"),
         }
         out.timings_mut().pool_rendezvous = match before {
@@ -1991,13 +2053,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batched system evaluation is not supported")]
-    fn system_plan_rejects_batched_inputs() {
-        let d = 2;
+    fn system_plan_evaluates_batched_inputs_bitwise_like_per_instance() {
+        let d = 3;
+        let f1 = paper_example(d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f2: Polynomial<Qd> = random_polynomial(6, 4, 3, d, &mut rng);
+        let engine = Engine::builder().threads(2).build();
+        let plan = engine.compile(vec![f1, f2]);
+        let batch: Vec<Vec<Series<Qd>>> = (0..4).map(|i| random_z(6, d, 20 + i)).collect();
+        let batched = plan.request(&batch).run().into_system_batch();
+        assert_eq!(batched.len(), batch.len());
+        for (z, got) in batch.iter().zip(batched.instances.iter()) {
+            let want = plan.request(z).sequential().run().into_system();
+            // Same merged schedule, same arithmetic, same order: bitwise
+            // identical to the single-instance system evaluation.
+            assert_eq!(got.values, want.values);
+            assert_eq!(got.jacobian, want.jacobian);
+        }
+        // Launch counts equal the merged layer counts — independent of the
+        // batch size — with batch × jobs blocks per launch.
+        let schedule = plan.system_schedule().expect("system plan");
+        assert_eq!(
+            batched.timings.convolution_launches,
+            schedule.convolution_layers.len()
+        );
+        assert_eq!(
+            batched.timings.convolution_blocks,
+            batch.len() * schedule.convolution_jobs()
+        );
+    }
+
+    #[test]
+    fn empty_system_batch_returns_no_instances() {
         let engine = Engine::builder().threads(0).build();
-        let plan = engine.compile(vec![paper_example(d)]);
-        let batch: Vec<Vec<Series<Qd>>> = vec![random_z(6, d, 1)];
-        let _ = plan.request(&batch).run();
+        let plan = engine.compile(vec![paper_example(2)]);
+        let result = plan
+            .request(&Vec::<Vec<Series<Qd>>>::new())
+            .sequential()
+            .run()
+            .into_system_batch();
+        assert!(result.is_empty());
+        assert_eq!(result.timings.convolution_launches, 0);
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub enum Error {
     /// mismatched variable counts or degrees, out-of-range variable
     /// indices, ...) and cannot be compiled into a plan.
     Source(String),
+    /// A numerical method failed on valid inputs: the constant-term
+    /// Jacobian of a staged linear solve is singular, a Newton corrector
+    /// cannot proceed, ...  Unlike the other variants this is a property of
+    /// the *data*, not the request, so callers typically react by changing
+    /// the iterate (or, in the path tracker, shrinking the step or
+    /// escalating the working precision) rather than rejecting the input.
+    Numerical(String),
 }
 
 impl Error {
@@ -34,10 +41,15 @@ impl Error {
         Error::Source(message.into())
     }
 
+    /// A numerical-failure error with the given message.
+    pub fn numerical(message: impl Into<String>) -> Self {
+        Error::Numerical(message.into())
+    }
+
     /// The human-readable message, whichever variant it is.
     pub fn message(&self) -> &str {
         match self {
-            Error::Config(m) | Error::Source(m) => m,
+            Error::Config(m) | Error::Source(m) | Error::Numerical(m) => m,
         }
     }
 }
@@ -47,6 +59,7 @@ impl fmt::Display for Error {
         match self {
             Error::Config(m) => write!(f, "invalid engine configuration: {m}"),
             Error::Source(m) => write!(f, "invalid polynomial source: {m}"),
+            Error::Numerical(m) => write!(f, "numerical failure: {m}"),
         }
     }
 }

@@ -89,13 +89,17 @@ pub use generators::{
     random_polynomial,
 };
 pub use monomial::Monomial;
+#[allow(deprecated)]
+pub use newton::{newton_system, newton_system_parallel, solve_linearized};
 pub use newton::{
-    newton_system, newton_system_parallel, solve_linearized, LinearSolveWorkspace, NewtonOptions,
-    NewtonResult,
+    try_newton_system, try_newton_system_parallel, try_solve_linearized, try_solve_linearized_into,
+    LinearSolveWorkspace, NewtonOptions, NewtonResult, NewtonTrace,
 };
 pub use options::EvalOptions;
 pub use polynomial::Polynomial;
 pub use psmd_runtime::CancelToken;
 pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};
-pub use system::{evaluate_naive_system, SystemEvaluation, SystemLayout, SystemSchedule};
+pub use system::{
+    evaluate_naive_system, SystemBatchEvaluation, SystemEvaluation, SystemLayout, SystemSchedule,
+};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

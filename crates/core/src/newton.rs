@@ -30,7 +30,18 @@
 //! are created up front and reused by every Newton step, so steps after the
 //! first neither re-stage the arena nor re-allocate the LU / staging buffers
 //! of the degree-by-degree solves.
+//!
+//! The fallible entry points ([`try_newton_system`],
+//! [`try_solve_linearized_into`]) follow the `try_build`/`try_compile`
+//! convention: a non-square system is an [`Error::Config`] and a singular
+//! constant-term Jacobian an [`Error::Numerical`], so iterative callers —
+//! the path tracker above all — can react (shrink the step, escalate the
+//! precision) instead of aborting.  Each run reports a [`NewtonTrace`]: the
+//! per-iteration residual norms, the convergence verdict and a pivot-ratio
+//! conditioning estimate of the last factorization, which is exactly the
+//! trajectory the tracker's escalation policy inspects.
 
+use crate::error::Error;
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::GraphPlan;
@@ -60,64 +71,168 @@ impl Default for NewtonOptions {
     }
 }
 
-/// The outcome of a Newton run.
-#[derive(Debug, Clone)]
-pub struct NewtonResult<C> {
-    /// The series vector after the last step.
-    pub solution: Vec<Series<C>>,
-    /// The residual magnitude `max_i |f_i(z)|` *before* each executed step.
+/// The per-iteration trajectory of a Newton run: what the convergence
+/// verdict was decided on, exposed so that callers (the path tracker's
+/// escalation policy, the examples, the tests) all read the same numbers.
+#[derive(Debug, Clone, Default)]
+pub struct NewtonTrace {
+    /// The residual magnitude `max_i |f_i(z)|` *before* each executed step,
+    /// plus — when the iteration stopped without meeting the tolerance — the
+    /// residual of the final iterate.
     pub residuals: Vec<f64>,
     /// Number of steps executed.
     pub iterations: usize,
     /// True when the final residual fell below the tolerance.
     pub converged: bool,
+    /// Pivot-ratio conditioning estimate of the last constant-term
+    /// factorization (see [`LinearSolveWorkspace::conditioning`]); `0.0`
+    /// when no step executed.
+    pub conditioning: f64,
+}
+
+impl NewtonTrace {
+    /// The residual of the final iterate ([`f64::INFINITY`] when the run
+    /// never evaluated).
+    pub fn final_residual(&self) -> f64 {
+        self.residuals.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// How much the last executed step improved the residual:
+    /// `residuals[n-2] / residuals[n-1]`.  Returns [`f64::INFINITY`] when
+    /// fewer than two residuals were recorded or the last residual is zero —
+    /// both mean "no evidence of stagnation".  An escalation policy treats a
+    /// ratio near 1 as stalling at the working precision's roundoff floor.
+    pub fn last_improvement(&self) -> f64 {
+        let n = self.residuals.len();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        let last = self.residuals[n - 1];
+        if last == 0.0 {
+            return f64::INFINITY;
+        }
+        self.residuals[n - 2] / last
+    }
+}
+
+/// The outcome of a Newton run: the final iterate plus the
+/// [`NewtonTrace`] it was accepted (or rejected) on.
+#[derive(Debug, Clone)]
+pub struct NewtonResult<C> {
+    /// The series vector after the last step.
+    pub solution: Vec<Series<C>>,
+    /// The per-iteration residual trajectory and convergence verdict.
+    pub trace: NewtonTrace,
+}
+
+impl<C> NewtonResult<C> {
+    /// True when the final residual fell below the tolerance.
+    pub fn converged(&self) -> bool {
+        self.trace.converged
+    }
+
+    /// Number of steps executed.
+    pub fn iterations(&self) -> usize {
+        self.trace.iterations
+    }
+
+    /// The residual magnitude before each executed step (see
+    /// [`NewtonTrace::residuals`]).
+    pub fn residuals(&self) -> &[f64] {
+        &self.trace.residuals
+    }
 }
 
 /// Runs Newton's method on a square polynomial system at power series,
 /// evaluating values and Jacobian with one fused system-schedule pass
 /// per step (sequential kernels).
 ///
+/// # Errors
+///
+/// [`Error::Config`] when the system is not square (`m != n`) or the initial
+/// guess has the wrong length or degree; [`Error::Numerical`] when the
+/// constant-term Jacobian turns (numerically) singular at some iterate.
+pub fn try_newton_system<C: RealCoeff>(
+    polys: &[Polynomial<C>],
+    initial: &[Series<C>],
+    options: &NewtonOptions,
+) -> Result<NewtonResult<C>, Error> {
+    try_newton_system_impl(polys, initial, options, None)
+}
+
+/// Like [`try_newton_system`], but runs every fused evaluation on the worker
+/// pool (one launch per merged job layer).
+pub fn try_newton_system_parallel<C: RealCoeff>(
+    polys: &[Polynomial<C>],
+    initial: &[Series<C>],
+    options: &NewtonOptions,
+    pool: &WorkerPool,
+) -> Result<NewtonResult<C>, Error> {
+    try_newton_system_impl(polys, initial, options, Some(pool))
+}
+
+/// Panicking shim over [`try_newton_system`].
+///
 /// # Panics
 ///
-/// Panics when the system is not square (`m != n`), when the initial guess
-/// has the wrong length or degree, or when the constant-term Jacobian is
-/// (numerically) singular.
+/// Panics on every condition [`try_newton_system`] reports as an error.
+#[deprecated(note = "use `try_newton_system`")]
 pub fn newton_system<C: RealCoeff>(
     polys: &[Polynomial<C>],
     initial: &[Series<C>],
     options: &NewtonOptions,
 ) -> NewtonResult<C> {
-    newton_system_impl(polys, initial, options, None)
+    try_newton_system(polys, initial, options).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Like [`newton_system`], but runs every fused evaluation on the worker
-/// pool (one launch per merged job layer).
+/// Panicking shim over [`try_newton_system_parallel`].
+///
+/// # Panics
+///
+/// Panics on every condition [`try_newton_system_parallel`] reports as an
+/// error.
+#[deprecated(note = "use `try_newton_system_parallel`")]
 pub fn newton_system_parallel<C: RealCoeff>(
     polys: &[Polynomial<C>],
     initial: &[Series<C>],
     options: &NewtonOptions,
     pool: &WorkerPool,
 ) -> NewtonResult<C> {
-    newton_system_impl(polys, initial, options, Some(pool))
+    try_newton_system_parallel(polys, initial, options, pool).unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn newton_system_impl<C: RealCoeff>(
+fn try_newton_system_impl<C: RealCoeff>(
     polys: &[Polynomial<C>],
     initial: &[Series<C>],
     options: &NewtonOptions,
     pool: Option<&WorkerPool>,
-) -> NewtonResult<C> {
+) -> Result<NewtonResult<C>, Error> {
     let n = polys.len();
-    assert!(n > 0, "a system needs at least one equation");
-    assert_eq!(
-        polys[0].num_variables(),
-        n,
-        "newton_system needs a square system (m equations in m variables)"
-    );
-    assert_eq!(initial.len(), n, "initial guess has the wrong length");
+    if n == 0 {
+        return Err(Error::config("a system needs at least one equation"));
+    }
+    if polys[0].num_variables() != n {
+        return Err(Error::config(format!(
+            "newton_system needs a square system (m equations in m variables), \
+             got {} equations in {} variables",
+            n,
+            polys[0].num_variables()
+        )));
+    }
+    if initial.len() != n {
+        return Err(Error::config(format!(
+            "initial guess has the wrong length: {} for {n} variables",
+            initial.len()
+        )));
+    }
     let degree = polys[0].degree();
     for z in initial {
-        assert_eq!(z.degree(), degree, "initial guess degree mismatch");
+        if z.degree() != degree {
+            return Err(Error::config(format!(
+                "initial guess degree mismatch: {} for truncation degree {degree}",
+                z.degree()
+            )));
+        }
     }
     // The merged schedule is built once and reused by every step, and so is
     // every buffer: the evaluation workspace (arena, per-worker scratch),
@@ -131,9 +246,7 @@ fn newton_system_impl<C: RealCoeff>(
     let mut delta: Vec<Series<C>> = Vec::new();
     let mut solver = LinearSolveWorkspace::new();
     let mut z: Vec<Series<C>> = initial.to_vec();
-    let mut residuals = Vec::new();
-    let mut iterations = 0;
-    let mut converged = false;
+    let mut trace = NewtonTrace::default();
     let residual_of = |eval: &SystemEvaluation<C>| {
         eval.values
             .iter()
@@ -153,22 +266,23 @@ fn newton_system_impl<C: RealCoeff>(
             &mut eval,
         );
         let residual = residual_of(&eval);
-        residuals.push(residual);
+        trace.residuals.push(residual);
         if residual <= options.tolerance {
-            converged = true;
+            trace.converged = true;
             break;
         }
         rhs.resize_with(n, || Series::zero(0));
         for (r, v) in rhs.iter_mut().zip(eval.values.iter()) {
             v.neg_into(r);
         }
-        solve_linearized_into(&eval.jacobian, &rhs, &mut solver, &mut delta);
+        try_solve_linearized_into(&eval.jacobian, &rhs, &mut solver, &mut delta)?;
+        trace.conditioning = solver.conditioning();
         for (zi, di) in z.iter_mut().zip(delta.iter()) {
             zi.add_assign(di);
         }
-        iterations += 1;
+        trace.iterations += 1;
     }
-    if !converged {
+    if !trace.converged {
         // Report the residual of the final iterate.
         run_system(
             polys,
@@ -182,22 +296,17 @@ fn newton_system_impl<C: RealCoeff>(
             &mut eval,
         );
         let residual = residual_of(&eval);
-        residuals.push(residual);
-        converged = residual <= options.tolerance;
+        trace.residuals.push(residual);
+        trace.converged = residual <= options.tolerance;
     }
-    NewtonResult {
-        solution: z,
-        residuals,
-        iterations,
-        converged,
-    }
+    Ok(NewtonResult { solution: z, trace })
 }
 
 /// Reusable buffers of the staged linearized solve: the flat `n × n` LU
 /// factorization of `J_0`, the pivot permutation, and the per-degree
 /// right-hand-side staging.  Create it once and hand it to
-/// [`solve_linearized_into`] for every Newton step — after the first call
-/// the solve allocates nothing.
+/// [`try_solve_linearized_into`] for every Newton step — after the first
+/// call the solve allocates nothing.
 #[derive(Debug, Default)]
 pub struct LinearSolveWorkspace<C> {
     /// Row-major `n × n` LU factors of the constant-term Jacobian.
@@ -208,6 +317,10 @@ pub struct LinearSolveWorkspace<C> {
     rhs_k: Vec<C>,
     /// The permuted/solved coefficient vector of the current degree.
     y: Vec<C>,
+    /// Magnitude of the smallest surviving pivot of the last factorization.
+    pivot_min: f64,
+    /// Magnitude of the largest surviving pivot of the last factorization.
+    pivot_max: f64,
 }
 
 impl<C: RealCoeff> LinearSolveWorkspace<C> {
@@ -218,6 +331,26 @@ impl<C: RealCoeff> LinearSolveWorkspace<C> {
             perm: Vec::new(),
             rhs_k: Vec::new(),
             y: Vec::new(),
+            pivot_min: 0.0,
+            pivot_max: 0.0,
+        }
+    }
+
+    /// Pivot-ratio conditioning estimate of the last factorization:
+    /// `max |pivot| / min |pivot|` of the partially-pivoted LU of `J_0`.
+    /// A cheap lower-bound proxy for the condition number — it costs
+    /// nothing beyond the factorization itself — that grows as the iterate
+    /// approaches a singular Jacobian, which is exactly the signal the path
+    /// tracker's precision-escalation policy watches.  Returns `0.0` before
+    /// the first solve and [`f64::INFINITY`] when the last factorization
+    /// failed on a zero pivot.
+    pub fn conditioning(&self) -> f64 {
+        if self.pivot_max == 0.0 {
+            0.0
+        } else if self.pivot_min == 0.0 {
+            f64::INFINITY
+        } else {
+            self.pivot_max / self.pivot_min
         }
     }
 }
@@ -232,42 +365,78 @@ impl<C: RealCoeff> LinearSolveWorkspace<C> {
 /// series right-hand side of row `i`.  All entries must share one truncation
 /// degree.
 ///
+/// # Errors
+///
+/// [`Error::Config`] when the matrix is not square or the shapes disagree;
+/// [`Error::Numerical`] when `J_0` is numerically singular (a zero pivot
+/// survives partial pivoting).
+pub fn try_solve_linearized<C: RealCoeff>(
+    jacobian: &[Vec<Series<C>>],
+    rhs: &[Series<C>],
+) -> Result<Vec<Series<C>>, Error> {
+    let mut ws = LinearSolveWorkspace::new();
+    let mut solution = Vec::new();
+    try_solve_linearized_into(jacobian, rhs, &mut ws, &mut solution)?;
+    Ok(solution)
+}
+
+/// Panicking shim over [`try_solve_linearized`].
+///
 /// # Panics
 ///
-/// Panics when the matrix is not square, the shapes disagree, or `J_0` is
-/// numerically singular (a zero pivot survives partial pivoting).
+/// Panics on every condition [`try_solve_linearized`] reports as an error.
+#[deprecated(note = "use `try_solve_linearized`")]
 pub fn solve_linearized<C: RealCoeff>(
     jacobian: &[Vec<Series<C>>],
     rhs: &[Series<C>],
 ) -> Vec<Series<C>> {
-    let mut ws = LinearSolveWorkspace::new();
-    let mut solution = Vec::new();
-    solve_linearized_into(jacobian, rhs, &mut ws, &mut solution);
-    solution
+    try_solve_linearized(jacobian, rhs).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Like [`solve_linearized`], but all staging lives in the reusable
+/// Like [`try_solve_linearized`], but all staging lives in the reusable
 /// [`LinearSolveWorkspace`] and the solution is written into `solution`
-/// (resized in place) — the allocation-free form the Newton iteration runs
-/// every step.
-pub fn solve_linearized_into<C: RealCoeff>(
+/// (resized in place) — the allocation-free form the Newton iteration and
+/// the path tracker's corrector run every step.
+///
+/// # Errors
+///
+/// See [`try_solve_linearized`].  On error the workspace and `solution`
+/// hold unspecified intermediate values; both are reusable for the next
+/// solve.
+pub fn try_solve_linearized_into<C: RealCoeff>(
     jacobian: &[Vec<Series<C>>],
     rhs: &[Series<C>],
     ws: &mut LinearSolveWorkspace<C>,
     solution: &mut Vec<Series<C>>,
-) {
+) -> Result<(), Error> {
     let n = jacobian.len();
-    assert!(n > 0, "empty linear system");
-    assert_eq!(rhs.len(), n, "right-hand side length mismatch");
+    if n == 0 {
+        return Err(Error::config("empty linear system"));
+    }
+    if rhs.len() != n {
+        return Err(Error::config(format!(
+            "right-hand side length mismatch: {} rows for {n} equations",
+            rhs.len()
+        )));
+    }
     let degree = rhs[0].degree();
     for row in jacobian {
-        assert_eq!(row.len(), n, "the matrix must be square");
+        if row.len() != n {
+            return Err(Error::config(format!(
+                "the matrix must be square: a row holds {} entries for {n} rows",
+                row.len()
+            )));
+        }
         for entry in row {
-            assert_eq!(entry.degree(), degree, "degree mismatch in the matrix");
+            if entry.degree() != degree {
+                return Err(Error::config("degree mismatch in the matrix"));
+            }
         }
     }
     for b in rhs {
-        assert_eq!(b.degree(), degree, "degree mismatch in the right-hand side");
+        if b.degree() != degree {
+            return Err(Error::config("degree mismatch in the right-hand side"));
+        }
     }
     // LU factorization of J_0 with partial pivoting, kept in place in the
     // reusable flat row-major buffer.
@@ -279,6 +448,8 @@ pub fn solve_linearized_into<C: RealCoeff>(
     }
     ws.perm.clear();
     ws.perm.extend(0..n);
+    ws.pivot_min = f64::INFINITY;
+    ws.pivot_max = 0.0;
     for col in 0..n {
         let mut pivot_row = col;
         let mut best = lu[col * n + col].magnitude();
@@ -291,10 +462,14 @@ pub fn solve_linearized_into<C: RealCoeff>(
                 pivot_row = row;
             }
         }
-        assert!(
-            best > 0.0,
-            "the constant-term Jacobian is singular (column {col})"
-        );
+        ws.pivot_min = ws.pivot_min.min(best);
+        ws.pivot_max = ws.pivot_max.max(best);
+        if best <= 0.0 {
+            ws.pivot_min = 0.0;
+            return Err(Error::numerical(format!(
+                "the constant-term Jacobian is singular (column {col})"
+            )));
+        }
         if pivot_row != col {
             for c in 0..n {
                 lu.swap(col * n + c, pivot_row * n + c);
@@ -348,6 +523,23 @@ pub fn solve_linearized_into<C: RealCoeff>(
             solution[c].set_coeff(k, x);
         }
     }
+    Ok(())
+}
+
+/// Panicking shim over [`try_solve_linearized_into`].
+///
+/// # Panics
+///
+/// Panics on every condition [`try_solve_linearized_into`] reports as an
+/// error.
+#[deprecated(note = "use `try_solve_linearized_into`")]
+pub fn solve_linearized_into<C: RealCoeff>(
+    jacobian: &[Vec<Series<C>>],
+    rhs: &[Series<C>],
+    ws: &mut LinearSolveWorkspace<C>,
+    solution: &mut Vec<Series<C>>,
+) {
+    try_solve_linearized_into(jacobian, rhs, ws, solution).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[cfg(test)]
@@ -389,7 +581,7 @@ mod tests {
                 acc
             })
             .collect();
-        let got = solve_linearized(&jacobian, &b);
+        let got = try_solve_linearized(&jacobian, &b).unwrap();
         for (a, e) in got.iter().zip(x.iter()) {
             assert!(a.distance(e) < 1e-55, "distance {}", a.distance(e));
         }
@@ -407,9 +599,11 @@ mod tests {
             vec![s(&[0.0, 0.0]), s(&[4.0, 0.0])],
         ];
         let b1 = vec![s(&[2.0, 4.0]), s(&[8.0, -4.0])];
-        solve_linearized_into(&j1, &b1, &mut ws, &mut sol);
+        try_solve_linearized_into(&j1, &b1, &mut ws, &mut sol).unwrap();
         assert!(sol[0].distance(&s(&[1.0, 2.0])) < 1e-60);
         assert!(sol[1].distance(&s(&[2.0, -1.0])) < 1e-60);
+        // The diagonal factorization's pivot ratio is exactly 4/2.
+        assert_eq!(ws.conditioning(), 2.0);
         // A different (permuted, 3x3) system through the same buffers.
         let j2 = vec![
             vec![s(&[0.0, 0.0]), s(&[1.0, 0.0]), s(&[0.0, 0.0])],
@@ -418,7 +612,7 @@ mod tests {
         ];
         let x = [s(&[1.0, 1.0]), s(&[-1.0, 0.5]), s(&[3.0, 0.0])];
         let b2 = vec![x[1].clone(), x[0].clone(), x[2].scale(&Qd::from_f64(2.0))];
-        solve_linearized_into(&j2, &b2, &mut ws, &mut sol);
+        try_solve_linearized_into(&j2, &b2, &mut ws, &mut sol).unwrap();
         for (a, e) in sol.iter().zip(x.iter()) {
             assert!(a.distance(e) < 1e-60, "distance {}", a.distance(e));
         }
@@ -436,21 +630,50 @@ mod tests {
         let b: Vec<Series<Qd>> = (0..2)
             .map(|i| jacobian[i][0].mul(&x[0]).add(&jacobian[i][1].mul(&x[1])))
             .collect();
-        let got = solve_linearized(&jacobian, &b);
+        let got = try_solve_linearized(&jacobian, &b).unwrap();
         assert!(got[0].distance(&x[0]) < 1e-60);
         assert!(got[1].distance(&x[1]) < 1e-60);
     }
 
     #[test]
-    #[should_panic(expected = "singular")]
-    fn singular_constant_jacobian_panics() {
+    fn singular_constant_jacobian_is_a_numerical_error() {
         let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
         let jacobian = vec![
             vec![s(&[1.0, 0.0]), s(&[2.0, 0.0])],
             vec![s(&[2.0, 0.0]), s(&[4.0, 0.0])],
         ];
         let b = vec![s(&[1.0, 0.0]), s(&[1.0, 0.0])];
+        let err = try_solve_linearized(&jacobian, &b).unwrap_err();
+        assert!(matches!(err, Error::Numerical(_)), "got {err:?}");
+        assert!(err.message().contains("singular"));
+        // The workspace flags the failed factorization as unconditioned.
+        let mut ws = LinearSolveWorkspace::<Qd>::new();
+        let mut sol = Vec::new();
+        assert!(try_solve_linearized_into(&jacobian, &b, &mut ws, &mut sol).is_err());
+        assert_eq!(ws.conditioning(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn deprecated_solve_shim_panics_on_singular_jacobian() {
+        let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
+        let jacobian = vec![
+            vec![s(&[1.0, 0.0]), s(&[2.0, 0.0])],
+            vec![s(&[2.0, 0.0]), s(&[4.0, 0.0])],
+        ];
+        let b = vec![s(&[1.0, 0.0]), s(&[1.0, 0.0])];
+        #[allow(deprecated)]
         let _ = solve_linearized(&jacobian, &b);
+    }
+
+    #[test]
+    fn shape_mismatches_are_config_errors() {
+        let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
+        let jacobian = vec![vec![s(&[1.0, 0.0])], vec![s(&[2.0, 0.0])]];
+        let b = vec![s(&[1.0, 0.0]), s(&[1.0, 0.0])];
+        let err = try_solve_linearized(&jacobian, &b).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "got {err:?}");
+        assert!(err.message().contains("square"));
     }
 
     /// A 2x2 multilinear system with the exact solution x = 1 + t,
@@ -483,15 +706,16 @@ mod tests {
             Series::constant(C::from_f64(1.0), degree),
             Series::constant(C::from_f64(2.0), degree),
         ];
-        let result = newton_system(
+        let result = try_newton_system(
             &system,
             &initial,
             &NewtonOptions {
                 max_iterations: 8,
                 tolerance: 1e-100,
             },
-        );
-        assert!(result.converged, "residuals: {:?}", result.residuals);
+        )
+        .unwrap();
+        assert!(result.converged(), "residuals: {:?}", result.residuals());
         for (got, want) in result.solution.iter().zip(exact.iter()) {
             assert!(
                 got.distance(want) < 1e-100,
@@ -504,12 +728,14 @@ mod tests {
         // residual max-magnitude is NOT monotone — higher-order coefficients
         // transiently grow while the correct prefix extends).
         assert!(
-            result.iterations <= 6,
+            result.iterations() <= 6,
             "took {} iterations, residuals: {:?}",
-            result.iterations,
-            result.residuals
+            result.iterations(),
+            result.residuals()
         );
-        assert!(*result.residuals.last().unwrap() <= 1e-100);
+        assert!(result.trace.final_residual() <= 1e-100);
+        // The trace carries a conditioning estimate of the last step.
+        assert!(result.trace.conditioning >= 1.0);
     }
 
     #[test]
@@ -524,19 +750,46 @@ mod tests {
             max_iterations: 4,
             tolerance: 0.0,
         };
-        let seq = newton_system(&system, &initial, &opts);
+        let seq = try_newton_system(&system, &initial, &opts).unwrap();
         let pool = WorkerPool::new(3);
-        let par = newton_system_parallel(&system, &initial, &opts, &pool);
+        let par = try_newton_system_parallel(&system, &initial, &opts, &pool).unwrap();
         assert_eq!(seq.solution, par.solution);
+        assert_eq!(seq.trace.residuals, par.trace.residuals);
     }
 
     #[test]
-    #[should_panic(expected = "square system")]
-    fn non_square_systems_are_rejected() {
+    fn non_square_systems_are_config_errors() {
         let d = 2;
         let one = Series::<Qd>::one(d);
         let f1 = Polynomial::new(3, Series::zero(d), vec![Monomial::new(one, vec![0, 1])]);
         let initial = vec![Series::zero(d)];
+        let err = try_newton_system(&[f1], &initial, &NewtonOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "got {err:?}");
+        assert!(err.message().contains("square system"));
+    }
+
+    #[test]
+    #[should_panic(expected = "square system")]
+    fn deprecated_newton_shim_panics_on_non_square_systems() {
+        let d = 2;
+        let one = Series::<Qd>::one(d);
+        let f1 = Polynomial::new(3, Series::zero(d), vec![Monomial::new(one, vec![0, 1])]);
+        let initial = vec![Series::zero(d)];
+        #[allow(deprecated)]
         let _ = newton_system(&[f1], &initial, &NewtonOptions::default());
+    }
+
+    #[test]
+    fn trace_improvement_reads_the_last_step() {
+        let trace = NewtonTrace {
+            residuals: vec![1e-2, 1e-6, 5e-7],
+            iterations: 2,
+            converged: false,
+            conditioning: 3.0,
+        };
+        assert_eq!(trace.final_residual(), 5e-7);
+        assert_eq!(trace.last_improvement(), 2.0);
+        assert_eq!(NewtonTrace::default().last_improvement(), f64::INFINITY);
+        assert_eq!(NewtonTrace::default().final_residual(), f64::INFINITY);
     }
 }

@@ -111,6 +111,24 @@ impl SystemLayout {
     pub fn total_coefficients(&self) -> usize {
         self.num_slots * self.coeffs_per_slot()
     }
+
+    /// Rebases a slot into the arena region of one batch instance: instance
+    /// `i` occupies the slot range `i * num_slots .. (i + 1) * num_slots`,
+    /// mirroring [`DataLayout::batch_slot`](crate::DataLayout::batch_slot)
+    /// for system schedules.
+    pub fn batch_slot(&self, instance: usize, slot: usize) -> usize {
+        instance * self.num_slots + slot
+    }
+
+    /// Offset (in coefficients) of a batch instance's arena region.
+    pub fn batch_instance_offset(&self, instance: usize) -> usize {
+        instance * self.total_coefficients()
+    }
+
+    /// Total number of coefficients of a batched data array.
+    pub fn batch_total_coefficients(&self, instances: usize) -> usize {
+        instances * self.total_coefficients()
+    }
 }
 
 /// One unique monomial of the merged system: its variable tuple, the
@@ -533,6 +551,157 @@ impl<C: Coeff> SystemEvaluation<C> {
             timings: KernelTimings::new(),
         }
     }
+}
+
+/// The fused system evaluations of one batch, plus the aggregate kernel
+/// timings of the shared launches.
+///
+/// A batched system run is the tracker's workhorse: the same merged
+/// [`SystemSchedule`] serves every instance (same equations, different
+/// evaluation points), so one kernel launch per merged layer — or one graph
+/// launch — covers `batch × jobs_per_layer` blocks.  The per-instance
+/// [`SystemEvaluation::timings`] are empty for the same reason as in
+/// [`BatchEvaluation`](crate::BatchEvaluation): launches are shared, so
+/// counts and times are only meaningful for the batch as a whole.
+#[derive(Debug, Clone)]
+pub struct SystemBatchEvaluation<C> {
+    /// All values and the full Jacobian of every batch instance, in input
+    /// order.
+    pub instances: Vec<SystemEvaluation<C>>,
+    /// Aggregate timings: one convolution/addition launch per merged layer
+    /// for the whole batch.
+    pub timings: KernelTimings,
+}
+
+impl<C> SystemBatchEvaluation<C> {
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+impl<C: Coeff> SystemBatchEvaluation<C> {
+    /// An empty batched system evaluation to be filled by an `*_into` run;
+    /// its buffers are grown on first use and reused afterwards.
+    pub fn empty() -> Self {
+        Self {
+            instances: Vec::new(),
+            timings: KernelTimings::new(),
+        }
+    }
+}
+
+impl<C: Coeff> Default for SystemBatchEvaluation<C> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Evaluates a whole batch of input vectors through one system's merged
+/// schedule — the shared internal of the engine's system
+/// [`Plan`](crate::Plan) under batched inputs, and the coalesced corrector
+/// sweep of the path tracker.  Every instance is staged back-to-back in one
+/// flat arena ([`SystemLayout::batch_slot`]), so the whole batch runs as one
+/// launch per merged layer (or one graph launch), exactly like
+/// [`run_batch`](crate::batch) does for single polynomials.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_system_batch<C: Coeff>(
+    polys: &[Polynomial<C>],
+    schedule: &SystemSchedule,
+    options: EvalOptions,
+    graph: &OnceLock<GraphPlan>,
+    batch: &[Vec<Series<C>>],
+    pool: Option<&WorkerPool>,
+    cancel: Option<&CancelToken>,
+    ws: &mut Workspace<C>,
+    out: &mut SystemBatchEvaluation<C>,
+) {
+    let wall = Stopwatch::start();
+    let mut timings = KernelTimings::new();
+    if batch.is_empty() {
+        out.instances.clear();
+        timings.wall_clock = wall.elapsed();
+        out.timings = timings;
+        return;
+    }
+    let layout = &schedule.layout;
+    let per = layout.coeffs_per_slot();
+    let stride = layout.total_coefficients();
+    let participants = pool.map_or(1, WorkerPool::parallelism);
+    let (arena, scratch, graph_scratch) =
+        ws.parts(layout.batch_total_coefficients(batch.len()), participants);
+    // Stage 0: lay every instance out back-to-back in the flat arena.  The
+    // constants and merged coefficients are replicated per instance so each
+    // region is self-contained (jobs only ever read within their region).
+    for (i, inputs) in batch.iter().enumerate() {
+        let off = layout.batch_instance_offset(i);
+        schedule.fill_data_array(polys, inputs, &mut arena[off..off + stride]);
+    }
+    let plan = match (options.exec_mode, pool) {
+        (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
+        _ => None,
+    };
+    let completed = {
+        let shared = SharedSlice::new(&mut *arena);
+        execute_schedule(
+            &schedule.convolution_layers,
+            &schedule.addition_layers,
+            plan,
+            &shared,
+            per,
+            options.kernel,
+            pool,
+            scratch,
+            graph_scratch,
+            &mut timings,
+            batch.len(),
+            cancel,
+            |instance, slot| layout.batch_slot(instance, slot),
+        )
+    };
+    if !completed {
+        // Abandoned mid-schedule: every instance region holds partial
+        // results, so skip extraction and flag the whole batch instead.
+        timings.cancelled = true;
+        timings.wall_clock = wall.elapsed();
+        out.timings = timings;
+        return;
+    }
+    let m = schedule.num_equations();
+    let n = schedule.num_variables();
+    out.instances
+        .resize_with(batch.len(), SystemEvaluation::empty);
+    for (i, instance) in out.instances.iter_mut().enumerate() {
+        let off = layout.batch_instance_offset(i);
+        let region = &arena[off..off + stride];
+        instance.values.resize_with(m, || Series::zero(0));
+        for (&loc, v) in schedule
+            .value_locations
+            .iter()
+            .zip(instance.values.iter_mut())
+        {
+            schedule.extract_into(region, loc, v);
+        }
+        instance.jacobian.resize_with(m, Vec::new);
+        for (row_locs, row) in schedule
+            .jacobian_locations
+            .iter()
+            .zip(instance.jacobian.iter_mut())
+        {
+            row.resize_with(n, || Series::zero(0));
+            for (&loc, entry) in row_locs.iter().zip(row.iter_mut()) {
+                schedule.extract_into(region, loc, entry);
+            }
+        }
+        instance.timings = KernelTimings::new();
+    }
+    timings.wall_clock = wall.elapsed();
+    out.timings = timings;
 }
 
 /// Evaluates a whole system through its merged schedule, writing all values

@@ -1,0 +1,262 @@
+//! Precision-independent description of a homotopy family.
+//!
+//! The tracker escalates working precision at runtime, which means it must
+//! be able to re-embed the same start and target systems at any rung of the
+//! `Md<N>` ladder.  A [`HomotopySpec`] therefore describes both systems with
+//! plain `f64` coefficient series — exact at every precision — and the typed
+//! [`Homotopy`](crate::Homotopy) is compiled from it on demand (the engine's
+//! structurally-keyed plan cache makes repeat compilations at one precision
+//! a cache hit).
+
+use psmd_core::{Error, Monomial, Polynomial};
+use psmd_multidouble::Coeff;
+use psmd_series::Series;
+
+/// One monomial of a [`PolySpec`]: a coefficient series (given by its `f64`
+/// coefficients, zero-extended to the truncation degree) times a product of
+/// **distinct** variables in strictly increasing order — the multilinear
+/// setting of the paper's evaluation algorithm, matching
+/// [`Monomial`](psmd_core::Monomial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonomialSpec {
+    /// Coefficients of the monomial's series coefficient, constant term
+    /// first; shorter vectors are zero-extended to the truncation degree.
+    pub coefficient: Vec<f64>,
+    /// The variable indices of the product (repeats allowed).
+    pub variables: Vec<usize>,
+}
+
+impl MonomialSpec {
+    /// A monomial with a constant coefficient.
+    pub fn constant_coeff(c: f64, variables: Vec<usize>) -> Self {
+        Self {
+            coefficient: vec![c],
+            variables,
+        }
+    }
+}
+
+/// One polynomial of a start or target system, described precision-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolySpec {
+    /// Coefficients of the constant term's series, constant term first.
+    pub constant: Vec<f64>,
+    /// The monomials.
+    pub monomials: Vec<MonomialSpec>,
+}
+
+/// A homotopy family `H(x, t) = (1−t)·G(x) + γ·t·F(x)`: the start system
+/// `G` (whose solutions are known), the target system `F` (whose solutions
+/// are wanted), and the real scaling constant `γ` applied to the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomotopySpec {
+    /// Number of variables `n` (the systems must be square: `n` equations).
+    pub num_variables: usize,
+    /// Truncation degree of the series arithmetic (`0` tracks points).
+    pub degree: usize,
+    /// The start system `G` with known solutions at `t = 0`.
+    pub start: Vec<PolySpec>,
+    /// The target system `F` whose solutions are tracked to at `t = 1`.
+    pub target: Vec<PolySpec>,
+    /// The scaling constant `γ` of the target part.
+    pub gamma: f64,
+}
+
+impl HomotopySpec {
+    /// A homotopy with `γ = 1`.
+    pub fn new(
+        num_variables: usize,
+        degree: usize,
+        start: Vec<PolySpec>,
+        target: Vec<PolySpec>,
+    ) -> Self {
+        Self {
+            num_variables,
+            degree,
+            start,
+            target,
+            gamma: 1.0,
+        }
+    }
+
+    /// Sets the scaling constant `γ`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Checks that the family is square and well-formed: `n` equations in
+    /// each system, a finite nonzero `γ`, in-range variable indices.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), Error> {
+        let n = self.num_variables;
+        if n == 0 {
+            return Err(Error::config("a homotopy needs at least one variable"));
+        }
+        if self.start.len() != n || self.target.len() != n {
+            return Err(Error::config(format!(
+                "the tracker needs square systems: {} start and {} target \
+                 equations for {n} variables",
+                self.start.len(),
+                self.target.len()
+            )));
+        }
+        if !self.gamma.is_finite() || self.gamma == 0.0 {
+            return Err(Error::config(format!(
+                "gamma must be finite and nonzero, got {}",
+                self.gamma
+            )));
+        }
+        for (name, system) in [("start", &self.start), ("target", &self.target)] {
+            for (i, p) in system.iter().enumerate() {
+                if p.constant.len() > self.degree + 1 {
+                    return Err(Error::config(format!(
+                        "{name} equation {i}: constant series has {} coefficients \
+                         for truncation degree {}",
+                        p.constant.len(),
+                        self.degree
+                    )));
+                }
+                for (k, m) in p.monomials.iter().enumerate() {
+                    if m.variables.is_empty() {
+                        return Err(Error::config(format!(
+                            "{name} equation {i}, monomial {k}: empty variable list \
+                             (fold constants into the constant term)"
+                        )));
+                    }
+                    if !m.variables.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(Error::config(format!(
+                            "{name} equation {i}, monomial {k}: variable indices \
+                             must be strictly increasing — the fused schedule \
+                             evaluates multilinear products of distinct variables, \
+                             got {:?}",
+                            m.variables
+                        )));
+                    }
+                    if m.coefficient.len() > self.degree + 1 {
+                        return Err(Error::config(format!(
+                            "{name} equation {i}, monomial {k}: coefficient series \
+                             has {} coefficients for truncation degree {}",
+                            m.coefficient.len(),
+                            self.degree
+                        )));
+                    }
+                    if let Some(&v) = m.variables.iter().find(|&&v| v >= n) {
+                        return Err(Error::config(format!(
+                            "{name} equation {i}, monomial {k}: variable {v} \
+                             out of range for {n} variables"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Embeds one system at a concrete coefficient type: `G` then `F`,
+    /// stacked into a single `2n`-equation system so that **one** fused
+    /// plan (and hence one coalesced launch per corrector sweep) evaluates
+    /// both parts of the homotopy for every live path.
+    pub(crate) fn stacked_polynomials<C: Coeff>(&self) -> Vec<Polynomial<C>> {
+        let embed_series = |coeffs: &[f64]| {
+            let mut s = Series::zero(self.degree);
+            for (k, &c) in coeffs.iter().enumerate() {
+                s.set_coeff(k, C::from_f64(c));
+            }
+            s
+        };
+        let embed_poly = |p: &PolySpec| {
+            Polynomial::new(
+                self.num_variables,
+                embed_series(&p.constant),
+                p.monomials
+                    .iter()
+                    .map(|m| Monomial::new(embed_series(&m.coefficient), m.variables.clone()))
+                    .collect(),
+            )
+        };
+        self.start
+            .iter()
+            .chain(self.target.iter())
+            .map(embed_poly)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmd_multidouble::Dd;
+
+    /// `m` independent two-variable blocks `{x + y − s, x·y − p}`, the
+    /// multilinear family used throughout the tracker tests.
+    fn blocks(m: usize) -> HomotopySpec {
+        let mut g = Vec::new();
+        let mut f = Vec::new();
+        for k in 0..m {
+            let (x, y) = (2 * k, 2 * k + 1);
+            let sum = |s: f64| PolySpec {
+                constant: vec![-s],
+                monomials: vec![
+                    MonomialSpec::constant_coeff(1.0, vec![x]),
+                    MonomialSpec::constant_coeff(1.0, vec![y]),
+                ],
+            };
+            let product = |p: f64| PolySpec {
+                constant: vec![-p],
+                monomials: vec![MonomialSpec::constant_coeff(1.0, vec![x, y])],
+            };
+            g.push(sum(0.0));
+            g.push(product(-1.0));
+            f.push(sum(1.0));
+            f.push(product(-6.0));
+        }
+        HomotopySpec::new(2 * m, 0, g, f)
+    }
+
+    #[test]
+    fn valid_specs_pass_and_stack_both_systems() {
+        let spec = blocks(2);
+        spec.validate().unwrap();
+        let polys = spec.stacked_polynomials::<Dd>();
+        assert_eq!(polys.len(), 8);
+        assert_eq!(polys[0].num_variables(), 4);
+        assert_eq!(polys[1].constant().coeff(0).to_f64(), 1.0);
+        assert_eq!(polys[5].constant().coeff(0).to_f64(), 6.0);
+    }
+
+    #[test]
+    fn non_square_families_are_rejected() {
+        let mut spec = blocks(2);
+        spec.target.pop();
+        let err = spec.validate().unwrap_err();
+        assert!(err.message().contains("square"));
+    }
+
+    #[test]
+    fn zero_gamma_is_rejected() {
+        let spec = blocks(1).with_gamma(0.0);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_variables_are_rejected() {
+        let mut spec = blocks(1);
+        spec.start[0].monomials[0].variables = vec![5];
+        let err = spec.validate().unwrap_err();
+        assert!(err.message().contains("out of range"));
+    }
+
+    #[test]
+    fn repeated_variables_are_rejected_not_panicked() {
+        let mut spec = blocks(1);
+        // `x²` is not a multilinear monomial; the spec must refuse it
+        // before the core monomial constructor would panic.
+        spec.start[0].monomials[0].variables = vec![0, 0];
+        let err = spec.validate().unwrap_err();
+        assert!(err.message().contains("strictly increasing"));
+    }
+}

@@ -5,7 +5,8 @@
 //! power series and applies Newton corrections to the series coefficients.
 //! This example runs that loop for a small 2x2 system in deca-double
 //! precision, using the scheduled evaluator for the values and the gradients
-//! and series arithmetic for the linear solve:
+//! and the fallible staged linear solver (`try_solve_linearized`) for the
+//! series correction:
 //!
 //! ```text
 //! f1(x, y) = x^2 + y^2 - c1(t) = 0
@@ -19,7 +20,7 @@
 //!
 //! Run with `cargo run --release --example newton_power_series`.
 
-use psmd_core::{Engine, Monomial, Polynomial};
+use psmd_core::{try_solve_linearized, Engine, Monomial, Polynomial};
 use psmd_multidouble::Deca;
 use psmd_series::Series;
 
@@ -107,15 +108,16 @@ fn main() {
         let j21 = e2.gradient[0].clone(); // d f2 / dx = y
         let j22 = e2.gradient[1].clone(); // d f2 / dy = x
 
-        // Solve J * (dx, dy) = -(f1, f2) with Cramer's rule in series
-        // arithmetic.
-        let det = j11.mul(&j22).sub(&j12.mul(&j21));
-        let rhs1 = e1.value.neg();
-        let rhs2 = e2.value.neg();
-        let dx = rhs1.mul(&j22).sub(&j12.mul(&rhs2)).div(&det);
-        let dy = j11.mul(&rhs2).sub(&rhs1.mul(&j21)).div(&det);
-        x.add_assign(&dx);
-        y.add_assign(&dy);
+        // Solve J * (dx, dy) = -(f1, f2) with the staged linearized
+        // solver: one LU of the constant-term Jacobian, then one triangular
+        // solve per series degree.  Shape or singularity problems surface
+        // as errors instead of garbage.
+        let jacobian = vec![vec![j11, j12], vec![j21, j22]];
+        let rhs = vec![e1.value.neg(), e2.value.neg()];
+        let update = try_solve_linearized(&jacobian, &rhs)
+            .expect("the constant-term Jacobian stays regular along this run");
+        x.add_assign(&update[0]);
+        y.add_assign(&update[1]);
         println!(
             "{iter:>4}   {:.3e}      {:.3e}      {:.3e}      {:.3e}",
             x.distance(&x_exact),

@@ -1,9 +1,9 @@
 //! Newton's method on a polynomial *system* with the fused evaluator — the
 //! paper's motivating application, end to end through the library.
 //!
-//! Unlike `newton_power_series.rs` (which drives a hand-rolled 2x2 Cramer
-//! solve), this example uses the `psmd_core::newton_system` solver: one
-//! merged [`SystemSchedule`](psmd_core::SystemSchedule) is built
+//! Unlike `newton_power_series.rs` (which drives a hand-rolled 2x2 staged
+//! solve), this example uses the fallible `psmd_core::try_newton_system`
+//! solver: one merged [`SystemSchedule`](psmd_core::SystemSchedule) is built
 //! once and reused by every iteration, each step evaluates all values and
 //! the full Jacobian in one fused pass, and the linearized series system is
 //! solved degree by degree from a single LU factorization of the
@@ -23,7 +23,7 @@
 //!
 //! Run with `cargo run --release --example newton_system`.
 
-use psmd_core::{newton_system, Monomial, NewtonOptions, Polynomial, SystemSchedule};
+use psmd_core::{try_newton_system, Monomial, NewtonOptions, Polynomial, SystemSchedule};
 use psmd_multidouble::Deca;
 use psmd_series::Series;
 
@@ -77,17 +77,18 @@ fn main() {
         Series::constant(C::from_f64(2.0), degree),
         Series::constant(C::from_f64(3.0), degree),
     ];
-    let result = newton_system(
+    let result = try_newton_system(
         &system,
         &initial,
         &NewtonOptions {
             max_iterations: 8,
             tolerance: 1e-120,
         },
-    );
+    )
+    .expect("a square, nonsingular system");
 
     println!("iter   residual |F(z)|");
-    for (i, r) in result.residuals.iter().enumerate() {
+    for (i, r) in result.trace.residuals.iter().enumerate() {
         println!("{i:>4}   {r:.3e}");
     }
     let err = result
@@ -97,11 +98,11 @@ fn main() {
         .map(|(a, b)| a.distance(b))
         .fold(0.0f64, f64::max);
     println!(
-        "\nconverged: {} after {} steps",
-        result.converged, result.iterations
+        "\nconverged: {} after {} steps (pivot-ratio conditioning estimate {:.2e})",
+        result.trace.converged, result.trace.iterations, result.trace.conditioning,
     );
     println!("final coefficientwise error vs the exact solution: {err:.3e}");
-    assert!(result.converged, "Newton did not converge");
+    assert!(result.trace.converged, "Newton did not converge");
     assert!(err < 1e-120, "solution error {err:.3e}");
     println!(
         "all {} series coefficients recovered to deca-double accuracy.",

@@ -5,3 +5,4 @@ pub use psmd_multidouble as multidouble;
 pub use psmd_runtime as runtime;
 pub use psmd_series as series;
 pub use psmd_serve as serve;
+pub use psmd_track as track;
