@@ -21,6 +21,11 @@
 //!   kernels        measured convolution kernel ladder (zero-insertion vs
 //!                  Karatsuba vs digit-FFT) per precision and degree, with
 //!                  the Auto crossover resolution of each row
+//!   simd           measured SIMD lane tier: forced-width batched
+//!                  evaluation vs the scalar batch path per precision and
+//!                  lane width, with a bitwise-identity verdict per row
+//!                  (the detected ISA and auto width ride along as
+//!                  ungated text)
 //!   serve          serving-layer load generator: deterministic staged
 //!                  coalescing windows plus threaded closed-loop clients
 //!                  against a psmd-serve Service
@@ -44,7 +49,7 @@
 //!   --equations <m> system size for the system command (default 4)
 //!   --json         emit a machine-readable JSON report instead of text
 //!                  (supported by table2, batch, system, graph, engine,
-//!                  workspace, kernels, serve and track;
+//!                  workspace, kernels, simd, serve and track;
 //!                  used by the CI perf-snapshot job).  stdout carries only
 //!                  the JSON document; progress and notes go to stderr.
 //!   --baseline <file>       baseline report for the compare command
@@ -253,6 +258,9 @@ fn main() {
     }
     if opts.command == "kernels" {
         kernels_report(&opts);
+    }
+    if opts.command == "simd" {
+        simd_report(&opts);
     }
     if opts.command == "serve" {
         serve_report(&opts);
@@ -1244,6 +1252,109 @@ fn batch_report(opts: &Options, engine: &Engine) {
         println!(
             "(one pool launch per layer carries the whole batch: the launch column is the\n\
              layer count of the schedule, independent of the batch size)"
+        );
+    }
+}
+
+/// The SIMD lane-tier report: for each precision of the ladder's working
+/// set and each supported lane width, one batch evaluated under
+/// `SimdMode::ForceWidth` and under `SimdMode::Scalar` on the same inputs.
+/// The per-row `lane_identity` flag is the bitwise-identity invariant as a
+/// deterministic exact-gated count (always 1; a 0 is a kernel bug and fails
+/// the compare gate before it fails any test suite).  Timings are
+/// tolerance-gated; the speedup ratio and the machine-dependent detection
+/// row ride along ungated.
+fn simd_report(opts: &Options) {
+    use psmd_core::SimdMode;
+    use psmd_multidouble::lanes::{detect_isa, detected_lane_width};
+
+    let (scale, degree, label): (Scale, usize, &str) = if opts.full {
+        (Scale::Full, 15, "full")
+    } else {
+        (Scale::Reduced, 7, "reduced")
+    };
+    let poly = TestPolynomial::P1;
+    let batch = opts.batch.unwrap_or(16);
+    let precisions = [Precision::D2, Precision::D4, Precision::D8];
+    emit_banner(
+        opts,
+        &banner(&format!(
+            "SIMD lane tier: forced-width batched evaluation vs scalar batch \
+             ({label} {}, degree {degree}, batch {batch}, measured CPU)",
+            poly.label()
+        )),
+    );
+    let isa = detect_isa();
+    let auto_width = detected_lane_width();
+    eprintln!(
+        "simd: detected {} (auto lane width {auto_width})",
+        isa.name()
+    );
+    let mut t = TextTable::new(vec![
+        "precision",
+        "width",
+        "scalar (ms)",
+        "lanes (ms)",
+        "speedup",
+        "identical",
+    ]);
+    let mut json = JsonReport::new("simd");
+    // The detection row: machine-dependent, so every field besides the row
+    // identity is text (the compare gate skips text fields).
+    json.add_row(vec![
+        ("precision", JsonValue::Text("detected".to_string())),
+        ("isa", JsonValue::Text(isa.name().to_string())),
+        ("auto_width", JsonValue::Text(auto_width.to_string())),
+    ]);
+    for precision in precisions {
+        for width in SimdMode::SUPPORTED_WIDTHS {
+            eprintln!("simd: measuring {} at width {width}...", precision.label());
+            let cmp = psmd_bench::simd_comparison(
+                poly, precision, degree, scale, batch, width, opts.seed,
+            );
+            assert_eq!(
+                cmp.reported_width, width,
+                "the lane run must report its forced width"
+            );
+            if opts.json {
+                json.add_row(vec![
+                    ("precision", JsonValue::Text(precision.label().to_string())),
+                    ("width", JsonValue::Integer(width as i64)),
+                    ("batch", JsonValue::Integer(batch as i64)),
+                    ("degree", JsonValue::Integer(degree as i64)),
+                    ("lane_identity", JsonValue::Integer(cmp.identical as i64)),
+                    ("scalar_ms", JsonValue::Number(cmp.scalar.wall_ms)),
+                    ("lanes_ms", JsonValue::Number(cmp.lanes.wall_ms)),
+                    (
+                        "lanes_speedup",
+                        JsonValue::Number(cmp.scalar.wall_ms / cmp.lanes.wall_ms.max(1e-9)),
+                    ),
+                ]);
+            } else {
+                t.add_row(vec![
+                    precision.label().to_string(),
+                    width.to_string(),
+                    ms(cmp.scalar.wall_ms),
+                    ms(cmp.lanes.wall_ms),
+                    format!("{:.2}x", cmp.scalar.wall_ms / cmp.lanes.wall_ms.max(1e-9)),
+                    if cmp.identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+            assert!(
+                cmp.identical,
+                "{} width {width}: lane tier diverged from the scalar batch path",
+                precision.label()
+            );
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print!("{t}");
+        println!(
+            "(forced widths beyond the hardware's vector units run the portable lane code\n\
+             with identical bits; detected here: {} with auto width {auto_width})",
+            isa.name()
         );
     }
 }

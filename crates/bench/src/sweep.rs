@@ -197,6 +197,63 @@ pub fn batched_comparison(
     }
 }
 
+/// One measured comparison of the SIMD lane tier against the scalar batch
+/// path at one forced lane width, on the same batch of inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdComparison {
+    /// The forced lane width of the lane run.
+    pub width: usize,
+    /// Number of instances in the batch.
+    pub batch: usize,
+    /// The scalar batch run ([`psmd_core::SimdMode::Scalar`]).
+    pub scalar: TimingRow,
+    /// The lane-group run ([`psmd_core::SimdMode::ForceWidth`]).
+    pub lanes: TimingRow,
+    /// Whether the two batched outputs are bitwise identical (the lane
+    /// tier's hard invariant; anything but `true` is a kernel bug).
+    pub identical: bool,
+    /// The lane width the lane run's timings reported.
+    pub reported_width: usize,
+}
+
+/// Measures the forced-width lane tier against the scalar batch path at one
+/// precision, asserting nothing — the caller gates on
+/// [`SimdComparison::identical`].
+pub fn simd_comparison(
+    poly: TestPolynomial,
+    precision: Precision,
+    degree: usize,
+    scale: Scale,
+    batch: usize,
+    width: usize,
+    seed: u64,
+) -> SimdComparison {
+    use psmd_core::{EvalOptions, SimdMode};
+    let seeds: Vec<u64> = (0..batch).map(|i| seed.wrapping_add(i as u64)).collect();
+    let batch_inputs = poly.any_batch_inputs(precision, degree, scale, &seeds);
+    let engine_with = |simd: SimdMode| {
+        Engine::builder()
+            .options(EvalOptions::new().with_simd(simd))
+            .build()
+    };
+    let scalar_engine = engine_with(SimdMode::Scalar);
+    let scalar_plan =
+        scalar_engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
+    let scalar_eval = scalar_plan.request(&batch_inputs).run();
+    let scalar = TimingRow::from(scalar_eval.timings());
+    let lane_engine = engine_with(SimdMode::ForceWidth(width));
+    let lane_plan = lane_engine.compile_any(poly.any_polynomial(precision, degree, scale, seed));
+    let lane_eval = lane_plan.request(&batch_inputs).run();
+    SimdComparison {
+        width,
+        batch,
+        scalar,
+        lanes: TimingRow::from(lane_eval.timings()),
+        identical: scalar_eval.bitwise_eq(&lane_eval),
+        reported_width: lane_eval.timings().simd_width,
+    }
+}
+
 /// One measured comparison of the dependency-driven graph executor against
 /// the layered (barrier-per-layer) reference on the same schedule and
 /// inputs.

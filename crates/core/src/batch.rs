@@ -54,7 +54,7 @@ use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{GraphPlan, Schedule};
 use crate::workspace::Workspace;
-use crate::ExecMode;
+use crate::{ConvolutionKernel, ExecMode};
 use psmd_multidouble::Coeff;
 use psmd_runtime::{CancelToken, KernelTimings, SharedSlice, Stopwatch, WorkerPool};
 use psmd_series::Series;
@@ -149,6 +149,20 @@ pub(crate) fn run_batch<C: Coeff>(
         (ExecMode::Graph, Some(_)) => Some(graph.get_or_init(|| schedule.graph_plan())),
         _ => None,
     };
+    // The SIMD lane tier: batched evaluation is the one path with an
+    // instance axis to vectorize over.  Resolve the mode (plans store it
+    // resolved; direct callers may still pass `Auto`) and only engage lane
+    // groups for the kernels with lane variants — per lane the results are
+    // bitwise identical either way.
+    let resolved_kernel = match options.kernel {
+        ConvolutionKernel::Auto => crate::crossover::auto_kernel(C::component_limbs(), per - 1),
+        k => k,
+    };
+    let lane_width = match resolved_kernel {
+        ConvolutionKernel::ZeroInsertion | ConvolutionKernel::Direct => options.simd.lane_width(),
+        _ => 1,
+    };
+    timings.simd_width = lane_width;
     let completed = {
         let shared = SharedSlice::new(&mut *arena);
         execute_schedule(
@@ -163,6 +177,7 @@ pub(crate) fn run_batch<C: Coeff>(
             graph_scratch,
             &mut timings,
             batch.len(),
+            lane_width,
             cancel,
             |instance, slot| layout.batch_slot(instance, slot),
         )

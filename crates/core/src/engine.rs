@@ -23,8 +23,8 @@
 //!   [`EvalRequest`] builder whose [`run`](EvalRequest::run) produces a
 //!   unified [`EvalOutput`] (single, batched or system evaluation) with
 //!   full kernel timings, including the pool rendezvous paid by the run.
-//!   The historical `evaluate*` method family remains as deprecated
-//!   wrappers around the builder.
+//!   (The historical `evaluate*` method family has been removed; the
+//!   request builder is the only entry point.)
 //! * [`AnyPlan`] erases the coefficient type behind a [`Precision`] tag, so
 //!   non-generic callers — the bench harness, servers — pick the precision
 //!   with a *value* instead of monomorphizing through a macro.
@@ -555,6 +555,10 @@ impl<C: Coeff> Plan<C> {
         if options.kernel == crate::ConvolutionKernel::Auto {
             options.kernel = crate::crossover::auto_kernel(C::component_limbs(), source.degree());
         }
+        // Same one-shot resolution for the SIMD mode: `Auto` collapses to the
+        // `PSMD_SIMD` override or the detected lane width here, so evaluation
+        // (and the plan's warm workspaces) see a concrete width.
+        options.simd = options.simd.resolved();
         Self {
             source,
             kind,
@@ -655,11 +659,12 @@ impl<C: Coeff> Plan<C> {
     /// A workspace pre-sized for this plan: scratch lanes for every
     /// participant of the engine's pool, arena capacity for one
     /// (non-batched) evaluation, and graph scratch for the whole block
-    /// graph.  Pass it to [`Plan::evaluate_with`] /
-    /// [`Plan::evaluate_into_with`] to manage reuse explicitly.  The
-    /// workspace-side buffers are warm from the start, so even the *first*
-    /// [`Plan::evaluate_into_with`] through it (with a warm output, on a
-    /// zero-worker engine) allocates nothing; `evaluate_with` still builds
+    /// graph.  Pass it to [`EvalRequest::workspace`] to manage reuse
+    /// explicitly.  The workspace-side buffers are warm from the start
+    /// (including the SIMD lane panels at the plan's resolved lane width),
+    /// so even the *first* `request(..).workspace(&mut ws).into(&mut out)`
+    /// run through it (with a warm output, on a zero-worker engine)
+    /// allocates nothing; a bare `workspace(&mut ws).run()` still builds
     /// its returned output, and threaded pools pay their constant
     /// per-launch control allocations.
     pub fn create_workspace(&self) -> Workspace<C> {
@@ -680,6 +685,7 @@ impl<C: Coeff> Plan<C> {
         }
         let mut ws = Workspace::new(self.pool.parallelism());
         ws.warm_for(arena, per, blocks, self.options.kernel);
+        ws.warm_lanes(per, self.options.simd.lane_width());
         ws
     }
 
@@ -732,45 +738,6 @@ impl<C: Coeff> Plan<C> {
             parallel: true,
             cancel: None,
         }
-    }
-
-    /// Evaluates on the engine's worker pool.
-    #[deprecated(note = "use `plan.request(inputs).run()`")]
-    pub fn evaluate<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        self.request(inputs.into()).run()
-    }
-
-    /// Evaluates on the calling thread only.
-    #[deprecated(note = "use `plan.request(inputs).sequential().run()`")]
-    pub fn evaluate_sequential<'a>(&self, inputs: impl Into<Inputs<'a, C>>) -> EvalOutput<C> {
-        self.request(inputs.into()).sequential().run()
-    }
-
-    /// Evaluates with a caller-managed workspace.
-    #[deprecated(note = "use `plan.request(inputs).workspace(&mut ws).run()`")]
-    pub fn evaluate_with<'a>(
-        &self,
-        inputs: impl Into<Inputs<'a, C>>,
-        ws: &mut Workspace<C>,
-    ) -> EvalOutput<C> {
-        self.request(inputs.into()).workspace(ws).run()
-    }
-
-    /// Evaluates into an existing output, reusing its buffers.
-    #[deprecated(note = "use `plan.request(inputs).into(&mut out).run()`")]
-    pub fn evaluate_into<'a>(&self, inputs: impl Into<Inputs<'a, C>>, out: &mut EvalOutput<C>) {
-        self.request(inputs.into()).into(out).run();
-    }
-
-    /// Evaluates with a caller-managed workspace into an existing output.
-    #[deprecated(note = "use `plan.request(inputs).workspace(&mut ws).into(&mut out).run()`")]
-    pub fn evaluate_into_with<'a>(
-        &self,
-        inputs: impl Into<Inputs<'a, C>>,
-        ws: &mut Workspace<C>,
-        out: &mut EvalOutput<C>,
-    ) {
-        self.request(inputs.into()).workspace(ws).into(out).run();
     }
 
     /// An empty output of the variant the inputs will produce.
@@ -1141,6 +1108,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the SIMD lane mode of compiled plans ([`crate::SimdMode::Auto`] by
+    /// default: the `PSMD_SIMD` override, else the widest lane width the
+    /// host supports).
+    pub fn simd(mut self, simd: crate::SimdMode) -> Self {
+        self.options.simd = simd;
+        self
+    }
+
     /// Sets both evaluation knobs at once.
     pub fn options(mut self, options: EvalOptions) -> Self {
         self.options = options;
@@ -1178,10 +1153,10 @@ impl EngineBuilder {
 
     /// Builds the engine, returning a [`crate::Error`] instead of panicking
     /// on an invalid configuration: a non-integer `PSMD_THREADS` override,
-    /// or a thread count beyond [`EngineBuilder::MAX_WORKER_THREADS`]
-    /// (spawning an absurd number of OS threads is always a configuration
-    /// bug, and a long-lived service should refuse it instead of dying
-    /// mid-spawn).
+    /// an unrecognized `PSMD_SIMD` override, or a thread count beyond
+    /// [`EngineBuilder::MAX_WORKER_THREADS`] (spawning an absurd number of
+    /// OS threads is always a configuration bug, and a long-lived service
+    /// should refuse it instead of dying mid-spawn).
     pub fn try_build(self) -> Result<Engine, Error> {
         let threads = match self.threads {
             Some(threads) => threads,
@@ -1191,6 +1166,12 @@ impl EngineBuilder {
                 Err(message) => return Err(Error::config(message)),
             },
         };
+        // Surface a malformed PSMD_SIMD override at build time, mirroring
+        // PSMD_THREADS: services fail fast on misconfiguration instead of
+        // panicking inside the first plan compile.
+        if let Err(message) = crate::SimdMode::try_from_env() {
+            return Err(Error::config(message));
+        }
         if threads > Self::MAX_WORKER_THREADS {
             return Err(Error::config(format!(
                 "{threads} worker threads requested; the supported maximum is {}",
@@ -1701,23 +1682,6 @@ macro_rules! define_any_api {
                 }
             }
 
-            /// Evaluates on the engine's worker pool.
-            #[deprecated(note = "use `plan.request(&inputs).run()`")]
-            pub fn evaluate(&self, inputs: &AnyInputs) -> AnyEvalOutput {
-                self.request(inputs).run()
-            }
-
-            /// Evaluates into an existing output, reusing its buffers.
-            #[deprecated(note = "use `plan.request(&inputs).into(&mut out).run()`")]
-            pub fn evaluate_into(&self, inputs: &AnyInputs, out: &mut AnyEvalOutput) {
-                self.request(inputs).into(out).run();
-            }
-
-            /// Evaluates on the calling thread only.
-            #[deprecated(note = "use `plan.request(&inputs).sequential().run()`")]
-            pub fn evaluate_sequential(&self, inputs: &AnyInputs) -> AnyEvalOutput {
-                self.request(inputs).sequential().run()
-            }
         }
 
         /// A configured precision-erased evaluation: what
@@ -2282,17 +2246,6 @@ mod tests {
         assert!(plan.request(&z).sequential().run().bitwise_eq(&reference));
         plan.request(&z).into(&mut out).sequential().run();
         assert!(out.bitwise_eq(&reference));
-        // The deprecated wrappers delegate to the builder.
-        #[allow(deprecated)]
-        {
-            assert!(plan.evaluate(&z).bitwise_eq(&reference));
-            assert!(plan.evaluate_sequential(&z).bitwise_eq(&reference));
-            assert!(plan.evaluate_with(&z, &mut ws).bitwise_eq(&reference));
-            plan.evaluate_into(&z, &mut out);
-            assert!(out.bitwise_eq(&reference));
-            plan.evaluate_into_with(&z, &mut ws, &mut out);
-            assert!(out.bitwise_eq(&reference));
-        }
     }
 
     #[test]

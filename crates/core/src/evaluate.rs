@@ -9,17 +9,17 @@
 //!   scheme is measured against.
 //! * The engine's [`Plan`](crate::Plan) runs the paper's job schedule
 //!   (shared forward/backward/cross products, tree summation) — sequentially
-//!   ([`Plan::evaluate_sequential`](crate::Plan::evaluate_sequential)) or
-//!   with one kernel launch per job layer on the worker pool
-//!   ([`Plan::evaluate`](crate::Plan::evaluate)), the CPU equivalent of the
-//!   accelerated algorithm of Section 5, reporting per-kernel timings like
-//!   the paper does.
+//!   (`plan.request(&z).sequential().run()`) or with one kernel launch per
+//!   job layer on the worker pool (`plan.request(&z).run()`), the CPU
+//!   equivalent of the accelerated algorithm of Section 5, reporting
+//!   per-kernel timings like the paper does.
 //!
 //! This module holds the shared execution internals: every job borrows its
 //! staging memory from a [`Workspace`] instead of allocating, which is what
 //! keeps steady-state evaluation allocation-free (the CPU analogue of the
 //! paper's pre-sized shared-memory staging).
 
+use crate::lanes::{run_convolution_job_lanes, run_graph_node_lanes, LaneLayout, LaneUnit};
 use crate::options::EvalOptions;
 use crate::polynomial::Polynomial;
 use crate::schedule::{AddJob, ConvJob, GraphPlan, Schedule};
@@ -202,6 +202,16 @@ pub fn evaluate_naive<C: Coeff>(poly: &Polynomial<C>, inputs: &[Series<C>]) -> E
 /// per-participant `scratch` lanes; zero-worker pools run the graph inline
 /// through the reusable `graph_scratch`.
 ///
+/// `lane_width >= 2` engages the SIMD lane tier: the instance axis is
+/// decomposed by [`LaneLayout`] into full lane groups (each executing one
+/// job for `lane_width` instances through the vectorized panel kernels) and
+/// a scalar remainder.  Per lane the results are bitwise identical to
+/// `lane_width == 1`, and the recorded timings always count *logical*
+/// per-instance blocks, so lane grouping is invisible to everything but the
+/// wall clock.  The caller is responsible for only requesting widths on
+/// kernels with lane variants (the runners fall back to per-lane scalar
+/// execution otherwise).
+///
 /// When `cancel` is armed and trips mid-run, the remaining blocks (and
 /// layers) are abandoned at the next claim boundary and `false` is returned;
 /// the arena contents are then unspecified and the caller must skip
@@ -219,34 +229,52 @@ pub(crate) fn execute_schedule<C: Coeff>(
     graph_scratch: &mut InlineGraphScratch,
     timings: &mut KernelTimings,
     instances: usize,
+    lane_width: usize,
     cancel: Option<&CancelToken>,
     map_slot: impl Fn(usize, usize) -> usize + Sync,
 ) -> bool {
     if instances == 0 {
         return true;
     }
+    let lanes = LaneLayout::new(instances, lane_width);
     if let (Some(plan), Some(pool)) = (graph, pool) {
         // Dependency-driven path: every convolution and addition of every
         // instance in one graph launch — one pool rendezvous for the whole
         // evaluation (none at all on a zero-worker pool, which drains the
         // graph inline in dependency order through the workspace's reusable
-        // scratch).  Block b runs node b % nodes of instance b / nodes;
-        // dependency edges apply within each instance (instances occupy
-        // disjoint arena regions, so they share no hazards).
+        // scratch).  Block b runs node b % nodes of unit b / nodes, where a
+        // unit is one instance (scalar) or one lane group of `lane_width`
+        // instances; dependency edges apply within each unit (instances
+        // occupy disjoint arena regions, so units share no hazards, and a
+        // lane group preserves each member instance's node order).
         let nodes = plan.blocks();
         let start = Instant::now();
         let body = |lane: usize, b: usize| {
-            let instance = b / nodes;
             let mut s = scratch[lane].lock();
-            run_graph_node(plan, b % nodes, shared, per, kernel, &mut s, |slot| {
-                map_slot(instance, slot)
-            });
+            match lanes.unit(b / nodes) {
+                LaneUnit::Group { first } => run_graph_node_lanes(
+                    plan,
+                    b % nodes,
+                    shared,
+                    per,
+                    kernel,
+                    &mut s,
+                    lanes.width(),
+                    first,
+                    &map_slot,
+                ),
+                LaneUnit::Scalar { instance } => {
+                    run_graph_node(plan, b % nodes, shared, per, kernel, &mut s, |slot| {
+                        map_slot(instance, slot)
+                    })
+                }
+            }
         };
         let completed = if pool.worker_threads() > 0 {
-            pool.launch_graph_indexed_cancellable(&plan.graph, instances, cancel, body)
+            pool.launch_graph_indexed_cancellable(&plan.graph, lanes.units(), cancel, body)
         } else {
             plan.graph
-                .run_inline_cancellable(instances, graph_scratch, cancel, |b| body(0, b))
+                .run_inline_cancellable(lanes.units(), graph_scratch, cancel, |b| body(0, b))
         };
         timings.record_graph(
             start.elapsed(),
@@ -255,30 +283,46 @@ pub(crate) fn execute_schedule<C: Coeff>(
         );
         return completed;
     }
-    // Layered reference path.  Block b runs job b % jobs of instance
-    // b / jobs; disjointness within a layer carries over to the rebased
-    // slots because distinct instances write distinct regions.
+    // Layered reference path.  Block b runs job b % jobs of unit b / jobs
+    // (a scalar instance or a whole lane group); disjointness within a
+    // layer carries over to the rebased slots because distinct instances
+    // write distinct regions.
     // Stage 1: convolution kernels, one launch per layer for all instances.
     for layer in convolution_layers {
         let jobs = layer.len();
-        let blocks = instances * jobs;
+        let blocks = lanes.units() * jobs;
         let body = |lane: usize, b: usize| {
-            let instance = b / jobs;
             let job = layer[b % jobs];
-            let mapped = ConvJob {
-                in1: map_slot(instance, job.in1),
-                in2: map_slot(instance, job.in2),
-                out: map_slot(instance, job.out),
-            };
             let mut s = scratch[lane].lock();
-            run_convolution_job(shared, &mapped, per, kernel, &mut s);
+            match lanes.unit(b / jobs) {
+                LaneUnit::Group { first } => run_convolution_job_lanes(
+                    shared,
+                    &job,
+                    per,
+                    kernel,
+                    &mut s,
+                    lanes.width(),
+                    first,
+                    &map_slot,
+                ),
+                LaneUnit::Scalar { instance } => {
+                    let mapped = ConvJob {
+                        in1: map_slot(instance, job.in1),
+                        in2: map_slot(instance, job.in2),
+                        out: map_slot(instance, job.out),
+                    };
+                    run_convolution_job(shared, &mapped, per, kernel, &mut s);
+                }
+            }
         };
         let start = Instant::now();
         let completed = match pool {
             Some(pool) => pool.launch_grid_indexed_cancellable(blocks, cancel, body),
             None => run_blocks_inline(blocks, cancel, |b| body(0, b)),
         };
-        timings.record(KernelKind::Convolution, start.elapsed(), blocks);
+        // Timings count logical per-instance jobs, not physical lane-group
+        // launches: block accounting stays independent of the SIMD mode.
+        timings.record(KernelKind::Convolution, start.elapsed(), instances * jobs);
         if !completed {
             return false;
         }
@@ -373,6 +417,7 @@ pub(crate) fn run_single<C: Coeff>(
             scratch,
             graph_scratch,
             &mut timings,
+            1,
             1,
             cancel,
             |_, slot| slot,

@@ -50,10 +50,14 @@
 //! ```
 //!
 //! The historical borrowing front-ends (`ScheduledEvaluator`,
-//! `BatchEvaluator`, `SystemEvaluator`), deprecated in 0.2, have been
-//! removed, and the five-method `evaluate*` family is deprecated in favor
-//! of the request builder; [`Engine::compile`] + [`Plan::request`] is the
-//! one entry point.
+//! `BatchEvaluator`, `SystemEvaluator`) and the five-method `evaluate*`
+//! shim family have been removed; [`Engine::compile`] + [`Plan::request`]
+//! is the one entry point.
+//!
+//! Batched evaluation additionally packs instances into SIMD lane groups
+//! when the hardware supports it (AVX-512, AVX2, NEON) — bitwise identical
+//! per lane to the scalar path and controlled by [`SimdMode`] /
+//! `PSMD_SIMD`; see [`lanes`] and `psmd_multidouble::lanes`.
 
 #![warn(missing_docs)]
 
@@ -64,6 +68,7 @@ pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod generators;
+pub mod lanes;
 pub mod monomial;
 pub mod newton;
 pub mod options;
@@ -88,14 +93,13 @@ pub use generators::{
     banded_supports, binomial, combinations, polynomial_with_supports, random_inputs,
     random_polynomial,
 };
+pub use lanes::{LaneLayout, LaneUnit};
 pub use monomial::Monomial;
-#[allow(deprecated)]
-pub use newton::{newton_system, newton_system_parallel, solve_linearized};
 pub use newton::{
     try_newton_system, try_newton_system_parallel, try_solve_linearized, try_solve_linearized_into,
     LinearSolveWorkspace, NewtonOptions, NewtonResult, NewtonTrace,
 };
-pub use options::EvalOptions;
+pub use options::{EvalOptions, SimdMode};
 pub use polynomial::Polynomial;
 pub use psmd_runtime::CancelToken;
 pub use schedule::{AddJob, ConvJob, DataLayout, GraphPlan, ResultLocation, Schedule};

@@ -171,36 +171,6 @@ pub fn try_newton_system_parallel<C: RealCoeff>(
     try_newton_system_impl(polys, initial, options, Some(pool))
 }
 
-/// Panicking shim over [`try_newton_system`].
-///
-/// # Panics
-///
-/// Panics on every condition [`try_newton_system`] reports as an error.
-#[deprecated(note = "use `try_newton_system`")]
-pub fn newton_system<C: RealCoeff>(
-    polys: &[Polynomial<C>],
-    initial: &[Series<C>],
-    options: &NewtonOptions,
-) -> NewtonResult<C> {
-    try_newton_system(polys, initial, options).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Panicking shim over [`try_newton_system_parallel`].
-///
-/// # Panics
-///
-/// Panics on every condition [`try_newton_system_parallel`] reports as an
-/// error.
-#[deprecated(note = "use `try_newton_system_parallel`")]
-pub fn newton_system_parallel<C: RealCoeff>(
-    polys: &[Polynomial<C>],
-    initial: &[Series<C>],
-    options: &NewtonOptions,
-    pool: &WorkerPool,
-) -> NewtonResult<C> {
-    try_newton_system_parallel(polys, initial, options, pool).unwrap_or_else(|e| panic!("{e}"))
-}
-
 fn try_newton_system_impl<C: RealCoeff>(
     polys: &[Polynomial<C>],
     initial: &[Series<C>],
@@ -380,19 +350,6 @@ pub fn try_solve_linearized<C: RealCoeff>(
     Ok(solution)
 }
 
-/// Panicking shim over [`try_solve_linearized`].
-///
-/// # Panics
-///
-/// Panics on every condition [`try_solve_linearized`] reports as an error.
-#[deprecated(note = "use `try_solve_linearized`")]
-pub fn solve_linearized<C: RealCoeff>(
-    jacobian: &[Vec<Series<C>>],
-    rhs: &[Series<C>],
-) -> Vec<Series<C>> {
-    try_solve_linearized(jacobian, rhs).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Like [`try_solve_linearized`], but all staging lives in the reusable
 /// [`LinearSolveWorkspace`] and the solution is written into `solution`
 /// (resized in place) — the allocation-free form the Newton iteration and
@@ -526,22 +483,6 @@ pub fn try_solve_linearized_into<C: RealCoeff>(
     Ok(())
 }
 
-/// Panicking shim over [`try_solve_linearized_into`].
-///
-/// # Panics
-///
-/// Panics on every condition [`try_solve_linearized_into`] reports as an
-/// error.
-#[deprecated(note = "use `try_solve_linearized_into`")]
-pub fn solve_linearized_into<C: RealCoeff>(
-    jacobian: &[Vec<Series<C>>],
-    rhs: &[Series<C>],
-    ws: &mut LinearSolveWorkspace<C>,
-    solution: &mut Vec<Series<C>>,
-) {
-    try_solve_linearized_into(jacobian, rhs, ws, solution).unwrap_or_else(|e| panic!("{e}"));
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,19 +595,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "singular")]
-    fn deprecated_solve_shim_panics_on_singular_jacobian() {
-        let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
-        let jacobian = vec![
-            vec![s(&[1.0, 0.0]), s(&[2.0, 0.0])],
-            vec![s(&[2.0, 0.0]), s(&[4.0, 0.0])],
-        ];
-        let b = vec![s(&[1.0, 0.0]), s(&[1.0, 0.0])];
-        #[allow(deprecated)]
-        let _ = solve_linearized(&jacobian, &b);
-    }
-
-    #[test]
     fn shape_mismatches_are_config_errors() {
         let s = |v: &[f64]| Series::<Qd>::from_f64_coeffs(v);
         let jacobian = vec![vec![s(&[1.0, 0.0])], vec![s(&[2.0, 0.0])]];
@@ -766,17 +694,6 @@ mod tests {
         let err = try_newton_system(&[f1], &initial, &NewtonOptions::default()).unwrap_err();
         assert!(matches!(err, Error::Config(_)), "got {err:?}");
         assert!(err.message().contains("square system"));
-    }
-
-    #[test]
-    #[should_panic(expected = "square system")]
-    fn deprecated_newton_shim_panics_on_non_square_systems() {
-        let d = 2;
-        let one = Series::<Qd>::one(d);
-        let f1 = Polynomial::new(3, Series::zero(d), vec![Monomial::new(one, vec![0, 1])]);
-        let initial = vec![Series::zero(d)];
-        #[allow(deprecated)]
-        let _ = newton_system(&[f1], &initial, &NewtonOptions::default());
     }
 
     #[test]

@@ -660,6 +660,7 @@ pub(crate) fn run_system_batch<C: Coeff>(
             graph_scratch,
             &mut timings,
             batch.len(),
+            1,
             cancel,
             |instance, slot| layout.batch_slot(instance, slot),
         )
@@ -750,6 +751,7 @@ pub(crate) fn run_system<C: Coeff>(
             scratch,
             graph_scratch,
             &mut timings,
+            1,
             1,
             cancel,
             |_, slot| slot,

@@ -2,7 +2,7 @@
 //!
 //! The paper's GPU kernels stage every convolution operand in pre-sized
 //! shared memory and never allocate mid-kernel; the CPU reproduction used to
-//! heap-allocate on every `Plan::evaluate` instead — a fresh arena per call,
+//! heap-allocate on every evaluation instead — a fresh arena per call,
 //! two operand copies plus a kernel scratch vector per convolution job, and
 //! fresh output vectors.  A [`Workspace`] makes the memory of one evaluation
 //! shape explicit and reusable:
@@ -24,8 +24,8 @@
 //! a fixed array of lock-free slots (`AtomicPtr` swaps only, no locks, no
 //! ABA hazard because slots are only ever swapped whole) sized by the
 //! engine's thread count.  Callers that want explicit control create one
-//! with [`crate::Plan::create_workspace`] and pass it to
-//! [`crate::Plan::evaluate_with`].
+//! with [`crate::Plan::create_workspace`] and lend it to a request via
+//! [`crate::EvalRequest::workspace`].
 
 use crate::evaluate::ConvolutionKernel;
 use psmd_multidouble::Coeff;
@@ -44,6 +44,7 @@ use std::sync::Arc;
 pub struct ConvScratch<C> {
     buf: Vec<C>,
     fft: Vec<f64>,
+    lanes: Vec<f64>,
 }
 
 /// Coefficients of one per-participant convolution-scratch lane at `per`
@@ -71,12 +72,20 @@ pub fn conv_scratch_coeffs_for(kernel: ConvolutionKernel, per: usize) -> usize {
     }
 }
 
+/// `f64` slots of one convolution-scratch lane's SIMD panel buffer at `per`
+/// coefficients per slot and lane width `width`: three transposed
+/// structure-of-arrays panels (two operands, one output).
+pub fn lane_scratch_f64s<C: Coeff>(per: usize, width: usize) -> usize {
+    3 * psmd_series::lanes::panel_f64s::<C>(per, width)
+}
+
 impl<C: Coeff> ConvScratch<C> {
     /// An empty scratch (grows on first use).
     pub fn new() -> Self {
         Self {
             buf: Vec::new(),
             fft: Vec::new(),
+            lanes: Vec::new(),
         }
     }
 
@@ -102,6 +111,15 @@ impl<C: Coeff> ConvScratch<C> {
             self.fft.resize(fft_need, 0.0);
         }
         (&mut self.buf[..need], &mut self.fft[..fft_need])
+    }
+
+    /// The SIMD lane-panel buffer of at least `f64s` slots, growing it if
+    /// needed (allocation-free once warm, like the other scratch buffers).
+    pub(crate) fn ensure_lanes(&mut self, f64s: usize) -> &mut [f64] {
+        if self.lanes.len() < f64s {
+            self.lanes.resize(f64s, 0.0);
+        }
+        &mut self.lanes[..f64s]
     }
 }
 
@@ -175,6 +193,20 @@ impl<C: Coeff> Workspace<C> {
             lane.lock().ensure_for(per, kernel);
         }
         self.graph_scratch.reserve(graph_blocks);
+    }
+
+    /// Pre-sizes every convolution-scratch lane's SIMD panel buffer for
+    /// batched evaluation at `per` coefficients per slot and lane width
+    /// `width`, so the first lane-group launch is already allocation-free.
+    /// A no-op for widths below 2 (the scalar path uses no panels).
+    pub fn warm_lanes(&mut self, per: usize, width: usize) {
+        if width < 2 {
+            return;
+        }
+        let f64s = lane_scratch_f64s::<C>(per, width);
+        for lane in &self.scratch {
+            lane.lock().ensure_lanes(f64s);
+        }
     }
 
     /// Splits the workspace into the three disjoint borrows one run needs:

@@ -7,10 +7,16 @@
 //! conveniences for building test data and measuring errors.
 
 use crate::complex::Complex;
+use crate::lanes::{CxLanes, F64Lanes, LaneVec, MdLanes};
 use crate::md::Md;
 
 /// Ring operations required of a power-series coefficient.
 pub trait Coeff: Copy + Clone + PartialEq + core::fmt::Debug + Send + Sync + 'static {
+    /// The structure-of-arrays lane vector carrying `W` independent values
+    /// of this type through one vectorized operation sequence (see
+    /// [`crate::lanes`]); its arithmetic is bitwise identical per lane to
+    /// the scalar operations of this trait.
+    type Lanes<const W: usize>: LaneVec<Self, W>;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -83,6 +89,7 @@ pub trait RealCoeff: Coeff + PartialOrd {
 }
 
 impl Coeff for f64 {
+    type Lanes<const W: usize> = F64Lanes<W>;
     #[inline]
     fn zero() -> Self {
         0.0
@@ -169,6 +176,7 @@ impl RealCoeff for f64 {
 }
 
 impl<const N: usize> Coeff for Md<N> {
+    type Lanes<const W: usize> = MdLanes<N, W>;
     #[inline]
     fn zero() -> Self {
         Md::ZERO
@@ -255,6 +263,7 @@ impl<const N: usize> RealCoeff for Md<N> {
 }
 
 impl<T: RealCoeff> Coeff for Complex<T> {
+    type Lanes<const W: usize> = CxLanes<T::Lanes<W>>;
     #[inline]
     fn zero() -> Self {
         Complex::new(T::zero(), T::zero())

@@ -36,6 +36,7 @@ pub mod complex;
 pub mod convert;
 pub mod eft;
 pub mod flops;
+pub mod lanes;
 pub mod md;
 pub mod ops;
 pub mod precision;
@@ -48,6 +49,9 @@ pub use coeff::{Coeff, RealCoeff};
 pub use complex::{Complex, ComplexDd, ComplexDeca, ComplexQd};
 pub use convert::{decimal_digits, ParseMdError};
 pub use flops::CostModel;
+pub use lanes::{
+    detect_isa, detected_lane_width, CxLanes, F64Lanes, LaneVec, MdLanes, ScalarLanes, SimdIsa,
+};
 pub use md::{Dd, Deca, Md, Md1, Od, Pd, Qd, Td, MAX_LIMBS};
 pub use precision::Precision;
 #[cfg(feature = "rand")]

@@ -50,12 +50,18 @@ pub struct KernelTimings {
     /// Pool rendezvous paid by the evaluation (layered execution pays one per
     /// multi-block layer, graph execution exactly one, inline fast paths
     /// none).  Filled in by callers that own the pool — the engine's
-    /// `Plan::evaluate` records the pool counter delta here, which makes the
+    /// evaluation entry point records the pool counter delta here, which makes the
     /// one-rendezvous invariant of graph mode checkable through the
     /// evaluation result alone.  The delta is taken on a shared counter, so
     /// concurrent evaluations on the same pool may attribute each other's
     /// rendezvous to this field.
     pub pool_rendezvous: usize,
+    /// SIMD lane width the batched convolution tier ran at: 0 when the run
+    /// had no batched convolution stage at all (single/system evaluation),
+    /// 1 when batched evaluation ran scalar, otherwise the lane width (2, 4
+    /// or 8).  Lane-group execution changes physical launches only; the
+    /// block counts above always count logical (per-instance) jobs.
+    pub simd_width: usize,
     /// Wall clock time of the whole evaluation.
     pub wall_clock: Duration,
     /// Whether the run was abandoned by a cooperative
@@ -152,6 +158,7 @@ impl KernelTimings {
         self.graph_launches += other.graph_launches;
         self.graph += other.graph;
         self.pool_rendezvous += other.pool_rendezvous;
+        self.simd_width = self.simd_width.max(other.simd_width);
         self.wall_clock += other.wall_clock;
         self.cancelled |= other.cancelled;
     }

@@ -358,6 +358,7 @@ mod tests {
     }
 
     impl Coeff for Counted {
+        type Lanes<const W: usize> = psmd_multidouble::lanes::ScalarLanes<Self, W>;
         fn zero() -> Self {
             Counted(0.0)
         }

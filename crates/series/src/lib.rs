@@ -15,6 +15,7 @@
 pub mod convolution;
 pub mod fft;
 pub mod karatsuba;
+pub mod lanes;
 pub mod series;
 
 pub use convolution::{
@@ -27,5 +28,8 @@ pub use fft::{
 pub use karatsuba::{
     convolve_karatsuba, karatsuba_adds, karatsuba_depth, karatsuba_mults, karatsuba_scratch_len,
     karatsuba_ulp_budget, KARATSUBA_THRESHOLD,
+};
+pub use lanes::{
+    convolve_panels, convolve_panels_dyn, gather_into_panel, panel_f64s, scatter_from_panel,
 };
 pub use series::Series;

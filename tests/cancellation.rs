@@ -258,8 +258,11 @@ fn ticket_dropped_after_detach_keeps_queue_consistent() {
     let service = Service::new(
         engine,
         ServeConfig {
-            max_batch: 8,
-            max_inflight: 16,
+            // Admit the whole calibrated batch (`calibrate` caps at 64)
+            // into ONE window: the `launches == 1` assertion below is the
+            // single-window premise of the test, not a coalescing claim.
+            max_batch: 64,
+            max_inflight: 64,
             default_deadline: None,
         },
     );

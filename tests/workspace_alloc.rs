@@ -112,6 +112,36 @@ fn assert_zero_alloc_batch(mode: ExecMode, label: &str) {
     assert!(reference.bitwise_eq(&out), "{label}: results drifted");
 }
 
+/// Like [`assert_zero_alloc_batch`], but pinning the SIMD lane mode and a
+/// batch size large enough to engage full lane groups *and* a scalar
+/// remainder: the lane-panel scratch must obey the same grow-once
+/// discipline as every other workspace buffer.
+fn assert_zero_alloc_batch_simd(mode: ExecMode, simd: psmd_core::SimdMode, label: &str) {
+    let d = 6;
+    let batch_size = 2 * simd.lane_width() + 3;
+    let engine = Engine::builder()
+        .threads(0)
+        .exec_mode(mode)
+        .simd(simd)
+        .build();
+    let plan = engine.compile(paper_example(d));
+    let mut rng = StdRng::seed_from_u64(13);
+    let batch: Vec<Vec<Series<Qd>>> = (0..batch_size)
+        .map(|_| random_inputs::<Qd, _>(6, d, &mut rng))
+        .collect();
+    let mut out = plan.request(&batch).run();
+    plan.request(&batch).into(&mut out).run();
+    let reference = plan.request(&batch).run();
+    let (allocs, deallocs, bytes) = measure(|| {
+        for _ in 0..10 {
+            plan.request(&batch).into(&mut out).run();
+        }
+    });
+    assert_eq!(allocs, 0, "{label}: steady-state allocations ({bytes} B)");
+    assert_eq!(deallocs, 0, "{label}: steady-state deallocations");
+    assert!(reference.bitwise_eq(&out), "{label}: results drifted");
+}
+
 fn assert_zero_alloc_system(mode: ExecMode, label: &str) {
     let d = 6;
     let engine = Engine::builder().threads(0).exec_mode(mode).build();
@@ -164,6 +194,18 @@ fn steady_state_evaluation_is_allocation_free() {
     assert_zero_alloc_batch(ExecMode::Graph, "batch/graph");
     assert_zero_alloc_system(ExecMode::Layered, "system/layered");
     assert_zero_alloc_system(ExecMode::Graph, "system/graph");
+
+    // The SIMD lane tier keeps the contract under every mode: the lane
+    // panels are workspace scratch, grown once and reused (batch sizes of
+    // 2W+3 run full lane groups plus a scalar remainder each iteration).
+    use psmd_core::SimdMode;
+    for mode in [ExecMode::Layered, ExecMode::Graph] {
+        assert_zero_alloc_batch_simd(mode, SimdMode::Scalar, "batch/simd-scalar");
+        assert_zero_alloc_batch_simd(mode, SimdMode::Auto, "batch/simd-auto");
+        for width in SimdMode::SUPPORTED_WIDTHS {
+            assert_zero_alloc_batch_simd(mode, SimdMode::ForceWidth(width), "batch/simd-forced");
+        }
+    }
 
     // The explicit-workspace path is allocation-free from the FIRST call:
     // `create_workspace` pre-warms every buffer.
